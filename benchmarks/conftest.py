@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it (visible with ``pytest -s``), and writes it under
+``benchmarks/results/`` so the artifacts survive the run.
+
+Scales (see ``repro.workloads.datasets.SCALES``) are controlled by two
+environment variables:
+
+* ``REPRO_SCALE`` — characterization scale (Figures 1-2, Tables 1-5);
+  default ``small``, the paper's class-B analogue is ``medium``.
+* ``REPRO_EVAL_SCALE`` — evaluation scale (Table 8 / Figure 9);
+  default ``small``, the paper's class-C analogue is ``large``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import experiments as E
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+CHAR_SCALE = os.environ.get("REPRO_SCALE", "small")
+EVAL_SCALE = os.environ.get("REPRO_EVAL_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def context() -> E.ExperimentContext:
+    """One characterization pass per workload, shared by all benchmarks."""
+    return E.ExperimentContext(scale=CHAR_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def table8_rows():
+    """Table 8 evaluation rows (all four platforms), computed once."""
+    return E.table8_runtimes(scale=EVAL_SCALE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a rendered table and persist it to results/<name>.txt."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

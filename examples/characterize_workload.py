@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Characterize any registered workload, BioPerf-style.
+
+Produces the Section 2 characterization for one program: instruction
+mix (Figure 1), static-load concentration (Figure 2), cache behaviour
+(Table 2), load sequences (Table 4), and the per-load profile
+(Table 5).
+
+Run:  python examples/characterize_workload.py [workload] [scale]
+      workloads: blast clustalw dnapenny fasta hmmcalibrate hmmpfam
+                 hmmsearch predator promlk gcc crafty vortex
+"""
+
+import sys
+
+from repro.atom import characterize
+from repro.core.reporting import format_table, pct
+from repro.workloads import get_workload
+
+
+def main(name: str = "hmmsearch", scale: str = "small") -> None:
+    spec = get_workload(name)
+    print(f"{spec.name}: {spec.description}  [{spec.category}]")
+    print(f"hot code: {spec.hot_function} in {spec.hot_file}")
+    print(f"characterizing at scale '{scale}' ...\n")
+
+    result = characterize(spec.program(), spec.dataset(scale, seed=0))
+    mix = result.mix
+    print(
+        format_table(
+            ["metric", "value", "paper"],
+            [
+                ["executed instructions", mix.counts.total,
+                 f"{spec.paper.instructions_billions or 'n.a.'} B" if spec.paper.instructions_billions else "n.a."],
+                ["loads", pct(mix.load_fraction), "~30% avg"],
+                ["stores", pct(mix.store_fraction), None],
+                ["conditional branches", pct(mix.branch_fraction), None],
+                ["floating point", pct(mix.fp_fraction, 2), pct(spec.paper.fp_fraction, 2) if spec.paper.fp_fraction is not None else None],
+            ],
+            title="instruction profile (Figure 1 / Table 1)",
+        )
+    )
+
+    coverage = result.coverage
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["static loads executed", coverage.static_load_count],
+                ["coverage of top 80 static loads", pct(coverage.coverage_at(80))],
+                ["static loads for 90% coverage", coverage.loads_for_coverage(0.9)],
+            ],
+            title="static-load concentration (Figure 2)",
+        )
+    )
+
+    hierarchy = result.cache.hierarchy
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["L1 local miss rate", pct(hierarchy.l1_local_miss_rate, 2)],
+                ["L2 local miss rate", pct(hierarchy.l2_local_miss_rate, 2)],
+                ["overall (to memory)", pct(hierarchy.overall_miss_rate, 3)],
+                ["AMAT", f"{hierarchy.amat:.2f} cycles"],
+            ],
+            title="cache behaviour (Table 2)",
+        )
+    )
+
+    summary = result.sequences.summary()
+    print()
+    print(
+        format_table(
+            ["metric", "value", "paper"],
+            [
+                ["load->branch loads", pct(summary.load_to_branch_fraction),
+                 pct(spec.paper.load_to_branch) if spec.paper.load_to_branch is not None else None],
+                ["fed-branch misprediction", pct(summary.seq_branch_misprediction_rate),
+                 pct(spec.paper.seq_misprediction) if spec.paper.seq_misprediction is not None else None],
+                ["loads after hard branches", pct(summary.after_hard_branch_fraction),
+                 pct(spec.paper.after_hard_branch) if spec.paper.after_hard_branch is not None else None],
+            ],
+            title="load sequences (Table 4)",
+        )
+    )
+
+    print()
+    print(f"hottest loads (Table 5 style, in {spec.hot_file}):")
+    for row in result.load_profile(top=8):
+        print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "hmmsearch",
+        sys.argv[2] if len(sys.argv) > 2 else "small",
+    )

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Bring your own kernel: apply the paper's methodology to new code.
+
+A downstream user's workflow: write a MiniC kernel of your own, profile
+it, let the candidate selector point at the problem loads, try a manual
+load-scheduling transformation, and verify (a) the transformed kernel
+computes the same results and (b) it is faster on the machine models.
+
+The kernel here is a run-length-threshold scanner (not from the paper):
+it walks a value stream, conditionally updating per-bucket statistics —
+the same guarded-store pattern that defeats if-conversion and load
+hoisting in BioPerf.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import random
+
+from repro.atom import characterize
+from repro.core import evaluate_workload, select_candidates
+from repro.cpu import ALPHA_21264, make_timing_model
+from repro.exec import Interpreter, run_program
+from repro.lang import CompilerOptions, compile_source
+
+ORIGINAL = """
+int N, NB;
+int stream[], thresh[], counts[], best[];
+
+void kernel() {
+  int i; int b; int v;
+  for (i = 0; i < N; i++) {
+    v = stream[i];
+    b = v % NB;
+    if (b < 0) b = -b;
+    if (v > thresh[b]) counts[b] = counts[b] + 1;
+    if (v > best[b]) best[b] = v;
+  }
+}
+"""
+
+#: Manual load scheduling: thresh[b] / best[b] / counts[b] preloaded
+#: into temporaries so the comparisons no longer sit one cycle behind a
+#: load, and the hot THEN paths become register updates.
+TRANSFORMED = """
+int N, NB;
+int stream[], thresh[], counts[], best[];
+
+void kernel() {
+  int i; int b; int v;
+  int t; int c; int m;
+  for (i = 0; i < N; i++) {
+    v = stream[i];
+    b = v % NB;
+    if (b < 0) b = -b;
+    t = thresh[b];
+    c = counts[b];
+    m = best[b];
+    if (v > t) c = c + 1;
+    if (v > m) m = v;
+    counts[b] = c;
+    best[b] = m;
+  }
+}
+"""
+
+
+def dataset(n=4000, buckets=16, seed=0):
+    rng = random.Random(seed)
+    return {
+        "N": n,
+        "NB": buckets,
+        "stream": [rng.randint(-500, 500) for _ in range(n)],
+        "thresh": [rng.randint(-100, 100) for _ in range(buckets)],
+        "counts": [0] * buckets,
+        "best": [-(10**9)] * buckets,
+    }
+
+
+def main() -> None:
+    # 1. Profile the original.
+    program = compile_source(ORIGINAL, "custom", CompilerOptions())
+    result = characterize(program, dataset())
+    print(f"executed {result.executed} instructions; "
+          f"loads {result.mix.load_fraction:.1%}, "
+          f"load->branch {result.sequences.summary().load_to_branch_fraction:.1%}")
+    print("\ncandidates:")
+    for candidate in select_candidates(result):
+        print(f"  {candidate}")
+
+    # 2. Equivalence: the transformation must not change results.
+    reference = run_program(
+        compile_source(ORIGINAL, "ref", CompilerOptions(opt_level=0)), dataset()
+    )
+    transformed = run_program(
+        compile_source(TRANSFORMED, "new", CompilerOptions(opt_level=0)), dataset()
+    )
+    assert reference.array("counts") == transformed.array("counts")
+    assert reference.array("best") == transformed.array("best")
+    print("\nequivalence check passed")
+
+    # 3. Timing on the Alpha model.
+    options = ALPHA_21264.compiler_options()
+    cycles = {}
+    for label, source in (("original", ORIGINAL), ("transformed", TRANSFORMED)):
+        compiled = compile_source(source, label, options)
+        model = make_timing_model(ALPHA_21264)
+        Interpreter(compiled, dataset()).run(consumers=(model,))
+        cycles[label] = model.result().cycles
+        print(f"{label}: {cycles[label]} cycles "
+              f"(mispredict {model.result().misprediction_rate:.1%})")
+    speedup = cycles["original"] / cycles["transformed"] - 1
+    print(f"\nspeedup from manual load scheduling: {speedup:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Figures 3, 5 and 7 in miniature: look at the machine code.
+
+Shows the three codegen situations the paper illustrates:
+
+* the original hot loop, where every IF compiles to a load->compare->
+  branch chain with a store in the THEN path (Figure 3 / 7(a)),
+* the same source compiled with the ``restrict`` alias model, where the
+  compiler's own hoisting pulls the next boxes' loads above the store
+  (Figure 5(b)),
+* the manually transformed source, where the THEN paths are store-free
+  and the compiler turns the branches into conditional moves and merges
+  the whole body into one schedulable block (Figure 7(b)).
+
+Run:  python examples/inspect_machine_code.py
+"""
+
+from repro.lang import CompilerOptions, compile_source
+
+SOURCE = """
+int M;
+int mpp[], tpmm[], dpp[], tpdm[], mc[], dc[];
+
+void kernel() {
+  int k; int sc;
+  for (k = 1; k <= M; k++) {
+    if ((sc = mpp[k-1] + tpmm[k-1]) > mc[k]) mc[k] = sc;
+    if ((sc = dpp[k-1] + tpdm[k-1]) > dc[k]) dc[k] = sc;
+  }
+}
+"""
+
+TRANSFORMED = """
+int M;
+int mpp[], tpmm[], dpp[], tpdm[], mc[], dc[];
+
+void kernel() {
+  int k; int temp1; int temp2;
+  for (k = 1; k <= M; k++) {
+    temp1 = mpp[k-1] + tpmm[k-1];
+    temp2 = dpp[k-1] + tpdm[k-1];
+    if (temp1 < mc[k]) temp1 = mc[k];
+    if (temp2 < dc[k]) temp2 = dc[k];
+    mc[k] = temp1;
+    dc[k] = temp2;
+  }
+}
+"""
+
+
+def show(title: str, source: str, options: CompilerOptions) -> None:
+    program = compile_source(source, title, options)
+    branches = sum(1 for i in program.all_instructions() if i.is_branch)
+    cmovs = sum(1 for i in program.all_instructions() if i.is_cmov)
+    print("=" * 72)
+    print(f"{title}   (conditional branches: {branches}, cmovs: {cmovs})")
+    print("=" * 72)
+    print(program.disassemble())
+    print()
+
+
+def main() -> None:
+    show(
+        "Figure 7(a): original, may-alias (stores block everything)",
+        SOURCE,
+        CompilerOptions(opt_level=3),
+    )
+    show(
+        "Figure 5(b): original, restrict (compiler hoists past the store)",
+        SOURCE,
+        CompilerOptions(opt_level=3, alias_model="restrict"),
+    )
+    show(
+        "Figure 7(b): transformed (branches become conditional moves)",
+        TRANSFORMED,
+        CompilerOptions(opt_level=3),
+    )
+
+
+if __name__ == "__main__":
+    main()

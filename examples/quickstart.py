@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Quickstart: compile a kernel, run it, characterize its loads.
+
+This is the smallest end-to-end tour of the library:
+
+1. write a MiniC kernel (the paper's ``if ((sc = ...) > mc[k])`` idiom),
+2. compile it with the -O3-like pipeline,
+3. execute it functionally and check the result,
+4. attach the ATOM-style tools and look at the load behaviour the paper
+   studies: instruction mix, static-load concentration, cache hits, and
+   load->branch sequences.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.atom import characterize
+from repro.core import select_candidates
+from repro.lang import CompilerOptions, compile_source
+
+SOURCE = """
+int M;
+int mpp[], tpmm[], ip[], tpim[], mc[];
+
+void kernel() {
+  int k; int sc;
+  for (k = 1; k <= M; k++) {
+    mc[k] = mpp[k-1] + tpmm[k-1];
+    if ((sc = ip[k-1] + tpim[k-1]) > mc[k]) mc[k] = sc;
+    if (mc[k] < -999999) mc[k] = -999999;
+  }
+}
+"""
+
+
+def main() -> None:
+    rng = random.Random(0)
+    m = 64
+    bindings = {
+        "M": m,
+        "mpp": [rng.randint(-300, 200) for _ in range(m + 1)],
+        "tpmm": [rng.randint(-300, 200) for _ in range(m + 1)],
+        "ip": [rng.randint(-300, 200) for _ in range(m + 1)],
+        "tpim": [rng.randint(-300, 200) for _ in range(m + 1)],
+        "mc": [0] * (m + 1),
+    }
+
+    program = compile_source(SOURCE, "quickstart", CompilerOptions(opt_level=3))
+    print(f"compiled: {program}")
+
+    result = characterize(program, bindings)
+    mix = result.mix
+    print(f"\nexecuted {result.executed} instructions")
+    print(f"  loads:        {mix.load_fraction:6.1%}")
+    print(f"  stores:       {mix.store_fraction:6.1%}")
+    print(f"  cond branches:{mix.branch_fraction:6.1%}")
+    print(f"  other:        {mix.other_fraction:6.1%}")
+
+    coverage = result.coverage
+    print(f"\nstatic loads executed: {coverage.static_load_count}")
+    print(f"top 5 static loads cover {coverage.coverage_at(5):.1%} of dynamic loads")
+
+    hierarchy = result.cache.hierarchy
+    print(f"\nL1 local miss rate: {hierarchy.l1_local_miss_rate:.2%}")
+    print(f"AMAT (paper formula): {hierarchy.amat:.2f} cycles")
+
+    summary = result.sequences.summary()
+    print(f"\nload->branch loads: {summary.load_to_branch_fraction:.1%} of all loads")
+    print(f"their branches mispredict at {summary.seq_branch_misprediction_rate:.1%}")
+
+    print("\nSection 3 optimization candidates (hot loads feeding hard branches):")
+    for candidate in select_candidates(result):
+        print(f"  {candidate}")
+
+    # The functional result is real: verify one element by hand.
+    mc = result.program  # program is pure; re-run for values
+    from repro.exec import run_program
+
+    interp = run_program(program, bindings)
+    k = 1
+    expected = max(
+        bindings["mpp"][0] + bindings["tpmm"][0],
+        bindings["ip"][0] + bindings["tpim"][0],
+    )
+    assert interp.array("mc")[k] == max(expected, -999999)
+    print("\nfunctional check passed: mc[1] =", interp.array("mc")[1])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Sensitivity study: how the transformation's benefit responds to the
+machine, using the public sweep API.
+
+Reproduces in one script what the ablation benchmarks measure — the
+three levers the paper's Section 5 discussion identifies:
+
+* L1 hit latency (the thing being hidden),
+* misprediction penalty (the thing being inflated),
+* register count (the thing the extra temporaries consume).
+
+Run:  python examples/sensitivity_study.py [workload] [scale]
+"""
+
+import sys
+
+from repro.core.sweeps import render_sweep, sweep_compiler_flag, sweep_platform_field
+
+
+def main(workload: str = "hmmsearch", scale: str = "test") -> None:
+    print(f"sensitivity of the load-transform speedup ({workload}, scale {scale})\n")
+
+    points = sweep_platform_field(workload, "l1_hit_int", [1, 2, 3, 5], scale=scale)
+    print(render_sweep(points, title="vs L1 hit latency (Alpha model)"))
+    print()
+
+    points = sweep_platform_field(
+        workload, "mispredict_penalty", [0, 7, 14, 28], scale=scale
+    )
+    print(render_sweep(points, title="vs misprediction penalty"))
+    print()
+
+    points = sweep_platform_field(workload, "int_registers", [8, 16, 32], scale=scale)
+    print(render_sweep(points, title="vs architectural register count"))
+    print()
+
+    points = sweep_compiler_flag(
+        workload, "alias_model", ["may-alias", "restrict"], scale=scale
+    )
+    print(render_sweep(points, title="vs compiler alias model (Figure 5 / restrict)"))
+
+
+if __name__ == "__main__":
+    main(
+        sys.argv[1] if len(sys.argv) > 1 else "hmmsearch",
+        sys.argv[2] if len(sys.argv) > 2 else "test",
+    )

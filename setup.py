@@ -1,0 +1,5 @@
+"""Setup shim so the package installs in environments without the
+`wheel` package (pip editable installs fall back to setup.py develop)."""
+from setuptools import setup
+
+setup()

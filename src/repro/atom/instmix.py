@@ -1,0 +1,81 @@
+"""Instruction-mix profiling (Figure 1 and Table 1).
+
+Counts executed instructions by the paper's categories — loads, stores,
+conditional branches, and other — plus the floating-point breakdown
+(total FP instructions and FP loads) that Table 1 and Section 2 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.trace import TraceEvent
+from repro.isa.instructions import Opcode
+
+
+@dataclass
+class MixCounts:
+    """Raw category counters."""
+
+    total: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0  # conditional branches only, as in Figure 1
+    fp_total: int = 0
+    fp_loads: int = 0
+
+
+class InstructionMix:
+    """One-pass instruction-mix tool."""
+
+    def __init__(self) -> None:
+        self.counts = MixCounts()
+
+    def on_event(self, event: TraceEvent) -> None:
+        counts = self.counts
+        instr = event.instr
+        counts.total += 1
+        if instr.is_load:
+            counts.loads += 1
+            if instr.opcode is Opcode.FLOAD:
+                counts.fp_total += 1
+                counts.fp_loads += 1
+        elif instr.is_store:
+            counts.stores += 1
+            if instr.opcode is Opcode.FSTORE:
+                counts.fp_total += 1
+        elif instr.opcode is Opcode.BR:
+            counts.branches += 1
+        elif instr.is_fp:
+            counts.fp_total += 1
+
+    # -- Figure 1 / Table 1 views -----------------------------------------------
+    @property
+    def load_fraction(self) -> float:
+        return self.counts.loads / self.counts.total if self.counts.total else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.counts.stores / self.counts.total if self.counts.total else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.counts.branches / self.counts.total if self.counts.total else 0.0
+
+    @property
+    def other_fraction(self) -> float:
+        counts = self.counts
+        if not counts.total:
+            return 0.0
+        other = counts.total - counts.loads - counts.stores - counts.branches
+        return other / counts.total
+
+    @property
+    def fp_fraction(self) -> float:
+        """Table 1: percentage of executed instructions that are FP."""
+        return self.counts.fp_total / self.counts.total if self.counts.total else 0.0
+
+    @property
+    def fp_load_fraction(self) -> float:
+        """Section 2: FP loads as a fraction of executed instructions."""
+        return self.counts.fp_loads / self.counts.total if self.counts.total else 0.0

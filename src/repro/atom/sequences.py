@@ -1,0 +1,245 @@
+"""Load->branch and branch->load sequence detection (Tables 4 and 5).
+
+The paper's Section 2.2 identifies two problematic patterns:
+
+* **load->branch**: a load whose value feeds, through a tight dependence
+  chain, a subsequent conditional branch.  The load's L1 hit latency
+  delays branch resolution, so a misprediction penalty grows by the hit
+  latency (Table 4(a) reports these loads as a fraction of all executed
+  loads together with the misprediction rate of the fed branches).
+* **branch->load**: a load with a tight dependence chain that executes
+  right after a hard-to-predict branch (>= 5% misprediction rate).  On
+  a misprediction the pipeline restarts at the branch target and the
+  load's hit latency is fully exposed (Table 4(b)).
+
+Detection is dynamic, exactly like an ATOM analysis routine: a taint
+tag flows from each load through up to ``max_chain`` register-to-
+register operations; a conditional branch whose condition register
+carries taint closes a load->branch sequence.  For branch->load, loads
+within ``window`` dynamic instructions after a conditional branch whose
+results are consumed within ``consume_window`` instructions are
+attributed to that branch, and the >=5% filter is applied at the end
+using the hybrid predictor's per-branch rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.branch.predictors import BasePredictor, BranchStats, Hybrid
+from repro.exec.trace import TraceEvent
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg
+
+
+@dataclass
+class SequenceSummary:
+    """Final Table 4 style numbers for one workload run."""
+
+    total_loads: int = 0
+    load_to_branch_loads: int = 0
+    seq_branch_executions: int = 0
+    seq_branch_mispredictions: int = 0
+    loads_after_hard_branch: int = 0
+    overall_branch_misprediction_rate: float = 0.0
+
+    @property
+    def load_to_branch_fraction(self) -> float:
+        """Table 4(a) column 1."""
+        if not self.total_loads:
+            return 0.0
+        return self.load_to_branch_loads / self.total_loads
+
+    @property
+    def seq_branch_misprediction_rate(self) -> float:
+        """Table 4(a) column 2: misprediction rate of fed branches."""
+        if not self.seq_branch_executions:
+            return 0.0
+        return self.seq_branch_mispredictions / self.seq_branch_executions
+
+    @property
+    def after_hard_branch_fraction(self) -> float:
+        """Table 4(b)."""
+        if not self.total_loads:
+            return 0.0
+        return self.loads_after_hard_branch / self.total_loads
+
+
+@dataclass
+class _PendingLoad:
+    """A load waiting to learn whether its value is consumed quickly."""
+
+    dest: Reg
+    branch_sids: Tuple[int, ...]
+    expires: int
+
+
+class SequenceProfile:
+    """One-pass sequence detector; owns the hybrid branch predictor."""
+
+    def __init__(
+        self,
+        predictor: Optional[BasePredictor] = None,
+        max_chain: int = 6,
+        window: int = 20,
+        consume_window: int = 6,
+        hard_threshold: float = 0.05,
+    ):
+        self.predictor = predictor or Hybrid(aliased=False)
+        self.max_chain = max_chain
+        self.window = window
+        self.consume_window = consume_window
+        self.hard_threshold = hard_threshold
+
+        self.total_loads = 0
+        self.load_to_branch_loads = 0
+        #: Per-branch stats restricted to executions whose condition was
+        #: load-tainted (Table 4(a) column 2).
+        self.seq_branch_stats: Dict[int, BranchStats] = {}
+        #: Per static load: executions feeding a branch and mispredicts
+        #: of the fed branch (Table 5 "branch misprediction" column).
+        self.load_feeds: Dict[int, BranchStats] = {}
+        #: (recent branch sids) -> number of tight-chain loads observed
+        #: right after that combination of branches.  The >=5% filter is
+        #: applied per combination at summary time (a load counts when
+        #: *any* branch shortly before it is hard to predict).
+        self.after_branch_loads: Dict[Tuple[int, ...], int] = {}
+
+        # taint maps a register to a tuple of (dyn_load_id, load_sid,
+        # chain_depth) triples; empty tuple = untainted.
+        self._taint: Dict[Reg, tuple] = {}
+        self._counted: Set[int] = set()
+        self._counted_floor = 0
+        self._dyn_load_id = 0
+        self._position = 0
+        #: Recent conditional branches as (sid, position), newest last.
+        self._recent_branches: List[Tuple[int, int]] = []
+        self._pending: List[_PendingLoad] = []
+
+    # -- event handling ---------------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        instr = event.instr
+        position = self._position
+        self._position = position + 1
+        taint = self._taint
+        op = instr.opcode
+
+        # branch->load bookkeeping: does anything consume a pending load?
+        if self._pending:
+            self._consume_pending(instr, position)
+
+        if instr.is_load:
+            self.total_loads += 1
+            self._dyn_load_id += 1
+            taint[instr.dest] = ((self._dyn_load_id, instr.sid, 0),)
+            recent = tuple(
+                sid
+                for sid, at in self._recent_branches
+                if position - at <= self.window
+            )
+            if recent:
+                self._pending.append(
+                    _PendingLoad(
+                        dest=instr.dest,
+                        branch_sids=recent,
+                        expires=position + self.consume_window,
+                    )
+                )
+            return
+        if op is Opcode.BR:
+            self._on_branch(instr, event.taken, position)
+            return
+        dest = instr.dest
+        if dest is None:
+            return
+        # Propagate taint through register-to-register operations.
+        merged: tuple = ()
+        max_chain = self.max_chain
+        for src in instr.reads():
+            for dyn_id, sid, depth in taint.get(src, ()):
+                if depth < max_chain:
+                    merged += ((dyn_id, sid, depth + 1),)
+        if merged:
+            if len(merged) > 6:
+                merged = merged[:6]
+            taint[dest] = merged
+        elif dest in taint:
+            del taint[dest]
+
+    def _on_branch(self, instr, taken: bool, position: int) -> None:
+        correct = self.predictor.access(instr.sid, taken)
+        recent = self._recent_branches
+        recent.append((instr.sid, position))
+        if len(recent) > 6 or (recent and position - recent[0][1] > self.window):
+            del recent[0]
+        tags = self._taint.get(instr.srcs[0], ())
+        if not tags:
+            return
+        stats = self.seq_branch_stats.get(instr.sid)
+        if stats is None:
+            stats = self.seq_branch_stats[instr.sid] = BranchStats()
+        stats.executed += 1
+        if taken:
+            stats.taken += 1
+        if not correct:
+            stats.mispredicted += 1
+        counted = self._counted
+        for dyn_id, load_sid, _depth in tags:
+            feed = self.load_feeds.get(load_sid)
+            if feed is None:
+                feed = self.load_feeds[load_sid] = BranchStats()
+            feed.executed += 1
+            if not correct:
+                feed.mispredicted += 1
+            if dyn_id not in counted:
+                counted.add(dyn_id)
+                self.load_to_branch_loads += 1
+        if len(counted) > 100_000:
+            self._prune_counted()
+
+    def _prune_counted(self) -> None:
+        floor = self._dyn_load_id - 10_000
+        self._counted = {d for d in self._counted if d >= floor}
+        self._counted_floor = floor
+
+    def _consume_pending(self, instr, position: int) -> None:
+        reads = instr.reads()
+        alive: List[_PendingLoad] = []
+        for pending in self._pending:
+            if pending.dest in reads:
+                key = pending.branch_sids
+                self.after_branch_loads[key] = self.after_branch_loads.get(key, 0) + 1
+                continue  # resolved
+            if position >= pending.expires:
+                continue  # expired unconsumed: not a tight chain
+            if instr.dest is not None and instr.dest == pending.dest:
+                continue  # overwritten before use
+            alive.append(pending)
+        self._pending = alive
+
+    # -- finalization ---------------------------------------------------------------
+    def summary(self) -> SequenceSummary:
+        """Apply the >=5% hard-branch filter and produce Table 4 numbers."""
+        seq_exec = sum(s.executed for s in self.seq_branch_stats.values())
+        seq_misp = sum(s.mispredicted for s in self.seq_branch_stats.values())
+        hard = 0
+        for sids, count in self.after_branch_loads.items():
+            if any(
+                self.predictor.branch_misprediction_rate(sid) >= self.hard_threshold
+                for sid in sids
+            ):
+                hard += count
+        return SequenceSummary(
+            total_loads=self.total_loads,
+            load_to_branch_loads=self.load_to_branch_loads,
+            seq_branch_executions=seq_exec,
+            seq_branch_mispredictions=seq_misp,
+            loads_after_hard_branch=hard,
+            overall_branch_misprediction_rate=self.predictor.misprediction_rate,
+        )
+
+    def load_feed_misprediction_rate(self, load_sid: int) -> float:
+        """Table 5: misprediction rate of the branches fed by this load."""
+        stats = self.load_feeds.get(load_sid)
+        return stats.misprediction_rate if stats else 0.0

@@ -1,0 +1,64 @@
+"""The analysis-tool interface (ATOM's instrumentation contract).
+
+Anything with an ``on_event(TraceEvent)`` method can be attached to an
+interpreter run (or a trace replay) — the same way an ATOM analysis
+routine is attached to an instrumented binary.  This module documents
+that contract as a :class:`typing.Protocol` and provides two adapters:
+
+* :class:`FilteredTool` — forward only the events a predicate accepts
+  (e.g. only loads, only one static instruction);
+* :class:`TeeTool` — forward one event stream to several tools (useful
+  when composing tools into a larger one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Protocol, runtime_checkable
+
+from repro.exec.trace import TraceEvent
+
+
+@runtime_checkable
+class AnalysisTool(Protocol):
+    """Structural interface every trace consumer satisfies."""
+
+    def on_event(self, event: TraceEvent) -> None:  # pragma: no cover
+        ...
+
+
+class FilteredTool:
+    """Forwards only events matching ``predicate`` to ``inner``."""
+
+    def __init__(self, inner: AnalysisTool, predicate: Callable[[TraceEvent], bool]):
+        self.inner = inner
+        self.predicate = predicate
+        self.forwarded = 0
+        self.dropped = 0
+
+    def on_event(self, event: TraceEvent) -> None:
+        if self.predicate(event):
+            self.forwarded += 1
+            self.inner.on_event(event)
+        else:
+            self.dropped += 1
+
+
+class TeeTool:
+    """Forwards every event to all wrapped tools."""
+
+    def __init__(self, tools: Iterable[AnalysisTool]):
+        self.tools: List[AnalysisTool] = list(tools)
+
+    def on_event(self, event: TraceEvent) -> None:
+        for tool in self.tools:
+            tool.on_event(event)
+
+
+def loads_only(event: TraceEvent) -> bool:
+    """Predicate: memory-reading events."""
+    return event.instr.is_load
+
+
+def branches_only(event: TraceEvent) -> bool:
+    """Predicate: conditional-branch events."""
+    return event.instr.is_branch

@@ -1,0 +1,21 @@
+"""Branch predictors (Section 2.2's hybrid predictor substrate)."""
+
+from repro.branch.predictors import (
+    Bimodal,
+    BranchStats,
+    GShare,
+    Hybrid,
+    LocalHistory,
+    Perceptron,
+    make_predictor,
+)
+
+__all__ = [
+    "Bimodal",
+    "BranchStats",
+    "GShare",
+    "Hybrid",
+    "LocalHistory",
+    "Perceptron",
+    "make_predictor",
+]

@@ -1,0 +1,20 @@
+"""Cache hierarchy simulator (Table 2 / Table 3 substrate)."""
+
+from repro.cache.cache import Cache, CacheConfig
+from repro.cache.hierarchy import (
+    ALPHA_LATENCIES,
+    TABLE3_L1,
+    TABLE3_L2,
+    CacheHierarchy,
+    HierarchyLatencies,
+)
+
+__all__ = [
+    "ALPHA_LATENCIES",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyLatencies",
+    "TABLE3_L1",
+    "TABLE3_L2",
+]

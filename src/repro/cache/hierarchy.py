@@ -1,0 +1,117 @@
+"""Two-level cache hierarchy with the paper's AMAT accounting.
+
+Table 3 configuration: 64 KB 2-way 64 B-block write-back/write-allocate
+L1 data cache in front of a 4 MB direct-mapped unified L2.  Table 2
+reports, per program: the *local* L1 and L2 miss rates, the *overall*
+miss rate (fraction of loads that reach main memory), and the average
+memory access time computed with the paper's formula
+
+    AMAT = L1_hit + m_L1 * (L2_penalty + m_L2 * memory_penalty)
+         = 3 + m1 * (5 + m2 * 72)  cycles on the Alpha reference machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import Cache, CacheConfig
+
+#: Table 3: L1 data cache of the Alpha 21264 reference machine.
+TABLE3_L1 = CacheConfig(size=64 * 1024, associativity=2, block_size=64, name="L1D")
+#: Table 3: unified, direct-mapped L2.
+TABLE3_L2 = CacheConfig(size=4 * 1024 * 1024, associativity=1, block_size=64, name="L2")
+
+
+@dataclass(frozen=True)
+class HierarchyLatencies:
+    """Latency parameters of the AMAT formula (cycles)."""
+
+    l1_hit: int = 3
+    l2_penalty: int = 5
+    memory_penalty: int = 72
+
+
+#: Section 2.1: "our system's L1, L2, and main memory latencies of 3, 5,
+#: and 72 cycles".
+ALPHA_LATENCIES = HierarchyLatencies()
+
+
+class CacheHierarchy:
+    """L1 data cache + unified L2 + main memory.
+
+    ``access`` returns the level that served the request (1, 2, or 3 for
+    memory) so timing models can translate it into a latency; loads and
+    stores both consult the hierarchy (write-allocate).
+    """
+
+    def __init__(
+        self,
+        l1_config: CacheConfig = TABLE3_L1,
+        l2_config: Optional[CacheConfig] = TABLE3_L2,
+        latencies: HierarchyLatencies = ALPHA_LATENCIES,
+    ):
+        self.l1 = Cache(l1_config)
+        self.l2 = Cache(l2_config) if l2_config is not None else None
+        self.latencies = latencies
+        self.memory_accesses = 0
+        self.load_accesses = 0
+        self.load_l1_misses = 0
+        self.load_l2_misses = 0
+
+    def access(self, addr: int, is_write: bool = False, is_load: bool = True) -> int:
+        """Simulate one access; returns serving level (1, 2, or 3)."""
+        if is_load:
+            self.load_accesses += 1
+        if self.l1.access(addr, is_write):
+            return 1
+        if is_load:
+            self.load_l1_misses += 1
+        if self.l2 is None:
+            self.memory_accesses += 1
+            if is_load:
+                self.load_l2_misses += 1
+            return 3
+        if self.l2.access(addr, is_write):
+            return 2
+        if is_load:
+            self.load_l2_misses += 1
+        self.memory_accesses += 1
+        return 3
+
+    def latency_of_level(self, level: int) -> int:
+        """Load-to-use latency for a request served at ``level``."""
+        lat = self.latencies
+        if level == 1:
+            return lat.l1_hit
+        if level == 2:
+            return lat.l1_hit + lat.l2_penalty
+        return lat.l1_hit + lat.l2_penalty + lat.memory_penalty
+
+    # -- Table 2 metrics (load accesses only, as in the paper) ------------------
+    @property
+    def l1_local_miss_rate(self) -> float:
+        if self.load_accesses == 0:
+            return 0.0
+        return self.load_l1_misses / self.load_accesses
+
+    @property
+    def l2_local_miss_rate(self) -> float:
+        if self.load_l1_misses == 0:
+            return 0.0
+        return self.load_l2_misses / self.load_l1_misses
+
+    @property
+    def overall_miss_rate(self) -> float:
+        """Fraction of loads served by main memory."""
+        if self.load_accesses == 0:
+            return 0.0
+        return self.load_l2_misses / self.load_accesses
+
+    @property
+    def amat(self) -> float:
+        """The paper's AMAT formula over the measured local miss rates."""
+        lat = self.latencies
+        return lat.l1_hit + self.l1_local_miss_rate * (
+            lat.l2_penalty + self.l2_local_miss_rate * lat.memory_penalty
+        )

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the registered workloads;
+* ``characterize WORKLOAD`` — the Section 2 characterization (mix,
+  coverage, cache, sequences, hot loads);
+* ``candidates WORKLOAD`` — the Section 3 candidate loads;
+* ``evaluate WORKLOAD`` — original vs transformed cycles per platform;
+* ``disasm WORKLOAD`` — machine code, original or transformed;
+* ``report`` — regenerate EXPERIMENTS.md (all tables and figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.workloads.datasets import SCALES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Load Instruction Characterization and "
+        "Acceleration of the BioPerf Programs' (IISWC 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    for name, help_text in (
+        ("characterize", "Section 2 characterization of one workload"),
+        ("candidates", "Section 3 candidate loads of one workload"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("workload")
+        cmd.add_argument("--scale", choices=SCALES, default="small")
+        cmd.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="original vs load-transformed cycles per platform"
+    )
+    evaluate.add_argument("workload")
+    evaluate.add_argument("--scale", choices=SCALES, default="small")
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--platform",
+        choices=["alpha", "powerpc", "pentium4", "itanium", "all"],
+        default="all",
+    )
+
+    disasm = sub.add_parser("disasm", help="show a workload's machine code")
+    disasm.add_argument("workload")
+    disasm.add_argument("--transformed", action="store_true")
+    disasm.add_argument(
+        "--alias-model", choices=["may-alias", "restrict"], default="may-alias"
+    )
+    disasm.add_argument("--opt-level", type=int, choices=[0, 1, 2, 3], default=3)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--char-scale", choices=SCALES, default="medium")
+    report.add_argument("--eval-scale", choices=SCALES, default="large")
+    report.add_argument("--out", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _cmd_list() -> None:
+    from repro.core.reporting import format_table
+    from repro.workloads import all_workloads, spec_workloads
+
+    rows = [
+        [s.name, s.category, "yes" if s.amenable else "no", s.description]
+        for s in all_workloads() + spec_workloads()
+    ]
+    print(
+        format_table(
+            ["workload", "category", "transformed", "description"],
+            rows,
+            title="registered workloads",
+        )
+    )
+
+
+def _cmd_characterize(args) -> None:
+    from repro.atom import characterize
+    from repro.core.reporting import format_table, pct
+    from repro.workloads import get_workload
+
+    spec = get_workload(args.workload)
+    result = characterize(spec.program(), spec.dataset(args.scale, args.seed))
+    mix = result.mix
+    hierarchy = result.cache.hierarchy
+    summary = result.sequences.summary()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["executed instructions", mix.counts.total],
+                ["loads", pct(mix.load_fraction)],
+                ["stores", pct(mix.store_fraction)],
+                ["conditional branches", pct(mix.branch_fraction)],
+                ["floating point", pct(mix.fp_fraction, 2)],
+                ["static loads", result.coverage.static_load_count],
+                ["coverage of top 80 loads", pct(result.coverage.coverage_at(80))],
+                ["L1 local miss rate", pct(hierarchy.l1_local_miss_rate, 2)],
+                ["AMAT (cycles)", f"{hierarchy.amat:.2f}"],
+                ["load->branch loads", pct(summary.load_to_branch_fraction)],
+                ["fed-branch misprediction", pct(summary.seq_branch_misprediction_rate)],
+                ["loads after hard branches", pct(summary.after_hard_branch_fraction)],
+            ],
+            title=f"{spec.name} @ {args.scale} (seed {args.seed})",
+        )
+    )
+    print("\nhottest loads:")
+    for row in result.load_profile(top=8):
+        print(f"  {row}")
+
+
+def _cmd_candidates(args) -> None:
+    from repro.atom import characterize
+    from repro.core import select_candidates
+    from repro.core.candidates import candidate_lines
+    from repro.workloads import get_workload
+
+    spec = get_workload(args.workload)
+    result = characterize(spec.program(), spec.dataset(args.scale, args.seed))
+    candidates = select_candidates(result)
+    if not candidates:
+        print(f"{spec.name}: no candidate loads at scale {args.scale}")
+        return
+    print(f"{spec.name}: {len(candidates)} candidate loads")
+    for candidate in candidates:
+        print(f"  {candidate}")
+    print(f"source lines to edit: {candidate_lines(candidates)}")
+
+
+def _cmd_evaluate(args) -> None:
+    from repro.core import evaluate_workload
+    from repro.core.reporting import format_table, pct
+    from repro.cpu import PLATFORMS
+    from repro.workloads import get_workload
+
+    spec = get_workload(args.workload)
+    if not spec.amenable:
+        print(f"{spec.name} has no transformed variant (not in the paper's Table 6)")
+        sys.exit(1)
+    keys = (
+        ["alpha", "powerpc", "pentium4", "itanium"]
+        if args.platform == "all"
+        else [args.platform]
+    )
+    rows = []
+    for key in keys:
+        evaluation = evaluate_workload(
+            spec, PLATFORMS[key], scale=args.scale, seed=args.seed
+        )
+        rows.append(
+            [
+                PLATFORMS[key].name,
+                evaluation.original.cycles,
+                evaluation.transformed.cycles,
+                pct(evaluation.speedup),
+            ]
+        )
+    print(
+        format_table(
+            ["platform", "original cycles", "transformed cycles", "speedup"],
+            rows,
+            title=f"{spec.name} @ {args.scale}",
+        )
+    )
+
+
+def _cmd_disasm(args) -> None:
+    from repro.lang.compiler import CompilerOptions
+    from repro.workloads import get_workload
+
+    spec = get_workload(args.workload)
+    options = CompilerOptions(opt_level=args.opt_level, alias_model=args.alias_model)
+    program = spec.program(transformed=args.transformed, options=options)
+    print(program.disassemble())
+
+
+def _cmd_report(args) -> None:
+    from repro.core.report import generate
+
+    text = generate(args.char_scale, args.eval_scale)
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.out}")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list()
+    elif args.command == "characterize":
+        _cmd_characterize(args)
+    elif args.command == "candidates":
+        _cmd_candidates(args)
+    elif args.command == "evaluate":
+        _cmd_evaluate(args)
+    elif args.command == "disasm":
+        _cmd_disasm(args)
+    elif args.command == "report":
+        _cmd_report(args)
+
+
+if __name__ == "__main__":
+    main()

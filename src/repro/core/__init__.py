@@ -1,0 +1,26 @@
+"""The paper's methodology: characterize, select candidates, transform,
+evaluate.
+
+* :mod:`repro.core.candidates` — Section 3's profile-driven selection of
+  the loads worth scheduling at the source level.
+* :mod:`repro.core.pipeline` — the end-to-end accelerate-and-measure
+  flow behind Table 8 / Figure 9.
+* :mod:`repro.core.experiments` — one entry point per paper table and
+  figure.
+* :mod:`repro.core.reporting` — plain-text rendering of the results.
+"""
+
+from repro.core.candidates import CandidateLoad, select_candidates
+from repro.core.pipeline import (
+    EvaluationResult,
+    evaluate_workload,
+    harmonic_mean_speedup,
+)
+
+__all__ = [
+    "CandidateLoad",
+    "EvaluationResult",
+    "evaluate_workload",
+    "harmonic_mean_speedup",
+    "select_candidates",
+]

@@ -1,0 +1,478 @@
+"""One entry point per paper table and figure.
+
+Every function returns structured rows (and can render itself through
+:mod:`repro.core.reporting`); the benchmark harness under
+``benchmarks/`` simply calls these and prints the result next to the
+paper's published numbers.  An :class:`ExperimentContext` memoizes the
+single characterization run each workload needs, so producing all of
+Figure 1 / Tables 1-5 costs one pass per program, exactly like the
+paper's single ATOM profile run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.atom.runner import CharacterizationResult, LoadProfileRow, characterize
+from repro.core import candidates as candidates_mod
+from repro.core.pipeline import EvaluationResult, evaluate_workload, harmonic_mean_speedup
+from repro.core.reporting import format_table, pct
+from repro.cpu.platforms import PLATFORMS, PlatformConfig
+from repro.workloads.registry import (
+    WorkloadSpec,
+    all_workloads,
+    amenable_workloads,
+    get_workload,
+    spec_workloads,
+)
+
+
+class ExperimentContext:
+    """Memoizes characterization runs per (workload, scale, seed)."""
+
+    def __init__(self, scale: str = "medium", seed: int = 0):
+        self.scale = scale
+        self.seed = seed
+        self._runs: Dict[str, CharacterizationResult] = {}
+
+    def run(self, name: str) -> CharacterizationResult:
+        result = self._runs.get(name)
+        if result is None:
+            spec = get_workload(name)
+            result = characterize(spec.program(), spec.dataset(self.scale, self.seed))
+            self._runs[name] = result
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 / Table 1
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MixRow:
+    workload: str
+    loads: float
+    stores: float
+    branches: float
+    other: float
+    instructions: int
+    fp_fraction: float
+    paper_fp_fraction: Optional[float]
+
+
+def figure1_instruction_mix(context: ExperimentContext) -> List[MixRow]:
+    """Figure 1 + Table 1: instruction profile of the nine programs."""
+    rows = []
+    for spec in all_workloads():
+        result = context.run(spec.name)
+        mix = result.mix
+        rows.append(
+            MixRow(
+                workload=spec.name,
+                loads=mix.load_fraction,
+                stores=mix.store_fraction,
+                branches=mix.branch_fraction,
+                other=mix.other_fraction,
+                instructions=mix.counts.total,
+                fp_fraction=mix.fp_fraction,
+                paper_fp_fraction=spec.paper.fp_fraction,
+            )
+        )
+    return rows
+
+
+def render_figure1(rows: List[MixRow]) -> str:
+    return format_table(
+        ["program", "loads", "stores", "cond br", "other"],
+        [[r.workload, pct(r.loads), pct(r.stores), pct(r.branches), pct(r.other)] for r in rows],
+        title="Figure 1: instruction profile",
+    )
+
+
+def render_table1(rows: List[MixRow]) -> str:
+    return format_table(
+        ["program", "instructions", "FP (measured)", "FP (paper)"],
+        [
+            [r.workload, r.instructions, pct(r.fp_fraction, 2), pct(r.paper_fp_fraction, 2)]
+            for r in rows
+        ],
+        title="Table 1: executed instructions and floating-point share",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CoverageRow:
+    workload: str
+    suite: str  # "BioPerf" | "SPEC"
+    static_loads: int
+    coverage_at_80: float
+    loads_for_90pct: int
+    curve: List[float] = field(repr=False, default_factory=list)
+
+
+def figure2_coverage(
+    context: ExperimentContext,
+    bioperf: Tuple[str, ...] = ("hmmsearch", "clustalw", "fasta"),
+    spec_like: Tuple[str, ...] = ("gcc", "crafty", "vortex"),
+) -> List[CoverageRow]:
+    """Figure 2: cumulative load coverage, BioPerf vs SPEC-like."""
+    rows = []
+    for suite, names in (("BioPerf", bioperf), ("SPEC", spec_like)):
+        for name in names:
+            result = context.run(name)
+            coverage = result.coverage
+            rows.append(
+                CoverageRow(
+                    workload=name,
+                    suite=suite,
+                    static_loads=coverage.static_load_count,
+                    coverage_at_80=coverage.coverage_at(80),
+                    loads_for_90pct=coverage.loads_for_coverage(0.90),
+                    curve=coverage.curve(),
+                )
+            )
+    return rows
+
+
+def render_figure2(rows: List[CoverageRow]) -> str:
+    return format_table(
+        ["program", "suite", "static loads", "coverage@80", "loads for 90%"],
+        [
+            [r.workload, r.suite, r.static_loads, pct(r.coverage_at_80), r.loads_for_90pct]
+            for r in rows
+        ],
+        title="Figure 2: cumulative frequency of executed loads vs static loads",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheRow:
+    workload: str
+    l1_local: float
+    l2_local: float
+    overall: float
+    amat: float
+
+
+def table2_cache(context: ExperimentContext) -> List[CacheRow]:
+    """Table 2: cache performance under the Table 3 configuration."""
+    rows = []
+    for spec in all_workloads():
+        result = context.run(spec.name)
+        hierarchy = result.cache.hierarchy
+        rows.append(
+            CacheRow(
+                workload=spec.name,
+                l1_local=hierarchy.l1_local_miss_rate,
+                l2_local=hierarchy.l2_local_miss_rate,
+                overall=hierarchy.overall_miss_rate,
+                amat=hierarchy.amat,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: List[CacheRow]) -> str:
+    averages = [
+        "average",
+        pct(sum(r.l1_local for r in rows) / len(rows), 2),
+        pct(sum(r.l2_local for r in rows) / len(rows), 2),
+        pct(sum(r.overall for r in rows) / len(rows), 3),
+        f"{sum(r.amat for r in rows) / len(rows):.2f}",
+    ]
+    body = [
+        [r.workload, pct(r.l1_local, 2), pct(r.l2_local, 2), pct(r.overall, 3), f"{r.amat:.2f}"]
+        for r in rows
+    ]
+    return format_table(
+        ["program", "L1 local", "L2 local", "overall", "AMAT"],
+        body + [averages],
+        title="Table 2: cache performance (Table 3 configuration)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 4
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SequenceRow:
+    workload: str
+    load_to_branch: float
+    seq_misprediction: float
+    after_hard_branch: float
+    paper_load_to_branch: Optional[float]
+    paper_seq_misprediction: Optional[float]
+    paper_after_hard: Optional[float]
+
+
+def table4_sequences(context: ExperimentContext) -> List[SequenceRow]:
+    """Table 4(a)+(b): the two problematic load sequences."""
+    rows = []
+    for spec in all_workloads():
+        summary = context.run(spec.name).sequences.summary()
+        rows.append(
+            SequenceRow(
+                workload=spec.name,
+                load_to_branch=summary.load_to_branch_fraction,
+                seq_misprediction=summary.seq_branch_misprediction_rate,
+                after_hard_branch=summary.after_hard_branch_fraction,
+                paper_load_to_branch=spec.paper.load_to_branch,
+                paper_seq_misprediction=spec.paper.seq_misprediction,
+                paper_after_hard=spec.paper.after_hard_branch,
+            )
+        )
+    return rows
+
+
+def render_table4(rows: List[SequenceRow]) -> str:
+    return format_table(
+        [
+            "program",
+            "ld->br",
+            "(paper)",
+            "br misp",
+            "(paper)",
+            "after hard br",
+            "(paper)",
+        ],
+        [
+            [
+                r.workload,
+                pct(r.load_to_branch),
+                pct(r.paper_load_to_branch),
+                pct(r.seq_misprediction),
+                pct(r.paper_seq_misprediction),
+                pct(r.after_hard_branch),
+                pct(r.paper_after_hard),
+            ]
+            for r in rows
+        ],
+        title="Table 4: load->branch sequences and loads after hard branches",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5
+# ---------------------------------------------------------------------------
+
+
+def table5_load_profile(
+    context: ExperimentContext, workload: str = "hmmsearch", top: int = 8
+) -> List[LoadProfileRow]:
+    """Table 5: per-load profile of the hottest loads of one program."""
+    return context.run(workload).load_profile(top=top)
+
+
+def render_table5(rows: List[LoadProfileRow], workload: str = "hmmsearch") -> str:
+    spec = get_workload(workload)
+    return format_table(
+        ["load sid", "frequency", "L1 miss", "br mispredict", "line", "in function", "in file"],
+        [
+            [
+                r.sid,
+                pct(r.frequency, 2),
+                pct(r.l1_miss_rate, 2),
+                pct(r.branch_misprediction_rate, 2),
+                r.line,
+                spec.hot_function,
+                spec.hot_file,
+            ]
+            for r in rows
+        ],
+        title=f"Table 5: profile of the frequently executed loads in {workload}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 6
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransformRow:
+    workload: str
+    loads_considered: int
+    loc_involved: int
+    paper_loads: Optional[int]
+    paper_loc: Optional[int]
+
+
+def table6_transforms() -> List[TransformRow]:
+    """Table 6: what the source transformation touched, per program."""
+    rows = []
+    for spec in amenable_workloads():
+        stats = spec.transform_stats()
+        rows.append(
+            TransformRow(
+                workload=spec.name,
+                loads_considered=stats["loads_considered"],
+                loc_involved=stats["loc_involved"],
+                paper_loads=spec.paper.loads_considered,
+                paper_loc=spec.paper.loc_involved,
+            )
+        )
+    return rows
+
+
+def render_table6(rows: List[TransformRow]) -> str:
+    return format_table(
+        ["program", "static loads", "(paper)", "lines of C", "(paper)"],
+        [
+            [r.workload, r.loads_considered, r.paper_loads, r.loc_involved, r.paper_loc]
+            for r in rows
+        ],
+        title="Table 6: static loads and source lines involved in the transformation",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 7 (configuration only)
+# ---------------------------------------------------------------------------
+
+
+def table7_platforms() -> List[PlatformConfig]:
+    """Table 7: the four evaluation platforms."""
+    return [PLATFORMS[key] for key in ("alpha", "powerpc", "pentium4", "itanium")]
+
+
+def render_table7(platforms: List[PlatformConfig]) -> str:
+    return format_table(
+        ["platform", "clock GHz", "width", "window", "misp penalty", "L1 int", "L1 fp", "int regs", "in-order"],
+        [
+            [
+                p.name,
+                p.clock_ghz,
+                p.issue_width,
+                p.window,
+                p.mispredict_penalty,
+                p.l1_hit_int,
+                p.l1_hit_fp,
+                p.int_registers,
+                "yes" if p.in_order else "no",
+            ]
+            for p in platforms
+        ],
+        title="Table 7: evaluation platforms",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 8 / Figure 9
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RuntimeRow:
+    workload: str
+    platform_key: str
+    platform: str
+    original_cycles: int
+    transformed_cycles: int
+    speedup: float
+    paper_speedup: Optional[float]
+
+
+def table8_runtimes(
+    scale: str = "large",
+    seed: int = 0,
+    platform_keys: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium"),
+) -> List[RuntimeRow]:
+    """Table 8: original vs transformed cycles per amenable program and
+    platform (the paper reports seconds; cycles are the simulator
+    analogue — Figure 9's speedups are the comparable quantity)."""
+    rows: List[RuntimeRow] = []
+    for key in platform_keys:
+        platform = PLATFORMS[key]
+        for spec in amenable_workloads():
+            evaluation = evaluate_workload(spec, platform, scale=scale, seed=seed)
+            paper_speedup = None
+            paper_pair = spec.paper.runtimes.get(key)
+            if paper_pair is not None:
+                paper_speedup = paper_pair[0] / paper_pair[1] - 1.0
+            rows.append(
+                RuntimeRow(
+                    workload=spec.name,
+                    platform_key=key,
+                    platform=platform.name,
+                    original_cycles=evaluation.original.cycles,
+                    transformed_cycles=evaluation.transformed.cycles,
+                    speedup=evaluation.speedup,
+                    paper_speedup=paper_speedup,
+                )
+            )
+    return rows
+
+
+def render_table8(rows: List[RuntimeRow]) -> str:
+    return format_table(
+        ["program", "platform", "orig cycles", "xform cycles", "speedup", "paper speedup"],
+        [
+            [
+                r.workload,
+                r.platform,
+                r.original_cycles,
+                r.transformed_cycles,
+                pct(r.speedup),
+                pct(r.paper_speedup),
+            ]
+            for r in rows
+        ],
+        title="Table 8: runtimes (simulated cycles), original vs load-transformed",
+    )
+
+
+@dataclass
+class SpeedupSummary:
+    platform_key: str
+    platform: str
+    harmonic_mean: float
+    paper_harmonic_mean: Optional[float]
+    per_workload: Dict[str, float]
+
+
+#: Figure 9 / Section 7: the paper's harmonic-mean speedups.
+PAPER_HMEAN = {"alpha": 0.254, "powerpc": 0.151, "pentium4": 0.043, "itanium": 0.127}
+
+
+def figure9_speedups(rows: List[RuntimeRow]) -> List[SpeedupSummary]:
+    """Figure 9: per-platform speedups with harmonic means."""
+    summaries = []
+    for key in dict.fromkeys(r.platform_key for r in rows):
+        platform_rows = [r for r in rows if r.platform_key == key]
+        summaries.append(
+            SpeedupSummary(
+                platform_key=key,
+                platform=platform_rows[0].platform,
+                harmonic_mean=harmonic_mean_speedup(r.speedup for r in platform_rows),
+                paper_harmonic_mean=PAPER_HMEAN.get(key),
+                per_workload={r.workload: r.speedup for r in platform_rows},
+            )
+        )
+    return summaries
+
+
+def render_figure9(summaries: List[SpeedupSummary]) -> str:
+    workloads = list(summaries[0].per_workload) if summaries else []
+    headers = ["platform"] + workloads + ["hmean", "paper hmean"]
+    body = []
+    for summary in summaries:
+        body.append(
+            [summary.platform]
+            + [pct(summary.per_workload[w]) for w in workloads]
+            + [pct(summary.harmonic_mean), pct(summary.paper_harmonic_mean)]
+        )
+    return format_table(headers, body, title="Figure 9: speedup of load-transformed code")

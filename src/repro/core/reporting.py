@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric-looking cells."""
+    materialized: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            width = widths[index]
+            if index == 0:
+                parts.append(cell.ljust(width))
+            else:
+                parts.append(cell.rjust(width))
+        return "  ".join(parts)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "n.a."
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def pct(value: Optional[float], digits: int = 1) -> str:
+    """Format a fraction as a percentage string ('n.a.' for None)."""
+    if value is None:
+        return "n.a."
+    return f"{value * 100:.{digits}f}%"
+
+
+def fmt(value: Optional[float], digits: int = 2) -> str:
+    if value is None:
+        return "n.a."
+    return f"{value:.{digits}f}"

@@ -1,0 +1,28 @@
+"""Trace-driven CPU timing models and the Table 7 evaluation platforms."""
+
+from repro.cpu.inorder import InOrderTimingModel
+from repro.cpu.ooo import OoOTimingModel, TimingResult
+from repro.cpu.platforms import (
+    ALPHA_21264,
+    ITANIUM_2,
+    PENTIUM_4,
+    PLATFORMS,
+    POWERPC_G5,
+    PlatformConfig,
+    get_platform,
+    make_timing_model,
+)
+
+__all__ = [
+    "ALPHA_21264",
+    "ITANIUM_2",
+    "InOrderTimingModel",
+    "OoOTimingModel",
+    "PENTIUM_4",
+    "PLATFORMS",
+    "POWERPC_G5",
+    "PlatformConfig",
+    "TimingResult",
+    "get_platform",
+    "make_timing_model",
+]

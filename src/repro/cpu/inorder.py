@@ -1,0 +1,35 @@
+"""Trace-driven in-order timing model (the Itanium 2 of Table 7).
+
+Identical to the out-of-order model except for the issue discipline:
+instructions issue strictly in program order, so an instruction whose
+operands are not ready stalls every younger instruction.  This is the
+classic in-order exposure of load latency the paper discusses in
+Section 5.1 — the Itanium gains from the source transformation not by
+avoiding speculation but because the enlarged basic blocks put more
+independent instructions between a load and its use.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ooo import OoOTimingModel
+
+
+class InOrderTimingModel(OoOTimingModel):
+    """In-order issue variant of the timing model."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._last_issue = 0
+
+    def _choose_issue(self, ready: int) -> int:
+        # Program order: never issue before an older instruction.
+        if self._last_issue > ready:
+            ready = self._last_issue
+        issued = self._issued_in_cycle
+        width = self.platform.issue_width
+        issue = ready
+        while issued.get(issue, 0) >= width:
+            issue += 1
+        issued[issue] = issued.get(issue, 0) + 1
+        self._last_issue = issue
+        return issue

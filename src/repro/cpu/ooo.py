@@ -1,0 +1,210 @@
+"""Trace-driven out-of-order timing model.
+
+A register-renamed dataflow model with the front-end and capacity
+constraints that produce the paper's effect:
+
+* instructions are fetched in trace order, ``fetch_width`` per cycle;
+* after a *mispredicted* branch, fetch stalls until the branch resolves
+  (its condition operands — typically loads — are ready and it has
+  executed) plus the pipeline-refill penalty.  This is the mechanism of
+  Section 2.2.1: a load feeding a mispredicted branch adds its L1 hit
+  latency to the misprediction penalty, and loads fetched right after
+  the redirect find an empty window with nothing to hide their latency;
+* an instruction cannot dispatch until the instruction ``window``
+  positions older has completed (reorder-buffer capacity);
+* at most ``issue_width`` instructions issue per cycle;
+* loads take the latency of the cache level that serves them (integer
+  and FP L1 hit latencies differ per platform, Table 7); a load also
+  waits for the youngest earlier store to its address (store-to-load
+  forwarding at the store's completion).
+
+The model deliberately omits features irrelevant to the studied effect
+(TLBs, instruction cache, load/store queue occupancy, replay traps);
+Section 5 of DESIGN.md discusses the resulting fidelity envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.branch.predictors import BasePredictor, Hybrid
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.platforms import PlatformConfig
+from repro.exec.trace import TraceEvent
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg
+
+
+@dataclass
+class TimingResult:
+    """Cycle-level outcome of one simulated run."""
+
+    platform: str
+    cycles: int
+    instructions: int
+    branch_executions: int
+    branch_mispredictions: int
+    l1_load_miss_rate: float
+    spilled: bool = False
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.branch_executions:
+            return 0.0
+        return self.branch_mispredictions / self.branch_executions
+
+    def seconds(self, clock_ghz: float) -> float:
+        """Pseudo-seconds at the platform clock (Table 8 analogue)."""
+        return self.cycles / (clock_ghz * 1e9)
+
+
+class OoOTimingModel:
+    """Consumer implementing the out-of-order timing model."""
+
+    def __init__(
+        self,
+        platform: PlatformConfig,
+        predictor: Optional[BasePredictor] = None,
+        hierarchy: Optional[CacheHierarchy] = None,
+    ):
+        self.platform = platform
+        self.predictor = predictor or Hybrid(aliased=False)
+        self.hierarchy = hierarchy or platform.hierarchy()
+
+        self._reg_ready: Dict[Reg, int] = {}
+        self._store_ready: Dict[int, int] = {}
+        self._issued_in_cycle: Dict[int, int] = {}
+        self._ring = [0] * platform.window  # completion time of i-window
+        self._index = 0
+        self._fetch_cycle = 0
+        self._fetch_slot = 0
+        self._last_complete = 0
+        self._prune_at = 1_000_000
+
+    # -- public results -----------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self._last_complete
+
+    def result(self) -> TimingResult:
+        return TimingResult(
+            platform=self.platform.name,
+            cycles=self._last_complete,
+            instructions=self._index,
+            branch_executions=self.predictor.global_stats.executed,
+            branch_mispredictions=self.predictor.global_stats.mispredicted,
+            l1_load_miss_rate=self.hierarchy.l1_local_miss_rate,
+        )
+
+    # -- the model ---------------------------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        platform = self.platform
+        instr = event.instr
+        index = self._index
+        self._index = index + 1
+
+        # Front end: in-order fetch, fetch_width per cycle, stalled while
+        # the instruction window is full (the slot we are about to reuse
+        # must have retired).
+        fetch = self._fetch_cycle
+        window_limit = self._ring[index % platform.window]
+        if window_limit > fetch:
+            fetch = window_limit
+            self._fetch_cycle = fetch
+            self._fetch_slot = 0
+        ready = fetch + 1  # decode/rename stage
+
+        reg_ready = self._reg_ready
+        for src in instr.reads():
+            t = reg_ready.get(src, 0)
+            if t > ready:
+                ready = t
+
+        opcode = instr.opcode
+        addr = event.addr
+        if instr.is_load:
+            if addr in self._store_ready:
+                t = self._store_ready[addr] + platform.store_forward_penalty
+                if t > ready:
+                    ready = t
+            level = self.hierarchy.access(addr, is_write=False, is_load=True)
+            if level == 1:
+                latency = (
+                    platform.l1_hit_fp if opcode is Opcode.FLOAD else platform.l1_hit_int
+                )
+            elif level == 2:
+                latency = platform.l1_hit_int + platform.l2_latency
+            else:
+                latency = (
+                    platform.l1_hit_int + platform.l2_latency + platform.memory_latency
+                )
+        elif instr.is_store:
+            if addr is not None:
+                self.hierarchy.access(addr, is_write=True, is_load=False)
+            latency = 1  # store buffer: retire without stalling
+        else:
+            latency = platform.op_latency(opcode)
+
+        issue = self._choose_issue(ready)
+        complete = issue + latency
+
+        dest = instr.dest
+        if dest is not None:
+            reg_ready[dest] = complete
+        if instr.is_store and addr is not None:
+            self._store_ready[addr] = complete
+
+        if opcode is Opcode.BR:
+            correct = self.predictor.access(instr.sid, event.taken)
+            if not correct:
+                # Squash: fetch resumes after resolution plus refill.
+                redirect = complete + platform.mispredict_penalty
+                if redirect > self._fetch_cycle:
+                    self._fetch_cycle = redirect
+                    self._fetch_slot = 0
+        self._advance_fetch()
+
+        self._ring[index % platform.window] = complete
+        if complete > self._last_complete:
+            self._last_complete = complete
+        if index >= self._prune_at:
+            self._prune()
+
+    def _choose_issue(self, ready: int) -> int:
+        """Earliest cycle >= ready with a free issue slot (out of order:
+        older unready instructions do not block younger ready ones)."""
+        issued = self._issued_in_cycle
+        width = self.platform.issue_width
+        issue = ready
+        while issued.get(issue, 0) >= width:
+            issue += 1
+        issued[issue] = issued.get(issue, 0) + 1
+        return issue
+
+    def _advance_fetch(self) -> None:
+        self._fetch_slot += 1
+        if self._fetch_slot >= self.platform.fetch_width:
+            self._fetch_slot = 0
+            self._fetch_cycle += 1
+
+    def _prune(self) -> None:
+        """Bound the issue calendar and store map."""
+        self._prune_at = self._index + 1_000_000
+        horizon = self._fetch_cycle - 4 * self.platform.window
+        self._issued_in_cycle = {
+            cycle: count
+            for cycle, count in self._issued_in_cycle.items()
+            if cycle >= horizon
+        }
+        self._store_ready = {
+            addr: t for addr, t in self._store_ready.items() if t >= horizon
+        }

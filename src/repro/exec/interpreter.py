@@ -1,0 +1,284 @@
+"""Functional interpreter for compiled programs.
+
+Executes a :class:`repro.isa.Program` against caller-supplied array and
+scalar bindings, publishing a :class:`repro.exec.trace.TraceEvent` per
+dynamic instruction to attached consumers.  Integer division and modulo
+follow C semantics (truncation toward zero), matching the compilers the
+paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.isa.instructions import WORD_SIZE, Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegClass
+
+Number = Union[int, float]
+Binding = Union[Number, Sequence[Number]]
+
+#: Name of the spill-slot array created by the register allocator.
+STACK_ARRAY = "__stack__"
+
+
+class InterpreterError(Exception):
+    """Runtime error: unbound array, out-of-bounds access, bad register."""
+
+
+class BudgetExceeded(InterpreterError):
+    """The instruction budget was exhausted before HALT."""
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style integer division (truncate toward zero)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+class Interpreter:
+    """Executes one program over one set of bindings.
+
+    Args:
+        program: a finalized program (virtual or physical registers).
+        bindings: maps each program array/scalar name to its value.
+            Scalars may be given as plain numbers; arrays as sequences.
+            Array contents are copied, so callers keep their originals.
+        max_instructions: execution budget; exceeding it raises
+            :class:`BudgetExceeded` (guards against accidental infinite
+            loops in generated kernels).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        bindings: Optional[Mapping[str, Binding]] = None,
+        max_instructions: int = 200_000_000,
+    ):
+        self.program = program
+        self.max_instructions = max_instructions
+        self.registers: Dict[Reg, Number] = {}
+        self.memory: Dict[str, List[Number]] = {}
+        self.bases: Dict[str, int] = {}
+        self.executed = 0
+        self._bind(bindings or {})
+        # Physical integer register 0 is hard-wired to zero (MIPS-style);
+        # the register allocator relies on this for spill addressing.
+        self.registers[Reg(RegClass.INT, 0, virtual=False)] = 0
+
+    # -- memory setup ------------------------------------------------------
+    def _bind(self, bindings: Mapping[str, Binding]) -> None:
+        next_base = 0x1000
+        for name, decl in self.program.arrays.items():
+            if name in bindings:
+                value = bindings[name]
+                if isinstance(value, (int, float)):
+                    data: List[Number] = [value]
+                else:
+                    data = list(value)
+            elif name == STACK_ARRAY or decl.length > 0:
+                fill: Number = 0.0 if decl.rclass is RegClass.FLOAT else 0
+                data = [fill] * max(decl.length, 1)
+            else:
+                raise InterpreterError(
+                    f"array {name!r} has no binding and no declared length"
+                )
+            self.memory[name] = data
+            self.bases[name] = next_base
+            size = len(data) * WORD_SIZE
+            # Align each array base to a cache-block (64-byte) boundary.
+            next_base += (size + 63) // 64 * 64 + 64
+        unknown = set(bindings) - set(self.program.arrays)
+        if unknown:
+            raise InterpreterError(
+                f"bindings for undeclared arrays: {sorted(unknown)}"
+            )
+
+    # -- results ---------------------------------------------------------------
+    def array(self, name: str) -> List[Number]:
+        """Current contents of an array (post-run memory state)."""
+        return self.memory[name]
+
+    def scalar(self, name: str) -> Number:
+        """Current value of a global scalar."""
+        return self.memory[name][0]
+
+    def addr_of(self, array: str, index: int) -> int:
+        return self.bases[array] + index * WORD_SIZE
+
+    # -- execution ---------------------------------------------------------------
+    def run(self, consumers: Iterable[object] = ()) -> int:
+        """Execute to HALT; returns the dynamic instruction count.
+
+        Each consumer must expose ``on_event(event: TraceEvent)``.
+        """
+        from repro.exec.trace import TraceEvent
+
+        program = self.program
+        # Flatten blocks into one instruction list with label positions.
+        flat: List[Instruction] = []
+        positions: Dict[str, int] = {}
+        for block in program.blocks:
+            positions[block.name] = len(flat)
+            flat.extend(block.instructions)
+        if not flat:
+            return 0
+
+        regs = self.registers
+        memory = self.memory
+        bases = self.bases
+        sinks = [c.on_event for c in consumers]
+        notify = bool(sinks)
+        budget = self.max_instructions
+        O = Opcode  # local alias for speed
+
+        pc = 0
+        count = 0
+        end = len(flat)
+        try:
+            while pc < end:
+                instr = flat[pc]
+                pc += 1
+                count += 1
+                if count > budget:
+                    self.executed = count
+                    raise BudgetExceeded(
+                        f"exceeded budget of {budget} instructions"
+                    )
+                op = instr.opcode
+                addr = None
+                taken = None
+                value = None
+                if op is O.LOAD or op is O.FLOAD:
+                    index = regs[instr.srcs[0]] + (instr.imm or 0)
+                    data = memory[instr.array]
+                    try:
+                        if index < 0:
+                            raise IndexError
+                        value = data[index]
+                        regs[instr.dest] = value
+                    except IndexError:
+                        raise InterpreterError(
+                            f"load out of bounds: {instr.array}[{index}] "
+                            f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
+                        ) from None
+                    addr = bases[instr.array] + index * WORD_SIZE
+                elif op is O.STORE or op is O.FSTORE:
+                    index = regs[instr.srcs[1]] + (instr.imm or 0)
+                    data = memory[instr.array]
+                    try:
+                        if index < 0:
+                            raise IndexError
+                        data[index] = regs[instr.srcs[0]]
+                    except IndexError:
+                        raise InterpreterError(
+                            f"store out of bounds: {instr.array}[{index}] "
+                            f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
+                        ) from None
+                    addr = bases[instr.array] + index * WORD_SIZE
+                elif op is O.CSTORE or op is O.FCSTORE:
+                    # Predicated store: a NOP when the predicate is zero
+                    # (no memory access appears in the trace either).
+                    if regs[instr.srcs[2]] != 0:
+                        index = regs[instr.srcs[1]] + (instr.imm or 0)
+                        data = memory[instr.array]
+                        try:
+                            if index < 0:
+                                raise IndexError
+                            data[index] = regs[instr.srcs[0]]
+                        except IndexError:
+                            raise InterpreterError(
+                                f"store out of bounds: {instr.array}[{index}] "
+                                f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
+                            ) from None
+                        addr = bases[instr.array] + index * WORD_SIZE
+                elif op is O.BR:
+                    taken = regs[instr.srcs[0]] != 0
+                    if taken:
+                        pc = positions[instr.target]
+                elif op is O.JMP:
+                    pc = positions[instr.target]
+                elif op is O.ADD or op is O.FADD:
+                    regs[instr.dest] = regs[instr.srcs[0]] + regs[instr.srcs[1]]
+                elif op is O.SUB or op is O.FSUB:
+                    regs[instr.dest] = regs[instr.srcs[0]] - regs[instr.srcs[1]]
+                elif op is O.MUL or op is O.FMUL:
+                    regs[instr.dest] = regs[instr.srcs[0]] * regs[instr.srcs[1]]
+                elif op is O.CMPGT or op is O.FCMPGT:
+                    regs[instr.dest] = 1 if regs[instr.srcs[0]] > regs[instr.srcs[1]] else 0
+                elif op is O.CMPLE or op is O.FCMPLE:
+                    regs[instr.dest] = 1 if regs[instr.srcs[0]] <= regs[instr.srcs[1]] else 0
+                elif op is O.CMPLT or op is O.FCMPLT:
+                    regs[instr.dest] = 1 if regs[instr.srcs[0]] < regs[instr.srcs[1]] else 0
+                elif op is O.CMPGE or op is O.FCMPGE:
+                    regs[instr.dest] = 1 if regs[instr.srcs[0]] >= regs[instr.srcs[1]] else 0
+                elif op is O.CMPEQ or op is O.FCMPEQ:
+                    regs[instr.dest] = 1 if regs[instr.srcs[0]] == regs[instr.srcs[1]] else 0
+                elif op is O.CMPNE or op is O.FCMPNE:
+                    regs[instr.dest] = 1 if regs[instr.srcs[0]] != regs[instr.srcs[1]] else 0
+                elif op is O.MOV or op is O.FMOV:
+                    regs[instr.dest] = regs[instr.srcs[0]]
+                elif op is O.LI or op is O.FLI:
+                    regs[instr.dest] = instr.imm
+                elif op is O.CMOV or op is O.FCMOV:
+                    if regs[instr.srcs[0]] != 0:
+                        regs[instr.dest] = regs[instr.srcs[1]]
+                    else:
+                        # Touch dest so use-before-def is still detected.
+                        regs[instr.dest] = regs[instr.dest]
+                elif op is O.DIV:
+                    regs[instr.dest] = _trunc_div(regs[instr.srcs[0]], regs[instr.srcs[1]])
+                elif op is O.MOD:
+                    a, b = regs[instr.srcs[0]], regs[instr.srcs[1]]
+                    regs[instr.dest] = a - b * _trunc_div(a, b)
+                elif op is O.FDIV:
+                    regs[instr.dest] = regs[instr.srcs[0]] / regs[instr.srcs[1]]
+                elif op is O.AND:
+                    regs[instr.dest] = regs[instr.srcs[0]] & regs[instr.srcs[1]]
+                elif op is O.OR:
+                    regs[instr.dest] = regs[instr.srcs[0]] | regs[instr.srcs[1]]
+                elif op is O.XOR:
+                    regs[instr.dest] = regs[instr.srcs[0]] ^ regs[instr.srcs[1]]
+                elif op is O.SHL:
+                    regs[instr.dest] = regs[instr.srcs[0]] << regs[instr.srcs[1]]
+                elif op is O.SHR:
+                    regs[instr.dest] = regs[instr.srcs[0]] >> regs[instr.srcs[1]]
+                elif op is O.NEG or op is O.FNEG:
+                    regs[instr.dest] = -regs[instr.srcs[0]]
+                elif op is O.CVTIF:
+                    regs[instr.dest] = float(regs[instr.srcs[0]])
+                elif op is O.CVTFI:
+                    regs[instr.dest] = int(regs[instr.srcs[0]])
+                elif op is O.NOP:
+                    pass
+                elif op is O.HALT:
+                    if notify:
+                        event = TraceEvent(instr, None, None)
+                        for sink in sinks:
+                            sink(event)
+                    break
+                else:  # pragma: no cover - all opcodes handled above
+                    raise InterpreterError(f"unhandled opcode {op}")
+                if notify:
+                    event = TraceEvent(instr, addr, taken, value)
+                    for sink in sinks:
+                        sink(event)
+        except KeyError as exc:
+            raise InterpreterError(
+                f"use of undefined register {exc.args[0]!r} at sid {instr.sid} "
+                f"({instr.opcode.name}, line {instr.line})"
+            ) from None
+        self.executed = count
+        return count
+
+
+def run_program(
+    program: Program,
+    bindings: Optional[Mapping[str, Binding]] = None,
+    consumers: Iterable[object] = (),
+    max_instructions: int = 200_000_000,
+) -> Interpreter:
+    """Convenience wrapper: build an interpreter, run it, return it."""
+    interp = Interpreter(program, bindings, max_instructions)
+    interp.run(consumers)
+    return interp

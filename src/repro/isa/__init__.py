@@ -1,0 +1,20 @@
+"""Target machine ISA: registers, instructions, programs, and CFGs.
+
+This package defines the RISC-like instruction set that the MiniC
+compiler (:mod:`repro.lang`) targets and the interpreter
+(:mod:`repro.exec`) executes.  It plays the role of the Alpha machine
+code the paper inspects in its Figures 3, 5, and 7.
+"""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import Reg, RegClass
+
+__all__ = [
+    "BasicBlock",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "Reg",
+    "RegClass",
+]

@@ -1,0 +1,276 @@
+"""Programs, basic blocks, and the control-flow graph.
+
+A :class:`Program` is an ordered list of named basic blocks over the
+:mod:`repro.isa.instructions` ISA plus a symbol table of the arrays it
+references.  Programs are produced by the MiniC compiler, transformed by
+its optimization passes, executed by :mod:`repro.exec.interpreter`, and
+inspected by the characterization tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import RegClass
+
+
+@dataclass
+class ArrayDecl:
+    """Declaration of one array (a contiguous memory segment).
+
+    Attributes:
+        name: symbolic name used by LOAD/STORE instructions.
+        length: number of elements.
+        rclass: element type (integer or float words).
+    """
+
+    name: str
+    length: int
+    rclass: RegClass = RegClass.INT
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions with one terminator.
+
+    The terminator, if present, is the final instruction and is a ``BR``
+    (two successors: taken target then fall-through), ``JMP`` (one
+    successor), or ``HALT`` (none).  A block without a terminator falls
+    through to the next block in program order.
+    """
+
+    def __init__(self, name: str, instructions: Optional[List[Instruction]] = None):
+        self.name = name
+        self.instructions: List[Instruction] = instructions or []
+        #: Successor block names, filled in by Program.finalize().
+        self.successors: List[str] = []
+        #: Predecessor block names, filled in by Program.finalize().
+        self.predecessors: List[str] = []
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_control:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return self.instructions
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name!r}, {len(self.instructions)} instrs)"
+
+
+class Program:
+    """A complete compiled program: blocks, arrays, and CFG structure."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.blocks: List[BasicBlock] = []
+        self._block_index: Dict[str, int] = {}
+        self.arrays: Dict[str, ArrayDecl] = {}
+        #: Source text the program was compiled from, if any.
+        self.source: Optional[str] = None
+        self._finalized = False
+
+    # -- construction --------------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.name in self._block_index:
+            raise ValueError(f"duplicate block name: {block.name}")
+        self._block_index[block.name] = len(self.blocks)
+        self.blocks.append(block)
+        self._finalized = False
+        return block
+
+    def new_block(self, name: str) -> BasicBlock:
+        return self.add_block(BasicBlock(name))
+
+    def declare_array(self, name: str, length: int, rclass: RegClass = RegClass.INT) -> ArrayDecl:
+        if name in self.arrays:
+            raise ValueError(f"duplicate array name: {name}")
+        decl = ArrayDecl(name, length, rclass)
+        self.arrays[name] = decl
+        return decl
+
+    # -- lookup ---------------------------------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        return self.blocks[self._block_index[name]]
+
+    def block_position(self, name: str) -> int:
+        return self._block_index[name]
+
+    def has_block(self, name: str) -> bool:
+        return name in self._block_index
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def next_block(self, name: str) -> Optional[BasicBlock]:
+        """The block following ``name`` in layout order, if any."""
+        position = self._block_index[name] + 1
+        if position < len(self.blocks):
+            return self.blocks[position]
+        return None
+
+    # -- finalization -----------------------------------------------------------
+    def finalize(self) -> "Program":
+        """Assign static instruction ids and compute CFG edges.
+
+        Must be called after construction or after any structural pass.
+        Safe to call repeatedly.
+        """
+        sid = 0
+        for block in self.blocks:
+            block.successors = []
+            block.predecessors = []
+            for instruction in block.instructions:
+                instruction.sid = sid
+                sid += 1
+        for block in self.blocks:
+            terminator = block.terminator
+            if terminator is None:
+                following = self.next_block(block.name)
+                if following is not None:
+                    block.successors = [following.name]
+            elif terminator.opcode is Opcode.BR:
+                following = self.next_block(block.name)
+                successors = [terminator.target]
+                if following is not None:
+                    successors.append(following.name)
+                block.successors = successors
+            elif terminator.opcode is Opcode.JMP:
+                block.successors = [terminator.target]
+            # HALT: no successors.
+        for block in self.blocks:
+            for successor in block.successors:
+                self.block(successor).predecessors.append(block.name)
+        self._finalized = True
+        return self
+
+    def replace_blocks(self, blocks: List[BasicBlock]) -> "Program":
+        """Swap in a new block list (CFG-restructuring passes) and refinalize."""
+        self.blocks = list(blocks)
+        self._block_index = {block.name: i for i, block in enumerate(self.blocks)}
+        if len(self._block_index) != len(self.blocks):
+            raise ValueError("duplicate block names in replacement list")
+        return self.finalize()
+
+    # -- whole-program views ------------------------------------------------------
+    def all_instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    @property
+    def static_loads(self) -> List[Instruction]:
+        return [instr for instr in self.all_instructions() if instr.is_load]
+
+    @property
+    def static_branches(self) -> List[Instruction]:
+        return [instr for instr in self.all_instructions() if instr.is_branch]
+
+    def instruction_by_sid(self, sid: int) -> Instruction:
+        for instruction in self.all_instructions():
+            if instruction.sid == sid:
+                return instruction
+        raise KeyError(f"no instruction with sid {sid}")
+
+    # -- dominance ------------------------------------------------------------------
+    def dominators(self) -> Dict[str, Set[str]]:
+        """Dominator sets per block (iterative dataflow algorithm).
+
+        Used by the load-hoisting pass to find the blocks that are
+        guaranteed to execute before a candidate load (the paper's
+        "BB1 dominates BB3 and BB5" argument in Section 2.2.2).
+        """
+        if not self._finalized:
+            self.finalize()
+        # Dominance is defined over paths from the entry, so unreachable
+        # blocks must not participate (an unreachable predecessor would
+        # otherwise poison the intersection).
+        reachable: Set[str] = set()
+        work = [self.entry.name]
+        while work:
+            name = work.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            work.extend(self.block(name).successors)
+        names = [block.name for block in self.blocks]
+        dom: Dict[str, Set[str]] = {}
+        for name in names:
+            if name == self.entry.name:
+                dom[name] = {name}
+            elif name in reachable:
+                dom[name] = set(reachable)
+            else:
+                dom[name] = {name}  # degenerate: unreachable block
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks[1:]:
+                if block.name not in reachable:
+                    continue
+                preds = [p for p in block.predecessors if p in reachable]
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set()
+                new.add(block.name)
+                if new != dom[block.name]:
+                    dom[block.name] = new
+                    changed = True
+        return dom
+
+    # -- rendering ----------------------------------------------------------------------
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of the CFG (blocks as nodes)."""
+        if not self._finalized:
+            self.finalize()
+        lines = [f'digraph "{self.name}" {{', "  node [shape=box fontname=monospace];"]
+        for block in self.blocks:
+            summary = "\\l".join(str(i) for i in block.instructions[:12])
+            if len(block.instructions) > 12:
+                summary += f"\\l... ({len(block.instructions)} instructions)"
+            label = f"{block.name}\\l{summary}\\l".replace('"', "'")
+            lines.append(f'  "{block.name}" [label="{label}"];')
+        for block in self.blocks:
+            for successor in block.successors:
+                lines.append(f'  "{block.name}" -> "{successor}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def disassemble(self) -> str:
+        """Human-readable listing, one block per paragraph."""
+        lines: List[str] = [f"; program {self.name}"]
+        for decl in self.arrays.values():
+            lines.append(f"; array {decl.name}[{decl.length}] ({decl.rclass.value})")
+        for block in self.blocks:
+            successors = ", ".join(block.successors)
+            lines.append(f"{block.name}:  ; -> {successors}")
+            for instruction in block.instructions:
+                lines.append(f"  [{instruction.sid:4d}] {instruction}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, {len(self.blocks)} blocks, "
+            f"{self.num_instructions} instructions)"
+        )

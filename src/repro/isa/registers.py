@@ -1,0 +1,80 @@
+"""Register naming for the target ISA.
+
+The compiler first produces code over an unbounded set of *virtual*
+registers; the register allocator (:mod:`repro.lang.regalloc`) rewrites
+them onto a finite set of *physical* registers, inserting spill code when
+the target machine (Table 7 of the paper) has too few.  Both kinds are
+instances of :class:`Reg`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RegClass(enum.Enum):
+    """Register class: integer or floating-point."""
+
+    INT = "int"
+    FLOAT = "float"
+
+    @property
+    def short(self) -> str:
+        return "r" if self is RegClass.INT else "f"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand.
+
+    Attributes:
+        rclass: whether this is an integer or floating-point register.
+        index: register number within its class.
+        virtual: True for compiler-temporary (pre-allocation) registers.
+    """
+
+    rclass: RegClass
+    index: int
+    virtual: bool = True
+
+    def __repr__(self) -> str:
+        prefix = "v" if self.virtual else ""
+        return f"{prefix}{self.rclass.short}{self.index}"
+
+    @property
+    def is_int(self) -> bool:
+        return self.rclass is RegClass.INT
+
+    @property
+    def is_float(self) -> bool:
+        return self.rclass is RegClass.FLOAT
+
+
+class RegFactory:
+    """Produces fresh virtual registers, one counter per class."""
+
+    def __init__(self) -> None:
+        self._counters = {RegClass.INT: 0, RegClass.FLOAT: 0}
+
+    def fresh(self, rclass: RegClass = RegClass.INT) -> Reg:
+        """Return a new, never-before-issued virtual register."""
+        index = self._counters[rclass]
+        self._counters[rclass] = index + 1
+        return Reg(rclass, index, virtual=True)
+
+    def fresh_int(self) -> Reg:
+        return self.fresh(RegClass.INT)
+
+    def fresh_float(self) -> Reg:
+        return self.fresh(RegClass.FLOAT)
+
+    @property
+    def issued(self) -> int:
+        """Total number of registers issued across both classes."""
+        return sum(self._counters.values())
+
+
+def physical(rclass: RegClass, index: int) -> Reg:
+    """Return the physical register ``index`` of class ``rclass``."""
+    return Reg(rclass, index, virtual=False)

@@ -1,0 +1,15 @@
+"""MiniC: a small C-like language and optimizing compiler.
+
+The paper performs *source-level* load scheduling on C programs and
+relies on the DEC Alpha C compiler's -O3 pipeline.  MiniC is the
+reproduction's stand-in: a C subset rich enough to transcribe the
+paper's kernels (Figure 6 and Figure 8) verbatim, compiled by a real
+multi-pass optimizer whose load-hoisting is gated on the same may-alias
+limitation that defeats the paper's compiler (Figure 5).
+
+Public entry point: :func:`repro.lang.compiler.compile_source`.
+"""
+
+from repro.lang.compiler import CompilerOptions, compile_source
+
+__all__ = ["CompilerOptions", "compile_source"]

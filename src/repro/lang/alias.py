@@ -1,0 +1,99 @@
+"""Static memory-disambiguation (may-alias) models.
+
+The paper's central compiler observation (Figure 5) is that hoisting a
+load across a store requires the compiler to *prove* the two memory
+references are independent, and that for C array parameters such proofs
+are usually unavailable.  We expose that choice as an explicit model:
+
+* :class:`MayAliasModel` — the realistic C default: references to two
+  *different* arrays may still alias (arrays reach the hot function as
+  pointer parameters, so the compiler has no independence proof).
+  References to the *same* array alias only when their symbolic index
+  (register, constant offset) may overlap.
+* :class:`RestrictModel` — every named array is independent of every
+  other, as if all pointer parameters carried C99 ``restrict``.  This is
+  the mode the paper's Section 5 Itanium discussion enables.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+
+
+class AliasModel:
+    """Interface: decide whether two memory references may alias."""
+
+    #: Short name used by reports and CLI flags.
+    name = "abstract"
+
+    def may_alias(self, a: Instruction, b: Instruction) -> bool:
+        raise NotImplementedError
+
+    def store_blocks_load(self, store: Instruction, load: Instruction) -> bool:
+        """May moving ``load`` across ``store`` change its value?"""
+        return self.may_alias(store, load)
+
+
+def _same_symbolic_address(a: Instruction, b: Instruction) -> bool:
+    """True when both references name the same array element symbolically
+    (same array, same index register, same constant offset)."""
+    return (
+        a.array == b.array
+        and len(a.srcs) > 0
+        and len(b.srcs) > 0
+        and a.srcs[-1] == b.srcs[-1]
+        and (a.imm or 0) == (b.imm or 0)
+    )
+
+
+class MayAliasModel(AliasModel):
+    """C-like conservative disambiguation.
+
+    Distinct arrays may alias (they are pointer parameters as far as the
+    compiler can tell).  Same-array references with the same index
+    register and *different* constant offsets are provably distinct
+    (``a[k-1]`` vs ``a[k]``); anything else must be assumed to overlap.
+    """
+
+    name = "may-alias"
+
+    def may_alias(self, a: Instruction, b: Instruction) -> bool:
+        if not (a.is_mem and b.is_mem):
+            return False
+        if a.array != b.array:
+            return True
+        if a.srcs and b.srcs and a.srcs[-1] == b.srcs[-1]:
+            return (a.imm or 0) == (b.imm or 0)
+        return True
+
+
+class RestrictModel(AliasModel):
+    """Full inter-array independence (all arrays ``restrict``-qualified)."""
+
+    name = "restrict"
+
+    def may_alias(self, a: Instruction, b: Instruction) -> bool:
+        if not (a.is_mem and b.is_mem):
+            return False
+        if a.array != b.array:
+            return False
+        if a.srcs and b.srcs and a.srcs[-1] == b.srcs[-1]:
+            return (a.imm or 0) == (b.imm or 0)
+        return True
+
+
+def exact_same_address(a: Instruction, b: Instruction) -> bool:
+    """True when the two references provably hit the same element
+    (used by store-to-load forwarding)."""
+    return _same_symbolic_address(a, b)
+
+
+def get_model(name: str) -> AliasModel:
+    """Look up an alias model by name: ``may-alias`` or ``restrict``."""
+    models = {"may-alias": MayAliasModel, "restrict": RestrictModel}
+    try:
+        return models[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown alias model {name!r}; expected one of {sorted(models)}"
+        ) from None

@@ -1,0 +1,246 @@
+"""Abstract syntax tree for MiniC.
+
+Every node records the 1-based source line it starts on; the compiler
+threads lines through to machine instructions so the characterization
+tools can map hot loads back to source lines exactly as the paper's
+Table 5 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniC scalar type: ``int`` or ``float``."""
+
+    name: str  # "int" | "float"
+
+    @property
+    def is_float(self) -> bool:
+        return self.name == "float"
+
+
+INT = Type("int")
+FLOAT = Type("float")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    """Reference to a scalar variable (local or global parameter)."""
+
+    ident: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element access ``array[index]``."""
+
+    array: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""  # "-" | "!"
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    """Explicit cast ``(int)e`` or ``(float)e``."""
+
+    target: Type = INT
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    """Arithmetic/relational/bitwise binary operation (not && / ||)."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class ShortCircuit(Expr):
+    """``&&`` or ``||`` — lowers to control flow (extra branches)."""
+
+    op: str = ""  # "&&" | "||"
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression ``lvalue op expr`` where op is =, +=, -=, *=.
+
+    C-style: usable inside conditions, as in the paper's
+    ``if ((sc = ip[k-1] + tpim[k-1]) > mc[k])``.
+    """
+
+    target: Optional[Expr] = None  # Name or Index
+    op: str = "="
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """Call to a user-defined function (always inlined by the compiler)."""
+
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Local scalar declaration, optionally initialized."""
+
+    type: Type = INT
+    ident: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[Stmt, Expr]] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalVar:
+    """Top-level declaration.
+
+    ``int M;`` declares a read-only scalar parameter bound by the
+    harness; ``int mc[];`` declares an array bound by the harness.
+    """
+
+    type: Type
+    ident: str
+    is_array: bool
+    line: int = 0
+
+
+@dataclass
+class Param:
+    type: Type
+    ident: str
+    is_array: bool = False
+
+
+@dataclass
+class FuncDef:
+    """Function definition.  ``kernel`` is the entry point; all other
+    functions are inlined into their callers at compile time."""
+
+    name: str
+    return_type: Optional[Type]  # None for void
+    params: List[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed MiniC source file."""
+
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")

@@ -1,0 +1,150 @@
+"""Hand-written lexer for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character or malformed literal."""
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "for",
+        "while",
+        "break",
+        "continue",
+        "return",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = [
+    "<<=",
+    ">>=",
+    "++",
+    "--",
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "<<",
+    ">>",
+]
+
+_SINGLE_OPS = set("+-*/%<>=!&|^~?:;,()[]{}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kind is one of: "ident", "intlit", "floatlit", a keyword (type
+    keywords are "int"/"float"), an operator string, or "eof".
+    """
+
+    kind: str
+    text: str
+    line: int
+    value: Optional[Union[int, float]] = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert MiniC source text into a token list ending with ``eof``.
+
+    Supports ``//`` line comments and ``/* */`` block comments; both are
+    skipped (block comments may span lines and line numbers stay
+    correct).
+    """
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            try:
+                if seen_dot or seen_exp:
+                    tokens.append(Token("floatlit", text, line, value=float(text)))
+                else:
+                    tokens.append(Token("intlit", text, line, value=int(text)))
+            except ValueError as exc:
+                raise LexError(f"line {line}: bad numeric literal {text!r}") from exc
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(ch, ch, line))
+            i += 1
+            continue
+        raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,744 @@
+"""Lowering: MiniC AST -> three-address code over virtual registers.
+
+Code shape intentionally mirrors what a C compiler emits for the Alpha:
+
+* conditions compile to a compare producing 0/1 followed by a
+  conditional branch, with the *inverted* compare used so the THEN path
+  is the fall-through (the paper's Figure 3/7 shape, where the store in
+  the THEN path sits under a branch-if-false);
+* short-circuit ``&&``/``||`` produce one branch per clause, so an
+  involved IF condition contains several load->branch sequences;
+* array accesses with a constant displacement (``a[k-1]``) fold the
+  displacement into the memory operand.
+
+All user functions other than the entry point are inlined, so the final
+program is a single CFG — which is also how the paper's hot loops look
+after DEC cc -O3 inlining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegClass, RegFactory
+from repro.lang import ast
+
+
+class LoweringError(Exception):
+    """Raised on semantic errors (unknown names, type misuse, recursion)."""
+
+
+#: Integer binary AST op -> opcode.
+_INT_BINOPS = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+}
+_FLOAT_BINOPS = {
+    "+": Opcode.FADD,
+    "-": Opcode.FSUB,
+    "*": Opcode.FMUL,
+    "/": Opcode.FDIV,
+}
+_INT_CMPS = {
+    "==": Opcode.CMPEQ,
+    "!=": Opcode.CMPNE,
+    "<": Opcode.CMPLT,
+    "<=": Opcode.CMPLE,
+    ">": Opcode.CMPGT,
+    ">=": Opcode.CMPGE,
+}
+_FLOAT_CMPS = {
+    "==": Opcode.FCMPEQ,
+    "!=": Opcode.FCMPNE,
+    "<": Opcode.FCMPLT,
+    "<=": Opcode.FCMPLE,
+    ">": Opcode.FCMPGT,
+    ">=": Opcode.FCMPGE,
+}
+#: Comparison op -> its logical negation.
+_CMP_NEGATION = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_RELATIONAL_OPS = frozenset(_INT_CMPS)
+
+
+@dataclass
+class _LoopContext:
+    """Targets for break/continue inside the innermost loop."""
+
+    break_target: str
+    continue_target: str
+
+
+@dataclass
+class _InlineContext:
+    """Return plumbing for one inlined call."""
+
+    end_label: str
+    result: Optional[Reg]
+    result_type: Optional[ast.Type]
+
+
+class Lowering:
+    """Lowers one translation unit to a :class:`repro.isa.Program`.
+
+    Entry point is the function named ``kernel`` (or the only function,
+    if exactly one is defined).
+    """
+
+    def __init__(self, unit: ast.TranslationUnit, name: str = "program"):
+        self.unit = unit
+        self.program = Program(name)
+        self.regs = RegFactory()
+        self._globals: Dict[str, ast.GlobalVar] = {g.ident: g for g in unit.globals}
+        #: Scalar globals: name -> (register, type); loaded once at entry.
+        self._global_regs: Dict[str, Tuple[Reg, ast.Type]] = {}
+        #: Scalar globals assigned anywhere (stored back at exit).
+        self._assigned_globals: Set[str] = set()
+        #: Stack of local scopes: name -> (register, type).
+        self._scopes: List[Dict[str, Tuple[Reg, ast.Type]]] = []
+        #: Stack of array-parameter environments: formal -> actual array.
+        self._array_envs: List[Dict[str, str]] = [{}]
+        self._loops: List[_LoopContext] = []
+        self._inline_stack: List[str] = []
+        self._inline_contexts: List[_InlineContext] = []
+        self._block_counter = 0
+        self._current = None  # current BasicBlock
+        self.zero: Optional[Reg] = None
+
+    # -- driver ----------------------------------------------------------------
+    def run(self) -> Program:
+        functions = self.unit.functions
+        if not functions:
+            raise LoweringError("translation unit defines no functions")
+        try:
+            entry_func = self.unit.function("kernel")
+        except KeyError:
+            if len(functions) == 1:
+                entry_func = functions[0]
+            else:
+                raise LoweringError(
+                    "multiple functions defined but none is named 'kernel'"
+                ) from None
+        if entry_func.params:
+            raise LoweringError("the kernel entry function takes no parameters")
+
+        for global_var in self.unit.globals:
+            rclass = RegClass.FLOAT if global_var.type.is_float else RegClass.INT
+            length = 0 if global_var.is_array else 1
+            self.program.declare_array(global_var.ident, length, rclass)
+
+        entry = self.program.new_block("entry")
+        self._current = entry
+        self.zero = self.regs.fresh_int()
+        self._emit(Instruction(Opcode.LI, dest=self.zero, imm=0))
+        for global_var in self.unit.globals:
+            if global_var.is_array:
+                continue
+            reg = self._load_global_scalar(global_var)
+            self._global_regs[global_var.ident] = (reg, global_var.type)
+
+        self._scopes.append({})
+        exit_label = self._fresh_label("exit")
+        self._inline_contexts.append(_InlineContext(exit_label, None, None))
+        self._lower_stmt(entry_func.body)
+        self._inline_contexts.pop()
+        self._emit(Instruction(Opcode.JMP, target=exit_label))
+        exit_block = self.program.new_block(exit_label)
+        self._current = exit_block
+        for name in sorted(self._assigned_globals):
+            reg, gtype = self._global_regs[name]
+            opcode = Opcode.FSTORE if gtype.is_float else Opcode.STORE
+            self._emit(Instruction(opcode, srcs=(reg, self.zero), array=name, imm=0))
+        self._emit(Instruction(Opcode.HALT))
+        self._scopes.pop()
+        return self.program.finalize()
+
+    def _load_global_scalar(self, global_var: ast.GlobalVar) -> Reg:
+        if global_var.type.is_float:
+            reg = self.regs.fresh_float()
+            opcode = Opcode.FLOAD
+        else:
+            reg = self.regs.fresh_int()
+            opcode = Opcode.LOAD
+        self._emit(
+            Instruction(
+                opcode,
+                dest=reg,
+                srcs=(self.zero,),
+                array=global_var.ident,
+                imm=0,
+                line=global_var.line,
+            )
+        )
+        return reg
+
+    # -- block plumbing ----------------------------------------------------------
+    def _fresh_label(self, hint: str) -> str:
+        self._block_counter += 1
+        return f"{hint}.{self._block_counter}"
+
+    def _cut(self, hint: str) -> str:
+        """Start a new block that follows the current one in layout order."""
+        label = self._fresh_label(hint)
+        self._current = self.program.new_block(label)
+        return label
+
+    def _start_labeled(self, label: str) -> None:
+        self._current = self.program.new_block(label)
+
+    def _emit(self, instruction: Instruction) -> Instruction:
+        self._current.append(instruction)
+        return instruction
+
+    # -- name resolution --------------------------------------------------------
+    def _lookup_scalar(self, name: str, line: int) -> Tuple[Reg, ast.Type]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        if name in self._global_regs:
+            return self._global_regs[name]
+        raise LoweringError(f"line {line}: unknown variable {name!r}")
+
+    def _resolve_array(self, name: str, line: int) -> str:
+        env = self._array_envs[-1]
+        seen = set()
+        while name in env:
+            if name in seen:
+                raise LoweringError(f"line {line}: cyclic array binding for {name!r}")
+            seen.add(name)
+            name = env[name]
+        if name not in self.program.arrays:
+            raise LoweringError(f"line {line}: unknown array {name!r}")
+        return name
+
+    def _array_type(self, name: str) -> ast.Type:
+        decl = self.program.arrays[name]
+        return ast.FLOAT if decl.rclass is RegClass.FLOAT else ast.INT
+
+    # -- statements ----------------------------------------------------------------
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._scopes.append({})
+            for inner in stmt.body:
+                self._lower_stmt(inner)
+            self._scopes.pop()
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_vardecl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise LoweringError(f"line {stmt.line}: break outside a loop")
+            self._emit(Instruction(Opcode.JMP, target=self._loops[-1].break_target, line=stmt.line))
+            self._cut("dead")
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise LoweringError(f"line {stmt.line}: continue outside a loop")
+            self._emit(
+                Instruction(Opcode.JMP, target=self._loops[-1].continue_target, line=stmt.line)
+            )
+            self._cut("dead")
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        else:
+            raise LoweringError(f"line {stmt.line}: unsupported statement {type(stmt).__name__}")
+
+    def _lower_vardecl(self, stmt: ast.VarDecl) -> None:
+        rclass = RegClass.FLOAT if stmt.type.is_float else RegClass.INT
+        reg = self.regs.fresh(rclass)
+        self._scopes[-1][stmt.ident] = (reg, stmt.type)
+        if stmt.init is not None:
+            value, vtype = self._lower_expr(stmt.init)
+            value = self._coerce(value, vtype, stmt.type, stmt.line)
+            self._emit_move(reg, value, stmt.type, stmt.line)
+        # Uninitialized locals read as garbage in C; we leave the register
+        # undefined and the interpreter reports a use-before-def error.
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        else_label = self._fresh_label("if.else" if stmt.otherwise else "if.end")
+        self._lower_branch_false(stmt.cond, else_label)
+        self._lower_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            end_label = self._fresh_label("if.end")
+            self._emit(Instruction(Opcode.JMP, target=end_label, line=stmt.line))
+            self._start_labeled(else_label)
+            self._lower_stmt(stmt.otherwise)
+            self._emit(Instruction(Opcode.JMP, target=end_label, line=stmt.line))
+            self._start_labeled(end_label)
+        else:
+            self._emit(Instruction(Opcode.JMP, target=else_label, line=stmt.line))
+            self._start_labeled(else_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        head_label = self._fresh_label("while.head")
+        exit_label = self._fresh_label("while.end")
+        self._emit(Instruction(Opcode.JMP, target=head_label, line=stmt.line))
+        self._start_labeled(head_label)
+        self._lower_branch_false(stmt.cond, exit_label)
+        self._loops.append(_LoopContext(exit_label, head_label))
+        self._lower_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(Instruction(Opcode.JMP, target=head_label, line=stmt.line))
+        self._start_labeled(exit_label)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        self._scopes.append({})
+        if stmt.init is not None:
+            if isinstance(stmt.init, ast.Stmt):
+                self._lower_stmt(stmt.init)
+            else:
+                self._lower_expr(stmt.init)
+        head_label = self._fresh_label("for.head")
+        step_label = self._fresh_label("for.step")
+        exit_label = self._fresh_label("for.end")
+        self._emit(Instruction(Opcode.JMP, target=head_label, line=stmt.line))
+        self._start_labeled(head_label)
+        if stmt.cond is not None:
+            self._lower_branch_false(stmt.cond, exit_label)
+        self._loops.append(_LoopContext(exit_label, step_label))
+        self._lower_stmt(stmt.body)
+        self._loops.pop()
+        self._emit(Instruction(Opcode.JMP, target=step_label, line=stmt.line))
+        self._start_labeled(step_label)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        self._emit(Instruction(Opcode.JMP, target=head_label, line=stmt.line))
+        self._start_labeled(exit_label)
+        self._scopes.pop()
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        context = self._inline_contexts[-1]
+        if stmt.value is not None:
+            value, vtype = self._lower_expr(stmt.value)
+            if context.result is None:
+                # Returning a value from the kernel: value is discarded.
+                pass
+            else:
+                value = self._coerce(value, vtype, context.result_type, stmt.line)
+                self._emit_move(context.result, value, context.result_type, stmt.line)
+        self._emit(Instruction(Opcode.JMP, target=context.end_label, line=stmt.line))
+        self._cut("dead")
+
+    # -- conditional branching ----------------------------------------------------
+    def _lower_branch_false(self, cond: ast.Expr, false_target: str) -> None:
+        """Emit code that jumps to ``false_target`` when ``cond`` is false
+        and falls through when it is true (the C codegen shape)."""
+        if isinstance(cond, ast.ShortCircuit) and cond.op == "&&":
+            self._lower_branch_false(cond.left, false_target)
+            self._lower_branch_false(cond.right, false_target)
+            return
+        if isinstance(cond, ast.ShortCircuit) and cond.op == "||":
+            true_label = self._fresh_label("or.true")
+            self._lower_branch_true(cond.left, true_label)
+            self._lower_branch_false(cond.right, false_target)
+            self._emit(Instruction(Opcode.JMP, target=true_label, line=cond.line))
+            self._start_labeled(true_label)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._lower_branch_true(cond.operand, false_target)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _RELATIONAL_OPS:
+            flag = self._lower_comparison(cond, negate=True)
+            self._emit(
+                Instruction(Opcode.BR, srcs=(flag,), target=false_target, line=cond.line)
+            )
+            self._cut("then")
+            return
+        value, vtype = self._lower_expr(cond)
+        flag = self._truth_flag(value, vtype, cond.line, negate=True)
+        self._emit(Instruction(Opcode.BR, srcs=(flag,), target=false_target, line=cond.line))
+        self._cut("then")
+
+    def _lower_branch_true(self, cond: ast.Expr, true_target: str) -> None:
+        """Dual of :meth:`_lower_branch_false`."""
+        if isinstance(cond, ast.ShortCircuit) and cond.op == "||":
+            self._lower_branch_true(cond.left, true_target)
+            self._lower_branch_true(cond.right, true_target)
+            return
+        if isinstance(cond, ast.ShortCircuit) and cond.op == "&&":
+            false_label = self._fresh_label("and.false")
+            self._lower_branch_false(cond.left, false_label)
+            self._lower_branch_true(cond.right, true_target)
+            self._emit(Instruction(Opcode.JMP, target=false_label, line=cond.line))
+            self._start_labeled(false_label)
+            return
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self._lower_branch_false(cond.operand, true_target)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _RELATIONAL_OPS:
+            flag = self._lower_comparison(cond, negate=False)
+            self._emit(
+                Instruction(Opcode.BR, srcs=(flag,), target=true_target, line=cond.line)
+            )
+            self._cut("else")
+            return
+        value, vtype = self._lower_expr(cond)
+        flag = self._truth_flag(value, vtype, cond.line, negate=False)
+        self._emit(Instruction(Opcode.BR, srcs=(flag,), target=true_target, line=cond.line))
+        self._cut("else")
+
+    def _lower_comparison(self, cond: ast.Binary, negate: bool) -> Reg:
+        op = _CMP_NEGATION[cond.op] if negate else cond.op
+        left, ltype = self._lower_expr(cond.left)
+        right, rtype = self._lower_expr(cond.right)
+        common = ast.FLOAT if (ltype.is_float or rtype.is_float) else ast.INT
+        left = self._coerce(left, ltype, common, cond.line)
+        right = self._coerce(right, rtype, common, cond.line)
+        opcode = _FLOAT_CMPS[op] if common.is_float else _INT_CMPS[op]
+        flag = self.regs.fresh_int()
+        self._emit(Instruction(opcode, dest=flag, srcs=(left, right), line=cond.line))
+        return flag
+
+    def _truth_flag(self, value: Reg, vtype: ast.Type, line: int, negate: bool) -> Reg:
+        """0/1 flag for value != 0 (or == 0 when negated)."""
+        if vtype.is_float:
+            zero_f = self.regs.fresh_float()
+            self._emit(Instruction(Opcode.FLI, dest=zero_f, imm=0.0, line=line))
+            opcode = Opcode.FCMPEQ if negate else Opcode.FCMPNE
+            flag = self.regs.fresh_int()
+            self._emit(Instruction(opcode, dest=flag, srcs=(value, zero_f), line=line))
+            return flag
+        opcode = Opcode.CMPEQ if negate else Opcode.CMPNE
+        flag = self.regs.fresh_int()
+        self._emit(Instruction(opcode, dest=flag, srcs=(value, self.zero), line=line))
+        return flag
+
+    # -- expressions ------------------------------------------------------------------
+    def _lower_expr(self, expr: ast.Expr) -> Tuple[Reg, ast.Type]:
+        if isinstance(expr, ast.IntLit):
+            reg = self.regs.fresh_int()
+            self._emit(Instruction(Opcode.LI, dest=reg, imm=expr.value, line=expr.line))
+            return reg, ast.INT
+        if isinstance(expr, ast.FloatLit):
+            reg = self.regs.fresh_float()
+            self._emit(Instruction(Opcode.FLI, dest=reg, imm=expr.value, line=expr.line))
+            return reg, ast.FLOAT
+        if isinstance(expr, ast.Name):
+            return self._lookup_scalar(expr.ident, expr.line)
+        if isinstance(expr, ast.Index):
+            return self._lower_load(expr)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Cast):
+            value, vtype = self._lower_expr(expr.operand)
+            return self._coerce(value, vtype, expr.target, expr.line), expr.target
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.ShortCircuit):
+            return self._lower_shortcircuit_value(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._lower_conditional_value(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        raise LoweringError(f"line {expr.line}: unsupported expression {type(expr).__name__}")
+
+    def _split_index(self, index: ast.Expr) -> Tuple[ast.Expr, int]:
+        """Fold ``e + c`` / ``e - c`` / plain ``c`` into (base expr, displacement)."""
+        if isinstance(index, ast.Binary) and index.op in ("+", "-"):
+            if isinstance(index.right, ast.IntLit):
+                sign = 1 if index.op == "+" else -1
+                return index.left, sign * index.right.value
+            if index.op == "+" and isinstance(index.left, ast.IntLit):
+                return index.right, index.left.value
+        return index, 0
+
+    def _lower_address(self, expr: ast.Index) -> Tuple[str, Reg, int]:
+        array = self._resolve_array(expr.array, expr.line)
+        base, displacement = self._split_index(expr.index)
+        if isinstance(base, ast.IntLit):
+            return array, self.zero, displacement + base.value
+        index_reg, itype = self._lower_expr(base)
+        if itype.is_float:
+            raise LoweringError(f"line {expr.line}: array index must be an integer")
+        return array, index_reg, displacement
+
+    def _lower_load(self, expr: ast.Index) -> Tuple[Reg, ast.Type]:
+        array, index_reg, displacement = self._lower_address(expr)
+        etype = self._array_type(array)
+        if etype.is_float:
+            dest = self.regs.fresh_float()
+            opcode = Opcode.FLOAD
+        else:
+            dest = self.regs.fresh_int()
+            opcode = Opcode.LOAD
+        self._emit(
+            Instruction(
+                opcode,
+                dest=dest,
+                srcs=(index_reg,),
+                array=array,
+                imm=displacement,
+                line=expr.line,
+            )
+        )
+        return dest, etype
+
+    def _lower_unary(self, expr: ast.Unary) -> Tuple[Reg, ast.Type]:
+        value, vtype = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            opcode = Opcode.FNEG if vtype.is_float else Opcode.NEG
+            dest = self.regs.fresh(RegClass.FLOAT if vtype.is_float else RegClass.INT)
+            self._emit(Instruction(opcode, dest=dest, srcs=(value,), line=expr.line))
+            return dest, vtype
+        if expr.op == "!":
+            flag = self._truth_flag(value, vtype, expr.line, negate=True)
+            return flag, ast.INT
+        raise LoweringError(f"line {expr.line}: unsupported unary operator {expr.op!r}")
+
+    def _lower_binary(self, expr: ast.Binary) -> Tuple[Reg, ast.Type]:
+        if expr.op in _RELATIONAL_OPS:
+            return self._lower_comparison(expr, negate=False), ast.INT
+        left, ltype = self._lower_expr(expr.left)
+        right, rtype = self._lower_expr(expr.right)
+        if expr.op in ("%", "&", "|", "^", "<<", ">>") and (ltype.is_float or rtype.is_float):
+            raise LoweringError(f"line {expr.line}: operator {expr.op!r} requires integers")
+        common = ast.FLOAT if (ltype.is_float or rtype.is_float) else ast.INT
+        left = self._coerce(left, ltype, common, expr.line)
+        right = self._coerce(right, rtype, common, expr.line)
+        table = _FLOAT_BINOPS if common.is_float else _INT_BINOPS
+        if expr.op not in table:
+            raise LoweringError(f"line {expr.line}: unsupported operator {expr.op!r}")
+        dest = self.regs.fresh(RegClass.FLOAT if common.is_float else RegClass.INT)
+        self._emit(Instruction(table[expr.op], dest=dest, srcs=(left, right), line=expr.line))
+        return dest, common
+
+    def _lower_shortcircuit_value(self, expr: ast.ShortCircuit) -> Tuple[Reg, ast.Type]:
+        """``a && b`` / ``a || b`` used as a value: materialize 0/1."""
+        result = self.regs.fresh_int()
+        end_label = self._fresh_label("bool.end")
+        default = 0 if expr.op == "&&" else 1
+        self._emit(Instruction(Opcode.LI, dest=result, imm=default, line=expr.line))
+        other_label = self._fresh_label("bool.other")
+        if expr.op == "&&":
+            self._lower_branch_false(expr, other_label)
+        else:
+            self._lower_branch_true(expr, other_label)
+            # branch_true falls through on FALSE; jump straight to end
+            # keeping the default 1?  No: default is 1 for ||, so on the
+            # false fall-through we must set 0 before ending.
+        if expr.op == "&&":
+            self._emit(Instruction(Opcode.LI, dest=result, imm=1, line=expr.line))
+            self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+            self._start_labeled(other_label)
+            self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+        else:
+            self._emit(Instruction(Opcode.LI, dest=result, imm=0, line=expr.line))
+            self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+            self._start_labeled(other_label)
+            self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+        self._start_labeled(end_label)
+        return result, ast.INT
+
+    def _lower_conditional_value(self, expr: ast.Conditional) -> Tuple[Reg, ast.Type]:
+        """Ternary: lowered with branches (if-conversion may turn it into CMOV)."""
+        else_label = self._fresh_label("sel.else")
+        end_label = self._fresh_label("sel.end")
+        self._lower_branch_false(expr.cond, else_label)
+        then_value, then_type = self._lower_expr(expr.then)
+        # Peek at the other arm's type by lowering into a dead-end path is
+        # not possible without emitting; unify on float if either literal
+        # type says so after lowering both arms.
+        result_int = self.regs.fresh_int()
+        result_float = self.regs.fresh_float()
+        if then_type.is_float:
+            self._emit_move(result_float, then_value, ast.FLOAT, expr.line)
+        else:
+            self._emit_move(result_int, then_value, ast.INT, expr.line)
+        self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+        self._start_labeled(else_label)
+        other_value, other_type = self._lower_expr(expr.otherwise)
+        if then_type.is_float != other_type.is_float:
+            raise LoweringError(
+                f"line {expr.line}: ternary arms must have the same type"
+            )
+        if other_type.is_float:
+            self._emit_move(result_float, other_value, ast.FLOAT, expr.line)
+        else:
+            self._emit_move(result_int, other_value, ast.INT, expr.line)
+        self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+        self._start_labeled(end_label)
+        if then_type.is_float:
+            return result_float, ast.FLOAT
+        return result_int, ast.INT
+
+    def _lower_assign(self, expr: ast.Assign) -> Tuple[Reg, ast.Type]:
+        target = expr.target
+        if isinstance(target, ast.Name):
+            return self._lower_assign_scalar(expr, target)
+        if isinstance(target, ast.Index):
+            return self._lower_assign_element(expr, target)
+        raise LoweringError(f"line {expr.line}: bad assignment target")
+
+    def _lower_assign_scalar(self, expr: ast.Assign, target: ast.Name) -> Tuple[Reg, ast.Type]:
+        reg, ttype = self._lookup_scalar(target.ident, target.line)
+        if target.ident in self._global_regs and not any(
+            target.ident in scope for scope in self._scopes
+        ):
+            self._assigned_globals.add(target.ident)
+        value, vtype = self._lower_expr(expr.value)
+        if expr.op != "=":
+            value = self._apply_compound(reg, ttype, value, vtype, expr.op[0], expr.line)
+            vtype = ttype
+        value = self._coerce(value, vtype, ttype, expr.line)
+        self._emit_move(reg, value, ttype, expr.line)
+        return reg, ttype
+
+    def _lower_assign_element(self, expr: ast.Assign, target: ast.Index) -> Tuple[Reg, ast.Type]:
+        array, index_reg, displacement = self._lower_address(target)
+        etype = self._array_type(array)
+        if expr.op != "=":
+            if etype.is_float:
+                old = self.regs.fresh_float()
+                self._emit(
+                    Instruction(
+                        Opcode.FLOAD,
+                        dest=old,
+                        srcs=(index_reg,),
+                        array=array,
+                        imm=displacement,
+                        line=target.line,
+                    )
+                )
+            else:
+                old = self.regs.fresh_int()
+                self._emit(
+                    Instruction(
+                        Opcode.LOAD,
+                        dest=old,
+                        srcs=(index_reg,),
+                        array=array,
+                        imm=displacement,
+                        line=target.line,
+                    )
+                )
+            value, vtype = self._lower_expr(expr.value)
+            value = self._apply_compound(old, etype, value, vtype, expr.op[0], expr.line)
+        else:
+            value, vtype = self._lower_expr(expr.value)
+            value = self._coerce(value, vtype, etype, expr.line)
+        opcode = Opcode.FSTORE if etype.is_float else Opcode.STORE
+        self._emit(
+            Instruction(
+                opcode,
+                srcs=(value, index_reg),
+                array=array,
+                imm=displacement,
+                line=expr.line,
+            )
+        )
+        return value, etype
+
+    def _apply_compound(
+        self,
+        old: Reg,
+        old_type: ast.Type,
+        value: Reg,
+        vtype: ast.Type,
+        op: str,
+        line: int,
+    ) -> Reg:
+        """Compute ``old <op> value`` for compound assignment operators."""
+        common = ast.FLOAT if (old_type.is_float or vtype.is_float) else ast.INT
+        left = self._coerce(old, old_type, common, line)
+        right = self._coerce(value, vtype, common, line)
+        table = _FLOAT_BINOPS if common.is_float else _INT_BINOPS
+        if op not in table:
+            raise LoweringError(f"line {line}: unsupported compound operator {op!r}=")
+        dest = self.regs.fresh(RegClass.FLOAT if common.is_float else RegClass.INT)
+        self._emit(Instruction(table[op], dest=dest, srcs=(left, right), line=line))
+        return self._coerce(dest, common, old_type, line)
+
+    def _lower_call(self, expr: ast.Call) -> Tuple[Reg, ast.Type]:
+        try:
+            func = self.unit.function(expr.func)
+        except KeyError:
+            raise LoweringError(f"line {expr.line}: unknown function {expr.func!r}") from None
+        if expr.func in self._inline_stack:
+            raise LoweringError(
+                f"line {expr.line}: recursive call to {expr.func!r} cannot be inlined"
+            )
+        if len(expr.args) != len(func.params):
+            raise LoweringError(
+                f"line {expr.line}: {expr.func!r} expects {len(func.params)} args, "
+                f"got {len(expr.args)}"
+            )
+        scope: Dict[str, Tuple[Reg, ast.Type]] = {}
+        array_env = dict(self._array_envs[-1])
+        new_array_env: Dict[str, str] = {}
+        for param, arg in zip(func.params, expr.args):
+            if param.is_array:
+                if not isinstance(arg, ast.Name):
+                    raise LoweringError(
+                        f"line {expr.line}: array argument must be an array name"
+                    )
+                new_array_env[param.ident] = self._resolve_array(arg.ident, arg.line)
+            else:
+                value, vtype = self._lower_expr(arg)
+                value = self._coerce(value, vtype, param.type, expr.line)
+                copy = self.regs.fresh(
+                    RegClass.FLOAT if param.type.is_float else RegClass.INT
+                )
+                self._emit_move(copy, value, param.type, expr.line)
+                scope[param.ident] = (copy, param.type)
+        result: Optional[Reg] = None
+        if func.return_type is not None:
+            result = self.regs.fresh(
+                RegClass.FLOAT if func.return_type.is_float else RegClass.INT
+            )
+        end_label = self._fresh_label(f"ret.{func.name}")
+        self._inline_stack.append(expr.func)
+        self._scopes.append(scope)
+        self._array_envs.append({**array_env, **new_array_env})
+        self._inline_contexts.append(_InlineContext(end_label, result, func.return_type))
+        self._lower_stmt(func.body)
+        self._inline_contexts.pop()
+        self._array_envs.pop()
+        self._scopes.pop()
+        self._inline_stack.pop()
+        self._emit(Instruction(Opcode.JMP, target=end_label, line=expr.line))
+        self._start_labeled(end_label)
+        if result is None:
+            return self.zero, ast.INT
+        return result, func.return_type
+
+    # -- helpers ----------------------------------------------------------------------
+    def _coerce(self, value: Reg, from_type: ast.Type, to_type: ast.Type, line: int) -> Reg:
+        if from_type.is_float == to_type.is_float:
+            return value
+        if to_type.is_float:
+            dest = self.regs.fresh_float()
+            self._emit(Instruction(Opcode.CVTIF, dest=dest, srcs=(value,), line=line))
+        else:
+            dest = self.regs.fresh_int()
+            self._emit(Instruction(Opcode.CVTFI, dest=dest, srcs=(value,), line=line))
+        return dest
+
+    def _emit_move(self, dest: Reg, src: Reg, vtype: ast.Type, line: int) -> None:
+        if dest == src:
+            return
+        opcode = Opcode.FMOV if vtype.is_float else Opcode.MOV
+        self._emit(Instruction(opcode, dest=dest, srcs=(src,), line=line))
+
+
+def lower(unit: ast.TranslationUnit, name: str = "program") -> Program:
+    """Lower a parsed translation unit to an unoptimized program."""
+    return Lowering(unit, name).run()

@@ -1,0 +1,382 @@
+"""Recursive-descent parser for MiniC.
+
+The accepted grammar is a C subset chosen so that the paper's source
+snippets (Figures 6 and 8) can be transcribed with minimal changes:
+assignment expressions inside conditions, comma lists in ``for``
+init/step clauses, short-circuit ``&&``/``||``, and the ternary
+operator are all supported.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised when the token stream does not match the grammar."""
+
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%="})
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"line {token.line}: expected {kind!r}, found {token.kind!r} ({token.text!r})"
+            )
+        return self._advance()
+
+    # -- top level -----------------------------------------------------------
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self._check("eof"):
+            self._parse_topdecl(unit)
+        return unit
+
+    def _parse_type(self) -> ast.Type:
+        token = self._advance()
+        if token.kind == "int":
+            return ast.INT
+        if token.kind == "float":
+            return ast.FLOAT
+        raise ParseError(f"line {token.line}: expected a type, found {token.text!r}")
+
+    def _parse_topdecl(self, unit: ast.TranslationUnit) -> None:
+        token = self._peek()
+        if token.kind == "void":
+            self._advance()
+            name = self._expect("ident")
+            unit.functions.append(self._parse_function(name, None))
+            return
+        if token.kind not in ("int", "float"):
+            raise ParseError(
+                f"line {token.line}: expected a declaration, found {token.text!r}"
+            )
+        decl_type = self._parse_type()
+        name = self._expect("ident")
+        if self._check("("):
+            unit.functions.append(self._parse_function(name, decl_type))
+            return
+        is_array = False
+        if self._accept("["):
+            self._expect("]")
+            is_array = True
+        unit.globals.append(
+            ast.GlobalVar(decl_type, name.text, is_array, line=name.line)
+        )
+        while self._accept(","):
+            extra = self._expect("ident")
+            extra_array = False
+            if self._accept("["):
+                self._expect("]")
+                extra_array = True
+            unit.globals.append(
+                ast.GlobalVar(decl_type, extra.text, extra_array, line=extra.line)
+            )
+        self._expect(";")
+
+    def _parse_function(self, name: Token, return_type: Optional[ast.Type]) -> ast.FuncDef:
+        self._expect("(")
+        params: List[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                param_type = self._parse_type()
+                param_name = self._expect("ident")
+                is_array = False
+                if self._accept("["):
+                    self._expect("]")
+                    is_array = True
+                params.append(ast.Param(param_type, param_name.text, is_array))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        body = self._parse_block()
+        return ast.FuncDef(name.text, return_type, params, body, line=name.line)
+
+    # -- statements ------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        open_brace = self._expect("{")
+        body: List[ast.Stmt] = []
+        while not self._check("}"):
+            body.append(self._parse_stmt())
+        self._expect("}")
+        return ast.Block(line=open_brace.line, body=body)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == "{":
+            return self._parse_block()
+        if token.kind == "if":
+            return self._parse_if()
+        if token.kind == "while":
+            return self._parse_while()
+        if token.kind == "for":
+            return self._parse_for()
+        if token.kind == "break":
+            self._advance()
+            self._expect(";")
+            return ast.Break(line=token.line)
+        if token.kind == "continue":
+            self._advance()
+            self._expect(";")
+            return ast.Continue(line=token.line)
+        if token.kind == "return":
+            self._advance()
+            value = None if self._check(";") else self._parse_expr()
+            self._expect(";")
+            return ast.Return(line=token.line, value=value)
+        if token.kind in ("int", "float"):
+            return self._parse_vardecl()
+        expr = self._parse_comma_expr_as_stmts(token.line)
+        self._expect(";")
+        return expr
+
+    def _parse_comma_expr_as_stmts(self, line: int) -> ast.Stmt:
+        """Parse ``e1, e2, ...`` as a block of expression statements."""
+        exprs = [self._parse_expr()]
+        while self._accept(","):
+            exprs.append(self._parse_expr())
+        if len(exprs) == 1:
+            return ast.ExprStmt(line=line, expr=exprs[0])
+        return ast.Block(
+            line=line, body=[ast.ExprStmt(line=e.line or line, expr=e) for e in exprs]
+        )
+
+    def _parse_vardecl(self) -> ast.Stmt:
+        decl_type = self._parse_type()
+        decls: List[ast.Stmt] = []
+        while True:
+            name = self._expect("ident")
+            init = None
+            if self._accept("="):
+                init = self._parse_expr()
+            decls.append(
+                ast.VarDecl(line=name.line, type=decl_type, ident=name.text, init=init)
+            )
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(line=decls[0].line, body=decls)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then = self._parse_stmt()
+        otherwise = None
+        if self._accept("else"):
+            otherwise = self._parse_stmt()
+        return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_stmt()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect("for")
+        self._expect("(")
+        init: Optional[Union[ast.Stmt, ast.Expr]] = None
+        if not self._check(";"):
+            if self._peek().kind in ("int", "float"):
+                init = self._parse_vardecl()
+                cond = None if self._check(";") else self._parse_expr()
+                self._expect(";")
+                step = self._parse_for_step()
+                self._expect(")")
+                body = self._parse_stmt()
+                return ast.For(
+                    line=token.line, init=init, cond=cond, step=step, body=body
+                )
+            init = self._parse_comma_expr_as_stmts(token.line)
+        self._expect(";")
+        cond = None if self._check(";") else self._parse_expr()
+        self._expect(";")
+        step = self._parse_for_step()
+        self._expect(")")
+        body = self._parse_stmt()
+        return ast.For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_for_step(self) -> Optional[ast.Stmt]:
+        if self._check(")"):
+            return None
+        return self._parse_comma_expr_as_stmts(self._peek().line)
+
+    # -- expressions --------------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind in _ASSIGN_OPS:
+            if not isinstance(left, (ast.Name, ast.Index)):
+                raise ParseError(f"line {token.line}: assignment target is not an lvalue")
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(line=token.line, target=left, op=token.kind, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("?"):
+            then = self._parse_expr()
+            self._expect(":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(
+                line=cond.line, cond=cond, then=then, otherwise=otherwise
+            )
+        return cond
+
+    #: Binary precedence levels, loosest first.
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = self._LEVELS[level]
+        while self._peek().kind in ops:
+            token = self._advance()
+            right = self._parse_binary(level + 1)
+            if token.kind in ("&&", "||"):
+                left = ast.ShortCircuit(
+                    line=token.line, op=token.kind, left=left, right=right
+                )
+            else:
+                left = ast.Binary(line=token.line, op=token.kind, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind in ("-", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.kind, operand=operand)
+        if token.kind in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            if not isinstance(operand, (ast.Name, ast.Index)):
+                raise ParseError(f"line {token.line}: {token.kind} needs an lvalue")
+            return ast.Assign(
+                line=token.line,
+                target=operand,
+                op="+=" if token.kind == "++" else "-=",
+                value=ast.IntLit(line=token.line, value=1),
+            )
+        if token.kind == "(" and self._peek(1).kind in ("int", "float") and self._peek(2).kind == ")":
+            self._advance()
+            target = self._parse_type()
+            self._expect(")")
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, target=target, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check("["):
+                if not isinstance(expr, ast.Name):
+                    raise ParseError(
+                        f"line {self._peek().line}: only named arrays can be indexed"
+                    )
+                self._advance()
+                index = self._parse_expr()
+                self._expect("]")
+                expr = ast.Index(line=expr.line, array=expr.ident, index=index)
+            elif self._check("("):
+                if not isinstance(expr, ast.Name):
+                    raise ParseError(
+                        f"line {self._peek().line}: only named functions can be called"
+                    )
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                expr = ast.Call(line=expr.line, func=expr.ident, args=args)
+            elif self._peek().kind in ("++", "--"):
+                # Postfix increment, desugared to a compound assignment.
+                # MiniC does not support using its (old) value, which is
+                # fine for statement/for-step positions.
+                token = self._advance()
+                if not isinstance(expr, (ast.Name, ast.Index)):
+                    raise ParseError(f"line {token.line}: {token.kind} needs an lvalue")
+                return ast.Assign(
+                    line=token.line,
+                    target=expr,
+                    op="+=" if token.kind == "++" else "-=",
+                    value=ast.IntLit(line=token.line, value=1),
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind == "intlit":
+            return ast.IntLit(line=token.line, value=int(token.value))
+        if token.kind == "floatlit":
+            return ast.FloatLit(line=token.line, value=float(token.value))
+        if token.kind == "ident":
+            return ast.Name(line=token.line, ident=token.text)
+        if token.kind == "(":
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        raise ParseError(
+            f"line {token.line}: unexpected token {token.text!r} in expression"
+        )
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into a translation unit."""
+    return Parser(tokenize(source)).parse_unit()

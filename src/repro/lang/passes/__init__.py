@@ -1,0 +1,1 @@
+"""Optimization passes over ISA programs."""

@@ -1,0 +1,103 @@
+"""Shared dataflow analyses used by the optimization passes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import Reg
+
+#: Opcodes with observable effects (never deletable by DCE).
+EFFECTFUL = frozenset(
+    {
+        Opcode.STORE,
+        Opcode.FSTORE,
+        Opcode.CSTORE,
+        Opcode.FCSTORE,
+        Opcode.BR,
+        Opcode.JMP,
+        Opcode.HALT,
+    }
+)
+
+
+def is_pure(instruction: Instruction) -> bool:
+    """True when the instruction's only effect is writing its dest.
+
+    Loads are treated as pure for *deletion* purposes (removing an
+    unused load cannot change program results in our memory model) —
+    exactly what a compiler assumes when it deletes dead loads.
+    """
+    return instruction.opcode not in EFFECTFUL
+
+
+def def_counts(program: Program) -> Dict[Reg, int]:
+    """Static definition count of every register."""
+    counts: Dict[Reg, int] = defaultdict(int)
+    for instruction in program.all_instructions():
+        if instruction.dest is not None:
+            counts[instruction.dest] += 1
+    return counts
+
+
+def use_counts(program: Program) -> Dict[Reg, int]:
+    """Static read count of every register (CMOV counts its dest)."""
+    counts: Dict[Reg, int] = defaultdict(int)
+    for instruction in program.all_instructions():
+        for reg in instruction.reads():
+            counts[reg] += 1
+    return counts
+
+
+def block_uses_defs(block: BasicBlock) -> Tuple[Set[Reg], Set[Reg]]:
+    """(upward-exposed uses, defs) of one block."""
+    uses: Set[Reg] = set()
+    defs: Set[Reg] = set()
+    for instruction in block.instructions:
+        for reg in instruction.reads():
+            if reg not in defs:
+                uses.add(reg)
+        if instruction.dest is not None:
+            defs.add(instruction.dest)
+    return uses, defs
+
+
+def liveness(program: Program) -> Tuple[Dict[str, Set[Reg]], Dict[str, Set[Reg]]]:
+    """Per-block live-in / live-out sets (backward dataflow)."""
+    use_map: Dict[str, Set[Reg]] = {}
+    def_map: Dict[str, Set[Reg]] = {}
+    for block in program.blocks:
+        uses, defs = block_uses_defs(block)
+        use_map[block.name] = uses
+        def_map[block.name] = defs
+    live_in: Dict[str, Set[Reg]] = {b.name: set() for b in program.blocks}
+    live_out: Dict[str, Set[Reg]] = {b.name: set() for b in program.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(program.blocks):
+            name = block.name
+            out: Set[Reg] = set()
+            for successor in block.successors:
+                out |= live_in[successor]
+            new_in = use_map[name] | (out - def_map[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def reachable_blocks(program: Program) -> Set[str]:
+    """Block names reachable from the entry block."""
+    seen: Set[str] = set()
+    work: List[str] = [program.entry.name]
+    while work:
+        name = work.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        work.extend(program.block(name).successors)
+    return seen

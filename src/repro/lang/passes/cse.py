@@ -1,0 +1,141 @@
+"""Local common-subexpression and redundant-load elimination.
+
+Per basic block:
+
+* pure ALU instructions with identical (opcode, sources, immediate) are
+  replaced by a MOV from the first computation;
+* a load is replaced by a MOV when the same symbolic address was loaded
+  earlier in the block and no intervening store may alias it (this is
+  where the alias model matters: in ``may-alias`` mode *any* store
+  kills *all* remembered loads of other arrays, which is exactly the
+  conservatism the paper attributes to production compilers);
+* a load that exactly matches a prior store's symbolic address forwards
+  the stored value (store-to-load forwarding is legal even under
+  may-alias because identical symbolic addresses denote one element).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.lang.alias import AliasModel
+from repro.lang.passes.analysis import is_pure
+
+
+def run(program: Program, model: AliasModel) -> int:
+    """Apply local CSE; returns number of instructions simplified."""
+    simplified = 0
+    for block in program.blocks:
+        available: Dict[Tuple, Reg] = {}
+        remembered_loads: list = []  # (instruction, key)
+        last_stores: list = []  # store instructions, newest last
+        forwarded: Dict[Tuple, Reg] = {}  # exact address key -> value reg
+
+        def mentions(key: Tuple, reg: Reg) -> bool:
+            # Keys nest source registers inside tuples, e.g.
+            # (ADD, (r1, r2), imm) or (LOAD, array, (r1,), imm).
+            for part in key:
+                if part == reg:
+                    return True
+                if isinstance(part, tuple) and reg in part:
+                    return True
+            return False
+
+        def invalidate_reg(reg: Reg) -> None:
+            for key in [k for k, v in available.items() if v == reg or mentions(k, reg)]:
+                del available[key]
+            for key in [k for k, v in forwarded.items() if v == reg or mentions(k, reg)]:
+                del forwarded[key]
+            remembered_loads[:] = [
+                (ins, key) for (ins, key) in remembered_loads
+                if ins.dest != reg and not mentions(key, reg)
+            ]
+
+        for position, instruction in enumerate(block.instructions):
+            op = instruction.opcode
+            dest = instruction.dest
+            if instruction.is_load:
+                key = (op, instruction.array, instruction.srcs, instruction.imm or 0)
+                if key in forwarded:
+                    block.instructions[position] = Instruction(
+                        Opcode.FMOV if op is Opcode.FLOAD else Opcode.MOV,
+                        dest=dest,
+                        srcs=(forwarded[key],),
+                        line=instruction.line,
+                    )
+                    simplified += 1
+                    invalidate_reg(dest)
+                    continue
+                if key in available:
+                    block.instructions[position] = Instruction(
+                        Opcode.FMOV if op is Opcode.FLOAD else Opcode.MOV,
+                        dest=dest,
+                        srcs=(available[key],),
+                        line=instruction.line,
+                    )
+                    simplified += 1
+                    invalidate_reg(dest)
+                    continue
+                invalidate_reg(dest)
+                available[key] = dest
+                remembered_loads.append((instruction, key))
+                continue
+            if instruction.is_store:
+                # Kill remembered loads the store may alias.
+                for load_instr, key in list(remembered_loads):
+                    if model.store_blocks_load(instruction, load_instr):
+                        available.pop(key, None)
+                        remembered_loads.remove((load_instr, key))
+                for key in [k for k in forwarded if not _forward_survives(k, instruction)]:
+                    del forwarded[key]
+                if op in (Opcode.STORE, Opcode.FSTORE):
+                    # Predicated stores may not execute, so only plain
+                    # stores establish a forwardable value.
+                    fkey = (
+                        Opcode.FLOAD if op is Opcode.FSTORE else Opcode.LOAD,
+                        instruction.array,
+                        (instruction.srcs[1],),
+                        instruction.imm or 0,
+                    )
+                    forwarded[fkey] = instruction.srcs[0]
+                continue
+            if dest is not None and is_pure(instruction) and not instruction.is_cmov:
+                key = (op, instruction.srcs, instruction.imm)
+                if op not in (Opcode.MOV, Opcode.FMOV, Opcode.LI, Opcode.FLI):
+                    if key in available and available[key] != dest:
+                        block.instructions[position] = Instruction(
+                            Opcode.FMOV if instruction.is_fp and not instruction.is_cmp else Opcode.MOV,
+                            dest=dest,
+                            srcs=(available[key],),
+                            line=instruction.line,
+                        )
+                        simplified += 1
+                        invalidate_reg(dest)
+                        continue
+                    invalidate_reg(dest)
+                    available[key] = dest
+                    continue
+            if dest is not None:
+                invalidate_reg(dest)
+    return simplified
+
+
+def _forward_survives(key: Tuple, store: Instruction) -> bool:
+    """Does a forwarded (address -> value) fact survive this store?
+
+    Safe rule: it survives only when the store provably writes a
+    *different* element of the *same* array (same index register,
+    different constant offset).  Any other store kills the entry —
+    including a store to the identical element, which the caller then
+    re-records with the new value.  This conservatism matches the
+    may-alias compiler behaviour the paper describes.
+    """
+    _, array, srcs, imm = key
+    return (
+        store.array == array
+        and store.srcs[1:] == srcs
+        and (store.imm or 0) != imm
+    )

@@ -1,0 +1,278 @@
+"""Global load hoisting, gated by the memory-disambiguation model.
+
+This pass is the reproduction of the paper's Section 2.2.2 (Figure 5):
+a compiler may move a load from block B up into a dominating block D
+when
+
+* B *postdominates* D (the load executes whenever D does, so the move
+  is not speculative),
+* every operand of the load (and of its in-block pure address
+  computation, which moves along with it) is available at the end of D,
+* **no store on any path from D to B may alias the load** — the check
+  that, under the realistic ``may-alias`` model, fails for the paper's
+  hot loops because the THEN paths of their IF statements store to
+  arrays the compiler cannot disambiguate (``mc`` in Figure 5).  Under
+  the ``restrict`` model the same hoists succeed, reproducing the
+  paper's Itanium ``restrict`` experiment.
+
+The pass iterates to a fixed point, so a load can climb several
+dominators, and an address load (pointer chasing) can unlock its
+dependent load on the next round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import Reg
+from repro.lang.alias import AliasModel
+from repro.lang.passes.analysis import def_counts, liveness
+
+#: Hard cap on fixed-point iterations (one load slice moves per round).
+MAX_ROUNDS = 200
+
+
+def run(
+    program: Program, model: AliasModel, pressure_limit: Optional[int] = None
+) -> int:
+    """Hoist loads into dominators; returns the number of moves.
+
+    ``pressure_limit`` caps the register pressure a hoist may create in
+    the region it extends live ranges across (per register class).
+    Production compilers throttle code motion exactly this way — on a
+    register-scarce target (the paper's Pentium 4) hoisting is barely
+    profitable because it immediately causes spills.
+    """
+    total = 0
+    for _ in range(MAX_ROUNDS):
+        moved = _one_round(program, model, pressure_limit)
+        total += moved
+        if not moved:
+            break
+    return total
+
+
+def postdominators(program: Program) -> Dict[str, Set[str]]:
+    """Postdominator sets (dominators on the reversed CFG)."""
+    program.finalize()
+    names = [block.name for block in program.blocks]
+    exits = [block.name for block in program.blocks if not block.successors]
+    all_names = set(names)
+    pdom: Dict[str, Set[str]] = {name: set(all_names) for name in names}
+    for name in exits:
+        pdom[name] = {name}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(program.blocks):
+            name = block.name
+            if name in exits:
+                continue
+            succs = block.successors
+            if succs:
+                new = set.intersection(*(pdom[s] for s in succs))
+            else:
+                new = set()
+            new.add(name)
+            if new != pdom[name]:
+                pdom[name] = new
+                changed = True
+    return pdom
+
+
+def _one_round(
+    program: Program, model: AliasModel, pressure_limit: Optional[int]
+) -> int:
+    program.finalize()
+    dom = program.dominators()
+    pdom = postdominators(program)
+    single_def = {reg for reg, count in def_counts(program).items() if count == 1}
+    live_out = liveness(program)[1] if pressure_limit is not None else None
+
+    for block in program.blocks:
+        strict_doms = dom[block.name] - {block.name}
+        if not strict_doms:
+            continue
+        for position, instruction in enumerate(block.instructions):
+            if not instruction.is_load:
+                continue
+            slice_positions = _movable_slice(block, position, single_def)
+            if slice_positions is None:
+                continue
+            target = _best_target(
+                program, block, position, slice_positions, strict_doms,
+                dom, pdom, model, pressure_limit, live_out,
+            )
+            if target is None:
+                continue
+            _move(program, block, slice_positions, target)
+            return 1  # data structures are stale after a move; restart
+    return 0
+
+
+def _movable_slice(
+    block: BasicBlock, load_position: int, single_def: Set[Reg]
+) -> Optional[List[int]]:
+    """Positions (ascending) of the load plus its in-block pure backward
+    slice, or None when the slice is not movable."""
+    load = block.instructions[load_position]
+    if load.dest is None or load.dest not in single_def:
+        return None
+    needed: Set[Reg] = set(load.reads())
+    positions = [load_position]
+    for position in range(load_position - 1, -1, -1):
+        instruction = block.instructions[position]
+        dest = instruction.dest
+        if dest is None or dest not in needed:
+            continue
+        if instruction.is_mem or instruction.is_control or instruction.is_cmov:
+            return None  # address depends on something we cannot move
+        if dest not in single_def:
+            return None
+        positions.append(position)
+        needed.discard(dest)
+        needed.update(instruction.reads())
+    positions.reverse()
+    return positions
+
+
+def _best_target(
+    program: Program,
+    block: BasicBlock,
+    load_position: int,
+    slice_positions: List[int],
+    strict_doms: Set[str],
+    dom: Dict[str, Set[str]],
+    pdom: Dict[str, Set[str]],
+    model: AliasModel,
+    pressure_limit: Optional[int] = None,
+    live_out: Optional[Dict[str, Set[Reg]]] = None,
+) -> Optional[str]:
+    """Choose the highest dominator the slice can legally move to."""
+    load = block.instructions[load_position]
+    slice_set = set(slice_positions)
+    external_reads: Set[Reg] = set()
+    internal_dests: Set[Reg] = set()
+    for position in slice_positions:
+        instruction = block.instructions[position]
+        for reg in instruction.reads():
+            if reg not in internal_dests:
+                external_reads.add(reg)
+        if instruction.dest is not None:
+            internal_dests.add(instruction.dest)
+    # Stores in B before the load always have to be crossed.
+    stores_in_b = [
+        ins
+        for pos, ins in enumerate(block.instructions[:load_position])
+        if ins.is_store and pos not in slice_set
+    ]
+    # External operands must not be (re)defined in B before the slice.
+    for position, instruction in enumerate(block.instructions[:load_position]):
+        if position in slice_set:
+            continue
+        if instruction.dest is not None and instruction.dest in external_reads:
+            return None
+
+    candidates = sorted(
+        (name for name in strict_doms if block.name in pdom.get(name, set())),
+        key=lambda name: len(dom[name]),  # fewest dominators = highest
+    )
+    best: Optional[str] = None
+    for name in candidates:
+        # Frequency guard: if B sits on a cycle that avoids D, the load
+        # executes more often in B than it would in D, and a definition
+        # inside that cycle (e.g. the loop induction variable) would be
+        # missed — classic illegal loop-invariant motion.  Reject D.
+        if _cycle_through_avoiding(program, block.name, name):
+            continue
+        between = _blocks_between(program, name, block.name)
+        # The value of every external operand at the end of the target
+        # must equal its value at the load's original position: no path
+        # from target to origin may redefine it.  (Defs in B before the
+        # slice were already rejected above.)
+        if any(
+            instruction.dest is not None and instruction.dest in external_reads
+            for bname in between
+            for instruction in program.block(bname).instructions
+        ):
+            continue
+        blocking = list(stores_in_b) + [
+            instruction
+            for bname in between
+            for instruction in program.block(bname).instructions
+            if instruction.is_store
+        ]
+        if any(model.store_blocks_load(store, load) for store in blocking):
+            continue
+        if pressure_limit is not None and live_out is not None:
+            # The move extends the slice dests' live ranges across the
+            # region [target .. B]; refuse if that region is already at
+            # the pressure budget for this register class.
+            rclass = load.dest.rclass
+            region = set(between) | {name}
+            pressure = max(
+                (
+                    sum(1 for reg in live_out[bname] if reg.rclass is rclass)
+                    for bname in region
+                ),
+                default=0,
+            )
+            if pressure + len(slice_positions) > pressure_limit:
+                continue
+        best = name
+        break  # candidates are ordered highest-first; take the highest legal one
+    return best
+
+
+def _cycle_through_avoiding(program: Program, b: str, d: str) -> bool:
+    """True when some cycle passes through ``b`` without touching ``d``."""
+    seen: Set[str] = set()
+    work = [s for s in program.block(b).successors if s != d]
+    while work:
+        name = work.pop()
+        if name == b:
+            return True
+        if name in seen or name == d:
+            continue
+        seen.add(name)
+        work.extend(s for s in program.block(name).successors if s != d)
+    return False
+
+
+def _blocks_between(program: Program, top: str, bottom: str) -> Set[str]:
+    """Names of blocks that may lie on a path from ``top`` to ``bottom``
+    (overapproximate: forward-reachable from top without entering bottom,
+    intersected with backward-reachable from bottom without entering top)."""
+    forward: Set[str] = set()
+    work = list(program.block(top).successors)
+    while work:
+        name = work.pop()
+        if name in forward or name == bottom or name == top:
+            continue
+        forward.add(name)
+        work.extend(program.block(name).successors)
+    backward: Set[str] = set()
+    work = list(program.block(bottom).predecessors)
+    while work:
+        name = work.pop()
+        if name in backward or name == top or name == bottom:
+            continue
+        backward.add(name)
+        work.extend(program.block(name).predecessors)
+    return forward & backward
+
+
+def _move(
+    program: Program, block: BasicBlock, slice_positions: List[int], target: str
+) -> None:
+    moved = [block.instructions[position] for position in slice_positions]
+    for position in reversed(slice_positions):
+        del block.instructions[position]
+    destination = program.block(target)
+    insert_at = len(destination.instructions)
+    if destination.terminator is not None:
+        insert_at -= 1
+    destination.instructions[insert_at:insert_at] = moved
+    program.finalize()

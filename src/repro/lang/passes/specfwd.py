@@ -1,0 +1,130 @@
+"""Speculative (data-speculation) store-to-load forwarding.
+
+Models icc's Itanium advanced loads (``ld.a``/``chk.a``, Section 5.1 of
+the paper): on a machine with an ALAT, the compiler can keep a stored
+value in a register across *possibly*-aliasing stores to other arrays
+and let the hardware detect the (in our kernels, never-occurring)
+conflicts.  Combined with predication this removes the serial
+store->load->compare chains from the baseline code, which is exactly
+why the paper's Itanium baseline is much closer to the transformed code
+than a naive in-order compile would be.
+
+Per block, tracking exact symbolic addresses (array, index register,
+displacement):
+
+* a plain store records its value register;
+* a *predicated* store merges: the tracked value becomes
+  ``MOV t <- old; CMOV t <- (pred, new)`` — predicate-aware forwarding;
+* a load whose address is tracked becomes a register move;
+* a store to the same array with an unrelated index kills that array's
+  entries (no ALAT entry survives a definite same-array conflict);
+  stores to *other* arrays do not kill (that is the data speculation).
+
+Only enabled when the target supports predication + data speculation
+(the Itanium of Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegClass
+from repro.lang.passes.cmov import _fresh_reg_allocator
+
+_KEY = Tuple[str, Reg, int]  # (array, index register, displacement)
+
+
+def run(program: Program) -> int:
+    """Forward stored values to later loads; returns loads removed."""
+    fresh = _fresh_reg_allocator(program)
+    removed = 0
+    for block in program.blocks:
+        removed += _forward_block(block, fresh)
+    program.finalize()
+    return removed
+
+
+def _forward_block(block, fresh) -> int:
+    tracked: Dict[_KEY, Reg] = {}
+    removed = 0
+    out = []
+    for instruction in block.instructions:
+        op = instruction.opcode
+        # A redefined register invalidates entries holding it.
+        if instruction.dest is not None:
+            for key in [k for k, v in tracked.items() if v == instruction.dest]:
+                del tracked[key]
+
+        if op in (Opcode.STORE, Opcode.FSTORE):
+            key = (instruction.array, instruction.srcs[1], instruction.imm or 0)
+            _kill_same_array(tracked, key)
+            tracked[key] = instruction.srcs[0]
+            out.append(instruction)
+            continue
+        if op in (Opcode.CSTORE, Opcode.FCSTORE):
+            value, index, pred = instruction.srcs
+            key = (instruction.array, index, instruction.imm or 0)
+            prior = tracked.get(key)
+            _kill_same_array(tracked, key)
+            out.append(instruction)
+            if prior is not None:
+                is_float = op is Opcode.FCSTORE
+                rclass = RegClass.FLOAT if is_float else RegClass.INT
+                merged = fresh(rclass)
+                out.append(
+                    Instruction(
+                        Opcode.FMOV if is_float else Opcode.MOV,
+                        dest=merged,
+                        srcs=(prior,),
+                        line=instruction.line,
+                    )
+                )
+                out.append(
+                    Instruction(
+                        Opcode.FCMOV if is_float else Opcode.CMOV,
+                        dest=merged,
+                        srcs=(pred, value),
+                        line=instruction.line,
+                    )
+                )
+                tracked[key] = merged
+            continue
+        if op in (Opcode.LOAD, Opcode.FLOAD):
+            key = (instruction.array, instruction.srcs[0], instruction.imm or 0)
+            value = tracked.get(key)
+            if value is not None and value.rclass is instruction.dest.rclass:
+                out.append(
+                    Instruction(
+                        Opcode.FMOV if op is Opcode.FLOAD else Opcode.MOV,
+                        dest=instruction.dest,
+                        srcs=(value,),
+                        line=instruction.line,
+                    )
+                )
+                removed += 1
+                continue
+            # The loaded value is now known for this address.
+            _kill_same_array(tracked, key)
+            tracked[key] = instruction.dest
+            out.append(instruction)
+            continue
+        out.append(instruction)
+    block.instructions = out
+    return removed
+
+
+def _kill_same_array(tracked: Dict[_KEY, Reg], key: _KEY) -> None:
+    """Remove entries of the same array whose relation to ``key`` is
+    unknown (different index register) or identical (being replaced).
+    Same index register with a different displacement provably refers
+    to a different element and survives."""
+    array, index, imm = key
+    for existing in list(tracked):
+        e_array, e_index, e_imm = existing
+        if e_array != array:
+            continue  # other arrays survive: ALAT-backed data speculation
+        if e_index == index and e_imm != imm:
+            continue
+        del tracked[existing]

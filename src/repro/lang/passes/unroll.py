@@ -1,0 +1,139 @@
+"""Loop unrolling (off by default; an ablation-grade extension).
+
+The paper's baselines were compiled with flags that include loop
+unrolling ("-O3 … loop unrolling" on the Alpha), and one natural
+question about the source-level load scheduling is how it interacts
+with an unrolled loop body (more independent work per iteration is
+exactly what the scheduler wants).  This pass unrolls the simple
+counted-loop shape our lowering emits:
+
+    head:  <cmp i, bound>; BR flag -> exit
+    body…  (any straight-line run of blocks ending back at head)
+    latch: i = i + step; JMP head
+
+by replicating body+latch ``factor`` times and re-checking the exit
+condition between copies (a conservative "unroll with tests" scheme: no
+remainder loop, no trip-count proofs needed, always legal).
+
+Enabled with ``CompilerOptions(unroll_factor=N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import BasicBlock, Program
+
+#: Do not unroll loops whose body exceeds this many instructions.
+MAX_BODY = 60
+#: Upper bound on loops unrolled per program (safety valve).
+MAX_LOOPS = 8
+
+
+def run(program: Program, factor: int) -> int:
+    """Unroll up to MAX_LOOPS simple loops; returns loops unrolled."""
+    if factor < 2:
+        return 0
+    unrolled = 0
+    for _ in range(MAX_LOOPS):
+        loop = _find_simple_loop(program)
+        if loop is None:
+            break
+        _unroll(program, loop, factor)
+        unrolled += 1
+    if unrolled:
+        program.finalize()
+    return unrolled
+
+
+def _find_simple_loop(program: Program) -> Optional[Tuple[str, List[str]]]:
+    """Find (head, [body blocks…]) for the lowered counted-loop shape:
+    head ends with BR->exit; the fall-through chain of single-successor
+    blocks returns to head; no other entries into the body."""
+    program.finalize()
+    for head in program.blocks:
+        terminator = head.terminator
+        if terminator is None or terminator.opcode is not Opcode.BR:
+            continue
+        if getattr(head, "_unrolled", False):
+            continue
+        chain: List[str] = []
+        current = program.next_block(head.name)
+        size = 0
+        ok = False
+        while current is not None:
+            if current.name == head.name:
+                break
+            successors = current.successors
+            preds_ok = (
+                len(current.predecessors) == 1
+                or (not chain and current.predecessors == [head.name])
+            )
+            if not preds_ok:
+                break
+            chain.append(current.name)
+            size += len(current.instructions)
+            if size > MAX_BODY:
+                break
+            if successors == [head.name]:
+                ok = True
+                break
+            if len(successors) != 1:
+                break
+            current = program.block(successors[0])
+        if ok and chain:
+            return head.name, chain
+    return None
+
+
+def _unroll(program: Program, loop: Tuple[str, List[str]], factor: int) -> None:
+    head_name, chain = loop
+    head = program.block(head_name)
+    head._unrolled = True  # type: ignore[attr-defined]
+    exit_target = head.terminator.target
+
+    # The head's compare+branch (the exit test), re-emitted between copies.
+    test_instrs = [replace(i) for i in head.instructions]
+
+    new_blocks: List[BasicBlock] = []
+    suffix = 0
+    for copy in range(1, factor):
+        # Re-test block (same semantics as the loop head).
+        suffix += 1
+        test_block = BasicBlock(f"{head_name}.u{suffix}")
+        for instruction in test_instrs:
+            test_block.append(replace(instruction, target=instruction.target))
+        new_blocks.append(test_block)
+        # Body copy.
+        for name in chain:
+            suffix += 1
+            source = program.block(name)
+            body_copy = BasicBlock(f"{name}.u{suffix}")
+            for instruction in source.instructions:
+                clone = replace(instruction)
+                if clone.opcode is Opcode.JMP and clone.target == head_name:
+                    # Last copy's back edge returns to the real head;
+                    # intermediate copies fall through to the next test.
+                    if copy == factor - 1 and name == chain[-1]:
+                        body_copy.append(clone)
+                        continue
+                    if name == chain[-1]:
+                        continue  # fall through to the next test block
+                body_copy.append(clone)
+            new_blocks.append(body_copy)
+
+    # Splice the copies after the last original body block.
+    position = program.block_position(chain[-1]) + 1
+    blocks = list(program.blocks)
+    # The original latch's back edge now falls through into copy 1's test.
+    last_original = program.block(chain[-1])
+    if (
+        last_original.terminator is not None
+        and last_original.terminator.opcode is Opcode.JMP
+        and last_original.terminator.target == head_name
+    ):
+        last_original.instructions.pop()
+    blocks[position:position] = new_blocks
+    program.replace_blocks(blocks)

@@ -1,0 +1,328 @@
+"""Linear-scan register allocation with spill-everywhere rewriting.
+
+The paper's Pentium 4 result hinges on register pressure: the manual
+load scheduling introduces extra temporaries, and on a machine with
+only eight architectural integer registers those temporaries spill,
+eating into the speedup (Section 5.1).  This allocator makes that
+effect measurable: compiling the same program with different register
+budgets yields different amounts of spill code, which the timing model
+then prices.
+
+Conventions:
+
+* physical integer register 0 is hard-wired to zero (the interpreter
+  guarantees this) and is used as the base index for spill slots;
+* integer registers 1-3 and float registers 0-1 are reserved as spill
+  scratch registers;
+* spill slots live in the synthetic ``__stack__`` array, so spill
+  traffic is visible to the cache simulator and instruction profiles,
+  exactly as real spill loads/stores would be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegClass, physical
+from repro.lang.passes.analysis import liveness
+
+#: Name of the spill-slot array (shared with the interpreter).
+STACK_ARRAY = "__stack__"
+
+_INT_RESERVED = 4  # r0 zero, r1-r3 scratch
+_FLOAT_RESERVED = 2  # f0-f1 scratch
+
+
+class AllocationError(Exception):
+    """Raised when the register budget is too small to allocate at all."""
+
+
+@dataclass
+class _Interval:
+    reg: Reg
+    start: int
+    end: int
+    location: Optional[Reg] = None  # physical register, when not spilled
+    slot: Optional[int] = None  # spill slot, when spilled
+    #: Immediate value when the register's only definition is LI/FLI.
+    #: Such intervals are *rematerialized* (the constant is re-issued at
+    #: each use) instead of spilled to memory — which is what real
+    #: compilers do and what keeps long-lived constants like HMMER's
+    #: -INFTY from generating spill traffic.
+    remat_imm: Optional[object] = None
+    remat_op: Optional[Opcode] = None
+
+
+def allocate(program: Program, int_registers: int = 32, float_registers: int = 32) -> Dict[str, int]:
+    """Allocate physical registers in place; returns spill statistics.
+
+    Returns a dict with ``spilled_regs``, ``spill_loads`` and
+    ``spill_stores`` (static counts of inserted instructions).
+    """
+    if int_registers < _INT_RESERVED + 2:
+        raise AllocationError(
+            f"need at least {_INT_RESERVED + 2} integer registers, got {int_registers}"
+        )
+    if float_registers < _FLOAT_RESERVED + 1:
+        raise AllocationError(
+            f"need at least {_FLOAT_RESERVED + 1} float registers, got {float_registers}"
+        )
+    program.finalize()
+    intervals = _build_intervals(program)
+    _mark_rematerializable(program, intervals)
+    slot_counter = [0]
+    mapping: Dict[Reg, _Interval] = {}
+    use_counts = _use_counts(program)
+    for rclass, budget, reserved in (
+        (RegClass.INT, int_registers, _INT_RESERVED),
+        (RegClass.FLOAT, float_registers, _FLOAT_RESERVED),
+    ):
+        class_intervals = [iv for iv in intervals if iv.reg.rclass is rclass]
+        _linear_scan(
+            class_intervals,
+            list(range(reserved, budget)),
+            rclass,
+            slot_counter,
+            use_counts,
+        )
+        for interval in class_intervals:
+            mapping[interval.reg] = interval
+    stats = _rewrite(program, mapping)
+    if slot_counter[0]:
+        if STACK_ARRAY in program.arrays:
+            program.arrays[STACK_ARRAY].length = slot_counter[0]
+        else:
+            program.declare_array(STACK_ARRAY, slot_counter[0])
+    program.finalize()
+    stats["spilled_regs"] = sum(1 for iv in mapping.values() if iv.slot is not None)
+    return stats
+
+
+def _build_intervals(program: Program) -> List[_Interval]:
+    live_in, live_out = liveness(program)
+    position = 0
+    starts: Dict[Reg, int] = {}
+    ends: Dict[Reg, int] = {}
+
+    def touch(reg: Reg, at: int) -> None:
+        if reg.virtual:
+            if reg not in starts or at < starts[reg]:
+                starts[reg] = at
+            if reg not in ends or at > ends[reg]:
+                ends[reg] = at
+
+    for block in program.blocks:
+        if not block.instructions:
+            continue
+        block_start = position
+        block_end = position + len(block.instructions) - 1
+        for reg in live_in[block.name]:
+            touch(reg, block_start)
+        for instruction in block.instructions:
+            for reg in instruction.reads():
+                touch(reg, position)
+            if instruction.dest is not None:
+                touch(instruction.dest, position)
+            position += 1
+        for reg in live_out[block.name]:
+            touch(reg, block_end)
+    return sorted(
+        (_Interval(reg, starts[reg], ends[reg]) for reg in starts),
+        key=lambda iv: (iv.start, iv.end),
+    )
+
+
+def _mark_rematerializable(program: Program, intervals: List[_Interval]) -> None:
+    """Tag intervals whose only definition is a load-immediate."""
+    defs: Dict[Reg, List[Instruction]] = {}
+    for instruction in program.all_instructions():
+        if instruction.dest is not None and instruction.dest.virtual:
+            defs.setdefault(instruction.dest, []).append(instruction)
+    for interval in intervals:
+        reg_defs = defs.get(interval.reg, [])
+        if len(reg_defs) == 1 and reg_defs[0].opcode in (Opcode.LI, Opcode.FLI):
+            interval.remat_imm = reg_defs[0].imm
+            interval.remat_op = reg_defs[0].opcode
+
+
+def _use_counts(program: Program) -> Dict[Reg, int]:
+    """Static read+write counts per virtual register (spill-cost proxy:
+    each count is one piece of spill code if the register spills)."""
+    counts: Dict[Reg, int] = {}
+    for instruction in program.all_instructions():
+        for reg in instruction.reads():
+            if reg.virtual:
+                counts[reg] = counts.get(reg, 0) + 1
+        if instruction.dest is not None and instruction.dest.virtual:
+            counts[instruction.dest] = counts.get(instruction.dest, 0) + 1
+    return counts
+
+
+def _linear_scan(
+    intervals: List[_Interval],
+    free_indices: List[int],
+    rclass: RegClass,
+    slot_counter: List[int],
+    use_counts: Dict[Reg, int],
+) -> None:
+    free = sorted(free_indices, reverse=True)
+    active: List[_Interval] = []
+
+    def spill(victim: _Interval) -> None:
+        if victim.remat_imm is None:
+            victim.slot = slot_counter[0]
+            slot_counter[0] += 1
+        # Rematerializable victims need no slot: uses re-issue the LI.
+
+    def spill_cost(candidate: _Interval) -> float:
+        # Rematerialization is cheap (one LI per use, no memory traffic);
+        # real spills cost a memory access per use.
+        weight = 0.3 if candidate.remat_imm is not None else 1.0
+        return weight * use_counts.get(candidate.reg, 0)
+
+    for interval in intervals:
+        # Expire intervals that ended before this one starts.
+        still_active = []
+        for old in active:
+            if old.end < interval.start:
+                free.append(old.location.index)
+            else:
+                still_active.append(old)
+        active = still_active
+        free.sort(reverse=True)
+        if free:
+            interval.location = physical(rclass, free.pop())
+            active.append(interval)
+            continue
+        # Cost-aware victim choice: evict the candidate with the lowest
+        # static use count (cheapest to spill), breaking ties toward the
+        # furthest end (frees the register longest) — the same tradeoff
+        # production linear-scan allocators approximate.
+        candidates = active + [interval]
+        victim = min(candidates, key=lambda iv: (spill_cost(iv), -iv.end))
+        if victim is interval:
+            spill(interval)
+        else:
+            interval.location = victim.location
+            victim.location = None
+            spill(victim)
+            active.remove(victim)
+            active.append(interval)
+
+
+def _rewrite(program: Program, mapping: Dict[Reg, _Interval]) -> Dict[str, int]:
+    zero = physical(RegClass.INT, 0)
+    int_scratch = [physical(RegClass.INT, 1 + i) for i in range(3)]
+    float_scratch = [physical(RegClass.FLOAT, i) for i in range(2)]
+    spill_loads = 0
+    spill_stores = 0
+
+    for block in program.blocks:
+        rewritten: List[Instruction] = []
+        for instruction in block.instructions:
+            before: List[Instruction] = []
+            after: List[Instruction] = []
+            scratch_next = {RegClass.INT: 0, RegClass.FLOAT: 0}
+
+            def take_scratch(rclass: RegClass) -> Reg:
+                pool = int_scratch if rclass is RegClass.INT else float_scratch
+                index = scratch_next[rclass]
+                if index >= len(pool):  # pragma: no cover - bounded by ISA shape
+                    raise AllocationError("ran out of spill scratch registers")
+                scratch_next[rclass] = index + 1
+                return pool[index]
+
+            new_srcs: List[Reg] = []
+            for src in instruction.srcs:
+                if not src.virtual:
+                    new_srcs.append(src)
+                    continue
+                interval = mapping[src]
+                if interval.location is not None:
+                    new_srcs.append(interval.location)
+                    continue
+                scratch = take_scratch(src.rclass)
+                if interval.remat_imm is not None:
+                    before.append(
+                        Instruction(
+                            interval.remat_op, dest=scratch, imm=interval.remat_imm
+                        )
+                    )
+                else:
+                    load_op = (
+                        Opcode.FLOAD if src.rclass is RegClass.FLOAT else Opcode.LOAD
+                    )
+                    before.append(
+                        Instruction(
+                            load_op,
+                            dest=scratch,
+                            srcs=(zero,),
+                            array=STACK_ARRAY,
+                            imm=interval.slot,
+                        )
+                    )
+                    spill_loads += 1
+                new_srcs.append(scratch)
+            dest = instruction.dest
+            new_dest = dest
+            if dest is not None and dest.virtual:
+                interval = mapping[dest]
+                if interval.location is not None:
+                    new_dest = interval.location
+                elif interval.remat_imm is not None:
+                    # Rematerialized constant: the defining LI writes a
+                    # scratch nobody reads (every use re-issues the LI).
+                    pool = (
+                        int_scratch if dest.rclass is RegClass.INT else float_scratch
+                    )
+                    new_dest = pool[0]
+                else:
+                    if instruction.is_cmov:
+                        # CMOV reads its destination: bring in the old value.
+                        new_dest = take_scratch(dest.rclass)
+                        load_op = (
+                            Opcode.FLOAD
+                            if dest.rclass is RegClass.FLOAT
+                            else Opcode.LOAD
+                        )
+                        before.append(
+                            Instruction(
+                                load_op,
+                                dest=new_dest,
+                                srcs=(zero,),
+                                array=STACK_ARRAY,
+                                imm=interval.slot,
+                            )
+                        )
+                        spill_loads += 1
+                    else:
+                        # Plain writes may reuse scratch 0: sources are
+                        # read before the destination is written.
+                        pool = (
+                            int_scratch
+                            if dest.rclass is RegClass.INT
+                            else float_scratch
+                        )
+                        new_dest = pool[0]
+                    store_op = (
+                        Opcode.FSTORE if dest.rclass is RegClass.FLOAT else Opcode.STORE
+                    )
+                    after.append(
+                        Instruction(
+                            store_op,
+                            srcs=(new_dest, zero),
+                            array=STACK_ARRAY,
+                            imm=interval.slot,
+                        )
+                    )
+                    spill_stores += 1
+            instruction.srcs = tuple(new_srcs)
+            instruction.dest = new_dest
+            rewritten.extend(before)
+            rewritten.append(instruction)
+            rewritten.extend(after)
+        block.instructions = rewritten
+    return {"spill_loads": spill_loads, "spill_stores": spill_stores}

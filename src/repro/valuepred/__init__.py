@@ -1,0 +1,30 @@
+"""Load-value prediction (the hardware alternative of Section 6).
+
+The paper's related work surveys speculative techniques for hiding load
+latency — Calder and Reinman's dependence / address / value prediction
+family and their chooser.  This package implements the classic
+load-value predictors, an ATOM-style tool that measures per-load value
+predictability, and a timing-model extension that answers the natural
+question the paper leaves open: *could a value predictor have hidden
+the L1 hit latency instead of the source transformation?*
+"""
+
+from repro.valuepred.predictors import (
+    ChooserPredictor,
+    FiniteContext,
+    LastValue,
+    Stride,
+    make_value_predictor,
+)
+from repro.valuepred.tool import ValuePredictability
+from repro.valuepred.timing import ValuePredictingOoO
+
+__all__ = [
+    "ChooserPredictor",
+    "FiniteContext",
+    "LastValue",
+    "Stride",
+    "ValuePredictability",
+    "ValuePredictingOoO",
+    "make_value_predictor",
+]

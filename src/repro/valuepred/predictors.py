@@ -1,0 +1,219 @@
+"""Classic load-value predictors.
+
+Implemented per the load-speculation literature the paper cites
+(Calder & Reinman, JILP 2000):
+
+* :class:`LastValue` — predict the last value this static load produced
+  (Lipasti/Shen LVP);
+* :class:`Stride` — last value plus the last observed delta;
+* :class:`FiniteContext` — FCM: hash the last ``order`` values into a
+  context, predict the value that followed that context last time;
+* :class:`ChooserPredictor` — per-load confidence-voted selection among
+  the above, the survey's "load speculation chooser".
+
+All predictors are indexed by static load id (un-aliased tables, like
+the paper's branch predictor) and expose per-load accuracy statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ValueStats:
+    """Prediction statistics for one static load (or globally)."""
+
+    predictions: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class BaseValuePredictor:
+    """Common bookkeeping: per-load and global accuracy."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.global_stats = ValueStats()
+        self.per_load: Dict[int, ValueStats] = {}
+
+    def predict(self, sid: int) -> Optional[object]:
+        """Predicted value for static load ``sid`` (None = no prediction)."""
+        raise NotImplementedError
+
+    def update(self, sid: int, value: object) -> None:
+        raise NotImplementedError
+
+    def access(self, sid: int, value: object) -> bool:
+        """Predict, record, train; returns True on a correct prediction."""
+        prediction = self.predict(sid)
+        correct = prediction is not None and prediction == value
+        stats = self.per_load.get(sid)
+        if stats is None:
+            stats = self.per_load[sid] = ValueStats()
+        stats.predictions += 1
+        self.global_stats.predictions += 1
+        if correct:
+            stats.correct += 1
+            self.global_stats.correct += 1
+        self.update(sid, value)
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        return self.global_stats.accuracy
+
+    def load_accuracy(self, sid: int) -> float:
+        stats = self.per_load.get(sid)
+        return stats.accuracy if stats else 0.0
+
+
+class LastValue(BaseValuePredictor):
+    """Predict the previous value of the same static load."""
+
+    name = "last-value"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: Dict[int, object] = {}
+
+    def predict(self, sid: int) -> Optional[object]:
+        return self._last.get(sid)
+
+    def update(self, sid: int, value: object) -> None:
+        self._last[sid] = value
+
+
+class Stride(BaseValuePredictor):
+    """Predict last value + last delta (two-delta confirmation)."""
+
+    name = "stride"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: sid -> (last value, confirmed stride, candidate stride)
+        self._state: Dict[int, Tuple[object, object, object]] = {}
+
+    def predict(self, sid: int) -> Optional[object]:
+        state = self._state.get(sid)
+        if state is None:
+            return None
+        last, stride, _candidate = state
+        if stride is None or not isinstance(last, (int, float)):
+            return last
+        return last + stride
+
+    def update(self, sid: int, value: object) -> None:
+        state = self._state.get(sid)
+        if state is None or not isinstance(value, (int, float)) or not isinstance(
+            state[0], (int, float)
+        ):
+            self._state[sid] = (value, None, None)
+            return
+        last, stride, candidate = state
+        delta = value - last
+        if delta == candidate:
+            stride = delta  # two identical deltas confirm the stride
+        self._state[sid] = (value, stride, delta)
+
+
+class FiniteContext(BaseValuePredictor):
+    """Order-N finite context method: the last N values select the
+    prediction that followed the same context before."""
+
+    name = "fcm"
+
+    def __init__(self, order: int = 2):
+        super().__init__()
+        self.order = order
+        self._history: Dict[int, Tuple[object, ...]] = {}
+        self._table: Dict[Tuple[int, Tuple[object, ...]], object] = {}
+
+    def predict(self, sid: int) -> Optional[object]:
+        history = self._history.get(sid)
+        if history is None or len(history) < self.order:
+            return None
+        return self._table.get((sid, history))
+
+    def update(self, sid: int, value: object) -> None:
+        history = self._history.get(sid, ())
+        if len(history) >= self.order:
+            self._table[(sid, history)] = value
+        new_history = (history + (value,))[-self.order :]
+        self._history[sid] = new_history
+
+
+class ChooserPredictor(BaseValuePredictor):
+    """Confidence-voted chooser over last-value, stride, and FCM.
+
+    Per (load, component) a saturating confidence counter tracks recent
+    correctness; prediction comes from the most confident component and
+    is only *offered* when that confidence clears ``threshold`` —
+    mirroring the survey's conclusion that a chooser with confidence
+    beats any single technique.
+    """
+
+    name = "chooser"
+
+    def __init__(self, threshold: int = 4, maximum: int = 8):
+        super().__init__()
+        self.components: List[BaseValuePredictor] = [
+            LastValue(),
+            Stride(),
+            FiniteContext(order=2),
+        ]
+        self.threshold = threshold
+        self.maximum = maximum
+        self._confidence: Dict[Tuple[int, int], int] = {}
+
+    def predict(self, sid: int) -> Optional[object]:
+        best_index: Optional[int] = None
+        best_confidence = -1
+        for index, _component in enumerate(self.components):
+            confidence = self._confidence.get((sid, index), 0)
+            if confidence > best_confidence:
+                best_confidence = confidence
+                best_index = index
+        if best_index is None or best_confidence < self.threshold:
+            return None
+        return self.components[best_index].predict(sid)
+
+    def update(self, sid: int, value: object) -> None:
+        for index, component in enumerate(self.components):
+            prediction = component.predict(sid)
+            key = (sid, index)
+            confidence = self._confidence.get(key, 0)
+            if prediction is not None and prediction == value:
+                self._confidence[key] = min(confidence + 1, self.maximum)
+            else:
+                self._confidence[key] = max(confidence - 2, 0)
+            component.update(sid, value)
+
+    def confident(self, sid: int) -> bool:
+        """Would the chooser offer a prediction for this load right now?"""
+        return any(
+            self._confidence.get((sid, index), 0) >= self.threshold
+            for index in range(len(self.components))
+        )
+
+
+def make_value_predictor(name: str, **kwargs) -> BaseValuePredictor:
+    """Factory: ``last-value``, ``stride``, ``fcm``, or ``chooser``."""
+    table = {
+        "last-value": LastValue,
+        "stride": Stride,
+        "fcm": FiniteContext,
+        "chooser": ChooserPredictor,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown value predictor {name!r}; expected one of {sorted(table)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,77 @@
+"""ATOM-style tool: per-load value predictability.
+
+A one-pass characterization in the spirit of the paper's Section 2:
+how predictable are the *values* of the hot loads?  This decides
+whether the Section 6 hardware alternative (load-value prediction)
+could stand in for the paper's source-level scheduling: a correct value
+prediction breaks the load->compare->branch chain the same way the
+manual transformation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.exec.trace import TraceEvent
+from repro.valuepred.predictors import BaseValuePredictor, ChooserPredictor
+
+
+@dataclass
+class PredictabilityRow:
+    """Value predictability of one static load."""
+
+    sid: int
+    executions: int
+    accuracy: float
+    array: str
+    line: int
+
+    def __str__(self) -> str:
+        return (
+            f"load {self.sid:5d}  exec {self.executions:8d}  "
+            f"value-accuracy {self.accuracy:6.1%}  "
+            f"array {self.array:10s} line {self.line}"
+        )
+
+
+class ValuePredictability:
+    """Feeds every executed load to a value predictor."""
+
+    def __init__(self, predictor: Optional[BaseValuePredictor] = None):
+        self.predictor = predictor or ChooserPredictor()
+        self._meta: Dict[int, tuple] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        instr = event.instr
+        if not instr.is_load:
+            return
+        self.predictor.access(instr.sid, event.value)
+        if instr.sid not in self._meta:
+            self._meta[instr.sid] = (instr.array or "?", instr.line)
+
+    @property
+    def overall_accuracy(self) -> float:
+        return self.predictor.accuracy
+
+    def rows(self, top: int = 10, min_executions: int = 1) -> List[PredictabilityRow]:
+        """Most-executed loads first, with their value-prediction accuracy."""
+        per_load = self.predictor.per_load
+        ranked = sorted(
+            (sid for sid, s in per_load.items() if s.predictions >= min_executions),
+            key=lambda sid: -per_load[sid].predictions,
+        )
+        out = []
+        for sid in ranked[:top]:
+            stats = per_load[sid]
+            array, line = self._meta.get(sid, ("?", 0))
+            out.append(
+                PredictabilityRow(
+                    sid=sid,
+                    executions=stats.predictions,
+                    accuracy=stats.accuracy,
+                    array=array,
+                    line=line,
+                )
+            )
+        return out

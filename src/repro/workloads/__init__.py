@@ -1,0 +1,23 @@
+"""BioPerf-like workload kernels and their load-transformed variants.
+
+Each module transcribes the hot loop of one BioPerf application as
+MiniC source — the original shape the paper profiles and, for the six
+amenable programs, the manually load-scheduled variant of Section 3.
+:mod:`repro.workloads.registry` is the public index.
+"""
+
+from repro.workloads.registry import (
+    WorkloadSpec,
+    all_workloads,
+    amenable_workloads,
+    get_workload,
+    spec_workloads,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "all_workloads",
+    "amenable_workloads",
+    "get_workload",
+    "spec_workloads",
+]

@@ -1,0 +1,130 @@
+"""clustalw kernel: the pairwise-alignment forward pass.
+
+ClustalW's profile/pairwise alignment (``pairalign.c``) spends its time
+in a Gotoh forward pass over two sequences: per cell it loads the
+previous row's ``HH[j]``/``EE[j]``, the substitution score, applies a
+chain of max-threshold updates, and stores the new cell.  The paper's
+clustalw transformation touches 4 static loads / ~10 source lines
+(Table 6) and yields the smallest speedups of the six amenable codes —
+largely because the THEN paths here are scalar assignments the baseline
+compiler can already if-convert, so the transformation's benefit is
+limited to scheduling the loads earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads import datasets
+from repro.workloads.datasets import AMINO_ACIDS, check_scale, rng_for
+
+_GLOBALS = """
+int N1, N2, GO, GE;
+int s1[], s2[], matrix[], HH[], EE[], DD[];
+int result[];
+"""
+
+#: Original forward pass.  As in ClustalW's ``forward_pass``, the
+#: running maximum and its end coordinates are kept in globals (arrays
+#: here), so the THEN path of the frequent ``hh > maxscore`` test and of
+#: the gap-state updates contain *stores* — which is exactly what keeps
+#: the baseline compiler from if-converting these branches or hoisting
+#: the HH/EE loads past them (the paper's Figure 5 situation).
+ORIGINAL = _GLOBALS + """
+void kernel() {
+  int i; int j; int t;
+  int s; int f; int e; int hh;
+  for (j = 0; j <= N2; j++) { HH[j] = 0; EE[j] = 0 - GO; }
+  result[0] = 0;
+  for (i = 1; i <= N1; i++) {
+    s = HH[0];
+    HH[0] = 0;
+    f = 0 - GO;
+    for (j = 1; j <= N2; j++) {
+      f = f - GE;
+      if ((t = HH[j] - GO - GE) > f) f = t;
+      e = EE[j] - GE;
+      if ((t = HH[j] - GO - GE) > e) { e = t; DD[j] = i; }
+      hh = s + matrix[s1[i] * 20 + s2[j]];
+      if (f > hh) hh = f;
+      if (e > hh) hh = e;
+      if (hh < 0) hh = 0;
+      s = HH[j];
+      HH[j] = hh;
+      EE[j] = e;
+      if (hh > result[0]) { result[0] = hh; result[1] = i; result[2] = j; }
+    }
+  }
+}
+"""
+
+#: Load-scheduled version: the three loads of each cell (HH[j], EE[j],
+#: and the substitution score) are hoisted to the top of the iteration
+#: into temporaries, the matrix row base is computed once per row, the
+#: duplicated HH[j] expression is reused, and the running maximum moves
+#: into scalars that are stored back once per row — which removes the
+#: stores from the THEN paths and lets the compiler if-convert.
+TRANSFORMED = _GLOBALS + """
+void kernel() {
+  int i; int j; int t;
+  int s; int f; int e; int hh;
+  int maxscore; int rowbase; int besti; int bestj; int dchange;
+  int hj; int ej; int mt;
+  for (j = 0; j <= N2; j++) { HH[j] = 0; EE[j] = 0 - GO; }
+  maxscore = 0; besti = 0; bestj = 0;
+  for (i = 1; i <= N1; i++) {
+    s = HH[0];
+    HH[0] = 0;
+    f = 0 - GO;
+    rowbase = s1[i] * 20;
+    for (j = 1; j <= N2; j++) {
+      hj = HH[j];
+      ej = EE[j];
+      mt = matrix[rowbase + s2[j]];
+      f = f - GE;
+      t = hj - GO - GE;
+      if (t > f) f = t;
+      e = ej - GE;
+      dchange = 0;
+      if (t > e) { e = t; dchange = 1; }
+      if (dchange != 0) DD[j] = i;
+      hh = s + mt;
+      if (f > hh) hh = f;
+      if (e > hh) hh = e;
+      if (hh < 0) hh = 0;
+      s = hj;
+      HH[j] = hh;
+      EE[j] = e;
+      if (hh > maxscore) { maxscore = hh; besti = i; bestj = j; }
+    }
+  }
+  result[0] = maxscore; result[1] = besti; result[2] = bestj;
+}
+"""
+
+_SIZES = {
+    "test": (16, 16),
+    "small": (60, 60),
+    "medium": (150, 145),
+    "large": (260, 250),
+}
+
+
+def dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """Two random protein sequences plus a BLOSUM-like matrix."""
+    check_scale(scale)
+    n1, n2 = _SIZES[scale]
+    rng = rng_for("clustalw", seed)
+    return {
+        "N1": n1,
+        "N2": n2,
+        "GO": 10,
+        "GE": 1,
+        "s1": datasets.random_sequence(rng, n1 + 1, AMINO_ACIDS),
+        "s2": datasets.random_sequence(rng, n2 + 1, AMINO_ACIDS),
+        "matrix": datasets.substitution_matrix(rng, AMINO_ACIDS),
+        "HH": [0] * (n2 + 1),
+        "EE": [0] * (n2 + 1),
+        "DD": [0] * (n2 + 1),
+        "result": [0, 0, 0],
+    }

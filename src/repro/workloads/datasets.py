@@ -1,0 +1,116 @@
+"""Seeded synthetic dataset generators for the workload kernels.
+
+The paper runs BioPerf's class-B (characterization) and class-C
+(evaluation) input sets: real sequence databases and HMM libraries.
+Offline we generate statistically similar synthetic inputs — random
+residue sequences over DNA/protein alphabets, HMM score tables with the
+sign statistics that make HMMER's max-threshold branches hard to
+predict, substitution matrices, and phylogeny character matrices.
+
+Every generator is deterministic given its seed.  The ``scale``
+parameter maps onto input sizes tuned so the relative dynamic
+instruction counts across workloads roughly track the paper's Table 1
+(scaled down by about six orders of magnitude; see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+#: Recognized workload scales, smallest to largest.  ``test`` is for
+#: unit tests; ``medium`` plays the role of the class-B inputs used for
+#: characterization; ``large`` plays the class-C evaluation inputs.
+SCALES = ("test", "small", "medium", "large")
+
+#: Protein alphabet size (HMMER kernels).
+AMINO_ACIDS = 20
+#: DNA alphabet size.
+NUCLEOTIDES = 4
+
+
+def check_scale(scale: str) -> str:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return scale
+
+
+def rng_for(name: str, seed: int) -> random.Random:
+    """Independent, reproducible RNG per (workload, seed)."""
+    return random.Random(f"{name}:{seed}")
+
+
+def random_sequence(rng: random.Random, length: int, alphabet: int) -> List[int]:
+    """A random residue sequence encoded as small integers."""
+    return [rng.randrange(alphabet) for _ in range(length)]
+
+
+def score_table(
+    rng: random.Random, length: int, low: int = -350, high: int = 250
+) -> List[int]:
+    """HMM transition/emission scores in scaled-integer log-odds form.
+
+    The asymmetric range mirrors HMMER's Prob2Score tables: mostly
+    negative with occasional positives, which keeps the winner of each
+    max-threshold comparison data-dependent (hard-to-predict branches,
+    Table 4(a))."""
+    return [rng.randint(low, high) for _ in range(length)]
+
+
+def emission_matrix(
+    rng: random.Random, alphabet: int, model_length: int
+) -> List[int]:
+    """Flattened ``alphabet x (model_length+1)`` emission score table."""
+    return score_table(rng, alphabet * (model_length + 1), low=-500, high=400)
+
+
+def substitution_matrix(rng: random.Random, alphabet: int) -> List[int]:
+    """Flattened symmetric substitution matrix (BLOSUM-like statistics:
+    small negative off-diagonal, positive diagonal)."""
+    matrix = [[0] * alphabet for _ in range(alphabet)]
+    for i in range(alphabet):
+        for j in range(i, alphabet):
+            value = rng.randint(6, 12) if i == j else rng.randint(-4, 2)
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return [value for row in matrix for value in row]
+
+
+def binary_characters(
+    rng: random.Random, num_species: int, num_sites: int
+) -> List[int]:
+    """Flattened species x sites 0/1 character matrix (dnapenny input)."""
+    return [rng.randrange(2) for _ in range(num_species * num_sites)]
+
+
+def linked_rows(
+    rng: random.Random, num_rows: int, num_cols: int, mean_len: int, pool: int
+) -> Dict[str, List[int]]:
+    """Linked-list pool for the predator kernel's Figure 8 loop.
+
+    Node 0 is the NULL sentinel.  Returns ``row_head`` (per-row first
+    node), ``col`` (payload column), and ``nxt`` (next-node index).
+    """
+    row_head = [0] * num_rows
+    col = [0] * (pool + 1)
+    nxt = [0] * (pool + 1)
+    next_free = 1
+    for row in range(num_rows):
+        length = min(rng.randint(0, 2 * mean_len), pool - next_free)
+        previous = 0
+        for _ in range(length):
+            node = next_free
+            next_free += 1
+            col[node] = rng.randrange(num_cols)
+            nxt[node] = previous
+            previous = node
+        row_head[row] = previous
+    return {"row_head": row_head, "col": col, "nxt": nxt}
+
+
+def float_table(
+    rng: random.Random, length: int, low: float = 0.01, high: float = 1.0
+) -> List[float]:
+    """Positive float table (probabilities/propensities for promlk and
+    predator's FP side)."""
+    return [rng.uniform(low, high) for _ in range(length)]

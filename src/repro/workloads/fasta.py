@@ -1,0 +1,77 @@
+"""fasta kernel: banded Smith-Waterman (``dropgsw``-style inner loop).
+
+FASTA's scan phase runs an extremely tight Smith-Waterman recurrence
+over a query profile.  The paper classifies fasta as *not amenable* to
+source-level load scheduling: "although candidate loads may exist at
+the machine instruction level, there may not be enough opportunity in
+the source code to schedule the loads (e.g., in a tight loop)"
+(Section 3).  Accordingly only the original source is provided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads import datasets
+from repro.workloads.datasets import AMINO_ACIDS, check_scale, rng_for
+
+ORIGINAL = """
+int N1, N2, GO, GE;
+int pwaa[], s2[], H[], E[];
+int result[];
+
+void kernel() {
+  int i; int j;
+  int h; int e; int f; int p; int t;
+  for (j = 0; j <= N2; j++) { H[j] = 0; E[j] = 0; }
+  result[0] = 0;
+  for (i = 0; i < N1; i++) {
+    p = 0;
+    f = 0;
+    for (j = 1; j <= N2; j++) {
+      h = p + pwaa[i * 20 + s2[j]];
+      if (h < f) h = f;
+      e = E[j];
+      if (h < e) h = e;
+      if (h < 0) h = 0;
+      f = h - GO;
+      t = f - GE;
+      if (t > f - GO) f = t;
+      e = e - GE;
+      if (e < h - GO) e = h - GO;
+      p = H[j];
+      H[j] = h;
+      E[j] = e;
+      if (h > result[0]) { result[0] = h; result[1] = i; result[2] = j; }
+    }
+  }
+}
+"""
+
+#: fasta is not amenable to source-level scheduling (Section 3.3).
+TRANSFORMED = None
+
+_SIZES = {
+    "test": (14, 14),
+    "small": (50, 50),
+    "medium": (120, 120),
+    "large": (210, 200),
+}
+
+
+def dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """A query profile against one random protein sequence."""
+    check_scale(scale)
+    n1, n2 = _SIZES[scale]
+    rng = rng_for("fasta", seed)
+    return {
+        "N1": n1,
+        "N2": n2,
+        "GO": 12,
+        "GE": 2,
+        "pwaa": datasets.score_table(rng, n1 * 20, low=-4, high=11),
+        "s2": datasets.random_sequence(rng, n2 + 1, AMINO_ACIDS),
+        "H": [0] * (n2 + 1),
+        "E": [0] * (n2 + 1),
+        "result": [0, 0, 0],
+    }

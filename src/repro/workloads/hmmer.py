@@ -1,0 +1,360 @@
+"""HMMER kernels: hmmsearch, hmmpfam, hmmcalibrate.
+
+All three BioPerf HMMER programs spend their time in ``P7Viterbi``
+(``fast_algorithms.c``), the loop the paper dissects in Figure 6.  The
+MiniC sources below transcribe:
+
+* :data:`P7VITERBI_ORIGINAL` — Figure 6(a): boxes 1-3 with the
+  max-threshold IF statements whose THEN paths *store* to ``mc``/``dc``/
+  ``ic`` (so the compiler can neither hoist the loads nor if-convert);
+* :data:`P7VITERBI_TRANSFORMED` — Figure 6(c): the manual load
+  scheduling with temporaries ``temp1..temp8``, the guarding IF of
+  box 3 broken by shortening the loop and duplicating boxes 1-2 after
+  the exit.
+
+HMMER's row-pointer swap is modelled with an explicit row-copy loop,
+and the 2-D score tables are flattened with explicit base offsets, so
+one shared ``P7Viterbi`` function serves all three drivers exactly as
+one shared C function does in HMMER.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads import datasets
+from repro.workloads.datasets import AMINO_ACIDS, check_scale, rng_for
+
+#: HMMER's scaled-integer minus infinity.
+NEGINF = -987654321
+
+_GLOBALS = """
+int M, L, NSEQ, NHMM, FPN;
+int dsq[];
+int mpp[], ip[], dpp[], mc[], dc[], ic[];
+int tpmm[], tpim[], tpdm[], tpmd[], tpdd[], tpmi[], tpii[];
+int bp[], ep[], msc[], isc[];
+int best[];
+float fsc[], fweight[], fout[];
+"""
+
+#: Figure 6(a): the original P7Viterbi inner loop (boxes 1, 2, 3), plus
+#: the E-state reduction and the row copy that stands in for HMMER's
+#: dp row-pointer swap.  ``tb`` and ``eb`` are the per-HMM transition /
+#: emission base offsets (0 when a single HMM is searched).
+P7VITERBI_ORIGINAL = """
+int P7Viterbi(int sbase, int len, int tb, int eb) {
+  int i; int k; int sc;
+  int xmb; int xme; int xmj; int xmn;
+  int score;
+  for (k = 0; k <= M; k++) {
+    mpp[k] = -987654321; ip[k] = -987654321; dpp[k] = -987654321;
+    mc[k] = -987654321; dc[k] = -987654321; ic[k] = -987654321;
+  }
+  xmb = 0; xmn = 0; xmj = -987654321; score = -987654321;
+  for (i = 1; i <= len; i++) {
+    int sym = dsq[sbase + i - 1];
+    int mb = eb + sym * (M + 1);
+    mc[0] = -987654321; dc[0] = -987654321; ic[0] = -987654321;
+    for (k = 1; k <= M; k++) {
+      mc[k] = mpp[k-1] + tpmm[tb+k-1];
+      if ((sc = ip[k-1] + tpim[tb+k-1]) > mc[k]) mc[k] = sc;
+      if ((sc = dpp[k-1] + tpdm[tb+k-1]) > mc[k]) mc[k] = sc;
+      if ((sc = xmb + bp[tb+k]) > mc[k]) mc[k] = sc;
+      mc[k] += msc[mb+k];
+      if (mc[k] < -987654321) mc[k] = -987654321;
+
+      dc[k] = dc[k-1] + tpdd[tb+k-1];
+      if ((sc = mc[k-1] + tpmd[tb+k-1]) > dc[k]) dc[k] = sc;
+      if (dc[k] < -987654321) dc[k] = -987654321;
+
+      if (k < M) {
+        ic[k] = mpp[k] + tpmi[tb+k];
+        if ((sc = ip[k] + tpii[tb+k]) > ic[k]) ic[k] = sc;
+        ic[k] += msc[mb+k];
+        if (ic[k] < -987654321) ic[k] = -987654321;
+      }
+    }
+    xme = -987654321;
+    for (k = 1; k <= M; k++) {
+      if ((sc = mc[k] + ep[tb+k]) > xme) xme = sc;
+    }
+    if ((sc = xme - 50) > xmj) xmj = sc;
+    xmn = xmn - 10;
+    xmb = xmn;
+    if ((sc = xmj - 30) > xmb) xmb = sc;
+    for (k = 0; k <= M; k++) {
+      mpp[k] = mc[k]; ip[k] = ic[k]; dpp[k] = dc[k];
+    }
+    if (xme > score) score = xme;
+  }
+  return score;
+}
+"""
+
+#: Figure 6(c): the manually load-scheduled P7Viterbi.  Temporaries
+#: hoist every load above the comparisons, the bodies of the three
+#: boxes hide each other's latency, box 3's guard is gone (loop runs to
+#: M-1 and boxes 1-2 are duplicated after the loop).
+P7VITERBI_TRANSFORMED = """
+int P7Viterbi(int sbase, int len, int tb, int eb) {
+  int i; int k; int sc;
+  int xmb; int xme; int xmj; int xmn;
+  int score;
+  int temp1; int temp2; int temp3; int temp4;
+  int temp5; int temp6; int temp7; int temp8;
+  for (k = 0; k <= M; k++) {
+    mpp[k] = -987654321; ip[k] = -987654321; dpp[k] = -987654321;
+    mc[k] = -987654321; dc[k] = -987654321; ic[k] = -987654321;
+  }
+  xmb = 0; xmn = 0; xmj = -987654321; score = -987654321;
+  for (i = 1; i <= len; i++) {
+    int sym = dsq[sbase + i - 1];
+    int mb = eb + sym * (M + 1);
+    mc[0] = -987654321; dc[0] = -987654321; ic[0] = -987654321;
+    for (k = 1; k <= M - 1; k++) {
+      temp1 = mpp[k-1] + tpmm[tb+k-1];
+      temp2 = ip[k-1] + tpim[tb+k-1];
+      temp3 = dpp[k-1] + tpdm[tb+k-1];
+      temp4 = xmb + bp[tb+k];
+      temp5 = dc[k-1] + tpdd[tb+k-1];
+      temp6 = mc[k-1] + tpmd[tb+k-1];
+      temp7 = mpp[k] + tpmi[tb+k];
+      temp8 = ip[k] + tpii[tb+k];
+      if (temp2 > temp1) temp1 = temp2;
+      if (temp4 > temp3) temp3 = temp4;
+      if (temp3 > temp1) temp1 = temp3;
+      if (temp6 > temp5) temp5 = temp6;
+      if (temp8 > temp7) temp7 = temp8;
+      temp1 = msc[mb+k] + temp1;
+      if (temp1 < -987654321) temp1 = -987654321;
+      mc[k] = temp1;
+      if (temp5 < -987654321) temp5 = -987654321;
+      dc[k] = temp5;
+      temp7 = msc[mb+k] + temp7;
+      if (temp7 < -987654321) temp7 = -987654321;
+      ic[k] = temp7;
+    }
+    temp1 = mpp[M-1] + tpmm[tb+M-1];
+    temp2 = ip[M-1] + tpim[tb+M-1];
+    temp3 = dpp[M-1] + tpdm[tb+M-1];
+    temp4 = xmb + bp[tb+M];
+    temp5 = dc[M-1] + tpdd[tb+M-1];
+    temp6 = mc[M-1] + tpmd[tb+M-1];
+    if (temp2 > temp1) temp1 = temp2;
+    if (temp4 > temp3) temp3 = temp4;
+    if (temp3 > temp1) temp1 = temp3;
+    if (temp6 > temp5) temp5 = temp6;
+    temp1 = msc[mb+M] + temp1;
+    if (temp1 < -987654321) temp1 = -987654321;
+    mc[M] = temp1;
+    if (temp5 < -987654321) temp5 = -987654321;
+    dc[M] = temp5;
+    xme = -987654321;
+    for (k = 1; k <= M; k++) {
+      if ((sc = mc[k] + ep[tb+k]) > xme) xme = sc;
+    }
+    if ((sc = xme - 50) > xmj) xmj = sc;
+    xmn = xmn - 10;
+    xmb = xmn;
+    if ((sc = xmj - 30) > xmb) xmb = sc;
+    for (k = 0; k <= M; k++) {
+      mpp[k] = mc[k]; ip[k] = ic[k]; dpp[k] = dc[k];
+    }
+    if (xme > score) score = xme;
+  }
+  return score;
+}
+"""
+
+#: hmmsearch: one HMM scanned against a database of NSEQ sequences.
+_HMMSEARCH_DRIVER = """
+void kernel() {
+  int s;
+  for (s = 0; s < NSEQ; s++) {
+    best[s] = P7Viterbi(s * L, L, 0, 0);
+  }
+}
+"""
+
+#: hmmpfam: one query sequence scored against NHMM models, followed by
+#: the floating-point E-value post-processing that gives hmmpfam its
+#: ~5% FP instruction share (Table 1).
+_HMMPFAM_DRIVER = """
+void kernel() {
+  int h; int j;
+  float fsum;
+  for (h = 0; h < NHMM; h++) {
+    best[h] = P7Viterbi(0, L, h * (M + 1), h * 20 * (M + 1));
+    fsum = 0.0;
+    for (j = 0; j < FPN; j++) {
+      fsum = fsum + fsc[j] * fweight[j];
+    }
+    fout[h] = fsum;
+  }
+}
+"""
+
+#: hmmcalibrate: the HMM is scored against synthetic random sequences
+#: generated on the fly with a linear congruential generator, and the
+#: scores feed a histogram (as in HMMER's histogram.c).
+_HMMCALIBRATE_DRIVER = """
+int hist[];
+int seed_in[];
+
+void kernel() {
+  int s; int j; int sc; int bin;
+  int state;
+  state = seed_in[0];
+  for (s = 0; s < NSEQ; s++) {
+    for (j = 0; j < L; j++) {
+      state = (state * 1103515245 + 12345) % 2147483648;
+      dsq[j] = state % 20;
+      if (dsq[j] < 0) dsq[j] = -dsq[j];
+    }
+    sc = P7Viterbi(0, L, 0, 0);
+    bin = sc / 1000;
+    if (bin < 0) bin = 0;
+    if (bin > 63) bin = 63;
+    hist[bin] = hist[bin] + 1;
+    best[s] = sc;
+  }
+}
+"""
+
+
+def hmmsearch_source(transformed: bool = False) -> str:
+    viterbi = P7VITERBI_TRANSFORMED if transformed else P7VITERBI_ORIGINAL
+    return _GLOBALS + viterbi + _HMMSEARCH_DRIVER
+
+
+def hmmpfam_source(transformed: bool = False) -> str:
+    viterbi = P7VITERBI_TRANSFORMED if transformed else P7VITERBI_ORIGINAL
+    return _GLOBALS + viterbi + _HMMPFAM_DRIVER
+
+
+def hmmcalibrate_source(transformed: bool = False) -> str:
+    viterbi = P7VITERBI_TRANSFORMED if transformed else P7VITERBI_ORIGINAL
+    return _GLOBALS + viterbi + _HMMCALIBRATE_DRIVER
+
+
+#: (M, L, NSEQ or NHMM) per scale, tuned so medium dynamic instruction
+#: counts track Table 1's relative sizes.
+_HMM_SIZES = {
+    "hmmsearch": {
+        "test": (24, 12, 2),
+        "small": (48, 30, 4),
+        "medium": (72, 60, 6),
+        "large": (90, 80, 8),
+    },
+    "hmmpfam": {
+        "test": (24, 12, 2),
+        "small": (40, 30, 3),
+        "medium": (56, 48, 4),
+        "large": (72, 64, 6),
+    },
+    "hmmcalibrate": {
+        "test": (24, 12, 2),
+        "small": (36, 24, 3),
+        "medium": (48, 36, 3),
+        "large": (64, 48, 5),
+    },
+}
+
+
+def _hmm_tables(rng, model_length: int, copies: int = 1) -> Dict[str, list]:
+    mp1 = model_length + 1
+    return {
+        "tpmm": datasets.score_table(rng, copies * mp1),
+        "tpim": datasets.score_table(rng, copies * mp1),
+        "tpdm": datasets.score_table(rng, copies * mp1),
+        "tpmd": datasets.score_table(rng, copies * mp1),
+        "tpdd": datasets.score_table(rng, copies * mp1),
+        "tpmi": datasets.score_table(rng, copies * mp1),
+        "tpii": datasets.score_table(rng, copies * mp1),
+        "bp": datasets.score_table(rng, copies * mp1),
+        "ep": datasets.score_table(rng, copies * mp1),
+    }
+
+
+def _dp_rows(model_length: int) -> Dict[str, list]:
+    mp1 = model_length + 1
+    zero = [0] * mp1
+    return {name: list(zero) for name in ("mpp", "ip", "dpp", "mc", "dc", "ic")}
+
+
+def hmmsearch_dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """One HMM of length M against NSEQ random protein sequences."""
+    check_scale(scale)
+    model_length, seq_length, num_seqs = _HMM_SIZES["hmmsearch"][scale]
+    rng = rng_for("hmmsearch", seed)
+    bindings: Dict[str, object] = {
+        "M": model_length,
+        "L": seq_length,
+        "NSEQ": num_seqs,
+        "NHMM": 0,
+        "FPN": 0,
+        "dsq": datasets.random_sequence(rng, num_seqs * seq_length, AMINO_ACIDS),
+        "msc": datasets.emission_matrix(rng, AMINO_ACIDS, model_length),
+        "isc": datasets.emission_matrix(rng, AMINO_ACIDS, model_length),
+        "best": [0] * num_seqs,
+        "fsc": [0.0],
+        "fweight": [0.0],
+        "fout": [0.0],
+    }
+    bindings.update(_hmm_tables(rng, model_length))
+    bindings.update(_dp_rows(model_length))
+    return bindings
+
+
+def hmmpfam_dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """One query sequence against NHMM models plus FP post-processing."""
+    check_scale(scale)
+    model_length, seq_length, num_hmms = _HMM_SIZES["hmmpfam"][scale]
+    rng = rng_for("hmmpfam", seed)
+    fp_n = 16 * (model_length + 1)  # tuned for a ~5% FP instruction share
+    bindings: Dict[str, object] = {
+        "M": model_length,
+        "L": seq_length,
+        "NSEQ": 0,
+        "NHMM": num_hmms,
+        "FPN": fp_n,
+        "dsq": datasets.random_sequence(rng, seq_length, AMINO_ACIDS),
+        "msc": datasets.score_table(
+            rng, num_hmms * AMINO_ACIDS * (model_length + 1), low=-500, high=400
+        ),
+        "isc": [0],
+        "best": [0] * num_hmms,
+        "fsc": datasets.float_table(rng, fp_n),
+        "fweight": datasets.float_table(rng, fp_n),
+        "fout": [0.0] * num_hmms,
+    }
+    bindings.update(_hmm_tables(rng, model_length, copies=num_hmms))
+    bindings.update(_dp_rows(model_length))
+    return bindings
+
+
+def hmmcalibrate_dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """The HMM against synthetic random sequences plus a histogram."""
+    check_scale(scale)
+    model_length, seq_length, num_seqs = _HMM_SIZES["hmmcalibrate"][scale]
+    rng = rng_for("hmmcalibrate", seed)
+    bindings: Dict[str, object] = {
+        "M": model_length,
+        "L": seq_length,
+        "NSEQ": num_seqs,
+        "NHMM": 0,
+        "FPN": 0,
+        "dsq": [0] * seq_length,
+        "msc": datasets.emission_matrix(rng, AMINO_ACIDS, model_length),
+        "isc": [0],
+        "best": [0] * num_seqs,
+        "fsc": [0.0],
+        "fweight": [0.0],
+        "fout": [0.0],
+        "hist": [0] * 64,
+        "seed_in": [rng.randrange(1, 2**31 - 1)],
+    }
+    bindings.update(_hmm_tables(rng, model_length))
+    bindings.update(_dp_rows(model_length))
+    return bindings

@@ -1,0 +1,236 @@
+"""PHYLIP kernels: dnapenny (parsimony) and promlk (max likelihood).
+
+**dnapenny** performs branch-and-bound exact parsimony.  Its hot loop
+is the Fitch evaluation: per site, intersect the two child state sets;
+when the intersection is empty, union them and charge a weighted step.
+The THEN path loads both children again and stores, which blocks both
+hoisting and if-conversion in the original.  The transformed variant
+(Table 6: 3 loads, ~10 lines) preloads both children and the weight
+into temporaries and computes intersection and union unconditionally,
+leaving a store-free THEN path.
+
+**promlk** computes maximum-likelihood scores for a clock tree.  Its
+hot loop is the 4-state conditional-likelihood product, which is almost
+entirely floating point (Table 1: 65.3% FP) with well-predicted short
+loops — the paper's counterpoint workload with the *lowest*
+load->branch share (15.2%) and no transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads import datasets
+from repro.workloads.datasets import check_scale, rng_for
+
+# ---------------------------------------------------------------------------
+# dnapenny
+# ---------------------------------------------------------------------------
+
+_DNAPENNY_GLOBALS = """
+int NSPECIES, NSITES, NTREES, BOUND;
+int chars[], acc[], weights[], order[];
+int result[];
+"""
+
+DNAPENNY_ORIGINAL = _DNAPENNY_GLOBALS + """
+void kernel() {
+  int t; int s; int site;
+  int steps; int x; int bestbound; int base;
+  int pruned;
+  bestbound = BOUND;
+  pruned = 0;
+  for (t = 0; t < NTREES; t++) {
+    base = order[t * NSPECIES] * NSITES;
+    for (site = 0; site < NSITES; site++) acc[site] = chars[base + site];
+    steps = 0;
+    for (s = 1; s < NSPECIES; s++) {
+      base = order[t * NSPECIES + s] * NSITES;
+      for (site = 0; site < NSITES; site++) {
+        x = acc[site] & chars[base + site];
+        if (x == 0) {
+          x = acc[site] | chars[base + site];
+          steps = steps + weights[site];
+        }
+        acc[site] = x;
+      }
+      if (steps > bestbound) {
+        pruned = pruned + 1;
+        break;
+      }
+    }
+    if (steps < bestbound) bestbound = steps;
+  }
+  result[0] = bestbound;
+  result[1] = pruned;
+}
+"""
+
+#: Transformed Fitch loop: children and weight preloaded, intersection
+#: and union both computed up front, THEN path reduced to scalar moves
+#: (which the compiler can if-convert).
+DNAPENNY_TRANSFORMED = _DNAPENNY_GLOBALS + """
+void kernel() {
+  int t; int s; int site;
+  int steps; int x; int bestbound; int base;
+  int pruned;
+  int left; int right; int w; int u;
+  bestbound = BOUND;
+  pruned = 0;
+  for (t = 0; t < NTREES; t++) {
+    base = order[t * NSPECIES] * NSITES;
+    for (site = 0; site < NSITES; site++) acc[site] = chars[base + site];
+    steps = 0;
+    for (s = 1; s < NSPECIES; s++) {
+      base = order[t * NSPECIES + s] * NSITES;
+      for (site = 0; site < NSITES; site++) {
+        left = acc[site];
+        right = chars[base + site];
+        w = weights[site];
+        x = left & right;
+        u = left | right;
+        if (x == 0) {
+          x = u;
+          steps = steps + w;
+        }
+        acc[site] = x;
+      }
+      if (steps > bestbound) {
+        pruned = pruned + 1;
+        break;
+      }
+    }
+    if (steps < bestbound) bestbound = steps;
+  }
+  result[0] = bestbound;
+  result[1] = pruned;
+}
+"""
+
+#: (species, sites, candidate trees) per scale.
+_DNAPENNY_SIZES = {
+    "test": (6, 20, 4),
+    "small": (10, 60, 14),
+    "medium": (12, 120, 28),
+    "large": (14, 180, 40),
+}
+
+
+def dnapenny_dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """Nucleotide state-set matrix plus candidate addition orders."""
+    check_scale(scale)
+    num_species, num_sites, num_trees = _DNAPENNY_SIZES[scale]
+    rng = rng_for("dnapenny", seed)
+    # State sets are one-hot nucleotide bitmasks (1, 2, 4, 8), sometimes
+    # ambiguous (two bits), as PHYLIP encodes them.  Sites are largely
+    # conserved (species deviate from a per-site consensus with modest
+    # probability), as in real alignments — this is what keeps the
+    # Fitch x==0 branch data-dependent rather than uniformly random.
+    consensus = [rng.randrange(4) for _ in range(num_sites)]
+    chars = []
+    for _species in range(num_species):
+        for site in range(num_sites):
+            base = consensus[site] if rng.random() < 0.72 else rng.randrange(4)
+            bits = 1 << base
+            if rng.random() < 0.15:
+                bits |= 1 << rng.randrange(4)
+            chars.append(bits)
+    order = []
+    for _ in range(num_trees):
+        perm = list(range(num_species))
+        rng.shuffle(perm)
+        order.extend(perm)
+    return {
+        "NSPECIES": num_species,
+        "NSITES": num_sites,
+        "NTREES": num_trees,
+        "BOUND": num_sites * 3,
+        "chars": chars,
+        "acc": [0] * num_sites,
+        "weights": [rng.randint(1, 3) for _ in range(num_sites)],
+        "order": order,
+        "result": [0, 0],
+    }
+
+
+# ---------------------------------------------------------------------------
+# promlk
+# ---------------------------------------------------------------------------
+
+PROMLK_ORIGINAL = """
+int NSITES, NNODES;
+float p1[], p2[], lv1[], lv2[], freq[], out[], like[];
+int scale[];
+int result[];
+
+void kernel() {
+  int n; int site; int a;
+  int sb; int ab;
+  float sum1; float sum2; float sitelike;
+  float total;
+  total = 0.0;
+  for (n = 0; n < NNODES; n++) {
+    for (site = 0; site < NSITES; site++) {
+      sitelike = 0.0;
+      sb = site * 4;
+      for (a = 0; a < 4; a++) {
+        ab = a * 4;
+        sum1 = p1[ab] * lv1[sb] + p1[ab+1] * lv1[sb+1]
+             + p1[ab+2] * lv1[sb+2] + p1[ab+3] * lv1[sb+3];
+        sum2 = p2[ab] * lv2[sb] + p2[ab+1] * lv2[sb+1]
+             + p2[ab+2] * lv2[sb+2] + p2[ab+3] * lv2[sb+3];
+        out[sb + a] = sum1 * sum2;
+        sitelike = sitelike + freq[a] * sum1 * sum2;
+      }
+      if (sitelike < 0.0001) {
+        out[sb] = out[sb] * 10000.0;
+        out[sb+1] = out[sb+1] * 10000.0;
+        out[sb+2] = out[sb+2] * 10000.0;
+        out[sb+3] = out[sb+3] * 10000.0;
+        scale[site] = scale[site] + 1;
+      }
+      like[site] = sitelike;
+      total = total + sitelike;
+    }
+    for (site = 0; site < NSITES; site++) {
+      sb = site * 4;
+      lv1[sb] = out[sb];
+      lv1[sb+1] = out[sb+1];
+      lv1[sb+2] = out[sb+2];
+      lv1[sb+3] = out[sb+3];
+    }
+  }
+  result[0] = (int)(total * 1000.0);
+}
+"""
+
+#: promlk is not transformed in the paper (absent from Table 6).
+PROMLK_TRANSFORMED = None
+
+#: (sites, node evaluations) per scale.
+_PROMLK_SIZES = {
+    "test": (6, 2),
+    "small": (20, 5),
+    "medium": (40, 9),
+    "large": (64, 12),
+}
+
+
+def promlk_dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """Transition matrices and conditional likelihood vectors."""
+    check_scale(scale)
+    num_sites, num_nodes = _PROMLK_SIZES[scale]
+    rng = rng_for("promlk", seed)
+    return {
+        "NSITES": num_sites,
+        "NNODES": num_nodes,
+        "p1": datasets.float_table(rng, 16),
+        "p2": datasets.float_table(rng, 16),
+        "lv1": datasets.float_table(rng, num_sites * 4),
+        "lv2": datasets.float_table(rng, num_sites * 4),
+        "freq": datasets.float_table(rng, 4, low=0.1, high=0.4),
+        "out": [0.0] * (num_sites * 4),
+        "like": [0.0] * num_sites,
+        "scale": [0] * num_sites,
+        "result": [0],
+    }

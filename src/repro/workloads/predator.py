@@ -1,0 +1,138 @@
+"""predator kernel: the Figure 8 guarded load inside a pair-list scan.
+
+PREDATOR (protein secondary-structure prediction) contains, in
+``prdfali.c``, the exact code the paper reproduces in Figure 8: a FOR
+loop walks a linked list of aligned pairs, a flag records whether the
+current column was found, and a *guarded* load of ``va[j]`` follows the
+hard-to-predict flag branch.  The transformation (Figure 8(b)) hoists
+the ``va[j]`` load above the FOR loop — using the loop body to hide its
+latency — and inverts the guard to restore ``k*m`` when the load should
+not have been used.  Table 6: 1 static load, ~5 lines of C.
+
+The linked list is modelled with index arrays (``row_head``/``col``/
+``nxt``; node 0 is PAIRNULL).  PREDATOR's 13.85% floating-point share
+(Table 1) comes from its propensity computation, reproduced here as an
+FP smoothing pass per outer iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads import datasets
+from repro.workloads.datasets import check_scale, rng_for
+
+_GLOBALS = """
+int NI, NJ, FPN;
+int row_head[], col[], nxt[], va[];
+int result[];
+float prop[], weight[], smoothed[];
+"""
+
+#: Figure 8(a), embedded in its surrounding loops.  Lines 1-10 of the
+#: figure map onto the body of the ``j`` loop.
+ORIGINAL = _GLOBALS + """
+void kernel() {
+  int i; int j; int k; int m;
+  int c; int tt; int z;
+  int ci; int cj; int pi; int pj;
+  int total; int f;
+  float fsum;
+  total = 0; pi = 0; pj = 0;
+  for (i = 0; i < NI; i++) {
+    k = i + 3;
+    for (j = 0; j < NJ; j++) {
+      m = j - 7;
+      c = k * m;
+      for (tt = 1, z = row_head[i]; z != 0; z = nxt[z])
+        if (col[z] == j)
+          { tt = 0; break; }
+      if (tt != 0)
+        c = va[j];
+      if (c <= 0)
+        { c = 0; ci = i; cj = j; }
+      else
+        { ci = pi; cj = pj; }
+      total = total + c + ci - cj;
+      pi = ci; pj = cj;
+    }
+    fsum = 0.0;
+    for (f = 1; f < FPN - 1; f++) {
+      smoothed[f] = 0.25 * prop[f-1] + 0.5 * prop[f] + 0.25 * prop[f+1];
+      fsum = fsum + smoothed[f] * weight[f];
+    }
+    prop[0] = fsum;
+  }
+  result[0] = total;
+}
+"""
+
+#: Figure 8(b): the load of va[j] is hoisted above the FOR loop and the
+#: guard inverted; temp1 preserves the k*m value for the not-found case.
+TRANSFORMED = _GLOBALS + """
+void kernel() {
+  int i; int j; int k; int m;
+  int c; int tt; int z;
+  int ci; int cj; int pi; int pj;
+  int total; int f;
+  int temp1;
+  float fsum;
+  total = 0; pi = 0; pj = 0;
+  for (i = 0; i < NI; i++) {
+    k = i + 3;
+    for (j = 0; j < NJ; j++) {
+      m = j - 7;
+      temp1 = k * m;
+      c = va[j];
+      for (tt = 1, z = row_head[i]; z != 0; z = nxt[z])
+        if (col[z] == j)
+          { tt = 0; break; }
+      if (tt == 0)
+        c = temp1;
+      if (c <= 0)
+        { c = 0; ci = i; cj = j; }
+      else
+        { ci = pi; cj = pj; }
+      total = total + c + ci - cj;
+      pi = ci; pj = cj;
+    }
+    fsum = 0.0;
+    for (f = 1; f < FPN - 1; f++) {
+      smoothed[f] = 0.25 * prop[f-1] + 0.5 * prop[f] + 0.25 * prop[f+1];
+      fsum = fsum + smoothed[f] * weight[f];
+    }
+    prop[0] = fsum;
+  }
+  result[0] = total;
+}
+"""
+
+#: (rows, cols, mean pair-list length, FP pass length) per scale.
+_SIZES = {
+    "test": (8, 10, 2, 8),
+    "small": (30, 40, 3, 30),
+    "medium": (70, 90, 3, 60),
+    "large": (110, 150, 3, 90),
+}
+
+
+def dataset(scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """Pair lists, a mixed-sign va table, and FP propensity tables."""
+    check_scale(scale)
+    ni, nj, mean_len, fpn = _SIZES[scale]
+    rng = rng_for("predator", seed)
+    pool = max(ni * mean_len * 2, 8)
+    lists = datasets.linked_rows(rng, ni, nj, mean_len, pool)
+    return {
+        "NI": ni,
+        "NJ": nj,
+        "FPN": fpn,
+        "row_head": lists["row_head"],
+        "col": lists["col"],
+        "nxt": lists["nxt"],
+        "va": [rng.randint(-40, 40) for _ in range(nj)],
+        "result": [0],
+        "prop": datasets.float_table(rng, fpn),
+        "weight": datasets.float_table(rng, fpn),
+        "smoothed": [0.0] * fpn,
+    }

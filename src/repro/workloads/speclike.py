@@ -1,0 +1,153 @@
+"""SPEC CPU2000-like contrast kernels for Figure 2.
+
+Figure 2 contrasts BioPerf's extreme static-load concentration with
+three SPEC CPU2000 integer codes — gcc, crafty, and vortex — whose top
+80 static loads cover only ~10-58% of dynamic loads.  What matters for
+the figure is the *distribution shape*, so these kernels are generated
+programmatically: a balanced-tree opcode dispatcher over many handler
+bodies, each containing several distinct static loads.
+
+* ``gcc``-like: many handlers (flat, uniform opcode mix) -> the
+  flattest curve;
+* ``vortex``-like: a medium handler count with a Zipf-ish opcode mix;
+* ``crafty``-like: few handlers plus a concentrated scan loop -> the
+  steepest of the three (but still far below BioPerf).
+
+The generated source is deterministic for a given configuration, so
+static instruction ids are stable across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.workloads.datasets import check_scale, rng_for
+
+#: Size of the shared data heap (power of two: index masking is cheap).
+HEAP_SIZE = 1 << 14
+#: Output buffer size (power of two).
+OUT_SIZE = 1 << 10
+
+_HEADER = f"""
+int NOPS;
+int code[], mem[], out[];
+int result[];
+"""
+
+
+def _handler_body(rng: random.Random, loads: int, indent: str) -> List[str]:
+    """One handler: ``loads`` distinct static loads, a little ALU work,
+    a guarded scalar update, and a store."""
+    lines: List[str] = []
+    mask = HEAP_SIZE - 1
+    previous = "acc"
+    for load_index in range(loads):
+        base = rng.randrange(HEAP_SIZE)
+        name = f"x{load_index}"
+        lines.append(f"{indent}int {name} = mem[({previous} + {base}) & {mask}];")
+        previous = name
+    expr = " + ".join(f"x{i}" for i in range(loads))
+    lines.append(f"{indent}acc = acc ^ ({expr});")
+    threshold = rng.randint(-64, 64)
+    lines.append(f"{indent}if (x0 > {threshold}) acc = acc + x{loads - 1};")
+    lines.append(f"{indent}out[pc & {OUT_SIZE - 1}] = acc;")
+    return lines
+
+
+def _dispatch(
+    rng: random.Random, low: int, high: int, loads_range, depth: int
+) -> List[str]:
+    """Balanced binary dispatch over opcodes [low, high); returns source
+    lines.  Leaves are handler bodies."""
+    indent = "    " * (depth + 1)
+    if high - low == 1:
+        return _handler_body(rng, rng.randint(*loads_range), indent)
+    mid = (low + high) // 2
+    lines = [f"{indent}if (op < {mid}) {{"]
+    lines.extend(_dispatch(rng, low, mid, loads_range, depth + 1))
+    lines.append(f"{indent}}} else {{")
+    lines.extend(_dispatch(rng, mid, high, loads_range, depth + 1))
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def generate_source(
+    name: str,
+    handlers: int,
+    loads_range=(3, 6),
+    scan_loop: bool = False,
+    seed: int = 1234,
+) -> str:
+    """Build the MiniC source for one SPEC-like kernel."""
+    rng = random.Random(f"speclike:{name}:{seed}")
+    lines = [_HEADER]
+    lines.append("void kernel() {")
+    lines.append("  int pc; int op; int acc;")
+    lines.append("  acc = 12345;")
+    lines.append("  for (pc = 0; pc < NOPS; pc++) {")
+    lines.append("    op = code[pc];")
+    lines.extend(_dispatch(rng, 0, handlers, loads_range, 1))
+    if scan_loop:
+        # crafty-like: a concentrated inner scan (move generation over a
+        # board) executed every iteration, giving a hot head to the
+        # coverage curve.
+        mask = HEAP_SIZE - 1
+        lines.append("    int sq; int attack;")
+        lines.append("    attack = 0;")
+        lines.append("    for (sq = 0; sq < 4; sq++) {")
+        lines.append(f"      attack = attack + mem[(acc + sq) & {mask}];")
+        lines.append("      if (attack > 100000) attack = attack - 200000;")
+        lines.append("    }")
+        lines.append("    acc = acc + attack;")
+    lines.append("  }")
+    lines.append("  result[0] = acc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: Kernel configurations: (handlers, loads per handler, scan loop,
+#: opcode distribution "uniform"|"zipf").
+_CONFIGS = {
+    "gcc": dict(handlers=256, loads_range=(4, 7), scan_loop=False, mix="uniform"),
+    "vortex": dict(handlers=128, loads_range=(3, 5), scan_loop=False, mix="zipf_sqrt"),
+    "crafty": dict(handlers=96, loads_range=(3, 5), scan_loop=True, mix="zipf_sqrt"),
+}
+
+_NOPS = {"test": 120, "small": 600, "medium": 2400, "large": 5000}
+
+
+def source(name: str) -> str:
+    config = _CONFIGS[name]
+    return generate_source(
+        name,
+        handlers=config["handlers"],
+        loads_range=config["loads_range"],
+        scan_loop=config["scan_loop"],
+    )
+
+
+def dataset(name: str, scale: str = "medium", seed: int = 0) -> Dict[str, object]:
+    """Opcode stream + data heap for one SPEC-like kernel."""
+    check_scale(scale)
+    config = _CONFIGS[name]
+    rng = rng_for(f"speclike-{name}", seed)
+    nops = _NOPS[scale]
+    handlers = config["handlers"]
+    if config["mix"] == "uniform":
+        code = [rng.randrange(handlers) for _ in range(nops)]
+    elif config["mix"] == "zipf_sqrt":
+        # Milder skew: opcode h has weight 1/sqrt(h+1).
+        weights = [(h + 1) ** -0.5 for h in range(handlers)]
+        code = rng.choices(range(handlers), weights=weights, k=nops)
+    else:
+        # Zipf-ish: opcode h has weight 1/(h+1).
+        weights = [1.0 / (h + 1) for h in range(handlers)]
+        code = rng.choices(range(handlers), weights=weights, k=nops)
+    return {
+        "NOPS": nops,
+        "code": code,
+        "mem": [rng.randint(-128, 127) for _ in range(HEAP_SIZE)],
+        "out": [0] * OUT_SIZE,
+        "result": [0],
+    }

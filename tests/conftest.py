@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.compiler import CompilerOptions, compile_source
+
+
+@pytest.fixture
+def simple_source() -> str:
+    """A small kernel exercising loops, guarded stores, and arrays."""
+    return """
+int M;
+int a[], b[], out[];
+
+void kernel() {
+  int k;
+  int sc;
+  for (k = 1; k <= M; k++) {
+    out[k] = a[k-1] + b[k-1];
+    if ((sc = a[k] * 2) > out[k]) out[k] = sc;
+    if (out[k] < -100) out[k] = -100;
+  }
+}
+"""
+
+
+@pytest.fixture
+def simple_bindings():
+    a = [3, -5, 12, 7, -2, 9, 4, -8, 1, 6]
+    b = [-1, 4, -9, 2, 8, -3, 5, 0, -7, 10]
+    return {"M": 9, "a": a, "b": b, "out": [0] * 10}
+
+
+def simple_reference(a, b, m):
+    out = [0] * (m + 1)
+    for k in range(1, m + 1):
+        out[k] = a[k - 1] + b[k - 1]
+        sc = a[k] * 2
+        if sc > out[k]:
+            out[k] = sc
+        if out[k] < -100:
+            out[k] = -100
+    return out
+
+
+@pytest.fixture
+def simple_expected(simple_bindings):
+    return simple_reference(
+        simple_bindings["a"], simple_bindings["b"], simple_bindings["M"]
+    )
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def opt_level(request):
+    return request.param
+
+
+@pytest.fixture
+def o0() -> CompilerOptions:
+    return CompilerOptions(opt_level=0)
+
+
+@pytest.fixture
+def o3() -> CompilerOptions:
+    return CompilerOptions(opt_level=3)
+
+
+@pytest.fixture
+def compiled_simple(simple_source):
+    return compile_source(simple_source, "simple", CompilerOptions(opt_level=3))

@@ -1,0 +1,74 @@
+"""Tests for the perceptron predictor extension."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import Perceptron, make_predictor
+
+
+def test_learns_strong_bias():
+    predictor = Perceptron()
+    for _ in range(200):
+        predictor.access(1, True)
+    assert predictor.per_branch[1].misprediction_rate < 0.05
+
+
+def test_learns_alternating_pattern():
+    predictor = Perceptron()
+    for i in range(400):
+        predictor.access(1, i % 2 == 0)
+    assert predictor.per_branch[1].misprediction_rate < 0.10
+
+
+def test_learns_history_correlation():
+    # Branch 2 repeats branch 1's previous outcome: a single weight.
+    predictor = Perceptron()
+    rng = random.Random(3)
+    last = True
+    for _ in range(600):
+        outcome = rng.random() < 0.5
+        predictor.access(1, outcome)
+        predictor.access(2, last)
+        last = outcome
+    assert predictor.per_branch[2].misprediction_rate < 0.15
+
+
+def test_random_stream_is_unlearnable():
+    predictor = Perceptron()
+    rng = random.Random(7)
+    for _ in range(600):
+        predictor.access(1, rng.random() < 0.5)
+    assert predictor.per_branch[1].misprediction_rate > 0.35
+
+
+def test_factory():
+    assert make_predictor("perceptron", history_bits=8).history_bits == 8
+
+
+def test_outperforms_bimodal_on_correlated_mix():
+    rng = random.Random(11)
+    sequence = []
+    period = [True, True, False, True, False, False]
+    for i in range(3000):
+        sequence.append((5, period[i % len(period)]))
+    scores = {}
+    for name in ("bimodal", "perceptron"):
+        predictor = make_predictor(name)
+        for sid, taken in sequence:
+            predictor.access(sid, taken)
+        scores[name] = predictor.misprediction_rate
+    assert scores["perceptron"] < scores["bimodal"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seq=st.lists(st.tuples(st.integers(0, 3), st.booleans()), min_size=1, max_size=200))
+def test_stats_invariants(seq):
+    predictor = Perceptron(history_bits=8)
+    for sid, taken in seq:
+        predictor.access(sid, taken)
+    assert predictor.global_stats.executed == len(seq)
+    assert 0.0 <= predictor.misprediction_rate <= 1.0
+    assert predictor.global_stats.mispredicted == sum(
+        s.mispredicted for s in predictor.per_branch.values()
+    )

@@ -1,0 +1,140 @@
+"""Tests for the branch predictors, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import Bimodal, GShare, Hybrid, LocalHistory, make_predictor
+
+
+ALL_KINDS = ["bimodal", "gshare", "local", "hybrid"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_always_taken_branch_learned(kind):
+    predictor = make_predictor(kind)
+    for _ in range(100):
+        predictor.access(7, True)
+    stats = predictor.per_branch[7]
+    assert stats.executed == 100
+    # History-based predictors pay one cold miss per new history value
+    # while the register fills with 1s; others just a couple cold misses.
+    budget = 16 if kind in ("gshare", "local") else 3
+    assert stats.mispredicted <= budget
+    # The tail must be learned perfectly in all cases.
+    tail_misses = 0
+    for _ in range(50):
+        if not predictor.access(7, True):
+            tail_misses += 1
+    assert tail_misses == 0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_never_taken_branch_learned(kind):
+    predictor = make_predictor(kind)
+    for _ in range(100):
+        predictor.access(3, False)
+    assert predictor.per_branch[3].mispredicted <= 3
+
+
+def test_local_history_learns_short_period():
+    predictor = LocalHistory(history_bits=8)
+    pattern = [True, True, False]  # period 3
+    for i in range(600):
+        predictor.access(1, pattern[i % 3])
+    # After warmup the local predictor should be nearly perfect.
+    warm = predictor.per_branch[1]
+    assert warm.misprediction_rate < 0.10
+
+
+def test_gshare_uses_global_history_correlation():
+    predictor = GShare(history_bits=8)
+    # Branch 2's outcome equals branch 1's previous outcome.
+    outcome = True
+    for i in range(400):
+        outcome = not outcome
+        predictor.access(1, outcome)
+        predictor.access(2, outcome)
+    assert predictor.per_branch[2].misprediction_rate < 0.10
+
+
+def test_hybrid_no_worse_than_components_on_mixed_workload():
+    import random
+
+    rng = random.Random(42)
+    sequence = []
+    for i in range(2000):
+        # Branch 10: strongly biased; branch 11: history-correlated.
+        sequence.append((10, rng.random() < 0.95))
+        sequence.append((11, i % 2 == 0))
+    results = {}
+    for kind in ("bimodal", "gshare", "hybrid"):
+        predictor = make_predictor(kind)
+        for sid, taken in sequence:
+            predictor.access(sid, taken)
+        results[kind] = predictor.misprediction_rate
+    assert results["hybrid"] <= min(results["bimodal"], results["gshare"]) + 0.02
+
+
+def test_unaliased_mode_isolates_branches():
+    predictor = Bimodal(entries=None)
+    for _ in range(50):
+        predictor.access(0, True)
+        predictor.access(1, False)
+    assert predictor.per_branch[0].mispredicted <= 2
+    assert predictor.per_branch[1].mispredicted <= 2
+
+
+def test_aliased_bimodal_can_interfere():
+    # With a single entry, opposite-direction branches destroy each other.
+    predictor = Bimodal(entries=1)
+    for _ in range(50):
+        predictor.access(0, True)
+        predictor.access(1, False)
+    assert predictor.misprediction_rate > 0.4
+
+
+def test_make_predictor_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_predictor("nope")
+
+
+_outcomes = st.lists(
+    st.tuples(st.integers(0, 5), st.booleans()), min_size=1, max_size=300
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seq=_outcomes)
+def test_global_stats_equal_sum_of_per_branch(seq):
+    predictor = Hybrid()
+    for sid, taken in seq:
+        predictor.access(sid, taken)
+    assert predictor.global_stats.executed == sum(
+        s.executed for s in predictor.per_branch.values()
+    )
+    assert predictor.global_stats.mispredicted == sum(
+        s.mispredicted for s in predictor.per_branch.values()
+    )
+    assert predictor.global_stats.taken == sum(
+        s.taken for s in predictor.per_branch.values()
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(seq=_outcomes)
+def test_misprediction_rate_bounded(seq):
+    for kind in ALL_KINDS:
+        predictor = make_predictor(kind)
+        for sid, taken in seq:
+            predictor.access(sid, taken)
+        assert 0.0 <= predictor.misprediction_rate <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seq=_outcomes)
+def test_access_returns_correctness(seq):
+    predictor = Bimodal()
+    for sid, taken in seq:
+        predicted = predictor.predict(sid)
+        correct = predictor.access(sid, taken)
+        assert correct == (predicted == taken)

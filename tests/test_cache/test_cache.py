@@ -1,0 +1,143 @@
+"""Tests for the set-associative cache, including LRU properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache, CacheConfig
+
+
+def small_cache(ways=2, sets=4, block=64):
+    return Cache(CacheConfig(size=ways * sets * block, associativity=ways, block_size=block))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size=0, associativity=1, block_size=64)
+    with pytest.raises(ValueError):
+        CacheConfig(size=100, associativity=3, block_size=64)
+    with pytest.raises(ValueError):
+        CacheConfig(size=96 * 2, associativity=2, block_size=96)  # not power of 2
+
+
+def test_num_sets():
+    config = CacheConfig(size=64 * 1024, associativity=2, block_size=64)
+    assert config.num_sets == 512
+
+
+def test_first_access_misses_second_hits():
+    cache = small_cache()
+    assert cache.access(0x1000) is False
+    assert cache.access(0x1000) is True
+    assert cache.access(0x1008) is True  # same block
+    assert cache.hits == 2 and cache.misses == 1
+
+
+def test_conflict_eviction_direct_mapped():
+    cache = Cache(CacheConfig(size=4 * 64, associativity=1, block_size=64))
+    a, b = 0x0, 4 * 64  # same set, different tags
+    cache.access(a)
+    cache.access(b)  # evicts a
+    assert cache.access(a) is False
+
+
+def test_two_way_keeps_both_conflicting_blocks():
+    cache = small_cache(ways=2, sets=4)
+    a, b = 0x0, 4 * 64
+    cache.access(a)
+    cache.access(b)
+    assert cache.access(a) is True
+    assert cache.access(b) is True
+
+
+def test_lru_victim_selection():
+    cache = small_cache(ways=2, sets=1, block=64)
+    a, b, c = 0x0, 0x40, 0x80
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # a is now MRU
+    cache.access(c)  # evicts b (LRU)
+    assert cache.access(a) is True
+    assert cache.access(b) is False
+
+
+def test_writeback_counts_dirty_evictions():
+    cache = Cache(CacheConfig(size=64, associativity=1, block_size=64))
+    cache.access(0x0, is_write=True)
+    cache.access(0x40)  # evicts dirty block
+    assert cache.writebacks == 1
+    cache.access(0x80)  # evicts clean block
+    assert cache.writebacks == 1
+
+
+def test_contains_is_non_destructive():
+    cache = small_cache()
+    cache.access(0x0)
+    hits, misses = cache.hits, cache.misses
+    assert cache.contains(0x0)
+    assert not cache.contains(0x4000)
+    assert (cache.hits, cache.misses) == (hits, misses)
+
+
+def test_flush_keeps_statistics():
+    cache = small_cache()
+    cache.access(0x0)
+    cache.flush()
+    assert cache.misses == 1
+    assert cache.access(0x0) is False
+
+
+def test_miss_rate_and_hit_rate():
+    cache = small_cache()
+    cache.access(0x0)
+    cache.access(0x0)
+    assert cache.miss_rate == pytest.approx(0.5)
+    assert cache.hit_rate == pytest.approx(0.5)
+    assert Cache(small_cache().config).miss_rate == 0.0  # empty cache
+
+
+_addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=300
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=_addresses)
+def test_hits_plus_misses_equals_accesses(addrs):
+    cache = small_cache()
+    for addr in addrs:
+        cache.access(addr)
+    assert cache.hits + cache.misses == len(addrs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=_addresses)
+def test_lru_inclusion_property(addrs):
+    """With the same number of sets, doubling associativity never adds
+    misses (the classic LRU stack/inclusion property)."""
+    sets, block = 4, 64
+    small = Cache(CacheConfig(2 * sets * block, 2, block))
+    large = Cache(CacheConfig(4 * sets * block, 4, block))
+    for addr in addrs:
+        small.access(addr)
+        large.access(addr)
+    assert large.misses <= small.misses
+
+
+@settings(max_examples=60, deadline=None)
+@given(addrs=_addresses)
+def test_matches_reference_lru_model(addrs):
+    """Cross-check against an obviously-correct reference LRU."""
+    ways, sets, block = 2, 2, 64
+    cache = Cache(CacheConfig(ways * sets * block, ways, block))
+    reference = {s: [] for s in range(sets)}
+    for addr in addrs:
+        blk = addr // block
+        set_index = blk % sets
+        stack = reference[set_index]
+        expected_hit = blk in stack
+        if expected_hit:
+            stack.remove(blk)
+        elif len(stack) >= ways:
+            stack.pop(0)
+        stack.append(blk)
+        assert cache.access(addr) == expected_hit

@@ -1,0 +1,68 @@
+"""Additional cache hierarchy properties driven by real access streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import Cache, CacheConfig, CacheHierarchy, HierarchyLatencies
+
+
+_streams = st.lists(st.integers(0, 1 << 13), min_size=1, max_size=400)
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=_streams)
+def test_l2_misses_never_exceed_l1_misses(addrs):
+    hierarchy = CacheHierarchy(
+        l1_config=CacheConfig(4 * 64, 2, 64, name="L1"),
+        l2_config=CacheConfig(16 * 64, 2, 64, name="L2"),
+    )
+    for addr in addrs:
+        hierarchy.access(addr)
+    assert hierarchy.load_l2_misses <= hierarchy.load_l1_misses
+    assert hierarchy.load_l1_misses <= hierarchy.load_accesses
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=_streams)
+def test_amat_bounded_by_latency_extremes(addrs):
+    latencies = HierarchyLatencies(l1_hit=3, l2_penalty=5, memory_penalty=72)
+    hierarchy = CacheHierarchy(
+        l1_config=CacheConfig(4 * 64, 2, 64, name="L1"),
+        l2_config=CacheConfig(16 * 64, 2, 64, name="L2"),
+        latencies=latencies,
+    )
+    for addr in addrs:
+        hierarchy.access(addr)
+    assert 3 <= hierarchy.amat <= 3 + 5 + 72
+
+
+@settings(max_examples=40, deadline=None)
+@given(addrs=_streams)
+def test_bigger_l1_never_more_misses(addrs):
+    small = CacheHierarchy(l1_config=CacheConfig(4 * 64, 2, 64), l2_config=None)
+    # Same associativity-per-set structure, double the sets: LRU
+    # inclusion does not hold across set counts in general, so compare
+    # same sets / double ways instead.
+    large = CacheHierarchy(l1_config=CacheConfig(8 * 64, 4, 64), l2_config=None)
+    for addr in addrs:
+        small.access(addr)
+        large.access(addr)
+    assert large.load_l1_misses <= small.load_l1_misses
+
+
+@settings(max_examples=30, deadline=None)
+@given(addrs=_streams, repeat=st.integers(2, 4))
+def test_repeated_stream_converges_to_compulsory_when_fits(addrs, repeat):
+    blocks = {a // 64 for a in addrs}
+    capacity_blocks = 1 << 10
+    if len(blocks) > capacity_blocks:
+        return
+    hierarchy = CacheHierarchy(
+        l1_config=CacheConfig(capacity_blocks * 64, capacity_blocks, 64),
+        l2_config=None,
+    )
+    for _ in range(repeat):
+        for addr in addrs:
+            hierarchy.access(addr)
+    # Fully-associative cache big enough for the working set: only
+    # compulsory misses remain.
+    assert hierarchy.load_l1_misses == len(blocks)

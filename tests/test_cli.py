@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    for name in ("blast", "hmmsearch", "promlk", "gcc"):
+        assert name in out
+
+
+def test_characterize(capsys):
+    main(["characterize", "fasta", "--scale", "test"])
+    out = capsys.readouterr().out
+    assert "fasta" in out
+    assert "loads" in out
+    assert "AMAT" in out
+    assert "hottest loads" in out
+
+
+def test_candidates(capsys):
+    main(["candidates", "hmmsearch", "--scale", "test"])
+    out = capsys.readouterr().out
+    assert "candidate loads" in out
+    assert "line" in out
+
+
+def test_evaluate_single_platform(capsys):
+    main(["evaluate", "predator", "--scale", "test", "--platform", "alpha"])
+    out = capsys.readouterr().out
+    assert "Alpha 21264" in out
+    assert "speedup" in out
+
+
+def test_evaluate_rejects_non_amenable(capsys):
+    with pytest.raises(SystemExit):
+        main(["evaluate", "blast", "--scale", "test"])
+
+
+def test_disasm_original_and_transformed(capsys):
+    main(["disasm", "predator", "--opt-level", "2"])
+    original = capsys.readouterr().out
+    assert "load" in original and "br" in original
+    main(["disasm", "predator", "--transformed", "--opt-level", "2"])
+    transformed = capsys.readouterr().out
+    assert transformed != original
+
+
+def test_disasm_restrict_mode(capsys):
+    main(["disasm", "clustalw", "--alias-model", "restrict"])
+    assert "program" in capsys.readouterr().out
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        main(["characterize", "doom", "--scale", "test"])
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

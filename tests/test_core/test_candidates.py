@@ -1,0 +1,87 @@
+"""Tests for the Section 3 candidate-selection methodology."""
+
+import pytest
+
+from repro.atom import characterize
+from repro.core import select_candidates
+from repro.core.candidates import candidate_lines
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def hmmsearch_run():
+    spec = get_workload("hmmsearch")
+    return characterize(spec.program(), spec.dataset("test", seed=0))
+
+
+def test_candidates_found_in_hmmsearch(hmmsearch_run):
+    candidates = select_candidates(hmmsearch_run)
+    assert candidates
+    # Every candidate is frequent and attached to hard branches somehow.
+    for candidate in candidates:
+        assert candidate.frequency >= 0.01
+        assert candidate.feed_misprediction_rate >= 0.05 or candidate.follows_hard_branch
+
+
+def test_candidates_point_at_viterbi_max_loads(hmmsearch_run):
+    """The paper's Table 5 loads live in the box-1 IF conditions: the
+    candidates must include loads from the dp/transition arrays."""
+    candidates = select_candidates(hmmsearch_run)
+    arrays = {c.array for c in candidates}
+    assert arrays & {"mpp", "tpmm", "ip", "tpim", "dpp", "tpdm", "bp", "mc", "dc", "ep"}
+
+
+def test_row_copy_loads_are_not_candidates(hmmsearch_run):
+    """The dp row-copy loads are frequent but feed no branches — the
+    misprediction filter must exclude them (methodology working as the
+    paper describes: frequency alone is not enough)."""
+    candidates = select_candidates(hmmsearch_run)
+    program = hmmsearch_run.program
+    # Identify copy loads: loads whose line contains the row copy.
+    source_lines = program.source.splitlines()
+    copy_lines = {
+        i + 1
+        for i, line in enumerate(source_lines)
+        if "mpp[k] = mc[k]" in line
+    }
+    assert copy_lines
+    for candidate in candidates:
+        if candidate.line in copy_lines and not candidate.follows_hard_branch:
+            assert candidate.feed_misprediction_rate >= 0.05
+
+
+def test_candidate_lines_sorted_unique(hmmsearch_run):
+    candidates = select_candidates(hmmsearch_run)
+    lines = candidate_lines(candidates)
+    assert lines == sorted(set(lines))
+
+
+def test_frequency_threshold_respected(hmmsearch_run):
+    strict = select_candidates(hmmsearch_run, frequency_threshold=0.5)
+    loose = select_candidates(hmmsearch_run, frequency_threshold=0.001)
+    assert len(strict) <= len(loose)
+
+
+def test_limit_respected(hmmsearch_run):
+    limited = select_candidates(hmmsearch_run, limit=2)
+    assert len(limited) <= 2
+
+
+def test_promlk_has_few_or_no_candidates():
+    """promlk is the paper's non-amenable FP workload: few load->branch
+    sequences, so the selector should find little."""
+    spec = get_workload("promlk")
+    result = characterize(spec.program(), spec.dataset("test", seed=0))
+    hmm_spec = get_workload("hmmsearch")
+    hmm_result = characterize(hmm_spec.program(), hmm_spec.dataset("test", seed=0))
+    promlk_candidates = select_candidates(result)
+    hmm_candidates = select_candidates(hmm_result)
+    assert len(promlk_candidates) < len(hmm_candidates)
+
+
+def test_candidate_str_renders():
+    spec = get_workload("hmmsearch")
+    result = characterize(spec.program(), spec.dataset("test", seed=0))
+    for candidate in select_candidates(result, limit=3):
+        text = str(candidate)
+        assert "line" in text and "freq" in text

@@ -1,0 +1,85 @@
+"""Tests for the end-to-end acceleration pipeline and reporting."""
+
+import pytest
+
+from repro.core import evaluate_workload, harmonic_mean_speedup
+from repro.core.pipeline import run_timed
+from repro.core.reporting import fmt, format_table, pct
+from repro.cpu import ALPHA_21264
+from repro.workloads import get_workload
+
+
+def test_harmonic_mean_of_identical_speedups():
+    assert harmonic_mean_speedup([0.25, 0.25, 0.25]) == pytest.approx(0.25)
+
+
+def test_harmonic_mean_below_arithmetic():
+    speedups = [0.9, 0.1, 0.05]
+    hmean = harmonic_mean_speedup(speedups)
+    amean = sum(speedups) / len(speedups)
+    assert hmean < amean
+
+
+def test_harmonic_mean_empty():
+    assert harmonic_mean_speedup([]) == 0.0
+
+
+def test_harmonic_mean_paper_figures():
+    """Figure 9 sanity: hmean of mixed speedups lies between extremes."""
+    speedups = [0.043, 0.193, 0.922, 0.679, 0.04, 0.097]  # paper Alpha
+    hmean = harmonic_mean_speedup(speedups)
+    assert min(speedups) < hmean < max(speedups)
+
+
+def test_evaluate_workload_returns_both_sides():
+    spec = get_workload("predator")
+    evaluation = evaluate_workload(spec, ALPHA_21264, scale="test", seed=0)
+    assert evaluation.workload == "predator"
+    assert evaluation.platform == ALPHA_21264.name
+    assert evaluation.original.cycles > 0
+    assert evaluation.transformed.cycles > 0
+    assert evaluation.original_seconds > 0
+    assert evaluation.speedup == pytest.approx(
+        evaluation.original.cycles / evaluation.transformed.cycles - 1
+    )
+
+
+def test_run_timed_deterministic():
+    spec = get_workload("dnapenny")
+    a = run_timed(spec, ALPHA_21264, False, scale="test", seed=4)
+    b = run_timed(spec, ALPHA_21264, False, scale="test", seed=4)
+    assert a.cycles == b.cycles
+
+
+def test_hmmsearch_transformed_faster_on_alpha():
+    """The headline result at small scale: the load-transformed
+    hmmsearch must beat the original on the Alpha model."""
+    spec = get_workload("hmmsearch")
+    evaluation = evaluate_workload(spec, ALPHA_21264, scale="test", seed=0)
+    assert evaluation.speedup > 0.05
+
+
+# -- reporting ----------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"], [["a", 1], ["long-name", 123]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2]
+    assert all(len(l) <= len(max(lines, key=len)) for l in lines)
+
+
+def test_format_table_handles_none_and_floats():
+    text = format_table(["x"], [[None], [1.23456]])
+    assert "n.a." in text
+    assert "1.235" in text
+
+
+def test_pct_and_fmt():
+    assert pct(0.254) == "25.4%"
+    assert pct(None) == "n.a."
+    assert fmt(3.14159) == "3.14"
+    assert fmt(None) == "n.a."

@@ -1,0 +1,52 @@
+"""Test the EXPERIMENTS.md generator end to end (at test scale)."""
+
+import pytest
+
+from repro.core.report import generate
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate(char_scale="test", eval_scale="test", seed=0)
+
+
+def test_report_contains_every_table_and_figure(report_text):
+    for heading in (
+        "Figure 1",
+        "Table 1",
+        "Figure 2",
+        "Table 2",
+        "Table 4",
+        "Table 5",
+        "Table 6",
+        "Table 8",
+        "Figure 9",
+    ):
+        assert heading in report_text
+
+
+def test_report_names_every_workload(report_text):
+    for name in (
+        "blast",
+        "clustalw",
+        "dnapenny",
+        "fasta",
+        "hmmcalibrate",
+        "hmmpfam",
+        "hmmsearch",
+        "predator",
+        "promlk",
+    ):
+        assert name in report_text
+
+
+def test_report_contains_paper_reference_numbers(report_text):
+    # Spot-check published values that must appear verbatim.
+    assert "25.4%" in report_text  # paper Alpha hmean
+    assert "93.5%" in report_text  # paper hmmsearch load->branch
+    assert "3.14" in report_text  # paper blast AMAT
+
+
+def test_report_is_markdown_tables(report_text):
+    assert report_text.count("|---") >= 8
+    assert report_text.startswith("# EXPERIMENTS")

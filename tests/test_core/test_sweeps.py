@@ -1,0 +1,65 @@
+"""Tests for the sweep utilities."""
+
+import pytest
+
+from repro.core.sweeps import (
+    SweepPoint,
+    render_sweep,
+    sweep_compiler_flag,
+    sweep_platform_field,
+)
+
+
+def test_sweep_platform_field_l1_latency():
+    points = sweep_platform_field("predator", "l1_hit_int", [1, 3], scale="test")
+    assert [p.value for p in points] == [1, 3]
+    for point in points:
+        assert point.original_cycles > 0
+        assert point.transformed_cycles > 0
+    # More latency makes both versions slower in absolute terms.
+    assert points[1].original_cycles > points[0].original_cycles
+
+
+def test_sweep_platform_field_rejects_unknown():
+    with pytest.raises(ValueError):
+        sweep_platform_field("predator", "cache_color", [1], scale="test")
+
+
+def test_sweep_compiler_flag_alias_model():
+    points = sweep_compiler_flag(
+        "hmmsearch", "alias_model", ["may-alias", "restrict"], scale="test"
+    )
+    assert len(points) == 2
+    # restrict lets the baseline hoist, so the original gets faster
+    # (or at worst equal).
+    assert points[1].original_cycles <= points[0].original_cycles
+
+
+def test_sweep_compiler_flag_rejects_unknown():
+    with pytest.raises(ValueError):
+        sweep_compiler_flag("hmmsearch", "vectorize", [True], scale="test")
+
+
+def test_sweep_accepts_spec_objects():
+    from repro.workloads import get_workload
+
+    points = sweep_platform_field(
+        get_workload("predator"), "mispredict_penalty", [0, 20], scale="test"
+    )
+    assert points[1].original_cycles >= points[0].original_cycles
+
+
+def test_render_sweep():
+    points = [
+        SweepPoint("l1_hit_int", 1, 100, 80),
+        SweepPoint("l1_hit_int", 3, 150, 100),
+    ]
+    text = render_sweep(points, title="demo")
+    assert "demo" in text
+    assert "l1_hit_int" in text
+    assert "25.0%" in text and "50.0%" in text
+
+
+def test_speedup_property():
+    assert SweepPoint("f", 0, 120, 100).speedup == pytest.approx(0.2)
+    assert SweepPoint("f", 0, 100, 0).speedup == 0.0

@@ -1,0 +1,101 @@
+"""Tests for trace capture/replay and CFG export."""
+
+import io
+
+import pytest
+
+from repro.atom import InstructionMix, LoadCoverage, SequenceProfile
+from repro.exec import Interpreter, TraceCollector, TraceWriter, replay_trace
+from repro.lang.compiler import CompilerOptions, compile_source
+
+SRC = """
+int a[]; int out[];
+void kernel() {
+  int i;
+  for (i = 0; i < 20; i++) {
+    if (a[i] > 0) out[i] = a[i] * 2;
+  }
+}
+"""
+
+BINDINGS = {
+    "a": [(-1) ** k * (k + 1) for k in range(20)],
+    "out": [0] * 20,
+}
+
+
+@pytest.fixture
+def program():
+    return compile_source(SRC, "t", CompilerOptions(opt_level=1))
+
+
+def record(program):
+    buffer = io.StringIO()
+    writer = TraceWriter(buffer)
+    count = Interpreter(program, dict(BINDINGS)).run(consumers=(writer,))
+    buffer.seek(0)
+    return buffer, count
+
+
+def test_roundtrip_event_count(program):
+    buffer, count = record(program)
+    replayed = replay_trace(buffer, program, [])
+    assert replayed == count
+
+
+def test_replay_matches_live_instruction_mix(program):
+    live = InstructionMix()
+    Interpreter(program, dict(BINDINGS)).run(consumers=(live,))
+    buffer, _ = record(program)
+    replayed = InstructionMix()
+    replay_trace(buffer, program, [replayed])
+    assert replayed.counts == live.counts
+
+
+def test_replay_matches_live_coverage(program):
+    live = LoadCoverage()
+    Interpreter(program, dict(BINDINGS)).run(consumers=(live,))
+    buffer, _ = record(program)
+    replayed = LoadCoverage()
+    replay_trace(buffer, program, [replayed])
+    assert replayed.counts == live.counts
+
+
+def test_replay_preserves_branch_outcomes(program):
+    live = SequenceProfile()
+    Interpreter(program, dict(BINDINGS)).run(consumers=(live,))
+    buffer, _ = record(program)
+    replayed = SequenceProfile()
+    replay_trace(buffer, program, [replayed])
+    assert (
+        replayed.predictor.global_stats.mispredicted
+        == live.predictor.global_stats.mispredicted
+    )
+    assert replayed.summary() == live.summary()
+
+
+def test_replay_preserves_load_values(program):
+    buffer, _ = record(program)
+    collector = TraceCollector()
+    replay_trace(buffer, program, [collector])
+    loads = [e for e in collector if e.instr.is_load and e.instr.array == "a"]
+    # The guard load executes once per iteration; follow one static load.
+    guard_sid = loads[0].instr.sid
+    guard_values = [e.value for e in loads if e.instr.sid == guard_sid]
+    assert guard_values == BINDINGS["a"]
+
+
+def test_trace_lines_are_compact(program):
+    buffer, count = record(program)
+    lines = buffer.getvalue().strip().splitlines()
+    assert len(lines) == count
+    assert all(line[0].isdigit() for line in lines)
+
+
+def test_to_dot_contains_blocks_and_edges(program):
+    dot = program.to_dot()
+    assert dot.startswith("digraph")
+    assert '"entry"' in dot
+    assert "->" in dot
+    # One node per block.
+    assert dot.count("[label=") == len(program.blocks)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full paper pipeline on real
+workloads, crossing every subsystem boundary in one pass."""
+
+import pytest
+
+from repro.atom import characterize
+from repro.core import evaluate_workload, select_candidates
+from repro.cpu import ALPHA_21264, make_timing_model
+from repro.exec import Interpreter
+from repro.workloads import get_workload
+
+
+def test_full_paper_loop_on_hmmsearch():
+    """Profile -> candidates -> transform -> speedup, like Section 3-5."""
+    spec = get_workload("hmmsearch")
+
+    # 1. Characterize (Section 2).
+    result = characterize(spec.program(), spec.dataset("test", seed=0))
+    assert result.mix.load_fraction > 0.15
+    assert result.sequences.summary().load_to_branch_fraction > 0.5
+    assert result.cache.hierarchy.l1_local_miss_rate < 0.05
+
+    # 2. Select candidates (Section 3).
+    candidates = select_candidates(result)
+    assert candidates
+    candidate_lines = {c.line for c in candidates}
+    # The candidates point into the P7Viterbi k-loop source region.
+    source_lines = spec.original_source.splitlines()
+    for line in candidate_lines:
+        text = source_lines[line - 1]
+        assert "[" in text  # an array access the developer would edit
+
+    # 3. The shipped transformation covers (at least) those lines' loads.
+    stats = spec.transform_stats()
+    assert stats["loads_considered"] >= len(candidates) // 2
+
+    # 4. Evaluate (Section 5): the transformed code is faster on Alpha.
+    evaluation = evaluate_workload(spec, ALPHA_21264, scale="test", seed=0)
+    assert evaluation.speedup > 0
+
+
+def test_characterization_and_timing_see_same_execution():
+    """Tools and timing model attached to one interpreter agree on the
+    basic counts."""
+    spec = get_workload("fasta")
+    program = spec.program(options=ALPHA_21264.compiler_options())
+    from repro.atom import InstructionMix
+
+    mix = InstructionMix()
+    model = make_timing_model(ALPHA_21264)
+    interp = Interpreter(program, spec.dataset("test", seed=0))
+    executed = interp.run(consumers=(mix, model))
+    assert mix.counts.total == executed
+    assert model.result().instructions == executed
+    assert model.hierarchy.load_accesses == mix.counts.loads
+
+
+def test_seed_changes_data_but_not_static_metrics():
+    spec = get_workload("clustalw")
+    runs = [
+        characterize(spec.program(), spec.dataset("test", seed=s)) for s in (0, 1)
+    ]
+    # Static load population identical (same program)...
+    assert set(runs[0].coverage.counts) == set(runs[1].coverage.counts)
+    # ...but data-dependent outcomes differ.
+    assert (
+        runs[0].sequences.predictor.global_stats.mispredicted
+        != runs[1].sequences.predictor.global_stats.mispredicted
+    )
+
+
+def test_determinism_across_identical_runs():
+    spec = get_workload("dnapenny")
+    a = characterize(spec.program(), spec.dataset("test", seed=0))
+    b = characterize(spec.program(), spec.dataset("test", seed=0))
+    assert a.executed == b.executed
+    assert a.coverage.counts == b.coverage.counts
+    assert (
+        a.sequences.summary().load_to_branch_loads
+        == b.sequences.summary().load_to_branch_loads
+    )
+
+
+def test_nine_workloads_have_consistent_tool_counts():
+    for name in ("blast", "predator", "promlk"):
+        spec = get_workload(name)
+        result = characterize(spec.program(), spec.dataset("test", seed=0))
+        assert result.coverage.total_loads == result.mix.counts.loads
+        assert result.cache.hierarchy.load_accesses == result.mix.counts.loads
+        summary = result.sequences.summary()
+        assert 0 <= summary.load_to_branch_fraction <= 1
+        assert 0 <= summary.after_hard_branch_fraction <= 1
+
+
+def test_transformed_program_reduces_branch_mispredictions_on_alpha():
+    """The Figure 7 effect: cmov conversion removes the hard branches."""
+    spec = get_workload("hmmsearch")
+    options = ALPHA_21264.compiler_options()
+    rates = {}
+    for transformed in (False, True):
+        program = spec.program(transformed=transformed, options=options)
+        model = make_timing_model(ALPHA_21264)
+        Interpreter(program, spec.dataset("test", seed=0)).run(consumers=(model,))
+        rates[transformed] = model.result().misprediction_rate
+    assert rates[True] < rates[False]

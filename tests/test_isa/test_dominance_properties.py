@@ -1,0 +1,88 @@
+"""Property tests for dominance and postdominance on random CFGs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegClass
+from repro.lang.passes.hoist import postdominators
+
+
+def r(i):
+    return Reg(RegClass.INT, i)
+
+
+@st.composite
+def random_cfg(draw):
+    """A random program: N blocks, each ending in HALT, JMP, or BR to
+    random targets; the last block always halts."""
+    n = draw(st.integers(2, 8))
+    program = Program("cfg")
+    names = [f"b{i}" for i in range(n)]
+    for i, name in enumerate(names):
+        block = program.new_block(name)
+        block.append(Instruction(Opcode.LI, dest=r(0), imm=i))
+        if i == n - 1:
+            block.append(Instruction(Opcode.HALT))
+            continue
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            block.append(Instruction(Opcode.HALT))
+        elif kind == 1:
+            target = names[draw(st.integers(0, n - 1))]
+            block.append(Instruction(Opcode.JMP, target=target))
+        else:
+            target = names[draw(st.integers(0, n - 1))]
+            block.append(Instruction(Opcode.BR, srcs=(r(0),), target=target))
+    return program.finalize()
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=random_cfg())
+def test_entry_dominates_every_reachable_block(program):
+    dom = program.dominators()
+    from repro.lang.passes.analysis import reachable_blocks
+
+    for name in reachable_blocks(program):
+        assert program.entry.name in dom[name]
+        assert name in dom[name]  # reflexive
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=random_cfg())
+def test_dominance_is_consistent_with_predecessors(program):
+    """If D strictly dominates B (reachable, B != entry), D dominates
+    every predecessor of B as well... for predecessors on paths from the
+    entry (i.e. reachable ones)."""
+    from repro.lang.passes.analysis import reachable_blocks
+
+    reachable = reachable_blocks(program)
+    dom = program.dominators()
+    for name in reachable:
+        block = program.block(name)
+        strict = dom[name] - {name}
+        for dominator in strict:
+            for pred in block.predecessors:
+                if pred in reachable:
+                    assert dominator in dom[pred] or dominator == pred
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=random_cfg())
+def test_postdominators_reflexive_and_exit_rule(program):
+    pdom = postdominators(program)
+    for block in program.blocks:
+        assert block.name in pdom[block.name]
+        if not block.successors:
+            assert pdom[block.name] == {block.name}
+
+
+@settings(max_examples=60, deadline=None)
+@given(program=random_cfg())
+def test_single_successor_postdominated_by_it(program):
+    pdom = postdominators(program)
+    for block in program.blocks:
+        if len(block.successors) == 1:
+            (successor,) = block.successors
+            if successor != block.name:
+                assert successor in pdom[block.name]

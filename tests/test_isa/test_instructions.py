@@ -1,0 +1,78 @@
+"""Tests for repro.isa.instructions."""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Reg, RegClass
+
+
+def r(i):
+    return Reg(RegClass.INT, i)
+
+
+def f(i):
+    return Reg(RegClass.FLOAT, i)
+
+
+def test_load_classification():
+    load = Instruction(Opcode.LOAD, dest=r(0), srcs=(r(1),), array="a", imm=0)
+    assert load.is_load and load.is_mem
+    assert not load.is_store and not load.is_fp and not load.is_branch
+
+
+def test_fload_is_fp():
+    fload = Instruction(Opcode.FLOAD, dest=f(0), srcs=(r(1),), array="a")
+    assert fload.is_load and fload.is_fp
+
+
+def test_store_classification():
+    store = Instruction(Opcode.STORE, srcs=(r(0), r(1)), array="a")
+    assert store.is_store and store.is_mem and not store.is_load
+
+
+def test_predicated_store_is_store():
+    cstore = Instruction(Opcode.CSTORE, srcs=(r(0), r(1), r(2)), array="a")
+    assert cstore.is_store and cstore.is_mem
+    fcstore = Instruction(Opcode.FCSTORE, srcs=(f(0), r(1), r(2)), array="a")
+    assert fcstore.is_store and fcstore.is_fp
+
+
+def test_branch_and_jump_are_control():
+    br = Instruction(Opcode.BR, srcs=(r(0),), target="x")
+    jmp = Instruction(Opcode.JMP, target="x")
+    halt = Instruction(Opcode.HALT)
+    assert br.is_branch and br.is_control and not br.is_jump
+    assert jmp.is_jump and jmp.is_control and not jmp.is_branch
+    assert halt.is_control
+
+
+def test_cmp_classification():
+    cmp = Instruction(Opcode.CMPLT, dest=r(0), srcs=(r(1), r(2)))
+    fcmp = Instruction(Opcode.FCMPGT, dest=r(0), srcs=(f(1), f(2)))
+    assert cmp.is_cmp and not cmp.is_fp
+    assert fcmp.is_cmp and fcmp.is_fp
+
+
+def test_cmov_reads_include_destination():
+    cmov = Instruction(Opcode.CMOV, dest=r(0), srcs=(r(1), r(2)))
+    assert cmov.is_cmov
+    assert set(cmov.reads()) == {r(0), r(1), r(2)}
+
+
+def test_plain_instruction_reads_are_srcs_only():
+    add = Instruction(Opcode.ADD, dest=r(0), srcs=(r(1), r(2)))
+    assert add.reads() == (r(1), r(2))
+    assert add.writes() == r(0)
+
+
+def test_str_forms_do_not_crash():
+    samples = [
+        Instruction(Opcode.LOAD, dest=r(0), srcs=(r(1),), array="a", imm=-1),
+        Instruction(Opcode.STORE, srcs=(r(0), r(1)), array="a", imm=2),
+        Instruction(Opcode.CSTORE, srcs=(r(0), r(1), r(2)), array="a"),
+        Instruction(Opcode.BR, srcs=(r(0),), target="bb1"),
+        Instruction(Opcode.JMP, target="bb2"),
+        Instruction(Opcode.LI, dest=r(0), imm=42),
+        Instruction(Opcode.ADD, dest=r(0), srcs=(r(1), r(2)), line=7),
+        Instruction(Opcode.HALT),
+    ]
+    for instruction in samples:
+        assert isinstance(str(instruction), str)

@@ -1,0 +1,50 @@
+"""Tests for repro.isa.registers."""
+
+from repro.isa.registers import Reg, RegClass, RegFactory, physical
+
+
+def test_fresh_registers_are_unique():
+    factory = RegFactory()
+    regs = [factory.fresh_int() for _ in range(10)]
+    assert len(set(regs)) == 10
+
+
+def test_fresh_counters_are_per_class():
+    factory = RegFactory()
+    a = factory.fresh_int()
+    b = factory.fresh_float()
+    assert a.index == 0 and b.index == 0
+    assert a != b
+
+
+def test_issued_counts_both_classes():
+    factory = RegFactory()
+    factory.fresh_int()
+    factory.fresh_float()
+    factory.fresh_float()
+    assert factory.issued == 3
+
+
+def test_physical_registers_not_virtual():
+    reg = physical(RegClass.INT, 5)
+    assert not reg.virtual
+    assert reg.index == 5
+    assert reg != Reg(RegClass.INT, 5, virtual=True)
+
+
+def test_repr_distinguishes_classes_and_virtuality():
+    assert repr(Reg(RegClass.INT, 3)) == "vr3"
+    assert repr(Reg(RegClass.FLOAT, 2)) == "vf2"
+    assert repr(physical(RegClass.INT, 1)) == "r1"
+
+
+def test_is_int_is_float():
+    assert Reg(RegClass.INT, 0).is_int
+    assert not Reg(RegClass.INT, 0).is_float
+    assert Reg(RegClass.FLOAT, 0).is_float
+
+
+def test_regs_are_hashable_and_usable_as_keys():
+    table = {Reg(RegClass.INT, 0): 1, Reg(RegClass.FLOAT, 0): 2}
+    assert table[Reg(RegClass.INT, 0)] == 1
+    assert table[Reg(RegClass.FLOAT, 0)] == 2

@@ -1,0 +1,81 @@
+"""Tests for the memory-disambiguation models."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Reg, RegClass
+from repro.lang.alias import (
+    MayAliasModel,
+    RestrictModel,
+    exact_same_address,
+    get_model,
+)
+
+
+def r(i):
+    return Reg(RegClass.INT, i)
+
+
+def load(array, index_reg, imm=0):
+    return Instruction(Opcode.LOAD, dest=r(9), srcs=(r(index_reg),), array=array, imm=imm)
+
+
+def store(array, index_reg, imm=0):
+    return Instruction(Opcode.STORE, srcs=(r(8), r(index_reg)), array=array, imm=imm)
+
+
+def test_may_alias_different_arrays_alias():
+    model = MayAliasModel()
+    assert model.may_alias(store("mc", 1), load("dpp", 1))
+
+
+def test_may_alias_same_array_same_index_different_offset_disjoint():
+    model = MayAliasModel()
+    # a[k] vs a[k-1]: provably distinct elements.
+    assert not model.may_alias(store("a", 1, 0), load("a", 1, -1))
+
+
+def test_may_alias_same_array_same_address():
+    model = MayAliasModel()
+    assert model.may_alias(store("a", 1, 0), load("a", 1, 0))
+
+
+def test_may_alias_same_array_different_index_regs():
+    model = MayAliasModel()
+    assert model.may_alias(store("a", 1, 0), load("a", 2, 0))
+
+
+def test_restrict_different_arrays_disjoint():
+    model = RestrictModel()
+    assert not model.may_alias(store("mc", 1), load("dpp", 1))
+
+
+def test_restrict_same_array_still_conservative():
+    model = RestrictModel()
+    assert model.may_alias(store("a", 1, 0), load("a", 2, 0))
+    assert not model.may_alias(store("a", 1, 0), load("a", 1, -1))
+
+
+def test_non_memory_instructions_never_alias():
+    model = MayAliasModel()
+    add = Instruction(Opcode.ADD, dest=r(0), srcs=(r(1), r(2)))
+    assert not model.may_alias(add, load("a", 1))
+
+
+def test_store_blocks_load_delegates():
+    model = MayAliasModel()
+    assert model.store_blocks_load(store("mc", 1), load("dpp", 1))
+    assert not RestrictModel().store_blocks_load(store("mc", 1), load("dpp", 1))
+
+
+def test_exact_same_address():
+    assert exact_same_address(store("a", 1, 2), load("a", 1, 2))
+    assert not exact_same_address(store("a", 1, 2), load("a", 1, 3))
+    assert not exact_same_address(store("a", 1, 2), load("b", 1, 2))
+
+
+def test_get_model():
+    assert get_model("may-alias").name == "may-alias"
+    assert get_model("restrict").name == "restrict"
+    with pytest.raises(ValueError):
+        get_model("oracle")

@@ -1,0 +1,73 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop eof
+
+
+def test_keywords_and_identifiers():
+    assert kinds("int x float if0") == ["int", "ident", "float", "ident"]
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.5 1e3 2.5e-2")
+    assert tokens[0].value == 42
+    assert tokens[1].value == 3.5
+    assert tokens[2].value == 1000.0
+    assert tokens[3].value == 0.025
+
+
+def test_multi_character_operators_max_munch():
+    assert kinds("a <= b == c && d || e") == [
+        "ident", "<=", "ident", "==", "ident", "&&", "ident", "||", "ident",
+    ]
+
+
+def test_increment_and_decrement_tokens():
+    assert kinds("k++ --j") == ["ident", "++", "--", "ident"]
+
+
+def test_compound_assignment_tokens():
+    assert kinds("a += 1; b -= 2; c *= 3") == [
+        "ident", "+=", "intlit", ";", "ident", "-=", "intlit", ";",
+        "ident", "*=", "intlit",
+    ]
+
+
+def test_line_comment_skipped():
+    tokens = tokenize("a // comment\nb")
+    assert [t.kind for t in tokens][:-1] == ["ident", "ident"]
+    assert tokens[1].line == 2
+
+
+def test_block_comment_preserves_line_numbers():
+    tokens = tokenize("a /* one\ntwo */ b")
+    assert tokens[1].line == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* nope")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+def test_eof_token_terminates():
+    assert tokenize("")[-1].kind == "eof"
+    assert tokenize("x")[-1].kind == "eof"
+
+
+def test_negative_number_is_minus_then_literal():
+    assert kinds("-5") == ["-", "intlit"]

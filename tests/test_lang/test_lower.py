@@ -1,0 +1,221 @@
+"""Tests for AST -> ISA lowering (semantics validated via the
+interpreter at -O0, code shape checked structurally)."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa.instructions import Opcode
+from repro.lang.compiler import CompilerOptions, compile_source
+from repro.lang.lower import LoweringError
+from repro.lang.parser import parse
+from repro.lang import lower as lower_mod
+
+O0 = CompilerOptions(opt_level=0)
+
+
+def run_kernel(source, bindings):
+    program = compile_source(source, "t", O0)
+    return run_program(program, bindings)
+
+
+def test_arithmetic_and_precedence():
+    interp = run_kernel(
+        "int out[]; void kernel() { out[0] = 2 + 3 * 4 - 10 / 2; }", {"out": [0]}
+    )
+    assert interp.array("out") == [9]
+
+
+def test_c_style_truncating_division_and_modulo():
+    src = """
+int out[];
+void kernel() {
+  out[0] = -7 / 2;
+  out[1] = 7 / -2;
+  out[2] = -7 % 2;
+  out[3] = 7 % -2;
+}
+"""
+    interp = run_kernel(src, {"out": [0] * 4})
+    assert interp.array("out") == [-3, -3, -1, 1]  # C semantics
+
+
+def test_bitwise_and_shifts():
+    src = """
+int out[];
+void kernel() {
+  out[0] = 12 & 10;
+  out[1] = 12 | 10;
+  out[2] = 12 ^ 10;
+  out[3] = 3 << 4;
+  out[4] = 48 >> 2;
+}
+"""
+    interp = run_kernel(src, {"out": [0] * 5})
+    assert interp.array("out") == [8, 14, 6, 48, 12]
+
+
+def test_while_loop_and_compound_assign():
+    src = """
+int N; int out[];
+void kernel() {
+  int i; int s;
+  i = 0; s = 0;
+  while (i < N) { s += i; i++; }
+  out[0] = s;
+}
+"""
+    interp = run_kernel(src, {"N": 10, "out": [0]})
+    assert interp.array("out") == [45]
+
+
+def test_break_and_continue():
+    src = """
+int out[];
+void kernel() {
+  int i; int s; int t;
+  s = 0;
+  for (i = 0; i < 100; i++) { if (i == 5) break; s += 1; }
+  t = 0;
+  for (i = 0; i < 10; i++) { if (i % 2 == 0) continue; t += i; }
+  out[0] = s; out[1] = t;
+}
+"""
+    interp = run_kernel(src, {"out": [0, 0]})
+    assert interp.array("out") == [5, 25]
+
+
+def test_short_circuit_evaluation_order():
+    # The second clause indexes out of bounds unless short-circuited.
+    src = """
+int a[]; int out[];
+void kernel() {
+  int i;
+  i = 50;
+  if (i < 3 && a[i] > 0) out[0] = 1;
+  out[1] = 7;
+}
+"""
+    interp = run_kernel(src, {"a": [1, 2, 3], "out": [0, 0]})
+    assert interp.array("out") == [0, 7]
+
+
+def test_short_circuit_or_as_value():
+    src = """
+int out[];
+void kernel() {
+  out[0] = 0 || 5;
+  out[1] = 0 && 5;
+  out[2] = 3 && 4;
+}
+"""
+    interp = run_kernel(src, {"out": [0] * 3})
+    assert interp.array("out") == [1, 0, 1]
+
+
+def test_ternary_expression():
+    src = """
+int a; int out[];
+void kernel() { out[0] = a > 0 ? 10 : 20; }
+"""
+    assert run_kernel(src, {"a": 5, "out": [0]}).array("out") == [10]
+    assert run_kernel(src, {"a": -5, "out": [0]}).array("out") == [20]
+
+
+def test_float_arithmetic_and_conversion():
+    src = """
+float x; int out[]; float fout[];
+void kernel() {
+  fout[0] = x * 2.0 + 1.0;
+  out[0] = (int)(x * 10.0);
+  fout[1] = (float)3 / 2.0;
+}
+"""
+    interp = run_kernel(src, {"x": 2.5, "out": [0], "fout": [0.0, 0.0]})
+    assert interp.array("fout")[0] == pytest.approx(6.0)
+    assert interp.array("out") == [25]
+    assert interp.array("fout")[1] == pytest.approx(1.5)
+
+
+def test_mixed_int_float_promotes():
+    src = "float f[]; void kernel() { f[0] = 1 + 0.5; }"
+    assert run_kernel(src, {"f": [0.0]}).array("f") == [1.5]
+
+
+def test_function_inlining_with_return():
+    src = """
+int out[];
+int max2(int a, int b) { if (a > b) return a; return b; }
+void kernel() { out[0] = max2(3, 9); out[1] = max2(9, 3); }
+"""
+    interp = run_kernel(src, {"out": [0, 0]})
+    assert interp.array("out") == [9, 9]
+
+
+def test_array_parameters_alias_caller_arrays():
+    src = """
+int data[]; int out[];
+void bump(int v[], int i) { v[i] = v[i] + 1; }
+void kernel() { bump(data, 0); bump(data, 0); out[0] = data[0]; }
+"""
+    interp = run_kernel(src, {"data": [10], "out": [0]})
+    assert interp.array("out") == [11 + 1]
+
+
+def test_recursion_rejected():
+    src = "int f(int n) { return f(n - 1); } void kernel() { int x = f(3); }"
+    with pytest.raises(LoweringError):
+        compile_source(src, "t", O0)
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(LoweringError):
+        compile_source("void kernel() { x = 1; }", "t", O0)
+
+
+def test_branch_shape_then_is_fallthrough():
+    """`if (c) store;` compiles to a branch-if-false over the store —
+    the Figure 3 code shape the analysis depends on."""
+    src = """
+int a[]; int out[];
+void kernel() {
+  if (a[0] > 3) out[0] = 1;
+}
+"""
+    program = compile_source(src, "t", O0)
+    branches = [i for i in program.all_instructions() if i.is_branch]
+    assert len(branches) == 1
+    # The compare feeding the branch must be the inverted condition (<=).
+    cmps = [i for i in program.all_instructions() if i.is_cmp]
+    assert any(i.opcode is Opcode.CMPLE for i in cmps)
+
+
+def test_constant_displacement_folded_into_memory_operand():
+    src = "int a[]; int out[]; void kernel() { int k = 3; out[0] = a[k-1]; }"
+    program = compile_source(src, "t", O0)
+    loads = [i for i in program.all_instructions() if i.is_load and i.array == "a"]
+    assert loads[0].imm == -1
+
+
+def test_source_lines_attached_to_instructions():
+    src = "int a[]; int out[];\nvoid kernel() {\n  out[0] = a[0];\n}"
+    program = compile_source(src, "t", O0)
+    loads = [i for i in program.all_instructions() if i.is_load and i.array == "a"]
+    assert loads[0].line == 3
+
+
+def test_global_scalar_writeback():
+    src = "int total; int a[]; void kernel() { total = a[0] + a[1]; }"
+    interp = run_kernel(src, {"total": 0, "a": [3, 4]})
+    assert interp.scalar("total") == 7
+
+
+def test_kernel_entry_selection_single_function():
+    src = "int out[]; void main_fn() { out[0] = 1; }"
+    interp = run_kernel(src, {"out": [0]})
+    assert interp.array("out") == [1]
+
+
+def test_multiple_functions_require_kernel_name():
+    src = "void a() { } void b() { }"
+    with pytest.raises(LoweringError):
+        compile_source(src, "t", O0)

@@ -1,0 +1,127 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse
+
+
+def parse_kernel(body: str) -> ast.FuncDef:
+    unit = parse(f"void kernel() {{ {body} }}")
+    return unit.function("kernel")
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_kernel(body).body.body[0]
+
+
+def test_global_scalar_and_array_declarations():
+    unit = parse("int M;\nfloat x[];\nint a, b[];\nvoid kernel() { }")
+    names = [(g.ident, g.is_array) for g in unit.globals]
+    assert names == [("M", False), ("x", True), ("a", False), ("b", True)]
+    assert unit.globals[1].type.is_float
+
+
+def test_function_with_parameters():
+    unit = parse("int f(int a, float b, int c[]) { return a; } void kernel() { }")
+    func = unit.function("f")
+    assert [p.ident for p in func.params] == ["a", "b", "c"]
+    assert func.params[2].is_array
+    assert func.return_type == ast.INT
+
+
+def test_precedence_multiplication_over_addition():
+    stmt = first_stmt("int x = 1 + 2 * 3;")
+    assert isinstance(stmt.init, ast.Binary)
+    assert stmt.init.op == "+"
+    assert isinstance(stmt.init.right, ast.Binary)
+    assert stmt.init.right.op == "*"
+
+
+def test_precedence_relational_over_logical():
+    stmt = first_stmt("int x = a < b && c > d;")
+    expr = stmt.init
+    assert isinstance(expr, ast.ShortCircuit) and expr.op == "&&"
+    assert isinstance(expr.left, ast.Binary) and expr.left.op == "<"
+
+
+def test_assignment_in_condition_paper_idiom():
+    # The paper's hmmsearch idiom: if ((sc = a[k-1] + b[k-1]) > c[k]) ...
+    stmt = first_stmt("if ((sc = a[k-1] + b[k-1]) > c[k]) c[k] = sc;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.cond, ast.Binary)
+    assert isinstance(stmt.cond.left, ast.Assign)
+
+
+def test_comma_in_for_init_predator_idiom():
+    # Figure 8: for (tt = 1, z = row[i]; z != 0; z = nxt[z])
+    stmt = first_stmt("for (tt = 1, z = row[i]; z != 0; z = nxt[z]) x = x + 1;")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.Block)
+    assert len(stmt.init.body) == 2
+
+
+def test_for_with_declaration_init():
+    stmt = first_stmt("for (int k = 0; k < 10; k++) x = x + k;")
+    assert isinstance(stmt, ast.For)
+    assert isinstance(stmt.init, ast.VarDecl)
+
+
+def test_postfix_increment_desugars_to_compound_assign():
+    stmt = first_stmt("k++;")
+    expr = stmt.expr
+    assert isinstance(expr, ast.Assign)
+    assert expr.op == "+=" and isinstance(expr.value, ast.IntLit)
+
+
+def test_prefix_decrement():
+    stmt = first_stmt("--k;")
+    assert isinstance(stmt.expr, ast.Assign) and stmt.expr.op == "-="
+
+
+def test_ternary_right_associative():
+    stmt = first_stmt("int x = a ? b : c ? d : e;")
+    cond = stmt.init
+    assert isinstance(cond, ast.Conditional)
+    assert isinstance(cond.otherwise, ast.Conditional)
+
+
+def test_casts():
+    stmt = first_stmt("int x = (int)(y * 2.0);")
+    assert isinstance(stmt.init, ast.Cast)
+    assert stmt.init.target == ast.INT
+
+
+def test_array_index_requires_name():
+    with pytest.raises(ParseError):
+        parse_kernel("int x = (a + b)[0];")
+
+
+def test_assignment_target_must_be_lvalue():
+    with pytest.raises(ParseError):
+        parse_kernel("1 = 2;")
+
+
+def test_break_continue_return():
+    func = parse_kernel("while (1) { break; } while (1) { continue; } return;")
+    kinds = [type(s).__name__ for s in func.body.body]
+    assert kinds == ["While", "While", "Return"]
+
+
+def test_if_else_chain():
+    stmt = first_stmt("if (a) x = 1; else if (b) x = 2; else x = 3;")
+    assert isinstance(stmt, ast.If)
+    assert isinstance(stmt.otherwise, ast.If)
+    assert stmt.otherwise.otherwise is not None
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse_kernel("x = 1")
+
+
+def test_line_numbers_on_statements():
+    unit = parse("void kernel() {\n  int x;\n  x = 1;\n}")
+    stmts = unit.function("kernel").body.body
+    assert stmts[0].line == 2
+    assert stmts[1].line == 3

@@ -1,0 +1,144 @@
+"""Tests for linear-scan register allocation."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.isa.instructions import Opcode
+from repro.lang.compiler import CompilerOptions, compile_source
+from repro.lang.parser import parse
+from repro.lang.lower import lower
+from repro.lang.regalloc import STACK_ARRAY, AllocationError, allocate
+
+PRESSURE_SRC = """
+int a[]; int out[];
+void kernel() {
+  int t0 = a[0]; int t1 = a[1]; int t2 = a[2]; int t3 = a[3];
+  int t4 = a[4]; int t5 = a[5]; int t6 = a[6]; int t7 = a[7];
+  int t8 = a[8]; int t9 = a[9]; int t10 = a[10]; int t11 = a[11];
+  out[0] = t0 + t1 + t2 + t3 + t4 + t5 + t6 + t7 + t8 + t9 + t10 + t11;
+  out[1] = t0 * t11 + t5 * t6;
+}
+"""
+
+BINDINGS = {"a": list(range(1, 13)), "out": [0, 0]}
+EXPECTED = [sum(range(1, 13)), 1 * 12 + 6 * 7]
+
+
+def compile_with_registers(int_regs, float_regs=32, source=PRESSURE_SRC):
+    return compile_source(
+        source,
+        "t",
+        CompilerOptions(opt_level=1, int_registers=int_regs, float_registers=float_regs),
+    )
+
+
+def test_no_virtual_registers_remain_after_allocation():
+    program = compile_with_registers(32)
+    for instruction in program.all_instructions():
+        for reg in instruction.srcs:
+            assert not reg.virtual
+        if instruction.dest is not None:
+            assert not instruction.dest.virtual
+
+
+def test_semantics_preserved_with_ample_registers():
+    program = compile_with_registers(32)
+    interp = run_program(program, {"a": list(BINDINGS["a"]), "out": [0, 0]})
+    assert interp.array("out") == EXPECTED
+
+
+def test_semantics_preserved_under_heavy_pressure():
+    program = compile_with_registers(6)
+    interp = run_program(program, {"a": list(BINDINGS["a"]), "out": [0, 0]})
+    assert interp.array("out") == EXPECTED
+
+
+def test_spill_code_appears_only_under_pressure():
+    ample = compile_with_registers(32)
+    tight = compile_with_registers(6)
+    ample_spills = sum(1 for i in ample.all_instructions() if i.array == STACK_ARRAY)
+    tight_spills = sum(1 for i in tight.all_instructions() if i.array == STACK_ARRAY)
+    assert ample_spills == 0
+    assert tight_spills > 0
+
+
+def test_stack_array_declared_when_spilling():
+    tight = compile_with_registers(6)
+    assert STACK_ARRAY in tight.arrays
+    assert tight.arrays[STACK_ARRAY].length > 0
+
+
+def test_too_few_registers_rejected():
+    program = lower(parse(PRESSURE_SRC), "t")
+    with pytest.raises(AllocationError):
+        allocate(program, int_registers=4)
+    with pytest.raises(AllocationError):
+        allocate(program, int_registers=32, float_registers=2)
+
+
+def test_allocation_statistics():
+    program = lower(parse(PRESSURE_SRC), "t")
+    stats = allocate(program, int_registers=6)
+    assert stats["spilled_regs"] > 0
+    assert stats["spill_loads"] >= stats["spilled_regs"]
+
+
+def test_rematerialized_constants_do_not_spill_to_memory():
+    # Many long-lived constants under pressure: they should be re-issued
+    # as LI, not stored to the stack.
+    src = """
+int a[]; int out[];
+void kernel() {
+  int i;
+  int c0 = 100; int c1 = 200; int c2 = 300; int c3 = 400;
+  int c4 = 500; int c5 = 600; int c6 = 700; int c7 = 800;
+  for (i = 0; i < 4; i++) {
+    out[i] = a[i] + c0 + c1 + c2 + c3 + c4 + c5 + c6 + c7;
+  }
+}
+"""
+    program = compile_source(
+        src, "t", CompilerOptions(opt_level=0, int_registers=7)
+    )
+    interp = run_program(program, {"a": [1, 2, 3, 4], "out": [0] * 4})
+    assert interp.array("out") == [3601, 3602, 3603, 3604]
+
+
+def test_float_allocation_independent_of_int():
+    src = """
+float x[]; float fout[]; int out[];
+void kernel() {
+  float a = x[0]; float b = x[1]; float c = x[2]; float d = x[3];
+  fout[0] = a * b + c * d;
+  out[0] = 1;
+}
+"""
+    program = compile_source(
+        src, "t", CompilerOptions(opt_level=1, int_registers=8, float_registers=4)
+    )
+    interp = run_program(
+        program, {"x": [1.5, 2.0, 3.0, 4.0], "fout": [0.0], "out": [0]}
+    )
+    assert interp.array("fout")[0] == pytest.approx(15.0)
+
+
+def test_cmov_with_spilled_destination():
+    # Force pressure so a CMOV destination spills; the old value must be
+    # loaded before the conditional move.
+    src = """
+int a[]; int out[];
+void kernel() {
+  int t0 = a[0]; int t1 = a[1]; int t2 = a[2]; int t3 = a[3];
+  int t4 = a[4]; int t5 = a[5]; int t6 = a[6]; int t7 = a[7];
+  int m = a[8];
+  if (t0 > m) m = t0;
+  if (t1 > m) m = t1;
+  out[0] = m + t2 + t3 + t4 + t5 + t6 + t7;
+}
+"""
+    program = compile_source(
+        src, "t", CompilerOptions(opt_level=2, int_registers=6)
+    )
+    a = [4, 9, 1, 1, 1, 1, 1, 1, 5]
+    interp = run_program(program, {"a": a, "out": [0]})
+    assert interp.array("out") == [9 + 6]

@@ -1,0 +1,92 @@
+"""Property tests for the scheduler and CSE: reordering/simplifying a
+block must never change program results."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exec import run_program
+from repro.lang.alias import MayAliasModel, RestrictModel
+from repro.lang.compiler import CompilerOptions, compile_source
+from repro.lang.lower import lower
+from repro.lang.parser import parse
+from repro.lang.passes import cse, schedule
+
+ARRAYS = ["a", "b"]
+LEN = 8
+
+
+@st.composite
+def straightline_kernel(draw):
+    """A random straight-line kernel mixing loads, stores, and ALU ops
+    over constant indices (single basic block after lowering)."""
+    statements = []
+    names = ["x", "y", "z"]
+    for _ in range(draw(st.integers(3, 14))):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            name = draw(st.sampled_from(names))
+            array = draw(st.sampled_from(ARRAYS))
+            index = draw(st.integers(0, LEN - 1))
+            statements.append(f"{name} = {array}[{index}];")
+        elif kind == 1:
+            array = draw(st.sampled_from(ARRAYS))
+            index = draw(st.integers(0, LEN - 1))
+            value = draw(st.sampled_from(names + ["7", "-3"]))
+            statements.append(f"{array}[{index}] = {value};")
+        else:
+            name = draw(st.sampled_from(names))
+            left = draw(st.sampled_from(names))
+            right = draw(st.sampled_from(names + ["2", "5"]))
+            op = draw(st.sampled_from(["+", "-", "*", "^"]))
+            statements.append(f"{name} = {left} {op} {right};")
+    body = "\n  ".join(statements)
+    return f"""
+int a[], b[];
+void kernel() {{
+  int x; int y; int z;
+  x = 1; y = 2; z = 3;
+  {body}
+}}
+"""
+
+
+def bindings():
+    return {"a": list(range(LEN)), "b": list(range(10, 10 + LEN))}
+
+
+def final_state(program):
+    interp = run_program(program, bindings())
+    return interp.array("a"), interp.array("b")
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=straightline_kernel())
+def test_scheduling_preserves_straightline_semantics(source):
+    reference = final_state(compile_source(source, "r", CompilerOptions(opt_level=0)))
+    for model in (MayAliasModel(), RestrictModel()):
+        program = lower(parse(source), "s")
+        schedule.run(program, model)
+        program.finalize()
+        assert final_state(program) == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=straightline_kernel())
+def test_cse_preserves_straightline_semantics(source):
+    reference = final_state(compile_source(source, "r", CompilerOptions(opt_level=0)))
+    for model in (MayAliasModel(), RestrictModel()):
+        program = lower(parse(source), "s")
+        cse.run(program, model)
+        program.finalize()
+        assert final_state(program) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=straightline_kernel())
+def test_cse_then_schedule_compose(source):
+    reference = final_state(compile_source(source, "r", CompilerOptions(opt_level=0)))
+    program = lower(parse(source), "s")
+    model = MayAliasModel()
+    cse.run(program, model)
+    schedule.run(program, model)
+    program.finalize()
+    assert final_state(program) == reference

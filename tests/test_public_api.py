@@ -1,0 +1,60 @@
+"""Repository-wide API hygiene checks."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        yield info.name
+
+
+def test_every_module_imports_and_is_documented():
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        assert (module.__doc__ or "").strip(), f"{name} lacks a module docstring"
+
+
+def test_all_exports_resolve():
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_public_classes_are_documented():
+    import inspect
+
+    undocumented = []
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{name}.{symbol}")
+    assert not undocumented, undocumented
+
+
+def test_top_level_subpackages_present():
+    expected = {
+        "repro.isa",
+        "repro.lang",
+        "repro.exec",
+        "repro.atom",
+        "repro.cache",
+        "repro.branch",
+        "repro.cpu",
+        "repro.workloads",
+        "repro.core",
+        "repro.valuepred",
+    }
+    found = set(_walk_modules())
+    assert expected <= found
+
+
+def test_version_string():
+    assert repro.__version__

@@ -1,0 +1,138 @@
+"""Tests for the value-predictability tool and the LVP timing model."""
+
+import pytest
+
+from repro.cpu import ALPHA_21264
+from repro.cpu.ooo import OoOTimingModel
+from repro.exec import Interpreter
+from repro.lang.compiler import CompilerOptions, compile_source
+from repro.valuepred import ValuePredictability, ValuePredictingOoO
+
+O1 = CompilerOptions(opt_level=1)
+
+CONSTANT_LOADS = """
+int a[]; int out[];
+void kernel() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 300; i++) {
+    s = s + a[0];
+  }
+  out[0] = s;
+}
+"""
+
+CHAIN = """
+int nxt[]; int out[];
+void kernel() {
+  int i; int p;
+  p = 0;
+  for (i = 0; i < 300; i++) {
+    p = nxt[p];
+    p = nxt[p];
+    p = nxt[p];
+  }
+  out[0] = p;
+}
+"""
+
+
+def run_tool(source, bindings):
+    program = compile_source(source, "t", O1)
+    tool = ValuePredictability()
+    Interpreter(program, bindings).run(consumers=(tool,))
+    return tool
+
+
+def test_constant_load_is_highly_predictable():
+    tool = run_tool(CONSTANT_LOADS, {"a": [9], "out": [0]})
+    rows = tool.rows(top=3)
+    hot = max(rows, key=lambda r: r.executions)
+    assert hot.accuracy > 0.9
+    assert hot.array == "a"
+
+
+def test_pointer_chase_pattern_is_learnable():
+    # A fixed 16-cycle pointer loop repeats its values: FCM learns it.
+    tool = run_tool(CHAIN, {"nxt": [(i + 1) % 16 for i in range(16)], "out": [0]})
+    assert tool.overall_accuracy > 0.7
+
+
+def test_random_values_are_unpredictable():
+    import random
+
+    rng = random.Random(5)
+    src = """
+int a[]; int out[];
+void kernel() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 500; i++) { s = s + a[i]; }
+  out[0] = s;
+}
+"""
+    tool = run_tool(src, {"a": [rng.randrange(1 << 30) for _ in range(500)], "out": [0]})
+    assert tool.overall_accuracy < 0.2
+
+
+def _cycles(model_cls, source, bindings, **kwargs):
+    program = compile_source(source, "t", O1)
+    model = model_cls(ALPHA_21264, **kwargs)
+    Interpreter(program, bindings).run(consumers=(model,))
+    return model
+
+
+def test_value_prediction_speeds_up_predictable_chain():
+    bindings = lambda: {"nxt": [(i + 1) % 16 for i in range(16)], "out": [0]}
+    base = _cycles(OoOTimingModel, CHAIN, bindings())
+    lvp = _cycles(ValuePredictingOoO, CHAIN, bindings())
+    assert lvp.cycles < base.cycles
+    assert lvp.value_accuracy > 0.7
+    assert lvp.value_coverage > 0.5
+
+
+def test_value_prediction_harmless_on_unpredictable_loads():
+    import random
+
+    rng = random.Random(11)
+    src = """
+int a[]; int out[];
+void kernel() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 400; i++) { s = s + a[i]; }
+  out[0] = s;
+}
+"""
+    bindings = lambda: {"a": [rng.randrange(1 << 30) for _ in range(400)], "out": [0]}
+    data = bindings()
+    base = _cycles(OoOTimingModel, src, dict(data))
+    lvp = _cycles(ValuePredictingOoO, src, dict(data))
+    # Confidence gating keeps the replay cost bounded.
+    assert lvp.cycles <= base.cycles * 1.15
+
+
+def test_value_model_cache_stats_unchanged():
+    bindings = lambda: {"nxt": [(i + 1) % 16 for i in range(16)], "out": [0]}
+    base = _cycles(OoOTimingModel, CHAIN, bindings())
+    lvp = _cycles(ValuePredictingOoO, CHAIN, bindings())
+    assert base.hierarchy.load_accesses == lvp.hierarchy.load_accesses
+    assert base.hierarchy.load_l1_misses == lvp.hierarchy.load_l1_misses
+
+
+def test_replay_counter_increments_on_wrong_confident_predictions():
+    # Values that look like a stride then break it repeatedly.
+    src = """
+int a[]; int out[];
+void kernel() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 200; i++) { s = s + a[i % 64]; }
+  out[0] = s;
+}
+"""
+    values = []
+    for i in range(64):
+        values.append(i * 4 if i % 7 else 999)  # broken stride
+    model = _cycles(ValuePredictingOoO, src, {"a": values, "out": [0]})
+    assert model.value_predictions == model.value_hits + model.value_replays

@@ -1,0 +1,130 @@
+"""Tests for the load-value predictors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.valuepred import (
+    ChooserPredictor,
+    FiniteContext,
+    LastValue,
+    Stride,
+    make_value_predictor,
+)
+
+
+def feed(predictor, values, sid=1):
+    return [predictor.access(sid, v) for v in values]
+
+
+def test_last_value_learns_constant_stream():
+    predictor = LastValue()
+    outcomes = feed(predictor, [7] * 20)
+    assert outcomes[0] is False  # cold
+    assert all(outcomes[1:])
+
+
+def test_last_value_fails_on_stride():
+    predictor = LastValue()
+    outcomes = feed(predictor, list(range(0, 40, 4)))
+    assert not any(outcomes[1:])
+
+
+def test_stride_learns_arithmetic_sequence():
+    predictor = Stride()
+    outcomes = feed(predictor, list(range(0, 80, 4)))
+    # After two deltas confirm the stride, everything is correct.
+    assert all(outcomes[3:])
+
+
+def test_stride_handles_constant_as_zero_stride():
+    predictor = Stride()
+    outcomes = feed(predictor, [5] * 10)
+    assert all(outcomes[3:])
+
+
+def test_stride_relearns_after_stride_change():
+    predictor = Stride()
+    feed(predictor, list(range(0, 40, 4)))
+    outcomes = feed(predictor, list(range(100, 180, 8)))
+    assert all(outcomes[-5:])
+
+
+def test_fcm_learns_repeating_pattern():
+    predictor = FiniteContext(order=2)
+    pattern = [3, 1, 4, 1, 5] * 10
+    outcomes = feed(predictor, pattern)
+    # Once every context has been seen, the repeating pattern is exact.
+    assert all(outcomes[-10:])
+
+
+def test_fcm_cold_contexts_do_not_predict():
+    predictor = FiniteContext(order=2)
+    assert predictor.predict(1) is None
+    predictor.access(1, 10)
+    assert predictor.predict(1) is None  # history shorter than order
+
+
+def test_chooser_matches_best_component_on_stride():
+    chooser = ChooserPredictor()
+    values = list(range(0, 400, 4))
+    for v in values:
+        chooser.access(1, v)
+    # Confidence-gated: after warmup accuracy approaches stride's.
+    assert chooser.load_accuracy(1) > 0.8
+
+
+def test_chooser_withholds_on_random_values():
+    import random
+
+    rng = random.Random(0)
+    chooser = ChooserPredictor()
+    for _ in range(300):
+        chooser.access(1, rng.randrange(1 << 30))
+    assert not chooser.confident(1)
+
+
+def test_chooser_confident_on_constant():
+    chooser = ChooserPredictor()
+    for _ in range(20):
+        chooser.access(1, 42)
+    assert chooser.confident(1)
+
+
+def test_per_load_isolation():
+    predictor = LastValue()
+    predictor.access(1, 10)
+    predictor.access(2, 20)
+    assert predictor.predict(1) == 10
+    assert predictor.predict(2) == 20
+
+
+def test_factory():
+    assert make_value_predictor("stride").name == "stride"
+    assert make_value_predictor("fcm", order=3).order == 3
+    with pytest.raises(ValueError):
+        make_value_predictor("oracle")
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=200))
+def test_stats_consistency(values):
+    for name in ("last-value", "stride", "fcm", "chooser"):
+        predictor = make_value_predictor(name)
+        outcomes = feed(predictor, values)
+        assert predictor.global_stats.predictions == len(values)
+        assert predictor.global_stats.correct == sum(outcomes)
+        assert 0.0 <= predictor.accuracy <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.integers(-50, 50), min_size=4, max_size=100))
+def test_global_equals_sum_of_per_load(values):
+    predictor = Stride()
+    for index, value in enumerate(values):
+        predictor.access(index % 3, value)
+    assert predictor.global_stats.predictions == sum(
+        s.predictions for s in predictor.per_load.values()
+    )
+    assert predictor.global_stats.correct == sum(
+        s.correct for s in predictor.per_load.values()
+    )

@@ -1,0 +1,111 @@
+"""Tests for the synthetic dataset generators and the SPEC-like
+source generator."""
+
+import pytest
+
+from repro.workloads import datasets, speclike
+from repro.workloads.datasets import rng_for
+
+
+def test_rng_independence_and_determinism():
+    a1 = rng_for("x", 0).random()
+    a2 = rng_for("x", 0).random()
+    b = rng_for("y", 0).random()
+    assert a1 == a2
+    assert a1 != b
+
+
+def test_random_sequence_alphabet_bounds():
+    rng = rng_for("t", 0)
+    seq = datasets.random_sequence(rng, 500, 20)
+    assert len(seq) == 500
+    assert all(0 <= s < 20 for s in seq)
+
+
+def test_score_table_range_and_skew():
+    rng = rng_for("t", 1)
+    table = datasets.score_table(rng, 2000)
+    assert all(-350 <= v <= 250 for v in table)
+    # Log-odds style: mostly negative.
+    assert sum(1 for v in table if v < 0) > len(table) / 2
+
+
+def test_substitution_matrix_symmetric_positive_diagonal():
+    rng = rng_for("t", 2)
+    alphabet = 20
+    flat = datasets.substitution_matrix(rng, alphabet)
+    assert len(flat) == alphabet * alphabet
+    for i in range(alphabet):
+        assert flat[i * alphabet + i] > 0
+        for j in range(alphabet):
+            assert flat[i * alphabet + j] == flat[j * alphabet + i]
+
+
+def test_linked_rows_structure():
+    rng = rng_for("t", 3)
+    lists = datasets.linked_rows(rng, 20, 30, mean_len=3, pool=200)
+    row_head, col, nxt = lists["row_head"], lists["col"], lists["nxt"]
+    assert len(row_head) == 20
+    # Walk every list: terminates at the 0 sentinel, cols in range.
+    for head in row_head:
+        node = head
+        steps = 0
+        while node != 0:
+            assert 0 <= col[node] < 30
+            node = nxt[node]
+            steps += 1
+            assert steps < 1000  # no cycles
+
+
+def test_float_table_positive():
+    rng = rng_for("t", 4)
+    values = datasets.float_table(rng, 100)
+    assert all(0 < v <= 1.0 for v in values)
+
+
+def test_binary_characters_shape():
+    rng = rng_for("t", 5)
+    chars = datasets.binary_characters(rng, 4, 25)
+    assert len(chars) == 100
+    assert set(chars) <= {0, 1}
+
+
+# -- SPEC-like generator -------------------------------------------------------
+
+
+def test_speclike_source_is_deterministic():
+    assert speclike.source("gcc") == speclike.source("gcc")
+
+
+def test_speclike_configs_differ():
+    assert speclike.source("gcc") != speclike.source("vortex")
+
+
+def test_speclike_dataset_opcodes_in_range():
+    data = speclike.dataset("gcc", "test", 0)
+    handlers = speclike._CONFIGS["gcc"]["handlers"]
+    assert all(0 <= op < handlers for op in data["code"])
+
+
+def test_speclike_zipf_is_skewed_uniform_is_not():
+    uniform = speclike.dataset("gcc", "medium", 0)["code"]
+    skewed = speclike.dataset("crafty", "medium", 0)["code"]
+
+    def head_share(code, handlers):
+        head = sum(1 for op in code if op < handlers // 10)
+        return head / len(code)
+
+    assert head_share(skewed, speclike._CONFIGS["crafty"]["handlers"]) > head_share(
+        uniform, speclike._CONFIGS["gcc"]["handlers"]
+    )
+
+
+def test_speclike_generated_source_compiles():
+    from repro.lang.compiler import CompilerOptions, compile_source
+
+    program = compile_source(
+        speclike.generate_source("mini", handlers=8, loads_range=(2, 3)),
+        "mini",
+        CompilerOptions(opt_level=1),
+    )
+    assert program.num_instructions > 50

@@ -1,0 +1,69 @@
+"""The fundamental soundness property of the paper's methodology: the
+load-transformed source must compute exactly what the original does —
+on every platform's compiler configuration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import ALPHA_21264, ITANIUM_2, PENTIUM_4, POWERPC_G5
+from repro.exec import run_program
+from repro.lang.compiler import CompilerOptions, compile_source
+from repro.workloads import amenable_workloads, get_workload
+
+#: Observable outputs per workload.
+OUTPUTS = {
+    "hmmsearch": ["best", "mc", "dc", "ic"],
+    "hmmpfam": ["best", "fout"],
+    "hmmcalibrate": ["best", "hist"],
+    "clustalw": ["result", "HH", "EE", "DD"],
+    "dnapenny": ["result", "acc"],
+    "predator": ["result", "prop", "smoothed"],
+}
+
+
+def outputs_of(spec, transformed, options, seed):
+    program = compile_source(
+        spec.source(transformed), f"{spec.name}-{transformed}", options
+    )
+    interp = run_program(program, spec.dataset("test", seed=seed))
+    return {name: interp.array(name) for name in OUTPUTS[spec.name]}
+
+
+@pytest.mark.parametrize("spec", amenable_workloads(), ids=lambda s: s.name)
+def test_transformed_equivalent_default_options(spec):
+    options = CompilerOptions()
+    assert outputs_of(spec, False, options, 0) == outputs_of(spec, True, options, 0)
+
+
+@pytest.mark.parametrize("spec", amenable_workloads(), ids=lambda s: s.name)
+@pytest.mark.parametrize(
+    "platform",
+    [ALPHA_21264, POWERPC_G5, PENTIUM_4, ITANIUM_2],
+    ids=lambda p: p.name,
+)
+def test_transformed_equivalent_per_platform(spec, platform):
+    options = platform.compiler_options()
+    assert outputs_of(spec, False, options, 1) == outputs_of(spec, True, options, 1)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_hmmsearch_equivalence_random_seeds(seed):
+    spec = get_workload("hmmsearch")
+    options = CompilerOptions()
+    assert outputs_of(spec, False, options, seed) == outputs_of(spec, True, options, seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_predator_equivalence_random_seeds(seed):
+    spec = get_workload("predator")
+    options = CompilerOptions()
+    assert outputs_of(spec, False, options, seed) == outputs_of(spec, True, options, seed)
+
+
+@pytest.mark.parametrize("spec", amenable_workloads(), ids=lambda s: s.name)
+def test_transformed_equivalent_unoptimized(spec):
+    """Equivalence must hold at -O0 too: it is a *source* property."""
+    options = CompilerOptions(opt_level=0)
+    assert outputs_of(spec, False, options, 2) == outputs_of(spec, True, options, 2)

@@ -1,0 +1,125 @@
+"""Independent Python reference implementation of the P7Viterbi kernel,
+validated against the MiniC execution — the strongest evidence that the
+transcription of the paper's Figure 6 is faithful."""
+
+import pytest
+
+from repro.exec import run_program
+from repro.workloads import get_workload
+
+NEGINF = -987654321
+
+
+def p7viterbi_reference(bindings, sbase, length, tb, eb):
+    """Direct transliteration of the Figure 6(a) kernel in Python."""
+    M = bindings["M"]
+    dsq = bindings["dsq"]
+    tpmm, tpim, tpdm = bindings["tpmm"], bindings["tpim"], bindings["tpdm"]
+    tpmd, tpdd, tpmi, tpii = (
+        bindings["tpmd"],
+        bindings["tpdd"],
+        bindings["tpmi"],
+        bindings["tpii"],
+    )
+    bp, ep, msc = bindings["bp"], bindings["ep"], bindings["msc"]
+
+    mpp = [NEGINF] * (M + 1)
+    ip = [NEGINF] * (M + 1)
+    dpp = [NEGINF] * (M + 1)
+    mc = [NEGINF] * (M + 1)
+    dc = [NEGINF] * (M + 1)
+    ic = [NEGINF] * (M + 1)
+    xmb, xmn, xmj, score = 0, 0, NEGINF, NEGINF
+    for i in range(1, length + 1):
+        sym = dsq[sbase + i - 1]
+        mb = eb + sym * (M + 1)
+        mc[0] = dc[0] = ic[0] = NEGINF
+        for k in range(1, M + 1):
+            mc[k] = mpp[k - 1] + tpmm[tb + k - 1]
+            sc = ip[k - 1] + tpim[tb + k - 1]
+            if sc > mc[k]:
+                mc[k] = sc
+            sc = dpp[k - 1] + tpdm[tb + k - 1]
+            if sc > mc[k]:
+                mc[k] = sc
+            sc = xmb + bp[tb + k]
+            if sc > mc[k]:
+                mc[k] = sc
+            mc[k] += msc[mb + k]
+            if mc[k] < NEGINF:
+                mc[k] = NEGINF
+            dc[k] = dc[k - 1] + tpdd[tb + k - 1]
+            sc = mc[k - 1] + tpmd[tb + k - 1]
+            if sc > dc[k]:
+                dc[k] = sc
+            if dc[k] < NEGINF:
+                dc[k] = NEGINF
+            if k < M:
+                ic[k] = mpp[k] + tpmi[tb + k]
+                sc = ip[k] + tpii[tb + k]
+                if sc > ic[k]:
+                    ic[k] = sc
+                ic[k] += msc[mb + k]
+                if ic[k] < NEGINF:
+                    ic[k] = NEGINF
+        xme = NEGINF
+        for k in range(1, M + 1):
+            sc = mc[k] + ep[tb + k]
+            if sc > xme:
+                xme = sc
+        sc = xme - 50
+        if sc > xmj:
+            xmj = sc
+        xmn = xmn - 10
+        xmb = xmn
+        sc = xmj - 30
+        if sc > xmb:
+            xmb = sc
+        mpp[:] = mc
+        ip[:] = ic
+        dpp[:] = dc
+        if xme > score:
+            score = xme
+    return score
+
+
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_hmmsearch_matches_python_reference(seed):
+    spec = get_workload("hmmsearch")
+    bindings = spec.dataset("test", seed=seed)
+    expected = [
+        p7viterbi_reference(bindings, s * bindings["L"], bindings["L"], 0, 0)
+        for s in range(bindings["NSEQ"])
+    ]
+    interp = run_program(spec.program(), spec.dataset("test", seed=seed))
+    assert interp.array("best") == expected
+
+
+def test_hmmpfam_matches_python_reference():
+    spec = get_workload("hmmpfam")
+    bindings = spec.dataset("test", seed=4)
+    expected = [
+        p7viterbi_reference(
+            bindings,
+            0,
+            bindings["L"],
+            h * (bindings["M"] + 1),
+            h * 20 * (bindings["M"] + 1),
+        )
+        for h in range(bindings["NHMM"])
+    ]
+    interp = run_program(spec.program(), spec.dataset("test", seed=4))
+    assert interp.array("best") == expected
+
+
+def test_transformed_hmmsearch_also_matches_reference():
+    spec = get_workload("hmmsearch")
+    bindings = spec.dataset("test", seed=13)
+    expected = [
+        p7viterbi_reference(bindings, s * bindings["L"], bindings["L"], 0, 0)
+        for s in range(bindings["NSEQ"])
+    ]
+    interp = run_program(
+        spec.program(transformed=True), spec.dataset("test", seed=13)
+    )
+    assert interp.array("best") == expected
