@@ -42,6 +42,18 @@ def test_ablation_cmov(benchmark, publish):
             ],
             title="Ablation: transformation benefit with and without if-conversion",
         ),
+        rows=[
+            {
+                "configuration": "cmov",
+                "speedup": with_cmov.speedup,
+                "misprediction_rate": with_cmov.transformed.misprediction_rate,
+            },
+            {
+                "configuration": "no-cmov",
+                "speedup": without_cmov.speedup,
+                "misprediction_rate": without_cmov.transformed.misprediction_rate,
+            },
+        ],
     )
     # If-conversion removes the branches outright, so its share of the
     # win is substantial (Alpha 25.4% vs PowerPC 15.1% in the paper).

@@ -72,6 +72,10 @@ def test_ablation_branch_predictor(benchmark, publish):
             [[label, pct(misp), pct(s)] for label, misp, s in rows],
             title="Ablation: speedup vs branch predictor quality (Alpha model)",
         ),
+        rows=[
+            {"predictor": label, "baseline_misprediction": misp, "speedup": s}
+            for label, misp, s in rows
+        ],
     )
     by_label = {label: s for label, _, s in rows}
     # Mispredictions are the enabling condition: a perfect predictor

@@ -42,6 +42,7 @@ def test_ablation_register_pressure(benchmark, publish):
             [[n, pct(s)] for n, s in rows],
             title="Ablation: load-transform speedup vs register count (Alpha model)",
         ),
+        rows=[{"int_registers": n, "speedup": s} for n, s in rows],
     )
     speedups = dict(rows)
     # The paper's register-pressure story: a scarce register file eats

@@ -52,6 +52,11 @@ def test_ablation_restrict(benchmark, publish):
             rows,
             title="Ablation: restrict-qualified baseline vs manual transformation",
         ),
+        rows=[
+            {"configuration": "original-may-alias", "cycles": baseline.cycles},
+            {"configuration": "original-restrict", "cycles": restricted.cycles},
+            {"configuration": "load-transformed", "cycles": transformed.cycles},
+        ],
     )
     # restrict recovers a meaningful part of the manual gain ("the
     # baseline code with restricts and our load-transformed code

@@ -49,6 +49,15 @@ def test_ablation_unrolling(benchmark, publish):
             [[f, o, t, pct(s)] for f, o, t, s in rows],
             title="Ablation: transformation benefit under compiler loop unrolling",
         ),
+        rows=[
+            {
+                "unroll_factor": f,
+                "original_cycles": o,
+                "transformed_cycles": t,
+                "speedup": s,
+            }
+            for f, o, t, s in rows
+        ],
     )
     # The transformation keeps paying even when the compiler unrolls:
     # unrolling cannot move the loads above the hard branches.

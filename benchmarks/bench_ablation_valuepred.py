@@ -69,7 +69,20 @@ def test_ablation_value_prediction(benchmark, publish):
         ["", "value predictability of the hottest loads:"]
         + [f"  {row}" for row in tool.rows(top=8)]
     )
-    publish("ablation_valuepred", table + predictability)
+    publish(
+        "ablation_valuepred",
+        table + predictability,
+        rows=[
+            {"configuration": "original", "cycles": baseline.cycles},
+            {
+                "configuration": "original+lvp",
+                "cycles": with_lvp.cycles,
+                "value_coverage": with_lvp.value_coverage,
+                "value_accuracy": with_lvp.value_accuracy,
+            },
+            {"configuration": "load-transformed", "cycles": transformed.cycles},
+        ],
+    )
 
     # The overall value predictability is partial, and the software
     # transformation beats the hardware predictor on this workload.

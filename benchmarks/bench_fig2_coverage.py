@@ -19,7 +19,7 @@ def test_figure2_load_coverage(benchmark, context, publish):
     for row in rows:
         points = ", ".join(f"{v:.3f}" for v in row.curve[:100])
         series_lines.append(f"{row.workload:10s} [{points}]")
-    publish("figure2_coverage", text + "\n" + "\n".join(series_lines))
+    publish("figure2_coverage", text + "\n" + "\n".join(series_lines), rows=rows)
 
     bioperf = [r for r in rows if r.suite == "BioPerf"]
     spec = [r for r in rows if r.suite == "SPEC"]

@@ -14,7 +14,7 @@ def test_figure9_speedups(benchmark, table8_rows, publish):
     summaries = benchmark.pedantic(
         lambda: E.figure9_speedups(table8_rows), iterations=1, rounds=1
     )
-    publish("figure9_speedup", E.render_figure9(summaries))
+    publish("figure9_speedup", E.render_figure9(summaries), rows=summaries)
 
     by_key = {s.platform_key: s for s in summaries}
     assert set(by_key) == {"alpha", "powerpc", "pentium4", "itanium"}

@@ -49,6 +49,17 @@ def test_section21_chunking(benchmark, publish):
             ],
             title="Section 2.1: reuse distances (chunking) under a 1024-block L1",
         ),
+        rows=[
+            {
+                "workload": name,
+                "accesses": accesses,
+                "cold_fraction": cold,
+                "within_l1_fraction": within,
+                "median_distance": median,
+                "p90_distance": p90,
+            }
+            for name, accesses, cold, within, median, p90 in rows
+        ],
     )
     for name, _accesses, cold, within, _median, _p90 in rows:
         assert within > 0.9, f"{name}: reuses should fit the L1 chunk"

@@ -10,7 +10,7 @@ from repro.core import experiments as E
 
 def test_table2_cache_performance(benchmark, context, publish):
     rows = benchmark.pedantic(lambda: E.table2_cache(context), iterations=1, rounds=1)
-    publish("table2_cache", E.render_table2(rows))
+    publish("table2_cache", E.render_table2(rows), rows=rows)
 
     average_l1 = sum(r.l1_local for r in rows) / len(rows)
     average_overall = sum(r.overall for r in rows) / len(rows)

@@ -13,7 +13,7 @@ def test_table4_load_sequences(benchmark, context, publish):
     rows = benchmark.pedantic(
         lambda: E.table4_sequences(context), iterations=1, rounds=1
     )
-    publish("table4_sequences", E.render_table4(rows))
+    publish("table4_sequences", E.render_table4(rows), rows=rows)
 
     by_name = {r.workload: r for r in rows}
     # Table 4(a): hmm* and blast are load->branch dominated.

@@ -22,7 +22,9 @@ def test_table5_hmmsearch_load_profile(benchmark, context, publish):
         ["", "Section 3 candidate selection:"] + [f"  {c}" for c in candidates[:12]]
     )
     publish(
-        "table5_loadprofile", E.render_table5(rows, "hmmsearch") + candidate_text
+        "table5_loadprofile",
+        E.render_table5(rows, "hmmsearch") + candidate_text,
+        rows=rows,
     )
 
     # Paper Table 5: each hot load covers ~4% of executed loads and

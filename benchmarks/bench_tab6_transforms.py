@@ -10,7 +10,7 @@ from repro.core import experiments as E
 
 def test_table6_transformation_sizes(benchmark, publish):
     rows = benchmark.pedantic(E.table6_transforms, iterations=1, rounds=1)
-    publish("table6_transforms", E.render_table6(rows))
+    publish("table6_transforms", E.render_table6(rows), rows=rows)
 
     by_name = {r.workload: r for r in rows}
     # predator is the smallest transformation (paper: 1 load, 5 lines).

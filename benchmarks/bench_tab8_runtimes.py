@@ -14,7 +14,7 @@ from repro.core import experiments as E
 def test_table8_runtimes(benchmark, table8_rows, publish):
     rows = benchmark.pedantic(lambda: table8_rows, iterations=1, rounds=1)
     text = E.render_table7(E.table7_platforms()) + "\n\n" + E.render_table8(rows)
-    publish("table8_runtimes", text)
+    publish("table8_runtimes", text, rows=rows)
 
     assert len(rows) == 6 * 4  # six amenable programs x four platforms
     for row in rows:

@@ -1,8 +1,11 @@
 """Shared fixtures for the benchmark harness.
 
 Every benchmark regenerates one of the paper's tables or figures,
-prints it (visible with ``pytest -s``), and writes it under
-``benchmarks/results/`` so the artifacts survive the run.
+prints it (visible with ``pytest -s``), writes it under
+``benchmarks/results/``, and emits a machine-readable
+``BENCH_<name>.json`` next to it (wall time, instructions/sec where
+meaningful, and the row data) so the perf trajectory is tracked across
+PRs.
 
 Scales (see ``repro.workloads.datasets.SCALES``) are controlled by two
 environment variables:
@@ -11,11 +14,24 @@ environment variables:
   default ``small``, the paper's class-B analogue is ``medium``.
 * ``REPRO_EVAL_SCALE`` — evaluation scale (Table 8 / Figure 9);
   default ``small``, the paper's class-C analogue is ``large``.
+
+Two more wire in the PR's acceleration layers:
+
+* ``REPRO_JOBS`` — worker processes for the shared characterization
+  prefetch (default 1 = serial; results are bit-identical either way).
+* ``REPRO_CACHE`` — set to ``0`` to disable the persistent run cache;
+  by default completed characterization runs are stored under
+  ``$REPRO_CACHE_DIR``/``~/.cache/repro`` so a second benchmark
+  invocation skips the interpreted passes (``python -m repro cache
+  clear`` restores cold behavior).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -26,18 +42,30 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 CHAR_SCALE = os.environ.get("REPRO_SCALE", "small")
 EVAL_SCALE = os.environ.get("REPRO_EVAL_SCALE", "small")
+JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+CACHE_ENABLED = os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
+
+
+def _run_cache():
+    if not CACHE_ENABLED:
+        return None
+    from repro.core.runcache import RunCache
+
+    return RunCache()
 
 
 @pytest.fixture(scope="session")
 def context() -> E.ExperimentContext:
     """One characterization pass per workload, shared by all benchmarks."""
-    return E.ExperimentContext(scale=CHAR_SCALE, seed=0)
+    return E.ExperimentContext(
+        scale=CHAR_SCALE, seed=0, jobs=JOBS, cache=_run_cache()
+    )
 
 
 @pytest.fixture(scope="session")
 def table8_rows():
     """Table 8 evaluation rows (all four platforms), computed once."""
-    return E.table8_runtimes(scale=EVAL_SCALE, seed=0)
+    return E.table8_runtimes(scale=EVAL_SCALE, seed=0, jobs=JOBS)
 
 
 @pytest.fixture(scope="session")
@@ -46,13 +74,61 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-@pytest.fixture
-def publish(results_dir):
-    """Print a rendered table and persist it to results/<name>.txt."""
+def _jsonable(value):
+    """Best-effort conversion of row objects to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
-    def _publish(name: str, text: str) -> None:
+
+@pytest.fixture
+def publish(results_dir, benchmark, request):
+    """Print a rendered table; persist it and a BENCH_<name>.json record.
+
+    ``publish(name, text, rows=..., instructions=...)`` — ``rows`` is
+    the structured data behind the table (dataclasses are fine) and
+    ``instructions`` the dynamic instruction count the measured wall
+    time covers, from which instructions/sec is derived.  Wall time is
+    taken from the pytest-benchmark stats of the calling test.
+    """
+    started = time.time()
+
+    def _publish(name: str, text: str, rows=None, instructions=None) -> None:
         print()
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+        wall = None
+        stats = getattr(benchmark, "stats", None)
+        if stats is not None:
+            try:
+                wall = float(stats.stats.mean)
+            except AttributeError:  # older pytest-benchmark layouts
+                wall = None
+        if wall is None:
+            wall = time.time() - started
+        record = {
+            "name": name,
+            "test": request.node.name,
+            "char_scale": CHAR_SCALE,
+            "eval_scale": EVAL_SCALE,
+            "jobs": JOBS,
+            "cache_enabled": CACHE_ENABLED,
+            "wall_time_s": wall,
+            "instructions": instructions,
+            "instructions_per_sec": (
+                instructions / wall if instructions and wall else None
+            ),
+            "rows": _jsonable(rows) if rows is not None else None,
+        }
+        (results_dir / f"BENCH_{name}.json").write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
 
     return _publish

@@ -10,6 +10,7 @@ tools in a single pass.
 
 from repro.atom.branchprofile import BranchProfile
 from repro.atom.coverage import LoadCoverage
+from repro.atom.fused import FusedStandardTools
 from repro.atom.instmix import InstructionMix
 from repro.atom.loadprofile import CacheSim
 from repro.atom.reuse import ReuseDistance
@@ -23,6 +24,7 @@ __all__ = [
     "CacheSim",
     "CharacterizationResult",
     "FilteredTool",
+    "FusedStandardTools",
     "InstructionMix",
     "LoadCoverage",
     "ReuseDistance",

@@ -39,6 +39,9 @@ class BranchRow:
 class BranchProfile:
     """One-pass per-branch statistics under a predictor."""
 
+    #: Only conditional branches train the predictor.
+    interests = frozenset({"branch"})
+
     def __init__(self, predictor: Optional[BasePredictor] = None):
         self.predictor = predictor or Hybrid(aliased=False)
         self._lines: Dict[int, int] = {}
@@ -50,6 +53,24 @@ class BranchProfile:
         self.predictor.access(instr.sid, event.taken)
         if instr.sid not in self._lines:
             self._lines[instr.sid] = instr.line
+
+    # -- merge protocol -------------------------------------------------------
+    def merge(self, other: "BranchProfile") -> "BranchProfile":
+        """Fold another run's statistics into this profile; returns self."""
+        self.predictor.merge(other.predictor)
+        for sid, line in other._lines.items():
+            self._lines.setdefault(sid, line)
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-data view of the tool state (JSON/pickle friendly)."""
+        return {
+            "overall_misprediction_rate": self.overall_misprediction_rate,
+            "per_branch": {
+                sid: (stats.executed, stats.taken, stats.mispredicted)
+                for sid, stats in self.predictor.per_branch.items()
+            },
+        }
 
     @property
     def overall_misprediction_rate(self) -> float:

@@ -16,6 +16,9 @@ from repro.exec.trace import TraceEvent
 class LoadCoverage:
     """Per-static-load execution counts and coverage curves."""
 
+    #: Only loads matter; interest-masked dispatch skips everything else.
+    interests = frozenset({"load"})
+
     def __init__(self) -> None:
         self.counts: Dict[int, int] = {}
         self.total_loads = 0
@@ -26,6 +29,19 @@ class LoadCoverage:
             self.total_loads += 1
             sid = instr.sid
             self.counts[sid] = self.counts.get(sid, 0) + 1
+
+    # -- merge protocol -------------------------------------------------------
+    def merge(self, other: "LoadCoverage") -> "LoadCoverage":
+        """Fold another run's counters into this tool; returns self."""
+        self.total_loads += other.total_loads
+        counts = self.counts
+        for sid, count in other.counts.items():
+            counts[sid] = counts.get(sid, 0) + count
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-data view of the tool state (JSON/pickle friendly)."""
+        return {"total_loads": self.total_loads, "counts": dict(self.counts)}
 
     # -- Figure 2 views -------------------------------------------------------
     @property

@@ -1,0 +1,134 @@
+"""Fused dispatch for the standard four-tool characterization set.
+
+``characterize`` (and anything else that attaches exactly
+:class:`InstructionMix` + :class:`LoadCoverage` + :class:`CacheSim` +
+:class:`SequenceProfile`) used to pay four consumer calls per dynamic
+instruction, each re-classifying the same instruction.  The interpreter
+now collapses that case into one :class:`FusedStandardTools` consumer:
+the instruction is classified once and each tool's state transition is
+applied inline, writing into the *original* tool objects — the final
+tool state is bit-for-bit identical to unfused dispatch, only cheaper.
+
+Fusion is conservative: it triggers only for exact instances of the four
+default classes (a subclass may override ``on_event``), each appearing
+exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.atom.coverage import LoadCoverage
+from repro.atom.instmix import InstructionMix
+from repro.atom.loadprofile import CacheSim, PerLoadCacheStats
+from repro.atom.sequences import SequenceProfile
+from repro.exec.trace import TraceEvent
+from repro.isa.instructions import Opcode
+
+
+class FusedStandardTools:
+    """One consumer that advances all four standard tools per event."""
+
+    interests = frozenset({"load", "store", "branch", "other", "halt"})
+
+    def __init__(
+        self,
+        mix: InstructionMix,
+        coverage: LoadCoverage,
+        cache: CacheSim,
+        sequences: SequenceProfile,
+    ):
+        self.mix = mix
+        self.coverage = coverage
+        self.cache = cache
+        self.sequences = sequences
+
+    def on_event(self, event: TraceEvent) -> None:
+        instr = event.instr
+        kind = instr.kind
+        if kind == "load":
+            self.load(instr, event.addr, event.value)
+        elif kind == "store":
+            self.store(instr, event.addr)
+        elif kind == "branch":
+            self.branch(instr, event.taken)
+        else:  # "other" and "halt"
+            self.step(instr)
+
+    # -- direct entry points ------------------------------------------------
+    # The interpreter calls these straight from its dispatch loop when the
+    # fused path is active, skipping TraceEvent construction entirely.
+
+    def load(self, instr, addr: int, value) -> None:
+        counts = self.mix.counts
+        counts.total += 1
+        counts.loads += 1
+        if instr.opcode is Opcode.FLOAD:
+            counts.fp_total += 1
+            counts.fp_loads += 1
+        coverage = self.coverage
+        coverage.total_loads += 1
+        sid = instr.sid
+        cov_counts = coverage.counts
+        cov_counts[sid] = cov_counts.get(sid, 0) + 1
+        cache = self.cache
+        level = cache.hierarchy.access(addr, is_write=False, is_load=True)
+        stats = cache.per_load.get(sid)
+        if stats is None:
+            stats = cache.per_load[sid] = PerLoadCacheStats()
+        stats.accesses += 1
+        if level > 1:
+            stats.l1_misses += 1
+        self.sequences.on_load(instr)
+
+    def store(self, instr, addr) -> None:
+        counts = self.mix.counts
+        counts.total += 1
+        counts.stores += 1
+        if instr.opcode is Opcode.FSTORE:
+            counts.fp_total += 1
+        if addr is not None:
+            self.cache.hierarchy.access(addr, is_write=True, is_load=False)
+        self.sequences.on_step(instr)
+
+    def branch(self, instr, taken) -> None:
+        counts = self.mix.counts
+        counts.total += 1
+        counts.branches += 1
+        self.sequences.on_branch(instr, taken)
+
+    def step(self, instr) -> None:
+        counts = self.mix.counts
+        counts.total += 1
+        if instr.is_fp:
+            counts.fp_total += 1
+        self.sequences.on_step(instr)
+
+
+#: The exact classes the interpreter is willing to fuse.
+_STANDARD = (InstructionMix, LoadCoverage, CacheSim, SequenceProfile)
+
+
+def fuse_standard_tools(
+    consumers: Sequence[object],
+) -> Optional[FusedStandardTools]:
+    """Return a fused consumer for exactly the standard four tools.
+
+    ``consumers`` may list the tools in any order; returns None when the
+    set is anything else (wrong length, duplicates, subclasses, or
+    unrelated consumers), in which case dispatch stays unfused.
+    """
+    if len(consumers) != 4:
+        return None
+    found: List[Optional[object]] = [None, None, None, None]
+    for consumer in consumers:
+        for position, standard_type in enumerate(_STANDARD):
+            if type(consumer) is standard_type:
+                if found[position] is not None:
+                    return None
+                found[position] = consumer
+                break
+        else:
+            return None
+    mix, coverage, cache, sequences = found
+    return FusedStandardTools(mix, coverage, cache, sequences)

@@ -7,7 +7,7 @@ conditional branches, and other — plus the floating-point breakdown
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.exec.trace import TraceEvent
 from repro.isa.instructions import Opcode
@@ -27,6 +27,9 @@ class MixCounts:
 
 class InstructionMix:
     """One-pass instruction-mix tool."""
+
+    #: Total-count accounting needs every event kind.
+    interests = frozenset({"load", "store", "branch", "other", "halt"})
 
     def __init__(self) -> None:
         self.counts = MixCounts()
@@ -48,6 +51,22 @@ class InstructionMix:
             counts.branches += 1
         elif instr.is_fp:
             counts.fp_total += 1
+
+    # -- merge protocol -----------------------------------------------------
+    def merge(self, other: "InstructionMix") -> "InstructionMix":
+        """Fold another run's counters into this tool; returns self."""
+        mine, theirs = self.counts, other.counts
+        mine.total += theirs.total
+        mine.loads += theirs.loads
+        mine.stores += theirs.stores
+        mine.branches += theirs.branches
+        mine.fp_total += theirs.fp_total
+        mine.fp_loads += theirs.fp_loads
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-data view of the tool state (JSON/pickle friendly)."""
+        return asdict(self.counts)
 
     # -- Figure 1 / Table 1 views -----------------------------------------------
     @property

@@ -30,6 +30,9 @@ class PerLoadCacheStats:
 class CacheSim:
     """ATOM-style cache tool: hierarchy stats + per-load attribution."""
 
+    #: Only memory traffic reaches the hierarchy.
+    interests = frozenset({"load", "store"})
+
     def __init__(self, hierarchy: Optional[CacheHierarchy] = None):
         self.hierarchy = hierarchy or CacheHierarchy()
         self.per_load: Dict[int, PerLoadCacheStats] = {}
@@ -52,3 +55,34 @@ class CacheSim:
     def load_l1_miss_rate(self, sid: int) -> float:
         stats = self.per_load.get(sid)
         return stats.l1_miss_rate if stats else 0.0
+
+    # -- merge protocol -------------------------------------------------------
+    def merge(self, other: "CacheSim") -> "CacheSim":
+        """Fold another run's *statistics* into this tool; returns self.
+
+        Hit/miss counters and per-load attribution are additive; the
+        simulated cache contents stay this tool's own (merging is meant
+        for aggregating completed, independent runs, not for resuming).
+        """
+        for sid, theirs in other.per_load.items():
+            mine = self.per_load.get(sid)
+            if mine is None:
+                mine = self.per_load[sid] = PerLoadCacheStats()
+            mine.accesses += theirs.accesses
+            mine.l1_misses += theirs.l1_misses
+        self.hierarchy.merge(other.hierarchy)
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-data view of the tool state (JSON/pickle friendly)."""
+        hierarchy = self.hierarchy
+        return {
+            "per_load": {
+                sid: (stats.accesses, stats.l1_misses)
+                for sid, stats in self.per_load.items()
+            },
+            "load_accesses": hierarchy.load_accesses,
+            "load_l1_misses": hierarchy.load_l1_misses,
+            "load_l2_misses": hierarchy.load_l2_misses,
+            "memory_accesses": hierarchy.memory_accesses,
+        }

@@ -55,6 +55,8 @@ class ReuseDistance:
         self.block_size = block_size
         self.max_tracked = max_tracked
         self._stack: "OrderedDict[int, None]" = OrderedDict()
+        #: Only memory traffic has a reuse distance.
+        self.interests = frozenset({"load", "store"})
         #: Histogram: power-of-two bucket index -> count.
         self.histogram: Dict[int, int] = {}
         self.cold = 0

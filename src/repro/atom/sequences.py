@@ -78,6 +78,9 @@ class _PendingLoad:
 class SequenceProfile:
     """One-pass sequence detector; owns the hybrid branch predictor."""
 
+    #: Taint propagation and the position counter need every event.
+    interests = frozenset({"load", "store", "branch", "other", "halt"})
+
     def __init__(
         self,
         predictor: Optional[BasePredictor] = None,
@@ -118,25 +121,37 @@ class SequenceProfile:
         self._pending: List[_PendingLoad] = []
 
     # -- event handling ---------------------------------------------------------
+    # The per-kind handlers below are the real implementation;
+    # ``on_event`` only classifies.  The fused fast path
+    # (:mod:`repro.atom.fused`) calls the handlers directly, skipping the
+    # event object entirely, so their state transitions must stay
+    # equivalent to the historical single-``on_event`` tool.
+
     def on_event(self, event: TraceEvent) -> None:
-        instr = event.instr
+        kind = event.instr.kind
+        if kind == "load":
+            self.on_load(event.instr)
+        elif kind == "branch":
+            self.on_branch(event.instr, event.taken)
+        else:
+            self.on_step(event.instr)
+
+    def on_load(self, instr) -> None:
+        """One executed load: start a taint chain, watch recent branches."""
         position = self._position
         self._position = position + 1
-        taint = self._taint
-        op = instr.opcode
-
-        # branch->load bookkeeping: does anything consume a pending load?
         if self._pending:
             self._consume_pending(instr, position)
-
-        if instr.is_load:
-            self.total_loads += 1
-            self._dyn_load_id += 1
-            taint[instr.dest] = ((self._dyn_load_id, instr.sid, 0),)
+        self.total_loads += 1
+        dyn_load_id = self._dyn_load_id + 1
+        self._dyn_load_id = dyn_load_id
+        self._taint[instr.dest] = ((dyn_load_id, instr.sid, 0),)
+        if self._recent_branches:
+            window = self.window
             recent = tuple(
                 sid
                 for sid, at in self._recent_branches
-                if position - at <= self.window
+                if position - at <= window
             )
             if recent:
                 self._pending.append(
@@ -146,20 +161,34 @@ class SequenceProfile:
                         expires=position + self.consume_window,
                     )
                 )
-            return
-        if op is Opcode.BR:
-            self._on_branch(instr, event.taken, position)
-            return
+
+    def on_branch(self, instr, taken: Optional[bool]) -> None:
+        """One executed conditional branch."""
+        position = self._position
+        self._position = position + 1
+        if self._pending:
+            self._consume_pending(instr, position)
+        self._on_branch(instr, taken, position)
+
+    def on_step(self, instr) -> None:
+        """Any other executed instruction: propagate taint chains."""
+        position = self._position
+        self._position = position + 1
+        if self._pending:
+            self._consume_pending(instr, position)
         dest = instr.dest
         if dest is None:
             return
+        taint = self._taint
         # Propagate taint through register-to-register operations.
         merged: tuple = ()
         max_chain = self.max_chain
         for src in instr.reads():
-            for dyn_id, sid, depth in taint.get(src, ()):
-                if depth < max_chain:
-                    merged += ((dyn_id, sid, depth + 1),)
+            tags = taint.get(src)
+            if tags:
+                for dyn_id, sid, depth in tags:
+                    if depth < max_chain:
+                        merged += ((dyn_id, sid, depth + 1),)
         if merged:
             if len(merged) > 6:
                 merged = merged[:6]
@@ -243,3 +272,42 @@ class SequenceProfile:
         """Table 5: misprediction rate of the branches fed by this load."""
         stats = self.load_feeds.get(load_sid)
         return stats.misprediction_rate if stats else 0.0
+
+    # -- merge protocol ---------------------------------------------------------
+    def merge(self, other: "SequenceProfile") -> "SequenceProfile":
+        """Fold another *completed* run's statistics into this profile.
+
+        Counters, per-branch/per-load statistics, and the predictor's
+        prediction statistics are additive; in-flight state (taint,
+        pending loads, position) stays this profile's own.  Returns self.
+        """
+        self.total_loads += other.total_loads
+        self.load_to_branch_loads += other.load_to_branch_loads
+        for sid, stats in other.seq_branch_stats.items():
+            mine = self.seq_branch_stats.get(sid)
+            if mine is None:
+                self.seq_branch_stats[sid] = mine = BranchStats()
+            mine.merge(stats)
+        for sid, stats in other.load_feeds.items():
+            mine = self.load_feeds.get(sid)
+            if mine is None:
+                self.load_feeds[sid] = mine = BranchStats()
+            mine.merge(stats)
+        for key, count in other.after_branch_loads.items():
+            self.after_branch_loads[key] = self.after_branch_loads.get(key, 0) + count
+        self.predictor.merge(other.predictor)
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-data view of the tool state (JSON/pickle friendly)."""
+        summary = self.summary()
+        return {
+            "total_loads": summary.total_loads,
+            "load_to_branch_loads": summary.load_to_branch_loads,
+            "seq_branch_executions": summary.seq_branch_executions,
+            "seq_branch_mispredictions": summary.seq_branch_mispredictions,
+            "loads_after_hard_branch": summary.loads_after_hard_branch,
+            "overall_branch_misprediction_rate": (
+                summary.overall_branch_misprediction_rate
+            ),
+        }

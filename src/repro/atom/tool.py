@@ -9,12 +9,39 @@ that contract as a :class:`typing.Protocol` and provides two adapters:
   (e.g. only loads, only one static instruction);
 * :class:`TeeTool` — forward one event stream to several tools (useful
   when composing tools into a larger one).
+
+Interest masks
+--------------
+
+A tool may additionally declare an ``interests`` attribute — an iterable
+of event-kind names from :data:`repro.exec.interpreter.EVENT_KINDS`
+(``"load"``, ``"store"``, ``"branch"``, ``"other"``, ``"halt"``).  The
+interpreter pre-splits its consumer list per kind, so a tool that only
+observes loads never sees (and never pays for) the ALU-heavy rest of the
+stream; when *nobody* observes a kind, the event object is never even
+constructed.  Tools without ``interests`` receive every event, exactly
+as before the mask existed.  Declaring interests is purely an
+optimization: ``on_event`` must still tolerate any event it is handed,
+because trace replays and :class:`TeeTool` may bypass the mask.
+
+Merge protocol
+--------------
+
+The standard characterization tools additionally implement
+``merge(other)`` (fold the statistics of another *completed* run of the
+same tool type into this one; returns ``self``) and ``snapshot()`` (a
+plain-data summary of the tool state).  This is what lets
+:class:`repro.core.parallel.ParallelRunner` fan runs out across worker
+processes and combine the results.  Custom tools that want to join
+parallel or multi-seed aggregation should implement both; in-flight
+state (anything meaningless across run boundaries) should be excluded.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, List, Protocol, runtime_checkable
 
+from repro.exec.interpreter import ALL_EVENTS, EVENT_KINDS  # noqa: F401
 from repro.exec.trace import TraceEvent
 
 
@@ -27,7 +54,11 @@ class AnalysisTool(Protocol):
 
 
 class FilteredTool:
-    """Forwards only events matching ``predicate`` to ``inner``."""
+    """Forwards only events matching ``predicate`` to ``inner``.
+
+    Declares no ``interests`` of its own: the predicate is opaque, and
+    the forwarded/dropped counters are defined over the full stream.
+    """
 
     def __init__(self, inner: AnalysisTool, predicate: Callable[[TraceEvent], bool]):
         self.inner = inner
@@ -44,10 +75,22 @@ class FilteredTool:
 
 
 class TeeTool:
-    """Forwards every event to all wrapped tools."""
+    """Forwards every event to all wrapped tools.
+
+    Its ``interests`` are the union of the members' interests (the mask
+    of the whole is the mask of its parts); each delivered event still
+    goes to *every* member, so members must keep their own guards.
+    """
 
     def __init__(self, tools: Iterable[AnalysisTool]):
         self.tools: List[AnalysisTool] = list(tools)
+        interests: frozenset = frozenset()
+        for tool in self.tools:
+            declared = getattr(tool, "interests", None)
+            interests = interests | (
+                ALL_EVENTS if declared is None else frozenset(declared)
+            )
+        self.interests = interests or ALL_EVENTS
 
     def on_event(self, event: TraceEvent) -> None:
         for tool in self.tools:

@@ -37,6 +37,13 @@ class BranchStats:
             return 0.0
         return self.taken / self.executed
 
+    def merge(self, other: "BranchStats") -> "BranchStats":
+        """Add another run's counters; returns self."""
+        self.executed += other.executed
+        self.mispredicted += other.mispredicted
+        self.taken += other.taken
+        return self
+
 
 class _Counter2:
     """Saturating 2-bit counter helpers (values 0..3, taken when >= 2)."""
@@ -94,6 +101,23 @@ class BasePredictor:
     def branch_misprediction_rate(self, sid: int) -> float:
         stats = self.per_branch.get(sid)
         return stats.misprediction_rate if stats else 0.0
+
+    def merge(self, other: "BasePredictor") -> "BasePredictor":
+        """Fold another predictor's *statistics* into this one.
+
+        Global and per-branch prediction statistics are additive across
+        completed, independent runs; the trained tables (counters,
+        histories) stay this predictor's own, since merging them has no
+        meaningful semantics.  Returns self.
+        """
+        self.global_stats.merge(other.global_stats)
+        per_branch = self.per_branch
+        for sid, stats in other.per_branch.items():
+            mine = per_branch.get(sid)
+            if mine is None:
+                per_branch[sid] = mine = BranchStats()
+            mine.merge(stats)
+        return self
 
 
 class Bimodal(BasePredictor):

@@ -96,6 +96,17 @@ class Cache:
         """Empty the cache, keeping statistics."""
         self._sets.clear()
 
+    def merge(self, other: "Cache") -> "Cache":
+        """Add another cache's hit/miss/writeback counters; returns self.
+
+        Contents are not merged — this aggregates the statistics of
+        completed, independent simulations.
+        """
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writebacks += other.writebacks
+        return self
+
     # -- statistics -------------------------------------------------------------------
     @property
     def accesses(self) -> int:

@@ -79,6 +79,21 @@ class CacheHierarchy:
         self.memory_accesses += 1
         return 3
 
+    def merge(self, other: "CacheHierarchy") -> "CacheHierarchy":
+        """Add another hierarchy's access statistics; returns self.
+
+        Aggregates counters of completed, independent simulations; the
+        simulated line state stays this hierarchy's own.
+        """
+        self.memory_accesses += other.memory_accesses
+        self.load_accesses += other.load_accesses
+        self.load_l1_misses += other.load_l1_misses
+        self.load_l2_misses += other.load_l2_misses
+        self.l1.merge(other.l1)
+        if self.l2 is not None and other.l2 is not None:
+            self.l2.merge(other.l2)
+        return self
+
     def latency_of_level(self, level: int) -> int:
         """Load-to-use latency for a request served at ``level``."""
         lat = self.latencies

@@ -8,7 +8,10 @@ Commands:
 * ``candidates WORKLOAD`` — the Section 3 candidate loads;
 * ``evaluate WORKLOAD`` — original vs transformed cycles per platform;
 * ``disasm WORKLOAD`` — machine code, original or transformed;
-* ``report`` — regenerate EXPERIMENTS.md (all tables and figures).
+* ``report`` — regenerate EXPERIMENTS.md (all tables and figures);
+  ``--jobs N`` fans the independent runs over worker processes and the
+  persistent run cache skips runs already done (``--no-cache`` opts out);
+* ``cache stats|clear`` — inspect or clear the persistent run cache.
 """
 
 from __future__ import annotations
@@ -63,6 +66,30 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--char-scale", choices=SCALES, default="medium")
     report.add_argument("--eval-scale", choices=SCALES, default="large")
     report.add_argument("--out", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the independent runs (0 = all cores)",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the persistent run cache",
+    )
+    report.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the persistent run cache")
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     return parser
 
@@ -185,12 +212,30 @@ def _cmd_disasm(args) -> None:
 
 
 def _cmd_report(args) -> None:
+    from repro.core.parallel import default_jobs
     from repro.core.report import generate
+    from repro.core.runcache import RunCache
 
-    text = generate(args.char_scale, args.eval_scale)
+    cache = None if args.no_cache else RunCache(args.cache_dir)
+    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    text = generate(args.char_scale, args.eval_scale, jobs=jobs, cache=cache)
     with open(args.out, "w") as handle:
         handle.write(text)
     print(f"wrote {args.out}")
+
+
+def _cmd_cache(args) -> None:
+    from repro.core.runcache import RunCache
+
+    cache = RunCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache directory: {stats['directory']}")
+        print(f"entries:         {stats['entries']}")
+        print(f"size:            {stats['bytes'] / 1e6:.2f} MB")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.directory}")
 
 
 def main(argv: Optional[List[str]] = None) -> None:
@@ -207,6 +252,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         _cmd_disasm(args)
     elif args.command == "report":
         _cmd_report(args)
+    elif args.command == "cache":
+        _cmd_cache(args)
 
 
 if __name__ == "__main__":

@@ -29,20 +29,95 @@ from repro.workloads.registry import (
 
 
 class ExperimentContext:
-    """Memoizes characterization runs per (workload, scale, seed)."""
+    """Memoizes characterization runs per (workload, scale, seed).
 
-    def __init__(self, scale: str = "medium", seed: int = 0):
+    Two optional accelerators compose with the in-memory memo:
+
+    * ``cache`` — a :class:`repro.core.runcache.RunCache`; completed
+      runs are persisted on disk keyed by a fingerprint of the program,
+      dataset, and tool configuration, so a later process skips the
+      interpretation entirely.
+    * ``jobs`` — worker-process count for :meth:`prefetch`, which fans
+      the uncached characterization runs out in parallel.  Each run is
+      independent and collected in workload order, so results are
+      bit-identical to the serial path.
+    """
+
+    def __init__(
+        self,
+        scale: str = "medium",
+        seed: int = 0,
+        jobs: int = 1,
+        cache=None,
+    ):
         self.scale = scale
         self.seed = seed
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
         self._runs: Dict[str, CharacterizationResult] = {}
+
+    def _fingerprint(self, name: str) -> str:
+        from repro.core.runcache import run_fingerprint
+
+        spec = get_workload(name)
+        return run_fingerprint(
+            name,
+            self.scale,
+            self.seed,
+            200_000_000,
+            spec.program().disassemble(),
+            spec.dataset(self.scale, self.seed),
+        )
+
+    def _load_cached(self, name: str) -> Optional[CharacterizationResult]:
+        if self.cache is None:
+            return None
+        result = self.cache.load(self._fingerprint(name))
+        return result if isinstance(result, CharacterizationResult) else None
+
+    def _store_cached(self, name: str, result: CharacterizationResult) -> None:
+        if self.cache is not None:
+            self.cache.store(self._fingerprint(name), result)
 
     def run(self, name: str) -> CharacterizationResult:
         result = self._runs.get(name)
         if result is None:
+            result = self._load_cached(name)
+        if result is None:
             spec = get_workload(name)
             result = characterize(spec.program(), spec.dataset(self.scale, self.seed))
-            self._runs[name] = result
+            self._store_cached(name, result)
+        self._runs[name] = result
         return result
+
+    def prefetch(self, names: Optional[List[str]] = None) -> None:
+        """Materialize runs for ``names`` (default: every workload).
+
+        Cached and memoized runs are reused; the remainder run across
+        ``self.jobs`` worker processes.  After this, every ``run()``
+        call for the listed names is a dictionary lookup.
+        """
+        if names is None:
+            names = [spec.name for spec in all_workloads() + spec_workloads()]
+        missing: List[str] = []
+        for name in names:
+            if name in self._runs:
+                continue
+            cached = self._load_cached(name)
+            if cached is not None:
+                self._runs[name] = cached
+            else:
+                missing.append(name)
+        if not missing:
+            return
+        from repro.core.parallel import ParallelRunner
+
+        runner = ParallelRunner(jobs=self.jobs)
+        for name, result in runner.characterize_workloads(
+            missing, self.scale, self.seed
+        ).items():
+            self._runs[name] = result
+            self._store_cached(name, result)
 
 
 # ---------------------------------------------------------------------------
@@ -390,30 +465,43 @@ def table8_runtimes(
     scale: str = "large",
     seed: int = 0,
     platform_keys: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium"),
+    jobs: int = 1,
 ) -> List[RuntimeRow]:
     """Table 8: original vs transformed cycles per amenable program and
     platform (the paper reports seconds; cycles are the simulator
-    analogue — Figure 9's speedups are the comparable quantity)."""
+    analogue — Figure 9's speedups are the comparable quantity).
+
+    ``jobs > 1`` evaluates the (platform, workload) grid across worker
+    processes; each cell is an independent deterministic simulation and
+    rows come back in grid order, so the output is identical to serial.
+    """
+    from repro.core.parallel import ParallelRunner, _evaluate_task
+
+    tasks = [
+        (spec.name, key, scale, seed)
+        for key in platform_keys
+        for spec in amenable_workloads()
+    ]
+    results = ParallelRunner(jobs=jobs).map(_evaluate_task, tasks)
     rows: List[RuntimeRow] = []
-    for key in platform_keys:
+    for name, key, evaluation in results:
+        spec = get_workload(name)
         platform = PLATFORMS[key]
-        for spec in amenable_workloads():
-            evaluation = evaluate_workload(spec, platform, scale=scale, seed=seed)
-            paper_speedup = None
-            paper_pair = spec.paper.runtimes.get(key)
-            if paper_pair is not None:
-                paper_speedup = paper_pair[0] / paper_pair[1] - 1.0
-            rows.append(
-                RuntimeRow(
-                    workload=spec.name,
-                    platform_key=key,
-                    platform=platform.name,
-                    original_cycles=evaluation.original.cycles,
-                    transformed_cycles=evaluation.transformed.cycles,
-                    speedup=evaluation.speedup,
-                    paper_speedup=paper_speedup,
-                )
+        paper_speedup = None
+        paper_pair = spec.paper.runtimes.get(key)
+        if paper_pair is not None:
+            paper_speedup = paper_pair[0] / paper_pair[1] - 1.0
+        rows.append(
+            RuntimeRow(
+                workload=spec.name,
+                platform_key=key,
+                platform=platform.name,
+                original_cycles=evaluation.original.cycles,
+                transformed_cycles=evaluation.transformed.cycles,
+                speedup=evaluation.speedup,
+                paper_speedup=paper_speedup,
             )
+        )
     return rows
 
 

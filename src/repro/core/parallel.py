@@ -1,0 +1,131 @@
+"""Process-parallel experiment execution.
+
+The characterization and evaluation workload is embarrassingly
+parallel: each (program, dataset, seed) run is independent and
+deterministic, exactly like the paper running ATOM over each BioPerf
+binary separately.  :class:`ParallelRunner` fans such runs out over a
+``multiprocessing`` pool while keeping results **bit-identical** to the
+serial path:
+
+* tasks are dispatched and collected with ``Pool.map``, which preserves
+  input order, so aggregation order never depends on scheduling;
+* every worker entry point is a module-level function taking one
+  picklable task tuple and resolving workload specs *by name* in the
+  worker (programs are recompiled there — compilation is deterministic);
+* each run's tools are returned whole and, where combination is needed
+  (multi-seed aggregation), folded with the tools' ``merge`` protocol
+  in a fixed order.
+
+``jobs <= 1`` (or a single task) short-circuits to a plain serial loop
+in the calling process — no pool, no pickling — so the parallel API is
+safe to use unconditionally.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.atom.runner import CharacterizationResult, characterize
+from repro.workloads.registry import get_workload
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "all cores"."""
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module-level: must be picklable under spawn too)
+# ---------------------------------------------------------------------------
+
+
+def _characterize_task(
+    task: Tuple[str, str, int, int],
+) -> Tuple[str, CharacterizationResult]:
+    """Worker: one full characterization run, resolved by workload name."""
+    name, scale, seed, max_instructions = task
+    spec = get_workload(name)
+    result = characterize(
+        spec.program(),
+        spec.dataset(scale, seed),
+        max_instructions=max_instructions,
+    )
+    return name, result
+
+
+def _evaluate_task(task: Tuple[str, str, str, int]):
+    """Worker: one original-vs-transformed evaluation on one platform."""
+    name, platform_key, scale, seed = task
+    from repro.core.pipeline import evaluate_workload
+    from repro.cpu.platforms import PLATFORMS
+
+    spec = get_workload(name)
+    evaluation = evaluate_workload(
+        spec, PLATFORMS[platform_key], scale=scale, seed=seed
+    )
+    return name, platform_key, evaluation
+
+
+class ParallelRunner:
+    """Maps deterministic tasks over worker processes (or serially)."""
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+
+    def map(self, func: Callable, tasks: Sequence) -> List:
+        """Apply ``func`` to each task, preserving task order.
+
+        Uses a process pool only when it can help (``jobs > 1`` and more
+        than one task); otherwise runs in-process.  ``func`` must be a
+        module-level function and each task must be picklable.
+        """
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [func(task) for task in tasks]
+        # fork shares the already-imported modules and compile caches
+        # with the workers; fall back to spawn where fork is missing.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(tasks))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(func, tasks)
+
+    # -- high-level fan-outs ------------------------------------------------
+    def characterize_workloads(
+        self,
+        names: Sequence[str],
+        scale: str,
+        seed: int,
+        max_instructions: int = 200_000_000,
+    ) -> Dict[str, CharacterizationResult]:
+        """One characterization run per workload, keyed by name."""
+        tasks = [(name, scale, seed, max_instructions) for name in names]
+        return dict(self.map(_characterize_task, tasks))
+
+    def characterize_seeds(
+        self,
+        name: str,
+        scale: str,
+        seeds: Sequence[int],
+        max_instructions: int = 200_000_000,
+    ) -> CharacterizationResult:
+        """Characterize one workload across several dataset seeds and
+        fold the per-seed tool statistics into one aggregate result with
+        the tools' ``merge`` protocol (always folded in ``seeds`` order,
+        so the aggregate does not depend on worker scheduling)."""
+        if not seeds:
+            raise ValueError("characterize_seeds needs at least one seed")
+        tasks = [(name, scale, seed, max_instructions) for seed in seeds]
+        runs = [result for _, result in self.map(_characterize_task, tasks)]
+        first = runs[0]
+        for run in runs[1:]:
+            first.mix.merge(run.mix)
+            first.coverage.merge(run.coverage)
+            first.cache.merge(run.cache)
+            first.sequences.merge(run.sequences)
+            first.executed += run.executed
+        return first

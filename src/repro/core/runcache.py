@@ -1,0 +1,188 @@
+"""Persistent on-disk cache of characterization runs.
+
+Characterizing a workload is deterministic: the same program, dataset
+scale, seed, and tool configuration always produce the same tool state.
+The paper's workflow (ATOM: instrument once, analyse many times) makes
+that determinism worth banking — regenerating EXPERIMENTS.md or
+re-running a benchmark should not pay for interpretation the previous
+invocation already did.
+
+:class:`RunCache` stores pickled :class:`~repro.atom.runner.
+CharacterizationResult` objects keyed by a fingerprint of everything
+that can change the result:
+
+* a cache format version (bumped when tool state layouts change),
+* the workload name, dataset scale, and seed,
+* the interpreter instruction budget,
+* the program's full disassembly (so compiler changes invalidate), and
+* a stable rendering of the dataset bindings (so generator changes
+  invalidate even when the scale string does not).
+
+Anything that fails to fingerprint, load, or unpickle degrades to a
+cache miss — the cache can never change results, only skip work.
+
+The default location is ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Iterable, Mapping, Optional
+
+#: Bump when the pickled layout of tool state changes incompatibly.
+CACHE_VERSION = 1
+
+#: Filename suffix for cache entries.
+_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache directory from the environment."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def _feed_value(hasher, value: object) -> None:
+    """Feed one dataset binding into the hash, recursively and stably."""
+    if isinstance(value, (list, tuple)):
+        hasher.update(b"[")
+        for item in value:
+            _feed_value(hasher, item)
+        hasher.update(b"]")
+    else:
+        # repr() of ints/floats/strings is stable across runs; floats
+        # round-trip exactly (shortest-repr guarantee since CPython 3.1).
+        hasher.update(repr(value).encode())
+        hasher.update(b";")
+
+
+def fingerprint_bindings(bindings: Mapping[str, object]) -> str:
+    """Stable digest of a dataset's array/scalar bindings."""
+    hasher = hashlib.sha256()
+    for name in sorted(bindings):
+        hasher.update(name.encode())
+        hasher.update(b"=")
+        _feed_value(hasher, bindings[name])
+    return hasher.hexdigest()
+
+
+def run_fingerprint(
+    name: str,
+    scale: str,
+    seed: int,
+    max_instructions: int,
+    program_text: str,
+    bindings: Mapping[str, object],
+    tool_config: str = "standard",
+) -> str:
+    """Cache key for one characterization run.
+
+    ``program_text`` should be the program's disassembly — the full
+    machine-level identity of what will execute — so any compiler or
+    source change invalidates the entry.  ``tool_config`` names the tool
+    set attached to the run; the default four-tool characterization uses
+    ``"standard"``.
+    """
+    hasher = hashlib.sha256()
+    for part in (
+        f"v{CACHE_VERSION}",
+        name,
+        scale,
+        str(seed),
+        str(max_instructions),
+        tool_config,
+        program_text,
+        fingerprint_bindings(bindings),
+    ):
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class RunCache:
+    """Filesystem-backed store of pickled characterization results."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or default_cache_dir()
+
+    # -- entry paths --------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + _SUFFIX)
+
+    def _entries(self) -> Iterable[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [
+            os.path.join(self.directory, n) for n in names if n.endswith(_SUFFIX)
+        ]
+
+    # -- load / store --------------------------------------------------------
+    def load(self, key: str) -> Optional[object]:
+        """The cached object for ``key``, or None on any failure."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Missing, unreadable, truncated, corrupt, or written by an
+            # incompatible version: all just cache misses.  pickle can
+            # raise nearly anything on arbitrary bytes (garbage often
+            # starts with a valid opcode), so no narrower list is safe.
+            return None
+
+    def store(self, key: str, value: object) -> bool:
+        """Atomically persist ``value`` under ``key``; False on failure."""
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+            return True
+        except (OSError, pickle.PicklingError, TypeError):
+            return False
+
+    # -- maintenance ---------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Entry count and total size of the cache directory."""
+        entries = list(self._entries())
+        total = 0
+        for path in entries:
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "directory": self.directory,
+            "entries": len(entries),
+            "bytes": total,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -20,7 +20,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-from repro.core.pipeline import evaluate_workload, run_timed
+from repro.core.pipeline import evaluate_workload
 from repro.cpu.platforms import ALPHA_21264, PlatformConfig
 from repro.workloads.registry import WorkloadSpec, get_workload
 
@@ -47,6 +47,61 @@ def _resolve(workload) -> WorkloadSpec:
     return get_workload(workload)
 
 
+def _platform_point(task) -> SweepPoint:
+    """Worker: evaluate one platform-field sweep point.
+
+    Module-level (and spec-by-name) so sweep points can be farmed out to
+    worker processes; called inline for serial sweeps.
+    """
+    name, field, value, base, scale, seed = task
+    spec = get_workload(name)
+    platform = dataclasses.replace(
+        base, name=f"{base.name}[{field}={value}]", **{field: value}
+    )
+    if field == "int_registers":
+        platform = dataclasses.replace(platform, float_registers=value)
+    evaluation = evaluate_workload(spec, platform, scale=scale, seed=seed)
+    return SweepPoint(
+        field=field,
+        value=value,
+        original_cycles=evaluation.original.cycles,
+        transformed_cycles=evaluation.transformed.cycles,
+    )
+
+
+def _compiler_point(task) -> SweepPoint:
+    """Worker: evaluate one compiler-flag sweep point (both versions)."""
+    name, field, value, platform, scale, seed = task
+    from repro.cpu.platforms import make_timing_model
+    from repro.exec.interpreter import Interpreter
+    from repro.lang.compiler import compile_source
+
+    spec = get_workload(name)
+
+    def timed(transformed: bool) -> int:
+        options = platform.compiler_options()
+        setattr(options, field, value)
+        program = compile_source(
+            spec.source(transformed), f"{spec.name}-{field}-{value}", options
+        )
+        model = make_timing_model(platform)
+        Interpreter(program, spec.dataset(scale, seed)).run(consumers=(model,))
+        return model.result().cycles
+
+    return SweepPoint(
+        field=field,
+        value=value,
+        original_cycles=timed(False),
+        transformed_cycles=timed(True),
+    )
+
+
+def _run_points(worker, tasks, jobs: int) -> List[SweepPoint]:
+    from repro.core.parallel import ParallelRunner
+
+    return ParallelRunner(jobs=jobs).map(worker, tasks)
+
+
 def sweep_platform_field(
     workload,
     field: str,
@@ -54,6 +109,7 @@ def sweep_platform_field(
     base: PlatformConfig = ALPHA_21264,
     scale: str = "small",
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Evaluate original vs transformed while varying one platform field.
 
@@ -62,6 +118,10 @@ def sweep_platform_field(
     ``issue_width``).  Fields that feed the *compiler* (register count,
     cmov availability, predication) take effect there too, because each
     point recompiles with the modified platform's options.
+
+    ``jobs > 1`` evaluates the points across worker processes; each
+    point is independent and results keep ``values`` order, so output
+    is identical to the serial sweep.
     """
     spec = _resolve(workload)
     names = {f.name for f in dataclasses.fields(PlatformConfig)}
@@ -69,23 +129,8 @@ def sweep_platform_field(
         raise ValueError(
             f"unknown platform field {field!r}; expected one of {sorted(names)}"
         )
-    points: List[SweepPoint] = []
-    for value in values:
-        platform = dataclasses.replace(
-            base, name=f"{base.name}[{field}={value}]", **{field: value}
-        )
-        if field == "int_registers":
-            platform = dataclasses.replace(platform, float_registers=value)
-        evaluation = evaluate_workload(spec, platform, scale=scale, seed=seed)
-        points.append(
-            SweepPoint(
-                field=field,
-                value=value,
-                original_cycles=evaluation.original.cycles,
-                transformed_cycles=evaluation.transformed.cycles,
-            )
-        )
-    return points
+    tasks = [(spec.name, field, value, base, scale, seed) for value in values]
+    return _run_points(_platform_point, tasks, jobs)
 
 
 def sweep_compiler_flag(
@@ -95,42 +140,21 @@ def sweep_compiler_flag(
     platform: PlatformConfig = ALPHA_21264,
     scale: str = "small",
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Vary one :class:`CompilerOptions` field for both code versions.
 
     Useful fields: ``alias_model`` ('may-alias' vs 'restrict'),
     ``enable_cmov``, ``enable_hoist``, ``enable_schedule``,
-    ``unroll_factor``, ``opt_level``.
+    ``unroll_factor``, ``opt_level``.  ``jobs`` works as in
+    :func:`sweep_platform_field`.
     """
     spec = _resolve(workload)
-    points: List[SweepPoint] = []
     probe = platform.compiler_options()
     if not hasattr(probe, field):
         raise ValueError(f"unknown compiler option {field!r}")
-    for value in values:
-        def timed(transformed: bool) -> int:
-            from repro.cpu.platforms import make_timing_model
-            from repro.exec.interpreter import Interpreter
-            from repro.lang.compiler import compile_source
-
-            options = platform.compiler_options()
-            setattr(options, field, value)
-            program = compile_source(
-                spec.source(transformed), f"{spec.name}-{field}-{value}", options
-            )
-            model = make_timing_model(platform)
-            Interpreter(program, spec.dataset(scale, seed)).run(consumers=(model,))
-            return model.result().cycles
-
-        points.append(
-            SweepPoint(
-                field=field,
-                value=value,
-                original_cycles=timed(False),
-                transformed_cycles=timed(True),
-            )
-        )
-    return points
+    tasks = [(spec.name, field, value, platform, scale, seed) for value in values]
+    return _run_points(_compiler_point, tasks, jobs)
 
 
 def render_sweep(points: Iterable[SweepPoint], title: Optional[str] = None) -> str:

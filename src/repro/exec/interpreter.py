@@ -21,6 +21,43 @@ Binding = Union[Number, Sequence[Number]]
 #: Name of the spill-slot array created by the register allocator.
 STACK_ARRAY = "__stack__"
 
+#: Event kinds used by interest-masked dispatch.  A consumer may expose
+#: an ``interests`` attribute — an iterable drawn from these names — to
+#: receive only the matching event classes; consumers without one get
+#: every event (the historical behaviour).  ``"halt"`` is the final
+#: event published when the program reaches HALT.
+EVENT_KINDS = ("load", "store", "branch", "other", "halt")
+ALL_EVENTS = frozenset(EVENT_KINDS)
+
+
+def _consumer_interests(consumer: object) -> frozenset:
+    declared = getattr(consumer, "interests", None)
+    if declared is None:
+        return ALL_EVENTS
+    interests = frozenset(declared)
+    unknown = interests - ALL_EVENTS
+    if unknown:
+        raise InterpreterError(
+            f"{type(consumer).__name__}.interests contains unknown event "
+            f"kinds {sorted(unknown)}; expected a subset of {EVENT_KINDS}"
+        )
+    return interests
+
+
+def _fuse_consumers(consumers: List[object]) -> Optional[object]:
+    """Collapse the standard four-tool set into one fused consumer.
+
+    Only exact instances of the default tool classes are fused (a
+    subclass may override ``on_event``); anything else runs unfused.
+    Returns the :class:`repro.atom.fused.FusedStandardTools` instance or
+    None when the set does not qualify.
+    """
+    if len(consumers) != 4:
+        return None
+    from repro.atom.fused import fuse_standard_tools
+
+    return fuse_standard_tools(consumers)
+
 
 class InterpreterError(Exception):
     """Runtime error: unbound array, out-of-bounds access, bad register."""
@@ -110,7 +147,13 @@ class Interpreter:
     def run(self, consumers: Iterable[object] = ()) -> int:
         """Execute to HALT; returns the dynamic instruction count.
 
-        Each consumer must expose ``on_event(event: TraceEvent)``.
+        Each consumer must expose ``on_event(event: TraceEvent)`` and may
+        declare ``interests`` (see :data:`EVENT_KINDS`) to skip event
+        classes it ignores; events of a kind nobody observes are never
+        constructed.  When the consumers are exactly the four standard
+        characterization tools they are dispatched through a fused fast
+        path (:mod:`repro.atom.fused`) — the tools' final state is
+        identical either way.
         """
         from repro.exec.trace import TraceEvent
 
@@ -127,8 +170,28 @@ class Interpreter:
         regs = self.registers
         memory = self.memory
         bases = self.bases
-        sinks = [c.on_event for c in consumers]
-        notify = bool(sinks)
+        # Interest-masked dispatch: one sink list per event kind.  When
+        # the consumer set is exactly the four standard tools, dispatch
+        # goes through the fused consumer's direct per-kind entry points
+        # and no TraceEvent is ever constructed.
+        consumer_list = list(consumers)
+        fused = _fuse_consumers(consumer_list)
+        fused_load = fused_store = fused_branch = fused_step = None
+        sinks_by_kind: Dict[str, List] = {kind: [] for kind in EVENT_KINDS}
+        if fused is not None:
+            fused_load = fused.load
+            fused_store = fused.store
+            fused_branch = fused.branch
+            fused_step = fused.step
+        else:
+            for consumer in consumer_list:
+                for kind in _consumer_interests(consumer):
+                    sinks_by_kind[kind].append(consumer.on_event)
+        load_sinks = sinks_by_kind["load"]
+        store_sinks = sinks_by_kind["store"]
+        branch_sinks = sinks_by_kind["branch"]
+        other_sinks = sinks_by_kind["other"]
+        halt_sinks = sinks_by_kind["halt"]
         budget = self.max_instructions
         O = Opcode  # local alias for speed
 
@@ -137,18 +200,18 @@ class Interpreter:
         end = len(flat)
         try:
             while pc < end:
-                instr = flat[pc]
-                pc += 1
-                count += 1
-                if count > budget:
+                if count == budget:
+                    # Exact budget semantics: the instruction that would
+                    # exceed the budget never executes and no event for
+                    # it is ever published.
                     self.executed = count
                     raise BudgetExceeded(
                         f"exceeded budget of {budget} instructions"
                     )
+                instr = flat[pc]
+                pc += 1
+                count += 1
                 op = instr.opcode
-                addr = None
-                taken = None
-                value = None
                 if op is O.LOAD or op is O.FLOAD:
                     index = regs[instr.srcs[0]] + (instr.imm or 0)
                     data = memory[instr.array]
@@ -162,8 +225,18 @@ class Interpreter:
                             f"load out of bounds: {instr.array}[{index}] "
                             f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
                         ) from None
-                    addr = bases[instr.array] + index * WORD_SIZE
-                elif op is O.STORE or op is O.FSTORE:
+                    if fused_load is not None:
+                        fused_load(
+                            instr, bases[instr.array] + index * WORD_SIZE, value
+                        )
+                    elif load_sinks:
+                        event = TraceEvent(
+                            instr, bases[instr.array] + index * WORD_SIZE, None, value
+                        )
+                        for sink in load_sinks:
+                            sink(event)
+                    continue
+                if op is O.STORE or op is O.FSTORE:
                     index = regs[instr.srcs[1]] + (instr.imm or 0)
                     data = memory[instr.array]
                     try:
@@ -175,10 +248,19 @@ class Interpreter:
                             f"store out of bounds: {instr.array}[{index}] "
                             f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
                         ) from None
-                    addr = bases[instr.array] + index * WORD_SIZE
-                elif op is O.CSTORE or op is O.FCSTORE:
+                    if fused_store is not None:
+                        fused_store(instr, bases[instr.array] + index * WORD_SIZE)
+                    elif store_sinks:
+                        event = TraceEvent(
+                            instr, bases[instr.array] + index * WORD_SIZE, None
+                        )
+                        for sink in store_sinks:
+                            sink(event)
+                    continue
+                if op is O.CSTORE or op is O.FCSTORE:
                     # Predicated store: a NOP when the predicate is zero
                     # (no memory access appears in the trace either).
+                    addr = None
                     if regs[instr.srcs[2]] != 0:
                         index = regs[instr.srcs[1]] + (instr.imm or 0)
                         data = memory[instr.array]
@@ -192,11 +274,25 @@ class Interpreter:
                                 f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
                             ) from None
                         addr = bases[instr.array] + index * WORD_SIZE
-                elif op is O.BR:
+                    if fused_store is not None:
+                        fused_store(instr, addr)
+                    elif store_sinks:
+                        event = TraceEvent(instr, addr, None)
+                        for sink in store_sinks:
+                            sink(event)
+                    continue
+                if op is O.BR:
                     taken = regs[instr.srcs[0]] != 0
                     if taken:
                         pc = positions[instr.target]
-                elif op is O.JMP:
+                    if fused_branch is not None:
+                        fused_branch(instr, taken)
+                    elif branch_sinks:
+                        event = TraceEvent(instr, None, taken)
+                        for sink in branch_sinks:
+                            sink(event)
+                    continue
+                if op is O.JMP:
                     pc = positions[instr.target]
                 elif op is O.ADD or op is O.FADD:
                     regs[instr.dest] = regs[instr.srcs[0]] + regs[instr.srcs[1]]
@@ -252,16 +348,20 @@ class Interpreter:
                 elif op is O.NOP:
                     pass
                 elif op is O.HALT:
-                    if notify:
+                    if fused_step is not None:
+                        fused_step(instr)
+                    elif halt_sinks:
                         event = TraceEvent(instr, None, None)
-                        for sink in sinks:
+                        for sink in halt_sinks:
                             sink(event)
                     break
                 else:  # pragma: no cover - all opcodes handled above
                     raise InterpreterError(f"unhandled opcode {op}")
-                if notify:
-                    event = TraceEvent(instr, addr, taken, value)
-                    for sink in sinks:
+                if fused_step is not None:
+                    fused_step(instr)
+                elif other_sinks:
+                    event = TraceEvent(instr, None, None)
+                    for sink in other_sinks:
                         sink(event)
         except KeyError as exc:
             raise InterpreterError(

@@ -168,49 +168,48 @@ class Instruction:
     sid: int = -1
 
     # -- classification ----------------------------------------------------
-    @property
-    def is_load(self) -> bool:
-        return self.opcode in LOAD_OPS
+    # The is_* flags, ``kind``, and the read set are precomputed once per
+    # static instruction (they are consulted per *dynamic* instruction on
+    # the interpreter's hot path, where repeated frozenset membership
+    # tests dominated profiles).  Passes that mutate ``opcode``, ``srcs``,
+    # or ``dest`` in place must call :meth:`refresh` afterwards;
+    # :func:`dataclasses.replace` and normal construction recompute
+    # automatically via ``__post_init__``.
 
-    @property
-    def is_store(self) -> bool:
-        return self.opcode in STORE_OPS
+    def __post_init__(self) -> None:
+        self.refresh()
 
-    @property
-    def is_mem(self) -> bool:
-        return self.opcode in MEM_OPS
-
-    @property
-    def is_branch(self) -> bool:
-        """True for *conditional* branches only."""
-        return self.opcode is Opcode.BR
-
-    @property
-    def is_jump(self) -> bool:
-        return self.opcode is Opcode.JMP
-
-    @property
-    def is_control(self) -> bool:
-        return self.opcode in (Opcode.BR, Opcode.JMP, Opcode.HALT)
-
-    @property
-    def is_fp(self) -> bool:
-        return self.opcode in FP_OPS
-
-    @property
-    def is_cmp(self) -> bool:
-        return self.opcode in CMP_OPS
-
-    @property
-    def is_cmov(self) -> bool:
-        return self.opcode in (Opcode.CMOV, Opcode.FCMOV)
+    def refresh(self) -> None:
+        """Recompute the derived classification after in-place mutation."""
+        op = self.opcode
+        self.is_load = op in LOAD_OPS
+        self.is_store = op in STORE_OPS
+        self.is_mem = op in MEM_OPS
+        self.is_branch = op is Opcode.BR
+        self.is_jump = op is Opcode.JMP
+        self.is_control = op in (Opcode.BR, Opcode.JMP, Opcode.HALT)
+        self.is_fp = op in FP_OPS
+        self.is_cmp = op in CMP_OPS
+        self.is_cmov = op in (Opcode.CMOV, Opcode.FCMOV)
+        if op in LOAD_OPS:
+            self.kind = "load"
+        elif op in STORE_OPS:
+            self.kind = "store"
+        elif op is Opcode.BR:
+            self.kind = "branch"
+        elif op is Opcode.HALT:
+            self.kind = "halt"
+        else:
+            self.kind = "other"
+        if self.is_cmov and self.dest is not None:
+            self._reads = self.srcs + (self.dest,)
+        else:
+            self._reads = self.srcs
 
     # -- dataflow ----------------------------------------------------------
     def reads(self) -> Tuple[Reg, ...]:
         """Registers this instruction reads, including CMOV's old dest."""
-        if self.is_cmov and self.dest is not None:
-            return self.srcs + (self.dest,)
-        return self.srcs
+        return self._reads
 
     def writes(self) -> Optional[Reg]:
         """Register this instruction writes, or None."""

@@ -24,7 +24,7 @@ class RegClass(enum.Enum):
         return "r" if self is RegClass.INT else "f"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Reg:
     """A register operand.
 
@@ -32,11 +32,34 @@ class Reg:
         rclass: whether this is an integer or floating-point register.
         index: register number within its class.
         virtual: True for compiler-temporary (pre-allocation) registers.
+
+    Registers are dictionary keys on the interpreter's hottest path (the
+    register file, taint maps, dependence tracking), so equality and
+    hashing are hand-written: the hash is a collision-free small integer
+    precomputed at construction instead of the generated tuple hash.
     """
 
     rclass: RegClass
     index: int
     virtual: bool = True
+
+    def __post_init__(self) -> None:
+        code = self.index << 2
+        if self.rclass is RegClass.FLOAT:
+            code |= 2
+        if self.virtual:
+            code |= 1
+        object.__setattr__(self, "_hash", code)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is not Reg:
+            return NotImplemented
+        return self._hash == other._hash
 
     def __repr__(self) -> str:
         prefix = "v" if self.virtual else ""

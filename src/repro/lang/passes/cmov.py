@@ -155,6 +155,7 @@ def _true_condition(
         if instruction.dest == flag:
             if instruction.is_cmp and uses.get(flag, 0) == 1:
                 instruction.opcode = _CMP_INVERSE[instruction.opcode]
+                instruction.refresh()
                 return flag
             break
     one = fresh(RegClass.INT)

@@ -81,6 +81,7 @@ def run(program: Program) -> int:
                 new_srcs = tuple(canonical(reg) for reg in instruction.srcs)
                 if new_srcs != instruction.srcs:
                     instruction.srcs = new_srcs
+                    instruction.refresh()
                     rewritten += 1
             op = instruction.opcode
             dest = instruction.dest

@@ -321,6 +321,7 @@ def _rewrite(program: Program, mapping: Dict[Reg, _Interval]) -> Dict[str, int]:
                     spill_stores += 1
             instruction.srcs = tuple(new_srcs)
             instruction.dest = new_dest
+            instruction.refresh()
             rewritten.extend(before)
             rewritten.append(instruction)
             rewritten.extend(after)

@@ -38,6 +38,9 @@ class PredictabilityRow:
 class ValuePredictability:
     """Feeds every executed load to a value predictor."""
 
+    #: Only loads carry a predictable value.
+    interests = frozenset({"load"})
+
     def __init__(self, predictor: Optional[BaseValuePredictor] = None):
         self.predictor = predictor or ChooserPredictor()
         self._meta: Dict[int, tuple] = {}

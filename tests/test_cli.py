@@ -62,3 +62,16 @@ def test_unknown_workload_raises():
 def test_missing_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cache_stats_and_clear(capsys, tmp_path):
+    main(["cache", "stats", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out
+    assert "entries" in out
+
+    (tmp_path / ("a" * 64 + ".pkl")).write_bytes(b"x")
+    main(["cache", "clear", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "removed 1" in out
+    assert not list(tmp_path.glob("*.pkl"))

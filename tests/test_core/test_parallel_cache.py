@@ -1,0 +1,184 @@
+"""The merge protocol, process-parallel runners, and the run cache."""
+
+import pytest
+
+from repro.atom import CacheSim, InstructionMix, LoadCoverage, SequenceProfile, characterize
+from repro.core import experiments as E
+from repro.core.parallel import ParallelRunner, default_jobs
+from repro.core.runcache import RunCache, run_fingerprint
+from repro.core.sweeps import sweep_platform_field
+from repro.exec import Interpreter
+from repro.workloads import get_workload
+
+WORKLOADS = ("hmmsearch", "fasta")
+
+
+def _run_tools(spec, seed):
+    tools = (InstructionMix(), LoadCoverage(), CacheSim(), SequenceProfile())
+    Interpreter(spec.program(), spec.dataset("test", seed)).run(consumers=tools)
+    return tools
+
+
+# -- merge protocol ---------------------------------------------------------
+
+
+def test_merge_adds_independent_run_statistics():
+    spec = get_workload("hmmsearch")
+    mix_a, cov_a, cache_a, seq_a = _run_tools(spec, 0)
+    mix_b, cov_b, cache_b, seq_b = _run_tools(spec, 1)
+
+    totals = (mix_a.counts.total + mix_b.counts.total,
+              mix_a.counts.loads + mix_b.counts.loads)
+    load_total = cov_a.total_loads + cov_b.total_loads
+    mem_total = (cache_a.hierarchy.memory_accesses
+                 + cache_b.hierarchy.memory_accesses)
+    seq_loads = seq_a.total_loads + seq_b.total_loads
+
+    mix_a.merge(mix_b)
+    cov_a.merge(cov_b)
+    cache_a.merge(cache_b)
+    seq_a.merge(seq_b)
+
+    assert (mix_a.counts.total, mix_a.counts.loads) == totals
+    assert cov_a.total_loads == load_total
+    assert cache_a.hierarchy.memory_accesses == mem_total
+    assert seq_a.total_loads == seq_loads
+    # Fractions stay well-formed after merging.
+    assert 0 < mix_a.load_fraction < 1
+    assert seq_a.summary().total_loads == seq_loads
+
+
+def test_snapshot_is_plain_data():
+    spec = get_workload("hmmsearch")
+    for tool in _run_tools(spec, 0):
+        snapshot = tool.snapshot()
+        assert isinstance(snapshot, dict)
+        # Must survive equality-based comparison (used by the parallel
+        # determinism tests) without touching tool internals.
+        assert snapshot == tool.snapshot()
+
+
+# -- parallel runners -------------------------------------------------------
+
+
+def _snapshots(results):
+    return {
+        name: (
+            result.mix.snapshot(),
+            result.coverage.snapshot(),
+            result.cache.snapshot(),
+            result.sequences.snapshot(),
+            result.executed,
+        )
+        for name, result in results.items()
+    }
+
+
+def test_parallel_characterization_matches_serial():
+    serial = ParallelRunner(jobs=1).characterize_workloads(WORKLOADS, "test", 0)
+    parallel = ParallelRunner(jobs=2).characterize_workloads(WORKLOADS, "test", 0)
+    assert _snapshots(serial) == _snapshots(parallel)
+
+
+def test_parallel_seed_aggregation_matches_serial():
+    serial = ParallelRunner(jobs=1).characterize_seeds("hmmsearch", "test", [0, 1])
+    parallel = ParallelRunner(jobs=2).characterize_seeds("hmmsearch", "test", [0, 1])
+    assert serial.mix.snapshot() == parallel.mix.snapshot()
+    assert serial.sequences.snapshot() == parallel.sequences.snapshot()
+    assert serial.executed == parallel.executed
+
+
+def test_characterize_seeds_requires_seeds():
+    with pytest.raises(ValueError):
+        ParallelRunner(jobs=1).characterize_seeds("hmmsearch", "test", [])
+
+
+def test_sweep_jobs_match_serial():
+    serial = sweep_platform_field("hmmsearch", "l1_hit_int", [1, 3], scale="test")
+    parallel = sweep_platform_field(
+        "hmmsearch", "l1_hit_int", [1, 3], scale="test", jobs=2
+    )
+    assert serial == parallel
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+    # jobs <= 1 and single-task fan-outs never build a pool.
+    assert ParallelRunner(jobs=0).jobs == 1
+
+
+def test_experiment_context_prefetch_matches_serial_rows():
+    serial = E.ExperimentContext(scale="test", seed=0)
+    parallel = E.ExperimentContext(scale="test", seed=0, jobs=2)
+    parallel.prefetch(list(WORKLOADS))
+    for name in WORKLOADS:
+        assert serial.run(name).mix.snapshot() == parallel.run(name).mix.snapshot()
+
+
+# -- run cache --------------------------------------------------------------
+
+
+def test_fingerprint_sensitivity():
+    spec = get_workload("hmmsearch")
+    text = spec.program().disassemble()
+    data = spec.dataset("test", 0)
+    base = run_fingerprint("hmmsearch", "test", 0, 1000, text, data)
+    assert base == run_fingerprint("hmmsearch", "test", 0, 1000, text, data)
+    assert base != run_fingerprint("hmmsearch", "test", 1, 1000, text, data)
+    assert base != run_fingerprint("hmmsearch", "small", 0, 1000, text, data)
+    assert base != run_fingerprint("hmmsearch", "test", 0, 2000, text, data)
+    assert base != run_fingerprint("hmmsearch", "test", 0, 1000, text + "\nNOP", data)
+    assert base != run_fingerprint(
+        "hmmsearch", "test", 0, 1000, text, data, tool_config="custom"
+    )
+
+
+def test_run_cache_round_trip(tmp_path):
+    cache = RunCache(str(tmp_path))
+    spec = get_workload("hmmsearch")
+    result = characterize(spec.program(), spec.dataset("test", 0))
+    key = "0" * 64
+    assert cache.load(key) is None
+    assert cache.store(key, result)
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert loaded.mix.snapshot() == result.mix.snapshot()
+    assert loaded.sequences.snapshot() == result.sequences.snapshot()
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["bytes"] > 0
+    assert cache.clear() == 1
+    assert cache.load(key) is None
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        b"not a pickle",  # UnpicklingError
+        b"garbage\n",  # 'g' is a valid opcode -> ValueError mid-stream
+        b"",  # truncated to nothing -> EOFError
+    ],
+)
+def test_corrupt_cache_entry_is_a_miss(tmp_path, garbage):
+    cache = RunCache(str(tmp_path))
+    key = "1" * 64
+    cache.store(key, {"ok": True})
+    (tmp_path / (key + ".pkl")).write_bytes(garbage)
+    assert cache.load(key) is None
+
+
+def test_experiment_context_uses_cache(tmp_path):
+    cache = RunCache(str(tmp_path))
+    warm = E.ExperimentContext(scale="test", seed=0, cache=cache)
+    first = warm.run("hmmsearch")
+    assert cache.stats()["entries"] == 1
+
+    # A fresh context (fresh process analogue) must hit the stored run.
+    reader = E.ExperimentContext(scale="test", seed=0, cache=cache)
+    cached = reader.run("hmmsearch")
+    assert cached.mix.snapshot() == first.mix.snapshot()
+
+    # Different seed -> different fingerprint -> a genuine re-run.
+    other = E.ExperimentContext(scale="test", seed=1, cache=cache)
+    other.run("hmmsearch")
+    assert cache.stats()["entries"] == 2
