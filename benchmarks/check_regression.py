@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over BENCH_*.json files.
+
+Compares freshly produced benchmark records against a committed
+baseline directory (see :mod:`repro.obs.regression` for the rules:
+throughput drops beyond the threshold, wall-time blowups, dynamic
+instruction-count drift, and silently missing benchmarks all fail the
+gate).  Exit status 0 = pass, 1 = regression.
+
+Usage::
+
+    python benchmarks/check_regression.py \\
+        --baseline /tmp/bench-baseline --current benchmarks/results \\
+        --threshold 0.10
+
+CI note: absolute throughput varies across runner hardware, so CI
+invokes this with a loose ``--threshold`` — the exact instruction-count
+drift check is machine-independent and stays strict regardless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="baseline BENCH dir")
+    parser.add_argument("--current", required=True, help="current BENCH dir")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="tolerated fractional slowdown (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.obs.regression import compare_dirs, gate, render_comparison
+
+    rows = compare_dirs(args.baseline, args.current, threshold=args.threshold)
+    print(render_comparison(rows, threshold=args.threshold))
+    if not rows:
+        print("no baseline benchmarks found — nothing to gate")
+        return 0
+    if not gate(rows):
+        failing = [row.name for row in rows if row.failed]
+        print(f"FAIL: perf gate tripped by: {', '.join(failing)}")
+        return 1
+    print("OK: no regressions against the baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,15 @@ Two more wire in the PR's acceleration layers:
   ``$REPRO_CACHE_DIR``/``~/.cache/repro`` so a second benchmark
   invocation skips the interpreted passes (``python -m repro cache
   clear`` restores cold behavior).
+* ``REPRO_TRACE`` — enable the :mod:`repro.obs` telemetry layer for
+  the whole benchmark session; the collected spans and metrics land in
+  ``benchmarks/results/trace.jsonl`` (render with ``python -m repro
+  trace summary``).
+
+Besides the rendered table and the ``BENCH_<name>.json`` record, every
+``publish()`` also writes a ``BENCH_<name>.manifest.json`` provenance
+manifest (git rev, python/platform, scales, wall time) so each number
+in the trajectory stays attributable across PRs.
 """
 
 from __future__ import annotations
@@ -36,7 +45,9 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core import experiments as E
+from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -72,6 +83,21 @@ def table8_rows():
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def telemetry_session():
+    """Honor ``REPRO_TRACE`` for the whole benchmark session.
+
+    When set, every benchmark's spans and metrics are collected and
+    flushed to ``benchmarks/results/trace.jsonl`` at session end.
+    """
+    trace_path = obs.configure_from_env()
+    yield
+    if trace_path is not None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        obs.flush_to(str(RESULTS_DIR / "trace.jsonl"))
+        obs.disable()
 
 
 def _jsonable(value):
@@ -127,8 +153,21 @@ def publish(results_dir, benchmark, request):
             ),
             "rows": _jsonable(rows) if rows is not None else None,
         }
-        (results_dir / f"BENCH_{name}.json").write_text(
-            json.dumps(record, indent=2) + "\n"
+        bench_path = results_dir / f"BENCH_{name}.json"
+        bench_path.write_text(json.dumps(record, indent=2) + "\n")
+        manifest = build_manifest(
+            kind="benchmark",
+            config={
+                "benchmark": name,
+                "test": request.node.name,
+                "char_scale": CHAR_SCALE,
+                "eval_scale": EVAL_SCALE,
+                "jobs": JOBS,
+                "cache_enabled": CACHE_ENABLED,
+            },
+            timings={"wall": wall},
+            extra={"instructions": instructions},
         )
+        write_manifest(manifest_path_for(str(bench_path)), manifest)
 
     return _publish

@@ -11,7 +11,9 @@ public surface is re-exported from the subpackages:
   simulated machines,
 * :mod:`repro.workloads` — the BioPerf-like kernels,
 * :mod:`repro.core` — the paper's methodology and experiments,
-* :mod:`repro.valuepred` — the Section 6 value-prediction extension.
+* :mod:`repro.valuepred` — the Section 6 value-prediction extension,
+* :mod:`repro.obs` — telemetry: tracing spans, metrics, run
+  manifests, and the benchmark regression gate.
 """
 
 __version__ = "1.0.0"

@@ -105,6 +105,56 @@ class FusedStandardTools:
         self.sequences.on_step(instr)
 
 
+class FusedDispatchCounter:
+    """Telemetry shim over :class:`FusedStandardTools`.
+
+    Counts dispatches per event kind while delegating to the fused
+    entry points unchanged.  The interpreter installs it only when
+    telemetry is enabled, so the fused fast path stays shim-free in
+    normal runs; the counts feed the ``interp.events.*`` metrics and
+    the ``interpret`` span attributes.
+    """
+
+    __slots__ = ("fused", "loads", "stores", "branches", "steps")
+
+    interests = FusedStandardTools.interests
+
+    def __init__(self, fused: FusedStandardTools):
+        self.fused = fused
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.steps = 0
+
+    def load(self, instr, addr: int, value) -> None:
+        self.loads += 1
+        self.fused.load(instr, addr, value)
+
+    def store(self, instr, addr) -> None:
+        self.stores += 1
+        self.fused.store(instr, addr)
+
+    def branch(self, instr, taken) -> None:
+        self.branches += 1
+        self.fused.branch(instr, taken)
+
+    def step(self, instr) -> None:
+        self.steps += 1
+        self.fused.step(instr)
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores + self.branches + self.steps
+
+    def per_kind(self) -> dict:
+        return {
+            "load": self.loads,
+            "store": self.stores,
+            "branch": self.branches,
+            "other": self.steps,
+        }
+
+
 #: The exact classes the interpreter is willing to fuse.
 _STANDARD = (InstructionMix, LoadCoverage, CacheSim, SequenceProfile)
 

@@ -11,11 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from repro import obs
 from repro.atom.coverage import LoadCoverage
 from repro.atom.instmix import InstructionMix
 from repro.atom.loadprofile import CacheSim
 from repro.atom.sequences import SequenceProfile
-from repro.exec.interpreter import Interpreter
+from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS, Interpreter
 from repro.isa.program import Program
 
 
@@ -75,21 +76,26 @@ class CharacterizationResult:
 def characterize(
     program: Program,
     bindings: Optional[Mapping[str, object]] = None,
-    max_instructions: int = 200_000_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     tools: Optional[Dict[str, object]] = None,
+    workload: Optional[str] = None,
 ) -> CharacterizationResult:
     """Run ``program`` once with the full tool set attached.
 
     ``tools`` may override individual tools (keys: ``mix``, ``coverage``,
     ``cache``, ``sequences``), e.g. to supply a custom cache hierarchy.
+    ``workload`` is a telemetry-only label attached to the span this
+    run emits when tracing is enabled (see :mod:`repro.obs`).
     """
     tools = tools or {}
     mix = tools.get("mix") or InstructionMix()
     coverage = tools.get("coverage") or LoadCoverage()
     cache = tools.get("cache") or CacheSim()
     sequences = tools.get("sequences") or SequenceProfile()
-    interp = Interpreter(program, bindings, max_instructions=max_instructions)
-    executed = interp.run(consumers=(mix, coverage, cache, sequences))
+    with obs.span("characterize", workload=workload or "?") as span:
+        interp = Interpreter(program, bindings, max_instructions=max_instructions)
+        executed = interp.run(consumers=(mix, coverage, cache, sequences))
+        span.set_attr(instructions=executed)
     return CharacterizationResult(
         program=program,
         mix=mix,

@@ -11,7 +11,16 @@ Commands:
 * ``report`` — regenerate EXPERIMENTS.md (all tables and figures);
   ``--jobs N`` fans the independent runs over worker processes and the
   persistent run cache skips runs already done (``--no-cache`` opts out);
-* ``cache stats|clear`` — inspect or clear the persistent run cache.
+* ``cache stats|clear|prune`` — inspect, clear, or size-bound the
+  persistent run cache (stats include persisted hit/miss counters);
+* ``trace summary FILE`` — render a telemetry trace (JSONL) as a span
+  tree with metrics;
+* ``bench compare`` — diff current ``BENCH_*.json`` results against a
+  baseline directory and fail on throughput regressions.
+
+The global ``--trace [FILE]`` flag (or ``REPRO_TRACE=1``/``=FILE``)
+turns on the :mod:`repro.obs` telemetry layer for any command and
+writes the collected spans and metrics to a JSONL trace on exit.
 """
 
 from __future__ import annotations
@@ -28,6 +37,15 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Load Instruction Characterization and "
         "Acceleration of the BioPerf Programs' (IISWC 2006)",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="repro-trace.jsonl",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write a JSONL trace "
+        "(default file: repro-trace.jsonl)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -83,12 +101,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
 
-    cache = sub.add_parser("cache", help="inspect or clear the persistent run cache")
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache = sub.add_parser(
+        "cache", help="inspect, clear, or prune the persistent run cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "prune"])
     cache.add_argument(
         "--cache-dir",
         default=None,
         help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cache.add_argument(
+        "--max-mb",
+        type=float,
+        default=512.0,
+        help="prune: evict oldest entries until the cache fits this size",
+    )
+
+    trace = sub.add_parser("trace", help="inspect a telemetry trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summary = trace_sub.add_parser(
+        "summary", help="render the span tree and metrics of a trace"
+    )
+    summary.add_argument("file", help="JSONL trace written by --trace/REPRO_TRACE")
+
+    bench = sub.add_parser("bench", help="benchmark trajectory utilities")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="diff BENCH_*.json against a baseline; non-zero exit on regression",
+    )
+    compare.add_argument(
+        "--baseline",
+        default="benchmarks/results",
+        help="directory with the committed baseline BENCH_*.json files",
+    )
+    compare.add_argument(
+        "--current",
+        default="benchmarks/results",
+        help="directory with the freshly produced BENCH_*.json files",
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="tolerated fractional slowdown before failing (default 0.10)",
     )
 
     return parser
@@ -117,7 +173,9 @@ def _cmd_characterize(args) -> None:
     from repro.workloads import get_workload
 
     spec = get_workload(args.workload)
-    result = characterize(spec.program(), spec.dataset(args.scale, args.seed))
+    result = characterize(
+        spec.program(), spec.dataset(args.scale, args.seed), workload=spec.name
+    )
     mix = result.mix
     hierarchy = result.cache.hierarchy
     summary = result.sequences.summary()
@@ -153,7 +211,9 @@ def _cmd_candidates(args) -> None:
     from repro.workloads import get_workload
 
     spec = get_workload(args.workload)
-    result = characterize(spec.program(), spec.dataset(args.scale, args.seed))
+    result = characterize(
+        spec.program(), spec.dataset(args.scale, args.seed), workload=spec.name
+    )
     candidates = select_candidates(result)
     if not candidates:
         print(f"{spec.name}: no candidate loads at scale {args.scale}")
@@ -230,30 +290,87 @@ def _cmd_cache(args) -> None:
     cache = RunCache(args.cache_dir)
     if args.action == "stats":
         stats = cache.stats()
+        lookups = stats["hits"] + stats["misses"]
+        hit_rate = stats["hits"] / lookups if lookups else 0.0
         print(f"cache directory: {stats['directory']}")
         print(f"entries:         {stats['entries']}")
         print(f"size:            {stats['bytes'] / 1e6:.2f} MB")
+        print(f"hits:            {stats['hits']}")
+        print(f"misses:          {stats['misses']}")
+        print(f"hit rate:        {hit_rate:.1%}")
+        print(f"stores:          {stats['stores']}")
+        print(f"invalid entries: {stats['invalid']}")
+        print(f"evictions:       {stats['evictions']}")
     elif args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached run(s) from {cache.directory}")
+    elif args.action == "prune":
+        evicted = cache.prune(int(args.max_mb * 1e6))
+        print(
+            f"evicted {evicted} cached run(s) from {cache.directory} "
+            f"(bound {args.max_mb:.0f} MB)"
+        )
+
+
+def _cmd_trace(args) -> None:
+    from repro.obs.sinks import read_trace_jsonl, render_summary
+
+    spans, metric_values = read_trace_jsonl(args.file)
+    print(render_summary(spans, metric_values))
+
+
+def _cmd_bench(args) -> None:
+    from repro.obs.regression import compare_dirs, gate, render_comparison
+
+    rows = compare_dirs(args.baseline, args.current, threshold=args.threshold)
+    print(render_comparison(rows, threshold=args.threshold))
+    if not gate(rows):
+        failing = [row.name for row in rows if row.failed]
+        print(f"\nFAIL: perf gate tripped by: {', '.join(failing)}")
+        sys.exit(1)
+    print("\nOK: no regressions against the baseline")
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        _cmd_list()
-    elif args.command == "characterize":
-        _cmd_characterize(args)
-    elif args.command == "candidates":
-        _cmd_candidates(args)
-    elif args.command == "evaluate":
-        _cmd_evaluate(args)
-    elif args.command == "disasm":
-        _cmd_disasm(args)
-    elif args.command == "report":
-        _cmd_report(args)
-    elif args.command == "cache":
-        _cmd_cache(args)
+
+    trace_path = args.trace
+    if trace_path is None:
+        from repro import obs
+
+        trace_path = obs.configure_from_env()
+    else:
+        from repro import obs
+
+        obs.enable()
+
+    try:
+        if args.command == "list":
+            _cmd_list()
+        elif args.command == "characterize":
+            _cmd_characterize(args)
+        elif args.command == "candidates":
+            _cmd_candidates(args)
+        elif args.command == "evaluate":
+            _cmd_evaluate(args)
+        elif args.command == "disasm":
+            _cmd_disasm(args)
+        elif args.command == "report":
+            _cmd_report(args)
+        elif args.command == "cache":
+            _cmd_cache(args)
+        elif args.command == "trace":
+            _cmd_trace(args)
+        elif args.command == "bench":
+            _cmd_bench(args)
+    finally:
+        if trace_path is not None:
+            from repro import obs
+
+            lines = obs.flush_to(trace_path)
+            obs.disable()
+            if lines:
+                print(f"telemetry: wrote {lines} records to {trace_path}")
 
 
 if __name__ == "__main__":

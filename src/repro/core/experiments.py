@@ -57,17 +57,11 @@ class ExperimentContext:
         self._runs: Dict[str, CharacterizationResult] = {}
 
     def _fingerprint(self, name: str) -> str:
-        from repro.core.runcache import run_fingerprint
+        from repro.core.runcache import workload_fingerprint
 
-        spec = get_workload(name)
-        return run_fingerprint(
-            name,
-            self.scale,
-            self.seed,
-            200_000_000,
-            spec.program().disassemble(),
-            spec.dataset(self.scale, self.seed),
-        )
+        # Shared with the run cache AND run manifests (one source of
+        # truth for run identity; see repro.obs.manifest.run_manifest).
+        return workload_fingerprint(name, self.scale, self.seed)
 
     def _load_cached(self, name: str) -> Optional[CharacterizationResult]:
         if self.cache is None:
@@ -80,14 +74,28 @@ class ExperimentContext:
             self.cache.store(self._fingerprint(name), result)
 
     def run(self, name: str) -> CharacterizationResult:
-        result = self._runs.get(name)
-        if result is None:
-            result = self._load_cached(name)
-        if result is None:
-            spec = get_workload(name)
-            result = characterize(spec.program(), spec.dataset(self.scale, self.seed))
-            self._store_cached(name, result)
-        self._runs[name] = result
+        from repro import obs
+
+        with obs.span(
+            "experiment.run", workload=name, scale=self.scale, seed=self.seed
+        ) as span:
+            source = "memo"
+            result = self._runs.get(name)
+            if result is None:
+                result = self._load_cached(name)
+                source = "cache" if result is not None else source
+            if result is None:
+                source = "interp"
+                spec = get_workload(name)
+                result = characterize(
+                    spec.program(),
+                    spec.dataset(self.scale, self.seed),
+                    workload=name,
+                )
+                self._store_cached(name, result)
+            span.set_attr(source=source)
+            obs.metrics().counter(f"experiments.runs.{source}").inc()
+            self._runs[name] = result
         return result
 
     def prefetch(self, names: Optional[List[str]] = None) -> None:
@@ -97,27 +105,31 @@ class ExperimentContext:
         ``self.jobs`` worker processes.  After this, every ``run()``
         call for the listed names is a dictionary lookup.
         """
+        from repro import obs
+
         if names is None:
             names = [spec.name for spec in all_workloads() + spec_workloads()]
-        missing: List[str] = []
-        for name in names:
-            if name in self._runs:
-                continue
-            cached = self._load_cached(name)
-            if cached is not None:
-                self._runs[name] = cached
-            else:
-                missing.append(name)
-        if not missing:
-            return
-        from repro.core.parallel import ParallelRunner
+        with obs.span("experiment.prefetch", requested=len(names)) as span:
+            missing: List[str] = []
+            for name in names:
+                if name in self._runs:
+                    continue
+                cached = self._load_cached(name)
+                if cached is not None:
+                    self._runs[name] = cached
+                else:
+                    missing.append(name)
+            span.set_attr(missing=len(missing), jobs=self.jobs)
+            if not missing:
+                return
+            from repro.core.parallel import ParallelRunner
 
-        runner = ParallelRunner(jobs=self.jobs)
-        for name, result in runner.characterize_workloads(
-            missing, self.scale, self.seed
-        ).items():
-            self._runs[name] = result
-            self._store_cached(name, result)
+            runner = ParallelRunner(jobs=self.jobs)
+            for name, result in runner.characterize_workloads(
+                missing, self.scale, self.seed
+            ).items():
+                self._runs[name] = result
+                self._store_cached(name, result)
 
 
 # ---------------------------------------------------------------------------

@@ -19,21 +19,77 @@ serial path:
 ``jobs <= 1`` (or a single task) short-circuits to a plain serial loop
 in the calling process — no pool, no pickling — so the parallel API is
 safe to use unconditionally.
+
+Failure and observability semantics (see ``docs/observability.md``):
+
+* a task that raises in a worker surfaces as :class:`WorkerTaskError`
+  carrying the failing task's identity (workload, scale, seed, ...)
+  and the worker-side traceback — never a bare pool traceback;
+* ``retries=N`` re-runs a failed task up to N more times (in the
+  parent, serially — deterministic tasks that fail transiently are
+  environment problems, so the retry avoids the pool); every retry and
+  terminal failure emits a telemetry span and bumps the
+  ``parallel.retries`` / ``parallel.failures`` counters;
+* when telemetry is on, each worker captures its own spans and metric
+  deltas and ships them back with its result; the parent re-roots the
+  spans under the dispatching ``parallel.map`` span and folds the
+  metrics into its registry, so one trace shows the whole fan-out.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import traceback as _traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.atom.runner import CharacterizationResult, characterize
+from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import begin_worker_capture as _begin_metrics_capture
+from repro.obs.metrics import end_worker_capture as _end_metrics_capture
 from repro.workloads.registry import get_workload
+
+__all__ = ["ParallelRunner", "WorkerTaskError", "default_jobs"]
 
 
 def default_jobs() -> int:
     """Worker count when the caller asks for "all cores"."""
     return max(1, os.cpu_count() or 1)
+
+
+class WorkerTaskError(RuntimeError):
+    """A parallel task failed; carries what was running, not just where.
+
+    Attributes:
+        task: the task tuple handed to the worker.
+        description: human identity of the task (workload, seed, ...).
+        exc_type: the original exception's class name.
+        exc_message: the original exception's message.
+        worker_traceback: the worker-side traceback text.
+        attempts: how many times the task was tried in total.
+    """
+
+    def __init__(
+        self,
+        description: str,
+        task: Any,
+        exc_type: str,
+        exc_message: str,
+        worker_traceback: str,
+        attempts: int,
+    ):
+        self.description = description
+        self.task = task
+        self.exc_type = exc_type
+        self.exc_message = exc_message
+        self.worker_traceback = worker_traceback
+        self.attempts = attempts
+        super().__init__(
+            f"worker task failed after {attempts} attempt(s): {description}: "
+            f"{exc_type}: {exc_message}"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -51,6 +107,7 @@ def _characterize_task(
         spec.program(),
         spec.dataset(scale, seed),
         max_instructions=max_instructions,
+        workload=name,
     )
     return name, result
 
@@ -68,31 +125,137 @@ def _evaluate_task(task: Tuple[str, str, str, int]):
     return name, platform_key, evaluation
 
 
+def describe_task(func: Callable, task: Any) -> str:
+    """Human identity of one task tuple, by worker entry point."""
+    try:
+        if func is _characterize_task:
+            name, scale, seed, budget = task
+            return f"characterize workload={name} scale={scale} seed={seed}"
+        if func is _evaluate_task:
+            name, platform_key, scale, seed = task
+            return (
+                f"evaluate workload={name} platform={platform_key} "
+                f"scale={scale} seed={seed}"
+            )
+    except (TypeError, ValueError):
+        pass
+    return f"{getattr(func, '__name__', func)}({task!r})"
+
+
+def _invoke(payload: Tuple[Callable, Any, bool]) -> Tuple[str, Any, list, dict]:
+    """Worker shim around one task.
+
+    Returns ``(status, value, span_records, metrics_snapshot)`` where
+    ``status`` is ``"ok"`` (value = result) or ``"error"`` (value =
+    ``(exc_type, exc_message, traceback_text)``).  Exceptions never
+    escape: a raw exception crossing the pool boundary loses the task
+    identity and, when unpicklable, kills the whole map.
+    """
+    func, task, capture = payload
+    if capture:
+        _tracing.begin_worker_capture()
+        _begin_metrics_capture()
+    try:
+        with obs.span(
+            "parallel.task", task=describe_task(func, task), worker_pid=os.getpid()
+        ):
+            result = func(task)
+        status, value = "ok", result
+    except Exception as exc:  # noqa: BLE001 - forwarded with full context
+        status = "error"
+        value = (type(exc).__name__, str(exc), _traceback.format_exc())
+    if capture:
+        snapshot = _end_metrics_capture()
+        records = _tracing.end_worker_capture()
+    else:
+        records, snapshot = [], {}
+    return status, value, records, snapshot
+
+
 class ParallelRunner:
     """Maps deterministic tasks over worker processes (or serially)."""
 
-    def __init__(self, jobs: Optional[int] = None):
+    def __init__(self, jobs: Optional[int] = None, retries: int = 0):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.retries = max(0, int(retries))
+
+    # -- outcome handling ---------------------------------------------------
+    def _settle(
+        self, func: Callable, task: Any, outcome: Tuple[str, Any, list, dict]
+    ):
+        """Adopt one task's telemetry; retry or raise on failure."""
+        status, value, records, snapshot = outcome
+        tracer = _tracing.get_tracer()
+        if tracer is not None and records:
+            tracer.adopt(records)
+        obs.metrics().absorb(snapshot)
+        attempts = 1
+        while status == "error" and attempts <= self.retries:
+            obs.metrics().counter("parallel.retries").inc()
+            with obs.span(
+                "parallel.retry",
+                task=describe_task(func, task),
+                attempt=attempts + 1,
+                previous_error=f"{value[0]}: {value[1]}",
+            ):
+                # In-process retry: spans land in the parent tracer
+                # directly, so no cross-process capture (which would
+                # swap out the live tracer mid-run).
+                retry_outcome = _invoke((func, task, False))
+            status, value, records, snapshot = retry_outcome
+            if tracer is not None and records:
+                tracer.adopt(records)
+            obs.metrics().absorb(snapshot)
+            attempts += 1
+        if status == "error":
+            exc_type, exc_message, tb_text = value
+            obs.metrics().counter("parallel.failures").inc()
+            raise WorkerTaskError(
+                describe_task(func, task), task, exc_type, exc_message,
+                tb_text, attempts,
+            )
+        return value
 
     def map(self, func: Callable, tasks: Sequence) -> List:
         """Apply ``func`` to each task, preserving task order.
 
         Uses a process pool only when it can help (``jobs > 1`` and more
         than one task); otherwise runs in-process.  ``func`` must be a
-        module-level function and each task must be picklable.
+        module-level function and each task must be picklable.  A task
+        that raises (after ``retries`` re-runs) surfaces as
+        :class:`WorkerTaskError` with the task identity attached.
         """
         tasks = list(tasks)
-        if self.jobs <= 1 or len(tasks) <= 1:
-            return [func(task) for task in tasks]
-        # fork shares the already-imported modules and compile caches
-        # with the workers; fall back to spawn where fork is missing.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context("spawn")
+        capture = obs.enabled()
         workers = min(self.jobs, len(tasks))
-        with context.Pool(processes=workers) as pool:
-            return pool.map(func, tasks)
+        with obs.span(
+            "parallel.map",
+            func=getattr(func, "__name__", str(func)),
+            tasks=len(tasks),
+            workers=max(workers, 1),
+        ):
+            obs.metrics().gauge("parallel.workers").set(max(workers, 1))
+            obs.metrics().counter("parallel.tasks").inc(len(tasks))
+            if self.jobs <= 1 or len(tasks) <= 1:
+                # Serial: tasks run in this process, so their spans land
+                # in the live tracer directly — no capture handoff.
+                return [
+                    self._settle(func, task, _invoke((func, task, False)))
+                    for task in tasks
+                ]
+            # fork shares the already-imported modules and compile caches
+            # with the workers; fall back to spawn where fork is missing.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context("spawn")
+            payloads = [(func, task, capture) for task in tasks]
+            with context.Pool(processes=workers) as pool:
+                outcomes = pool.map(_invoke, payloads)
+            return [
+                self._settle(func, task, outcome)
+                for task, outcome in zip(tasks, outcomes)
+            ]
 
     # -- high-level fan-outs ------------------------------------------------
     def characterize_workloads(
@@ -100,7 +263,7 @@ class ParallelRunner:
         names: Sequence[str],
         scale: str,
         seed: int,
-        max_instructions: int = 200_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> Dict[str, CharacterizationResult]:
         """One characterization run per workload, keyed by name."""
         tasks = [(name, scale, seed, max_instructions) for name in names]
@@ -111,7 +274,7 @@ class ParallelRunner:
         name: str,
         scale: str,
         seeds: Sequence[int],
-        max_instructions: int = 200_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> CharacterizationResult:
         """Characterize one workload across several dataset seeds and
         fold the per-seed tool statistics into one aggregate result with
@@ -122,10 +285,11 @@ class ParallelRunner:
         tasks = [(name, scale, seed, max_instructions) for seed in seeds]
         runs = [result for _, result in self.map(_characterize_task, tasks)]
         first = runs[0]
-        for run in runs[1:]:
-            first.mix.merge(run.mix)
-            first.coverage.merge(run.coverage)
-            first.cache.merge(run.cache)
-            first.sequences.merge(run.sequences)
-            first.executed += run.executed
+        with obs.span("parallel.merge", workload=name, runs=len(runs)):
+            for run in runs[1:]:
+                first.mix.merge(run.mix)
+                first.coverage.merge(run.coverage)
+                first.cache.merge(run.cache)
+                first.sequences.merge(run.sequences)
+                first.executed += run.executed
         return first

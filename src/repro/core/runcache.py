@@ -21,6 +21,12 @@ that can change the result:
 Anything that fails to fingerprint, load, or unpickle degrades to a
 cache miss — the cache can never change results, only skip work.
 
+Each cache directory also keeps a small ``_stats.json`` sidecar with
+cumulative hit/miss/store/invalid/eviction counters (surfaced by
+``repro cache stats`` and mirrored into the :mod:`repro.obs.metrics`
+registry when telemetry is on), so cache effectiveness is visible
+across processes, not just within one run.
+
 The default location is ``$REPRO_CACHE_DIR``, else
 ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.
 """
@@ -28,16 +34,26 @@ The default location is ``$REPRO_CACHE_DIR``, else
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
 from typing import Dict, Iterable, Mapping, Optional
+
+from repro import obs
+from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 
 #: Bump when the pickled layout of tool state changes incompatibly.
 CACHE_VERSION = 1
 
 #: Filename suffix for cache entries.
 _SUFFIX = ".pkl"
+
+#: Sidecar file holding the persisted counters (not a cache entry).
+_STATS_FILE = "_stats.json"
+
+#: The counters persisted per cache directory.
+_STAT_KEYS = ("hits", "misses", "stores", "invalid", "evictions")
 
 
 def default_cache_dir() -> str:
@@ -107,6 +123,36 @@ def run_fingerprint(
     return hasher.hexdigest()
 
 
+def workload_fingerprint(
+    name: str,
+    scale: str,
+    seed: int,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    tool_config: str = "standard",
+) -> str:
+    """Fingerprint of a registered workload's characterization run.
+
+    Resolves the workload by name and feeds its current disassembly and
+    dataset bindings into :func:`run_fingerprint`.  This is the **only**
+    place run identity is computed: :class:`~repro.core.experiments.
+    ExperimentContext` keys the cache with it and :func:`repro.obs.
+    manifest.run_manifest` stamps it into manifests, so the two can
+    never drift apart.
+    """
+    from repro.workloads.registry import get_workload
+
+    spec = get_workload(name)
+    return run_fingerprint(
+        name,
+        scale,
+        seed,
+        max_instructions,
+        spec.program().disassemble(),
+        spec.dataset(scale, seed),
+        tool_config=tool_config,
+    )
+
+
 class RunCache:
     """Filesystem-backed store of pickled characterization results."""
 
@@ -126,18 +172,65 @@ class RunCache:
             os.path.join(self.directory, n) for n in names if n.endswith(_SUFFIX)
         ]
 
+    # -- persisted counters --------------------------------------------------
+    def _stats_path(self) -> str:
+        return os.path.join(self.directory, _STATS_FILE)
+
+    def _read_counters(self) -> Dict[str, int]:
+        try:
+            with open(self._stats_path()) as handle:
+                raw = json.load(handle)
+            return {key: int(raw.get(key, 0)) for key in _STAT_KEYS}
+        except (OSError, ValueError, TypeError):
+            return {key: 0 for key in _STAT_KEYS}
+
+    def _bump(self, **deltas: int) -> None:
+        """Fold counter deltas into ``_stats.json`` (best effort) and
+        mirror them into the live metrics registry when telemetry is on.
+
+        The read-modify-write is not locked; concurrent runs may lose a
+        few increments, which is acceptable for effectiveness counters
+        — the cache itself stays correct regardless.
+        """
+        registry = obs.metrics()
+        for key, delta in deltas.items():
+            if delta:
+                registry.counter(f"runcache.{key}").inc(delta)
+        try:
+            counters = self._read_counters()
+            for key, delta in deltas.items():
+                counters[key] = counters.get(key, 0) + delta
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-stats-", suffix=".json"
+            )
+            with os.fdopen(fd, "w") as handle:
+                json.dump(counters, handle)
+            os.replace(tmp_path, self._stats_path())
+        except OSError:
+            pass
+
     # -- load / store --------------------------------------------------------
     def load(self, key: str) -> Optional[object]:
         """The cached object for ``key``, or None on any failure."""
         try:
-            with open(self._path(key), "rb") as handle:
-                return pickle.load(handle)
-        except Exception:
-            # Missing, unreadable, truncated, corrupt, or written by an
-            # incompatible version: all just cache misses.  pickle can
-            # raise nearly anything on arbitrary bytes (garbage often
-            # starts with a valid opcode), so no narrower list is safe.
+            handle = open(self._path(key), "rb")
+        except OSError:
+            self._bump(misses=1)
             return None
+        try:
+            with handle:
+                value = pickle.load(handle)
+        except Exception:
+            # Readable but truncated, corrupt, or written by an
+            # incompatible version: an *invalid* entry, counted apart
+            # from plain misses.  pickle can raise nearly anything on
+            # arbitrary bytes (garbage often starts with a valid
+            # opcode), so no narrower list is safe.
+            self._bump(misses=1, invalid=1)
+            return None
+        self._bump(hits=1)
+        return value
 
     def store(self, key: str, value: object) -> bool:
         """Atomically persist ``value`` under ``key``; False on failure."""
@@ -156,13 +249,14 @@ class RunCache:
                 except OSError:
                     pass
                 raise
+            self._bump(stores=1)
             return True
         except (OSError, pickle.PicklingError, TypeError):
             return False
 
     # -- maintenance ---------------------------------------------------------
     def stats(self) -> Dict[str, object]:
-        """Entry count and total size of the cache directory."""
+        """Entry count, total size, and persisted effectiveness counters."""
         entries = list(self._entries())
         total = 0
         for path in entries:
@@ -170,14 +264,16 @@ class RunCache:
                 total += os.path.getsize(path)
             except OSError:
                 pass
-        return {
+        stats: Dict[str, object] = {
             "directory": self.directory,
             "entries": len(entries),
             "bytes": total,
         }
+        stats.update(self._read_counters())
+        return stats
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry and reset counters; returns entries removed."""
         removed = 0
         for path in self._entries():
             try:
@@ -185,4 +281,41 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            os.unlink(self._stats_path())
+        except OSError:
+            pass
         return removed
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest entries (by mtime) until the cache fits
+        ``max_bytes``; returns the number evicted.
+
+        Eviction order is access recency where the filesystem records
+        it (``load`` re-reads bump atime, not mtime, so this is
+        write-recency LRU: the entries least recently *produced* go
+        first — deterministic and good enough for a result cache).
+        """
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                info = os.stat(path)
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+            total += info.st_size
+        entries.sort()
+        evicted = 0
+        for _mtime, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            self._bump(evictions=evicted)
+        return evicted

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro import obs
 from repro.isa.instructions import WORD_SIZE, Instruction, Opcode
 from repro.isa.program import Program
 from repro.isa.registers import Reg, RegClass
@@ -20,6 +21,11 @@ Binding = Union[Number, Sequence[Number]]
 
 #: Name of the spill-slot array created by the register allocator.
 STACK_ARRAY = "__stack__"
+
+#: Default execution budget, shared by every layer that runs programs
+#: (characterization, parallel workers, the run-cache fingerprint, and
+#: run manifests all reference this one constant).
+DEFAULT_MAX_INSTRUCTIONS = 200_000_000
 
 #: Event kinds used by interest-masked dispatch.  A consumer may expose
 #: an ``interests`` attribute — an iterable drawn from these names — to
@@ -73,6 +79,28 @@ def _trunc_div(a: int, b: int) -> int:
     return -q if (a < 0) != (b < 0) else q
 
 
+class _CountingFanout:
+    """Telemetry-mode sink wrapper: counts publications and deliveries.
+
+    Installed only when telemetry is enabled: the interpreter replaces
+    each event kind's sink list with one of these, so events dispatched
+    (sink deliveries) and published (events constructed) are exact
+    without any cost on the telemetry-off path.
+    """
+
+    __slots__ = ("sinks", "fanout", "published")
+
+    def __init__(self, sinks: List):
+        self.sinks = sinks
+        self.fanout = len(sinks)
+        self.published = 0
+
+    def __call__(self, event) -> None:
+        self.published += 1
+        for sink in self.sinks:
+            sink(event)
+
+
 class Interpreter:
     """Executes one program over one set of bindings.
 
@@ -90,7 +118,7 @@ class Interpreter:
         self,
         program: Program,
         bindings: Optional[Mapping[str, Binding]] = None,
-        max_instructions: int = 200_000_000,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ):
         self.program = program
         self.max_instructions = max_instructions
@@ -187,6 +215,27 @@ class Interpreter:
             for consumer in consumer_list:
                 for kind in _consumer_interests(consumer):
                     sinks_by_kind[kind].append(consumer.on_event)
+        # Telemetry (off by default, and free when off): wrap the
+        # dispatch entry points with counting shims so events dispatched
+        # vs. suppressed by interest masks are exact.  The hot loop is
+        # identical in both modes — only the sink callables differ.
+        telemetry = obs.enabled()
+        fused_counter = None
+        fanouts: Dict[str, _CountingFanout] = {}
+        if telemetry:
+            if fused is not None:
+                from repro.atom.fused import FusedDispatchCounter
+
+                fused_counter = FusedDispatchCounter(fused)
+                fused_load = fused_counter.load
+                fused_store = fused_counter.store
+                fused_branch = fused_counter.branch
+                fused_step = fused_counter.step
+            else:
+                for kind, sinks in sinks_by_kind.items():
+                    if sinks:
+                        fanouts[kind] = fanout = _CountingFanout(sinks)
+                        sinks_by_kind[kind] = [fanout]
         load_sinks = sinks_by_kind["load"]
         store_sinks = sinks_by_kind["store"]
         branch_sinks = sinks_by_kind["branch"]
@@ -195,9 +244,20 @@ class Interpreter:
         budget = self.max_instructions
         O = Opcode  # local alias for speed
 
+        if fused is not None:
+            dispatch_mode = "fused"
+        elif any(sinks_by_kind.values()):
+            dispatch_mode = "masked"
+        else:
+            dispatch_mode = "bare"
+        run_span = obs.span(
+            "interpret", dispatch=dispatch_mode, consumers=len(consumer_list)
+        )
+
         pc = 0
         count = 0
         end = len(flat)
+        run_span.__enter__()
         try:
             while pc < end:
                 if count == budget:
@@ -364,19 +424,56 @@ class Interpreter:
                     for sink in other_sinks:
                         sink(event)
         except KeyError as exc:
-            raise InterpreterError(
+            error = InterpreterError(
                 f"use of undefined register {exc.args[0]!r} at sid {instr.sid} "
                 f"({instr.opcode.name}, line {instr.line})"
-            ) from None
+            )
+            if telemetry:
+                self._flush_telemetry(run_span, count, fused_counter, fanouts)
+            run_span.__exit__(type(error), error, None)
+            raise error from None
+        except BaseException as exc:
+            if telemetry:
+                self._flush_telemetry(run_span, count, fused_counter, fanouts)
+            run_span.__exit__(type(exc), exc, exc.__traceback__)
+            raise
         self.executed = count
+        if telemetry:
+            self._flush_telemetry(run_span, count, fused_counter, fanouts)
+        run_span.__exit__(None, None, None)
         return count
+
+    def _flush_telemetry(self, run_span, count, fused_counter, fanouts) -> None:
+        """Record end-of-run span attributes and registry metrics."""
+        if fused_counter is not None:
+            published = delivered = fused_counter.total
+            per_kind = fused_counter.per_kind()
+        else:
+            published = sum(f.published for f in fanouts.values())
+            delivered = sum(f.published * f.fanout for f in fanouts.values())
+            per_kind = {kind: f.published for kind, f in fanouts.items()}
+        suppressed = count - published
+        run_span.set_attr(
+            instructions=count,
+            events_published=published,
+            events_dispatched=delivered,
+            events_suppressed=suppressed,
+        )
+        registry = obs.metrics()
+        registry.counter("interp.instructions").inc(count)
+        registry.counter("interp.events.published").inc(published)
+        registry.counter("interp.events.dispatched").inc(delivered)
+        registry.counter("interp.events.suppressed").inc(suppressed)
+        for kind, value in per_kind.items():
+            if value:
+                registry.counter(f"interp.events.{kind}").inc(value)
 
 
 def run_program(
     program: Program,
     bindings: Optional[Mapping[str, Binding]] = None,
     consumers: Iterable[object] = (),
-    max_instructions: int = 200_000_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> Interpreter:
     """Convenience wrapper: build an interpreter, run it, return it."""
     interp = Interpreter(program, bindings, max_instructions)

@@ -1,0 +1,145 @@
+"""Run provenance manifests.
+
+A manifest is a small JSON document written next to every
+characterization result and ``BENCH_*.json`` answering "what exactly
+produced this file?": the run's config fingerprint (the **same**
+fingerprint :mod:`repro.core.runcache` keys the run cache with — one
+source of truth, so a manifest and a cache entry can never disagree
+about identity), the git revision, interpreter and platform versions,
+the dataset seed, the tool list, and the run's timings.
+
+The paper's tables are only comparable because every number states its
+configuration (Table 3's cache, Table 7's platforms); manifests apply
+the same discipline to our own artifacts so a BENCH json from three
+PRs ago is still attributable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "git_revision",
+    "manifest_path_for",
+    "run_manifest",
+    "write_manifest",
+]
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+#: The standard characterization tool set, in attach order.
+STANDARD_TOOLS = ("mix", "coverage", "cache", "sequences")
+
+
+def git_revision(root: Optional[str] = None) -> Optional[str]:
+    """The repo's HEAD commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root or os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def build_manifest(
+    *,
+    kind: str,
+    fingerprint: Optional[str] = None,
+    config: Optional[Mapping[str, Any]] = None,
+    tools: Optional[Sequence[str]] = None,
+    timings: Optional[Mapping[str, float]] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a manifest dict.
+
+    ``kind`` names what the manifest describes (``"characterization"``,
+    ``"benchmark"``, ...); ``config`` is the flat run configuration
+    (workload, scale, seed, jobs, ...); ``timings`` maps phase names to
+    seconds.  Environment provenance (git rev, python, platform) is
+    filled in here.
+    """
+    manifest: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "created_unix": time.time(),
+        "git_rev": git_revision(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "hostname_pid": f"{platform.node()}:{os.getpid()}",
+    }
+    if fingerprint is not None:
+        manifest["fingerprint"] = fingerprint
+    if config is not None:
+        manifest["config"] = dict(config)
+    if tools is not None:
+        manifest["tools"] = list(tools)
+    if timings is not None:
+        manifest["timings_s"] = {k: float(v) for k, v in timings.items()}
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def run_manifest(
+    name: str,
+    scale: str,
+    seed: int,
+    max_instructions: Optional[int] = None,
+    timings: Optional[Mapping[str, float]] = None,
+) -> Dict[str, Any]:
+    """Manifest for one characterization run of a registered workload.
+
+    The fingerprint is computed by :func:`repro.core.runcache.
+    workload_fingerprint` — identical inputs to the run cache's key, so
+    the manifest of a run and the cache entry that stores it always
+    carry the same identity.
+    """
+    from repro.core.runcache import workload_fingerprint
+    from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+
+    if max_instructions is None:
+        max_instructions = DEFAULT_MAX_INSTRUCTIONS
+    return build_manifest(
+        kind="characterization",
+        fingerprint=workload_fingerprint(name, scale, seed, max_instructions),
+        config={
+            "workload": name,
+            "scale": scale,
+            "seed": seed,
+            "max_instructions": max_instructions,
+        },
+        tools=STANDARD_TOOLS,
+        timings=timings,
+    )
+
+
+def manifest_path_for(result_path: str) -> str:
+    """Sibling manifest path for a result file (``x.json`` → ``x.manifest.json``)."""
+    base, ext = os.path.splitext(result_path)
+    if ext == ".json":
+        return base + ".manifest.json"
+    return result_path + ".manifest.json"
+
+
+def write_manifest(path: str, manifest: Mapping[str, Any]) -> str:
+    """Persist a manifest as pretty-printed JSON; returns ``path``."""
+    with open(path, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,259 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Instrumented code asks the registry for a named instrument and updates
+it — ``metrics().counter("runcache.hits").inc()`` — exactly the
+counter style the paper's ATOM tools use for instruction and event
+tallies, applied to our own pipeline (instructions retired, events
+dispatched vs. suppressed, cache hits/misses, worker utilization).
+
+Like :mod:`repro.obs.tracing`, the registry has a **zero-cost no-op
+mode**: when telemetry is off, :func:`metrics` returns a singleton
+registry whose instruments discard every update, so hot paths can be
+instrumented unconditionally.  Naming convention: dotted lowercase,
+``<subsystem>.<thing>`` (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-set value (e.g. worker count, cache size in bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name maps to exactly one instrument kind for the registry's
+    lifetime; asking for the same name with a different kind raises,
+    which catches naming collisions early.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.setdefault(name, cls())
+        if type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as plain data, sorted by name."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def absorb(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a worker's counter/histogram snapshot into this registry.
+
+        Counters add; histograms combine count/sum/min/max; gauges take
+        the worker's last value.  Used when a pool worker ships its
+        metrics back with its results.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, dict) and "count" in value:
+                hist = self.histogram(name)
+                hist.count += int(value.get("count", 0))
+                hist.total += float(value.get("sum", 0.0))
+                for key, pick in (("min", min), ("max", max)):
+                    other = value.get(key)
+                    if other is None:
+                        continue
+                    mine = hist.minimum if key == "min" else hist.maximum
+                    best = other if mine is None else pick(mine, other)
+                    if key == "min":
+                        hist.minimum = best
+                    else:
+                        hist.maximum = best
+            elif isinstance(value, int):
+                self.counter(name).inc(value)
+            else:
+                self.gauge(name).set(value)
+
+
+# ---------------------------------------------------------------------------
+# No-op mode
+# ---------------------------------------------------------------------------
+
+
+class _NoopInstrument:
+    """Discards every update; stands in for all instrument kinds."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def snapshot(self):
+        return 0
+
+
+class _NoopRegistry:
+    """Registry whose instruments are all the shared no-op."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def absorb(self, snapshot: Mapping[str, Any]) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+_NOOP_REGISTRY = _NoopRegistry()
+
+_registry: Optional[MetricsRegistry] = None
+
+
+def enable() -> MetricsRegistry:
+    """Turn metrics on (idempotent); returns the live registry."""
+    global _registry
+    if _registry is None:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def disable() -> None:
+    global _registry
+    _registry = None
+
+
+def enabled() -> bool:
+    return _registry is not None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    return _registry
+
+
+def metrics():
+    """The live registry, or the shared no-op registry when off."""
+    return _registry if _registry is not None else _NOOP_REGISTRY
+
+
+def begin_worker_capture() -> MetricsRegistry:
+    """Install a fresh registry in a worker process.
+
+    A forked worker inherits the parent's registry *including counts
+    the parent already accumulated*; shipping those back would double
+    them when the parent absorbs the snapshot.  This swaps in an empty
+    registry so the worker reports only its own deltas.
+    """
+    global _registry
+    _registry = MetricsRegistry()
+    return _registry
+
+
+def end_worker_capture() -> Dict[str, Any]:
+    """Finish worker capture; returns the snapshot and disables."""
+    global _registry
+    registry, _registry = _registry, None
+    return registry.snapshot() if registry is not None else {}

@@ -1,0 +1,204 @@
+"""Perf-regression gate over ``BENCH_*.json`` trajectories.
+
+Every benchmark emits a machine-readable ``BENCH_<name>.json`` (wall
+time, instructions/sec, row data).  This module diffs a *current* set
+of those records against a committed *baseline* set and classifies each
+benchmark:
+
+* throughput benchmarks (both sides report ``instructions_per_sec``)
+  regress when the current rate drops more than ``threshold`` below
+  the baseline;
+* wall-time-only benchmarks regress when the current time exceeds the
+  baseline by more than ``threshold``;
+* deterministic work drifts (``status "drift"``) when the dynamic
+  instruction count changes at all — the workloads are deterministic,
+  so a different count means the benchmark is no longer measuring the
+  same work and the timing comparison is void;
+* a benchmark present in the baseline but not in the current run is
+  ``"missing"`` (also a gate failure: silently dropping a benchmark is
+  how regressions hide).
+
+``repro bench compare`` and ``benchmarks/check_regression.py`` are thin
+wrappers over :func:`compare_dirs` / :func:`gate`.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BenchComparison",
+    "compare_dirs",
+    "compare_records",
+    "gate",
+    "load_bench_records",
+    "render_comparison",
+]
+
+#: Default tolerated fractional slowdown before the gate fails.
+DEFAULT_THRESHOLD = 0.10
+
+_FAILING = ("regression", "drift", "missing")
+
+
+@dataclass
+class BenchComparison:
+    """One benchmark's baseline-vs-current verdict."""
+
+    name: str
+    metric: str  # "instructions_per_sec" | "wall_time_s" | "presence"
+    baseline: Optional[float]
+    current: Optional[float]
+    delta: Optional[float]  # signed fractional change, + = more of metric
+    status: str  # "ok" | "improved" | "regression" | "drift" | "missing" | "new"
+    note: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in _FAILING
+
+
+def load_bench_records(directory: str) -> Dict[str, dict]:
+    """All ``BENCH_*.json`` records in a directory, keyed by name.
+
+    Manifests (``*.manifest.json``) are skipped; unreadable files are
+    surfaced as pseudo-records with an ``"error"`` key rather than
+    silently dropped.
+    """
+    records: Dict[str, dict] = {}
+    pattern = os.path.join(directory, "BENCH_*.json")
+    for path in sorted(glob.glob(pattern)):
+        if path.endswith(".manifest.json"):
+            continue
+        name = os.path.basename(path)[len("BENCH_") : -len(".json")]
+        try:
+            with open(path) as handle:
+                records[name] = json.load(handle)
+        except (OSError, ValueError) as exc:
+            records[name] = {"name": name, "error": str(exc)}
+    return records
+
+
+def _rate(record: dict) -> Optional[float]:
+    value = record.get("instructions_per_sec")
+    return float(value) if value else None
+
+
+def _wall(record: dict) -> Optional[float]:
+    value = record.get("wall_time_s")
+    return float(value) if value else None
+
+
+def compare_records(
+    name: str,
+    baseline: dict,
+    current: Optional[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BenchComparison:
+    """Classify one benchmark; see the module docstring for the rules."""
+    if current is None:
+        return BenchComparison(
+            name, "presence", None, None, None, "missing",
+            note="present in baseline, absent in current run",
+        )
+
+    base_instr = baseline.get("instructions")
+    cur_instr = current.get("instructions")
+    if base_instr and cur_instr and base_instr != cur_instr:
+        delta = cur_instr / base_instr - 1.0
+        return BenchComparison(
+            name, "instructions", float(base_instr), float(cur_instr), delta,
+            "drift",
+            note="dynamic instruction count changed; not measuring the same work",
+        )
+
+    base_rate, cur_rate = _rate(baseline), _rate(current)
+    if base_rate and cur_rate:
+        delta = cur_rate / base_rate - 1.0
+        if delta < -threshold:
+            status = "regression"
+        elif delta > threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        return BenchComparison(
+            name, "instructions_per_sec", base_rate, cur_rate, delta, status
+        )
+
+    base_wall, cur_wall = _wall(baseline), _wall(current)
+    if base_wall and cur_wall:
+        delta = cur_wall / base_wall - 1.0  # + = slower
+        if delta > threshold:
+            status = "regression"
+        elif delta < -threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        return BenchComparison(name, "wall_time_s", base_wall, cur_wall, delta, status)
+
+    return BenchComparison(
+        name, "presence", None, None, None, "ok",
+        note="no comparable metric on both sides",
+    )
+
+
+def compare_dirs(
+    baseline_dir: str,
+    current_dir: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[BenchComparison]:
+    """Compare every baseline benchmark against the current directory.
+
+    Benchmarks only present in the current run are reported as ``"new"``
+    (informational, never a failure).
+    """
+    baselines = load_bench_records(baseline_dir)
+    currents = load_bench_records(current_dir)
+    rows = [
+        compare_records(name, baselines[name], currents.get(name), threshold)
+        for name in sorted(baselines)
+    ]
+    for name in sorted(set(currents) - set(baselines)):
+        rows.append(
+            BenchComparison(
+                name, "presence", None, _rate(currents[name]), None, "new",
+                note="no committed baseline",
+            )
+        )
+    return rows
+
+
+def gate(rows: List[BenchComparison]) -> bool:
+    """True when every comparison passes (no regression/drift/missing)."""
+    return not any(row.failed for row in rows)
+
+
+def render_comparison(
+    rows: List[BenchComparison], threshold: float = DEFAULT_THRESHOLD
+) -> str:
+    """Human table of the comparison, via the shared report formatter."""
+    from repro.core.reporting import format_table
+
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+
+    body = []
+    for row in rows:
+        delta = "-" if row.delta is None else f"{row.delta:+.1%}"
+        body.append(
+            [row.name, row.metric, fmt(row.baseline), fmt(row.current), delta,
+             row.status.upper() if row.failed else row.status, row.note]
+        )
+    return format_table(
+        ["benchmark", "metric", "baseline", "current", "delta", "status", "note"],
+        body,
+        title=f"bench compare (threshold {threshold:.0%})",
+    )

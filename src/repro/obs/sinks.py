@@ -1,0 +1,147 @@
+"""Structured telemetry sinks: JSONL export, reader, and tree summary.
+
+One trace file holds everything a run emitted, one JSON object per
+line, discriminated by ``"type"``:
+
+* ``{"type": "span", ...}`` — a finished :class:`~repro.obs.tracing.
+  SpanRecord` (name, ids, start_unix, duration_s, status, attrs);
+* ``{"type": "metric", "name": ..., "value": ...}`` — one registry
+  instrument (counters/gauges are scalars, histograms are dicts).
+
+JSONL keeps the file append-friendly and greppable;
+:func:`read_trace_jsonl` round-trips it back into records, and
+:func:`render_summary` renders the span tree with durations the way
+``repro trace summary`` shows it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.tracing import SpanRecord
+
+__all__ = [
+    "read_trace_jsonl",
+    "render_summary",
+    "write_trace_jsonl",
+]
+
+
+def write_trace_jsonl(
+    path: str,
+    records: Iterable[SpanRecord],
+    metrics_snapshot: Optional[Mapping[str, Any]] = None,
+) -> int:
+    """Write spans (and optionally metrics) to ``path``; returns lines."""
+    lines = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            lines += 1
+        for name, value in sorted((metrics_snapshot or {}).items()):
+            handle.write(
+                json.dumps(
+                    {"type": "metric", "name": name, "value": value},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            lines += 1
+    return lines
+
+
+def read_trace_jsonl(path: str) -> Tuple[List[SpanRecord], Dict[str, Any]]:
+    """Parse a trace file back into (span records, metrics dict).
+
+    Unknown line types are skipped, so the format can grow without
+    breaking old readers.
+    """
+    spans: List[SpanRecord] = []
+    metric_values: Dict[str, Any] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            kind = data.get("type")
+            if kind == "span":
+                spans.append(SpanRecord.from_dict(data))
+            elif kind == "metric":
+                metric_values[data["name"]] = data.get("value")
+    return spans, metric_values
+
+
+# ---------------------------------------------------------------------------
+# Human summary
+# ---------------------------------------------------------------------------
+
+
+def _format_attrs(attrs: Mapping[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    return f"{seconds * 1e3:8.3f} ms"
+
+
+def render_summary(
+    spans: Iterable[SpanRecord],
+    metric_values: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Indented span tree (durations, status, attrs) plus metrics."""
+    spans = list(spans)
+    by_parent: Dict[Optional[str], List[SpanRecord]] = {}
+    ids = {record.span_id for record in spans}
+    for record in spans:
+        # A parent that was never shipped (e.g. a filtered file) makes
+        # the child a root rather than invisible.
+        parent = record.parent_id if record.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(record)
+    for children in by_parent.values():
+        children.sort(key=lambda r: (r.start_unix, r.span_id))
+
+    lines: List[str] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        status = "" if record.status == "ok" else f"  !! {record.status}"
+        if record.error:
+            status += f" ({record.error})"
+        lines.append(
+            f"{_format_duration(record.duration_s)}  "
+            f"{'  ' * depth}{record.name}"
+            f"{_format_attrs(record.attrs)}{status}"
+        )
+        for child in by_parent.get(record.span_id, []):
+            walk(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        walk(root, 0)
+    if not lines:
+        lines.append("(no spans)")
+
+    if metric_values:
+        lines.append("")
+        lines.append("metrics:")
+        width = max(len(name) for name in metric_values)
+        for name in sorted(metric_values):
+            value = metric_values[name]
+            if isinstance(value, dict):
+                value = " ".join(
+                    f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in value.items()
+                    if v is not None
+                )
+            lines.append(f"  {name:<{width}}  {value}")
+    return "\n".join(lines)

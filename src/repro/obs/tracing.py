@@ -1,0 +1,307 @@
+"""Lightweight tracing: nested spans with monotonic timings.
+
+A :class:`Span` measures one region of work (an interpreter run, a
+characterization pass, a worker task) with ``time.perf_counter``.
+Spans nest: entering a span makes it the parent of any span opened
+inside it on the same thread, so a finished trace reconstructs the
+call tree of a run — which phase dominated, what ran inside what —
+exactly the self-observation the paper applies to the BioPerf programs
+with ATOM, turned on our own pipeline.
+
+Telemetry is **off by default** and the off path is as close to free
+as Python allows: :func:`span` returns a shared no-op singleton after
+one global check, allocates nothing, and records nothing.  Code can
+therefore be instrumented unconditionally; only runs that call
+:func:`enable` (or the CLI's ``--trace``) pay for collection.
+
+Worker processes capture spans with :func:`begin_worker_capture` /
+:func:`end_worker_capture` and ship the plain-dict records back to the
+parent, which re-roots them with :meth:`Tracer.adopt` — timings stay
+valid because each record carries its own start/duration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "begin_worker_capture",
+    "disable",
+    "enable",
+    "enabled",
+    "end_worker_capture",
+    "get_tracer",
+    "span",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as plain data (JSON- and pickle-friendly)."""
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start_unix: float
+    duration_s: float
+    status: str  # "ok" | "error"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    pid: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix": self.start_unix,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": self.attrs,
+            "pid": self.pid,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start_unix=data["start_unix"],
+            duration_s=data["duration_s"],
+            status=data.get("status", "ok"),
+            attrs=dict(data.get("attrs") or {}),
+            error=data.get("error"),
+            pid=int(data.get("pid", 0)),
+        )
+
+
+class Span:
+    """A live measured region; use as a context manager.
+
+    Exiting normally closes the span with status ``"ok"``; exiting via
+    an exception closes it with status ``"error"`` and the exception
+    summary in ``error`` (the exception still propagates).
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "start_unix",
+        "_start",
+        "_closed",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, parent_id: Optional[str], attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start_unix = 0.0
+        self._start = 0.0
+        self._closed = False
+
+    def set_attr(self, **attrs: Any) -> "Span":
+        """Attach or update attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_unix = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        duration = time.perf_counter() - self._start
+        self._tracer._pop(self)
+        if not self._closed:
+            self._closed = True
+            self._tracer._finish(
+                SpanRecord(
+                    name=self.name,
+                    span_id=self.span_id,
+                    parent_id=self.parent_id,
+                    start_unix=self.start_unix,
+                    duration_s=duration,
+                    status="error" if exc_type is not None else "ok",
+                    attrs=self.attrs,
+                    error=(
+                        f"{exc_type.__name__}: {exc}" if exc_type is not None else None
+                    ),
+                    pid=os.getpid(),
+                )
+            )
+        return False  # never swallow exceptions
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set_attr(self, **_attrs: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans; tracks the current span per thread."""
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- span lifecycle -----------------------------------------------------
+    def _next_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._ids):x}"
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span whose parent is the thread's current span."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        return Span(self, name, parent_id, attrs)
+
+    def current_span_id(self) -> Optional[str]:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def _push(self, span_obj: Span) -> None:
+        self._stack().append(span_obj)
+
+    def _pop(self, span_obj: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span_obj:
+            stack.pop()
+        elif span_obj in stack:  # out-of-order close: drop through to it
+            while stack and stack.pop() is not span_obj:
+                pass
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    # -- collection ---------------------------------------------------------
+    def drain(self) -> List[SpanRecord]:
+        """All finished records so far; clears the buffer."""
+        with self._lock:
+            records, self.records = self.records, []
+        return records
+
+    def adopt(
+        self,
+        records: Iterable[Dict[str, Any]],
+        parent_id: Optional[str] = None,
+    ) -> int:
+        """Ingest span records captured in another process.
+
+        Records without a parent (worker roots) are re-parented under
+        ``parent_id`` (default: this thread's current span) so the
+        worker subtree hangs off the dispatching span.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id()
+        adopted = 0
+        for data in records:
+            record = SpanRecord.from_dict(data)
+            if record.parent_id is None:
+                record.parent_id = parent_id
+            self._finish(record)
+            adopted += 1
+        return adopted
+
+
+# ---------------------------------------------------------------------------
+# Global switch
+# ---------------------------------------------------------------------------
+
+_tracer: Optional[Tracer] = None
+
+
+def enable() -> Tracer:
+    """Turn tracing on (idempotent); returns the active tracer."""
+    global _tracer
+    if _tracer is None:
+        _tracer = Tracer()
+    return _tracer
+
+
+def disable() -> None:
+    """Turn tracing off and drop any collected records."""
+    global _tracer
+    _tracer = None
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+def span(name: str, **attrs: Any):
+    """A span under the active tracer, or the no-op span when off."""
+    tracer = _tracer
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attrs)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process capture
+# ---------------------------------------------------------------------------
+
+
+def begin_worker_capture() -> Tracer:
+    """Install a fresh tracer in a worker process.
+
+    A forked worker inherits the parent's tracer *including records the
+    parent already collected*; shipping those back would duplicate them.
+    This swaps in an empty tracer so the worker captures only its own
+    spans.
+    """
+    global _tracer
+    _tracer = Tracer()
+    return _tracer
+
+
+def end_worker_capture() -> List[Dict[str, Any]]:
+    """Finish worker capture; returns the records as plain dicts."""
+    global _tracer
+    tracer, _tracer = _tracer, None
+    if tracer is None:
+        return []
+    return [record.to_dict() for record in tracer.drain()]

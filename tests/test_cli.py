@@ -75,3 +75,88 @@ def test_cache_stats_and_clear(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "removed 1" in out
     assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_cache_stats_counters_and_prune(capsys, tmp_path):
+    import os
+    import time
+
+    from repro.core.runcache import RunCache
+
+    cache = RunCache(str(tmp_path))
+    cache.load("0" * 64)  # miss
+    cache.store("1" * 64, {"v": 1})
+    cache.load("1" * 64)  # hit
+
+    main(["cache", "stats", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "hits:            1" in out
+    assert "misses:          1" in out
+    assert "hit rate:        50.0%" in out
+    assert "stores:          1" in out
+
+    # Two more entries, then prune down to roughly one entry's size.
+    now = time.time()
+    for i, key in enumerate(("2" * 64, "3" * 64)):
+        cache.store(key, {"v": i})
+        os.utime(tmp_path / (key + ".pkl"), (now + 1 + i, now + 1 + i))
+    entry = os.path.getsize(tmp_path / ("1" * 64 + ".pkl"))
+    main([
+        "cache", "prune", "--cache-dir", str(tmp_path),
+        "--max-mb", str(entry / 1e6),
+    ])
+    out = capsys.readouterr().out
+    assert "evicted 2 cached run(s)" in out
+
+
+def test_trace_flag_writes_jsonl_and_summary_renders(capsys, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    main(["--trace", str(trace_path), "characterize", "fasta", "--scale", "test"])
+    out = capsys.readouterr().out
+    assert "telemetry: wrote" in out and str(trace_path) in out
+    assert trace_path.exists()
+
+    main(["trace", "summary", str(trace_path)])
+    out = capsys.readouterr().out
+    assert "interpret" in out
+    assert "characterize" in out
+    assert "workload=fasta" in out
+    assert "interp.instructions" in out
+
+
+def test_trace_env_var(capsys, tmp_path, monkeypatch):
+    trace_path = tmp_path / "env-trace.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+    main(["characterize", "fasta", "--scale", "test"])
+    assert trace_path.exists()
+
+
+def test_bench_compare_pass_and_fail(capsys, tmp_path):
+    import json
+
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    record = {"name": "t", "instructions_per_sec": 1e6, "instructions": 5}
+    (baseline / "BENCH_t.json").write_text(json.dumps(record))
+    (current / "BENCH_t.json").write_text(json.dumps(record))
+
+    main([
+        "bench", "compare",
+        "--baseline", str(baseline), "--current", str(current),
+    ])
+    out = capsys.readouterr().out
+    assert "OK: no regressions" in out
+
+    slow = dict(record, instructions_per_sec=0.8e6)
+    (current / "BENCH_t.json").write_text(json.dumps(slow))
+    with pytest.raises(SystemExit) as info:
+        main([
+            "bench", "compare",
+            "--baseline", str(baseline), "--current", str(current),
+        ])
+    assert info.value.code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "FAIL: perf gate tripped by: t" in out

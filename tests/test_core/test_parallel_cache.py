@@ -182,3 +182,136 @@ def test_experiment_context_uses_cache(tmp_path):
     other = E.ExperimentContext(scale="test", seed=1, cache=cache)
     other.run("hmmsearch")
     assert cache.stats()["entries"] == 2
+
+
+# -- failure semantics -------------------------------------------------------
+
+
+def _fail_task(task):
+    """Module-level worker that always raises (picklable under fork)."""
+    raise ValueError(f"synthetic failure for {task}")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_worker_failure_carries_task_identity(jobs):
+    from repro.core.parallel import WorkerTaskError, _characterize_task
+
+    runner = ParallelRunner(jobs=jobs)
+    tasks = [("nosuch", "test", 0, 1000), ("alsonot", "test", 7, 1000)]
+    with pytest.raises(WorkerTaskError) as info:
+        runner.map(_characterize_task, tasks)
+    err = info.value
+    # The failing workload and seed are in the error, not a bare pool
+    # traceback.
+    assert err.description == "characterize workload=nosuch scale=test seed=0"
+    assert err.task == tasks[0]
+    assert err.exc_type == "KeyError"
+    assert "nosuch" in str(err)
+    assert "Traceback" in err.worker_traceback
+    assert err.attempts == 1
+
+
+def test_retries_rerun_and_count_attempts():
+    from repro import obs
+    from repro.core.parallel import WorkerTaskError
+
+    obs.enable()
+    try:
+        runner = ParallelRunner(jobs=1, retries=2)
+        with pytest.raises(WorkerTaskError) as info:
+            runner.map(_fail_task, [("a",)])
+        assert info.value.attempts == 3  # 1 initial + 2 retries
+        snap = obs.metrics().snapshot()
+        assert snap["parallel.retries"] == 2
+        assert snap["parallel.failures"] == 1
+        names = [r.name for r in obs.get_tracer().drain()]
+        assert names.count("parallel.retry") == 2
+    finally:
+        obs.disable()
+
+
+def test_successful_map_has_no_failure_counters():
+    from repro import obs
+
+    obs.enable()
+    try:
+        ParallelRunner(jobs=1).characterize_workloads(["fasta"], "test", 0)
+        snap = obs.metrics().snapshot()
+        assert "parallel.failures" not in snap
+        assert snap["parallel.tasks"] == 1
+    finally:
+        obs.disable()
+
+
+def test_parallel_map_forwards_worker_spans():
+    from repro import obs
+
+    obs.enable()
+    try:
+        ParallelRunner(jobs=2).characterize_workloads(WORKLOADS, "test", 0)
+        records = obs.get_tracer().drain()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record.name, []).append(record)
+        (map_span,) = by_name["parallel.map"]
+        # One task span per workload, shipped back from the workers and
+        # re-rooted under the dispatching span.
+        assert len(by_name["parallel.task"]) == len(WORKLOADS)
+        for task_span in by_name["parallel.task"]:
+            assert task_span.parent_id == map_span.span_id
+            assert task_span.pid != map_span.pid
+        # The interpreter metrics crossed the process boundary too.
+        assert obs.metrics().snapshot()["interp.instructions"] > 0
+    finally:
+        obs.disable()
+
+
+# -- persisted cache counters ------------------------------------------------
+
+
+def test_cache_counters_persist(tmp_path):
+    cache = RunCache(str(tmp_path))
+    key = "2" * 64
+    assert cache.load(key) is None  # miss
+    cache.store(key, {"v": 1})
+    assert cache.load(key) == {"v": 1}  # hit
+    (tmp_path / (key + ".pkl")).write_bytes(b"not a pickle")
+    assert cache.load(key) is None  # invalid -> miss + invalid
+
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+    assert stats["stores"] == 1
+    assert stats["invalid"] == 1
+
+    # A fresh handle (fresh process analogue) sees the same counters.
+    assert RunCache(str(tmp_path)).stats()["hits"] == 1
+
+    cache.clear()
+    stats = cache.stats()
+    assert stats["hits"] == stats["misses"] == 0
+
+
+def test_cache_prune_evicts_oldest_first(tmp_path):
+    import os
+    import time
+
+    cache = RunCache(str(tmp_path))
+    payload = {"blob": "x" * 1000}
+    keys = [str(i) * 64 for i in range(3)]
+    now = time.time()
+    for i, key in enumerate(keys):
+        cache.store(key, payload)
+        # Deterministic write order regardless of filesystem timestamp
+        # granularity.
+        os.utime(tmp_path / (key + ".pkl"), (now + i, now + i))
+
+    entry_bytes = os.path.getsize(tmp_path / (keys[0] + ".pkl"))
+    evicted = cache.prune(max_bytes=2 * entry_bytes)
+    assert evicted == 1
+    assert cache.load(keys[0]) is None  # oldest gone
+    assert cache.load(keys[1]) is not None
+    assert cache.load(keys[2]) is not None
+    assert cache.stats()["evictions"] == 1
+    # Already within budget: nothing more to evict.
+    assert cache.prune(max_bytes=2 * entry_bytes) == 0

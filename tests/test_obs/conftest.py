@@ -1,0 +1,15 @@
+"""Telemetry test fixtures: never leak global obs state across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with telemetry off."""
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,168 @@
+"""The perf-regression gate: thresholds, drift, missing benchmarks."""
+
+import json
+
+from repro.obs.regression import (
+    BenchComparison,
+    compare_dirs,
+    compare_records,
+    gate,
+    load_bench_records,
+    render_comparison,
+)
+
+
+def _record(name, rate=None, wall=None, instructions=None):
+    return {
+        "name": name,
+        "instructions_per_sec": rate,
+        "wall_time_s": wall,
+        "instructions": instructions,
+    }
+
+
+def _write(directory, record):
+    path = directory / f"BENCH_{record['name']}.json"
+    path.write_text(json.dumps(record))
+    return path
+
+
+# -- compare_records ---------------------------------------------------------
+
+
+def test_identical_records_pass():
+    base = _record("t", rate=1e6, wall=2.0, instructions=2_000_000)
+    row = compare_records("t", base, dict(base))
+    assert row.status == "ok" and not row.failed
+    assert row.delta == 0.0
+
+
+def test_twenty_percent_slowdown_is_a_regression():
+    """ISSUE acceptance: a synthetic 20% slowdown trips the default gate."""
+    base = _record("t", rate=1e6, instructions=5)
+    slow = _record("t", rate=0.8e6, instructions=5)
+    row = compare_records("t", base, slow)
+    assert row.status == "regression" and row.failed
+    assert abs(row.delta - (-0.2)) < 1e-9
+    assert not gate([row])
+
+
+def test_slowdown_within_threshold_is_ok():
+    base = _record("t", rate=1e6)
+    row = compare_records("t", base, _record("t", rate=0.95e6))
+    assert row.status == "ok"
+    row = compare_records("t", base, _record("t", rate=0.7e6), threshold=0.5)
+    assert row.status == "ok"
+
+
+def test_speedup_reports_improved():
+    row = compare_records("t", _record("t", rate=1e6), _record("t", rate=1.5e6))
+    assert row.status == "improved" and not row.failed
+
+
+def test_instruction_drift_always_fails():
+    """Machine-independent: count mismatch fails even with a huge threshold."""
+    base = _record("t", rate=1e6, instructions=100)
+    drifted = _record("t", rate=1e6, instructions=101)
+    row = compare_records("t", base, drifted, threshold=10.0)
+    assert row.status == "drift" and row.failed
+    assert row.metric == "instructions"
+
+
+def test_missing_benchmark_fails():
+    row = compare_records("t", _record("t", rate=1e6), None)
+    assert row.status == "missing" and row.failed
+
+
+def test_wall_time_fallback_higher_is_worse():
+    base = _record("t", wall=1.0)
+    assert compare_records("t", base, _record("t", wall=1.5)).status == "regression"
+    assert compare_records("t", base, _record("t", wall=0.5)).status == "improved"
+    assert compare_records("t", base, _record("t", wall=1.05)).status == "ok"
+
+
+def test_no_comparable_metric_is_ok():
+    row = compare_records("t", _record("t"), _record("t"))
+    assert row.status == "ok" and "no comparable metric" in row.note
+
+
+# -- compare_dirs / gate -----------------------------------------------------
+
+
+def test_compare_dirs_end_to_end(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    _write(baseline, _record("fast", rate=1e6, instructions=10))
+    _write(baseline, _record("gone", rate=1e6))
+    _write(current, _record("fast", rate=0.75e6, instructions=10))
+    _write(current, _record("fresh", rate=2e6))
+
+    rows = compare_dirs(str(baseline), str(current))
+    by_name = {row.name: row for row in rows}
+    assert by_name["fast"].status == "regression"
+    assert by_name["gone"].status == "missing"
+    assert by_name["fresh"].status == "new" and not by_name["fresh"].failed
+    assert not gate(rows)
+
+    rendered = render_comparison(rows)
+    assert "REGRESSION" in rendered and "MISSING" in rendered
+    assert "fresh" in rendered
+
+
+def test_self_compare_passes(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    _write(directory, _record("a", rate=1e6, instructions=7))
+    _write(directory, _record("b", wall=0.5))
+    rows = compare_dirs(str(directory), str(directory))
+    assert gate(rows)
+    assert all(row.status == "ok" for row in rows)
+
+
+def test_manifests_skipped_and_bad_json_surfaced(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    _write(directory, _record("good", rate=1e6))
+    (directory / "BENCH_good.manifest.json").write_text("{}")
+    (directory / "BENCH_broken.json").write_text("{not json")
+    records = load_bench_records(str(directory))
+    assert set(records) == {"good", "broken"}
+    assert "error" in records["broken"]
+
+
+def test_check_regression_script(tmp_path):
+    """The CI entry point: exit 0 on pass, 1 on regression, 0 when empty."""
+    import sys
+
+    sys.path.insert(0, "benchmarks")
+    try:
+        import check_regression
+    finally:
+        sys.path.pop(0)
+
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    _write(baseline, _record("t", rate=1e6))
+    _write(current, _record("t", rate=1e6))
+    args = ["--baseline", str(baseline), "--current", str(current)]
+    assert check_regression.main(args) == 0
+
+    _write(current, _record("t", rate=0.5e6))
+    assert check_regression.main(args) == 1
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert check_regression.main(["--baseline", str(empty), "--current", str(current)]) == 0
+
+
+def test_bench_comparison_failed_property():
+    for status, failed in [
+        ("ok", False), ("improved", False), ("new", False),
+        ("regression", True), ("drift", True), ("missing", True),
+    ]:
+        row = BenchComparison("x", "presence", None, None, None, status)
+        assert row.failed is failed
