@@ -1,0 +1,314 @@
+"""Stable entry point: one session object over the whole pipeline.
+
+Everything the CLI, benchmark harness, and tests do — characterize a
+workload, evaluate original vs transformed code on a platform model,
+sweep a parameter — flows through a :class:`Session` configured by one
+:class:`RunConfig`:
+
+    >>> from repro.api import Session, RunConfig
+    >>> with Session(RunConfig(scale="test", jobs=4, retries=2)) as s:
+    ...     mix = s.characterize("hmmsearch").mix
+    ...     rows = s.evaluate()            # full Table 8 grid
+    ...     points = s.sweep("hmmsearch", "l1_hit_int", [1, 2, 3])
+
+The session owns the knobs that used to drift between entry points:
+
+* the **run cache** directory (and whether caching is on at all),
+* **parallelism** (worker-process count),
+* the **resilience policy** — per-task timeout, retry count, backoff —
+  and any **fault-injection** config, all threaded into every
+  :class:`~repro.core.parallel.ParallelRunner` the session builds,
+* the **tracer** (pass ``trace=`` to collect telemetry and flush it on
+  :meth:`close` / context-manager exit).
+
+Results are memoized per (workload, scale, seed) within the session
+and persisted through the run cache across sessions, so repeated
+queries cost one characterization run, exactly like the paper's
+instrument-once / analyse-many ATOM workflow.
+
+Every run — even a single serial one — goes through the fault-tolerant
+execution engine, so retry/timeout/fault behavior is identical whether
+a workload is characterized alone or as part of a fan-out.
+
+:class:`repro.core.experiments.ExperimentContext` remains as a thin
+deprecated shim over this module; new code should construct a
+:class:`Session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.atom.runner import CharacterizationResult
+from repro.core import faults as faults_mod
+from repro.core.parallel import BackoffPolicy, ParallelRunner
+from repro.core.pipeline import EvaluationResult
+from repro.workloads.registry import all_workloads, get_workload, spec_workloads
+
+__all__ = ["RunConfig", "Session"]
+
+#: The Table 7 platform keys, in paper order.
+DEFAULT_PLATFORMS: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything a :class:`Session` needs to run experiments.
+
+    ``scale`` is the characterization dataset scale, ``eval_scale``
+    the (heavier) evaluation scale used by the Table 8 grid.  ``cache``
+    turns the persistent run cache off entirely; ``cache_dir`` pins its
+    directory (default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    ``retries``/``timeout`` default from ``$REPRO_RETRIES`` /
+    ``$REPRO_TIMEOUT`` when None; ``faults`` pins a fault-injection
+    config (default: whatever ``$REPRO_FAULTS`` says, usually none).
+    ``trace`` names a JSONL file: telemetry is enabled for the
+    session's lifetime and flushed there on close.
+    """
+
+    scale: str = "medium"
+    eval_scale: str = "large"
+    seed: int = 0
+    jobs: int = 1
+    cache: bool = True
+    cache_dir: Optional[str] = None
+    retries: Optional[int] = None
+    timeout: Optional[float] = None
+    backoff: Optional[BackoffPolicy] = None
+    faults: Optional[faults_mod.FaultConfig] = None
+    trace: Optional[str] = None
+
+    def with_overrides(self, **overrides) -> "RunConfig":
+        """A copy with the given fields replaced (None values ignored)."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self
+
+
+class Session:
+    """One configured pipeline: characterize, evaluate, sweep.
+
+    Construct with a :class:`RunConfig` or keyword overrides
+    (``Session(scale="test", jobs=4)``).  Usable as a context manager;
+    exit flushes the trace file when tracing was requested.
+    """
+
+    def __init__(self, config: Optional[RunConfig] = None, **overrides):
+        if config is None:
+            config = RunConfig()
+        self.config = config.with_overrides(**overrides)
+        self._runs: Dict[Tuple[str, str, int], CharacterizationResult] = {}
+        self._cache = None
+        if self.config.cache:
+            from repro.core.runcache import RunCache
+
+            self._cache = RunCache(self.config.cache_dir)
+        if self.config.trace:
+            obs.enable()
+
+    # -- plumbing ------------------------------------------------------------
+    @property
+    def scale(self) -> str:
+        return self.config.scale
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def jobs(self) -> int:
+        return max(1, int(self.config.jobs))
+
+    @property
+    def cache(self):
+        """The session's :class:`~repro.core.runcache.RunCache` (or None)."""
+        return self._cache
+
+    def runner(self, jobs: Optional[int] = None) -> ParallelRunner:
+        """A :class:`ParallelRunner` carrying the session's policy."""
+        return ParallelRunner(
+            jobs=self.jobs if jobs is None else jobs,
+            retries=self.config.retries,
+            timeout=self.config.timeout,
+            backoff=self.config.backoff,
+            faults=self.config.faults,
+        )
+
+    def _fingerprint(self, name: str, scale: str, seed: int) -> str:
+        from repro.core.runcache import workload_fingerprint
+
+        # Shared with the run cache AND run manifests (one source of
+        # truth for run identity; see repro.obs.manifest.run_manifest).
+        return workload_fingerprint(name, scale, seed)
+
+    # -- characterization ----------------------------------------------------
+    def run(
+        self, name: str, scale: Optional[str] = None, seed: Optional[int] = None
+    ) -> CharacterizationResult:
+        """The (memoized, cached) characterization run for ``name``."""
+        from repro.core.parallel import _characterize_task
+        from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+
+        get_workload(name)  # unknown workloads raise KeyError here, not in a worker
+        scale = self.scale if scale is None else scale
+        seed = self.seed if seed is None else seed
+        memo_key = (name, scale, seed)
+        with obs.span(
+            "experiment.run", workload=name, scale=scale, seed=seed
+        ) as span:
+            source = "memo"
+            result = self._runs.get(memo_key)
+            if result is None and self._cache is not None:
+                cached = self._cache.load(self._fingerprint(name, scale, seed))
+                if isinstance(cached, CharacterizationResult):
+                    result = cached
+                    source = "cache"
+            if result is None:
+                source = "interp"
+                _, result = self.runner(jobs=1).run_one(
+                    _characterize_task,
+                    (name, scale, seed, DEFAULT_MAX_INSTRUCTIONS),
+                )
+                if self._cache is not None:
+                    self._cache.store(self._fingerprint(name, scale, seed), result)
+            span.set_attr(source=source)
+            obs.metrics().counter(f"experiments.runs.{source}").inc()
+            self._runs[memo_key] = result
+        return result
+
+    characterize = run
+
+    def prefetch(self, names: Optional[List[str]] = None) -> None:
+        """Materialize runs for ``names`` (default: every workload).
+
+        Cached and memoized runs are reused; the remainder fan out
+        across the session's workers.  A run that fails even after the
+        session's retries is skipped here (``experiments.
+        prefetch_failures``) and surfaces on the eventual serial
+        :meth:`run` call for it — prefetch itself never raises.
+        """
+        from repro.core.parallel import FailedCell, _characterize_task
+        from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+
+        if names is None:
+            names = [spec.name for spec in all_workloads() + spec_workloads()]
+        with obs.span("experiment.prefetch", requested=len(names)) as span:
+            missing: List[str] = []
+            for name in names:
+                if (name, self.scale, self.seed) in self._runs:
+                    continue
+                cached = None
+                if self._cache is not None:
+                    cached = self._cache.load(
+                        self._fingerprint(name, self.scale, self.seed)
+                    )
+                if isinstance(cached, CharacterizationResult):
+                    self._runs[(name, self.scale, self.seed)] = cached
+                else:
+                    missing.append(name)
+            span.set_attr(missing=len(missing), jobs=self.jobs)
+            if not missing:
+                return
+            tasks = [
+                (name, self.scale, self.seed, DEFAULT_MAX_INSTRUCTIONS)
+                for name in missing
+            ]
+            for settled in self.runner().map_settled(_characterize_task, tasks):
+                if isinstance(settled, FailedCell):
+                    obs.metrics().counter("experiments.prefetch_failures").inc()
+                    continue
+                name, result = settled
+                self._runs[(name, self.scale, self.seed)] = result
+                if self._cache is not None:
+                    self._cache.store(
+                        self._fingerprint(name, self.scale, self.seed), result
+                    )
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(
+        self,
+        workload: Optional[str] = None,
+        platform: Optional[str] = None,
+        platforms: Optional[Sequence[str]] = None,
+        scale: Optional[str] = None,
+        checkpoint: Optional[str] = None,
+        strict: bool = False,
+    ):
+        """Original-vs-transformed evaluation.
+
+        With a ``workload``: one :class:`EvaluationResult` on one
+        ``platform`` (default ``"alpha"``), run through the engine so
+        the session's retry/fault policy applies.
+
+        Without: the full Table 8 grid over ``platforms`` (default: all
+        four Table 7 models) at ``eval_scale``, returning runtime rows
+        with :class:`~repro.core.parallel.FailedCell` markers for cells
+        that failed past retries (or raising when ``strict=True``).
+        ``checkpoint`` streams completed cells to a JSONL file and
+        resumes from it, running only the missing cells.
+        """
+        from repro.core import experiments as E
+        from repro.core.parallel import _evaluate_task
+
+        scale = self.config.eval_scale if scale is None else scale
+        if workload is not None:
+            get_workload(workload)  # KeyError in the caller, not a worker
+            key = platform or "alpha"
+            _name, _key, evaluation = self.runner(jobs=1).run_one(
+                _evaluate_task, (workload, key, scale, self.seed)
+            )
+            return evaluation
+        keys = tuple(platforms) if platforms else DEFAULT_PLATFORMS
+        return E.table8_runtimes(
+            scale=scale,
+            seed=self.seed,
+            platform_keys=keys,
+            runner=self.runner(),
+            checkpoint=checkpoint,
+            strict=strict,
+        )
+
+    # -- sweeps --------------------------------------------------------------
+    def sweep(
+        self,
+        workload: str,
+        field: str,
+        values: Sequence[object],
+        kind: str = "platform",
+        **kwargs,
+    ):
+        """Sensitivity sweep over one platform or compiler parameter.
+
+        ``kind`` is ``"platform"`` (a :class:`~repro.cpu.PlatformConfig`
+        field) or ``"compiler"`` (a :class:`~repro.lang.CompilerOptions`
+        field); extra keyword arguments pass through to the underlying
+        sweep function.  Points fan out over the session's workers with
+        its retry/timeout policy.
+        """
+        from repro.core import sweeps
+
+        if kind == "platform":
+            fn = sweeps.sweep_platform_field
+        elif kind == "compiler":
+            fn = sweeps.sweep_compiler_flag
+        else:
+            raise ValueError(f"unknown sweep kind {kind!r} (want platform|compiler)")
+        kwargs.setdefault("scale", self.scale)
+        kwargs.setdefault("seed", self.seed)
+        return fn(workload, field, values, runner=self.runner(), **kwargs)
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> Optional[str]:
+        """Flush the trace file when tracing was requested; its path."""
+        if not self.config.trace:
+            return None
+        obs.flush_to(self.config.trace)
+        return self.config.trace
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False

@@ -7,16 +7,25 @@ Commands:
   coverage, cache, sequences, hot loads);
 * ``candidates WORKLOAD`` — the Section 3 candidate loads;
 * ``evaluate WORKLOAD`` — original vs transformed cycles per platform;
+  ``evaluate --all`` runs the whole Table 8 grid fault-tolerantly
+  (``--checkpoint FILE`` resumes an interrupted sweep from its
+  completed cells);
 * ``disasm WORKLOAD`` — machine code, original or transformed;
 * ``report`` — regenerate EXPERIMENTS.md (all tables and figures);
-  ``--jobs N`` fans the independent runs over worker processes and the
-  persistent run cache skips runs already done (``--no-cache`` opts out);
 * ``cache stats|clear|prune`` — inspect, clear, or size-bound the
   persistent run cache (stats include persisted hit/miss counters);
 * ``trace summary FILE`` — render a telemetry trace (JSONL) as a span
   tree with metrics;
 * ``bench compare`` — diff current ``BENCH_*.json`` results against a
   baseline directory and fail on throughput regressions.
+
+Every work-running subcommand (characterize, candidates, evaluate,
+disasm, report) accepts one shared execution flag group —
+``--jobs/--cache/--no-cache/--cache-dir/--trace/--timeout/--retries/
+--faults`` — threaded into a single :class:`repro.api.Session`, so
+parallelism, caching, resilience policy, and fault injection behave
+identically everywhere (``report`` caches by default; the
+per-workload commands opt in with ``--cache``).
 
 The global ``--trace [FILE]`` flag (or ``REPRO_TRACE=1``/``=FILE``)
 turns on the :mod:`repro.obs` telemetry layer for any command and
@@ -30,6 +39,102 @@ import sys
 from typing import List, Optional
 
 from repro.workloads.datasets import SCALES
+
+
+def _work_parent() -> argparse.ArgumentParser:
+    """The shared execution flag group of every work-running subcommand.
+
+    All defaults are ``SUPPRESS`` so a subcommand never clobbers a
+    value set at the top level (``repro --trace characterize ...``)
+    and per-command fallbacks stay with the command handlers.
+    """
+    suppress = argparse.SUPPRESS
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=suppress,
+        metavar="N",
+        help="worker processes for independent runs (0 = all cores)",
+    )
+    group.add_argument(
+        "--cache",
+        action="store_true",
+        dest="use_cache",
+        default=suppress,
+        help="read and write the persistent run cache",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_false",
+        dest="use_cache",
+        default=suppress,
+        help="do not read or write the persistent run cache",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=suppress,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    group.add_argument(
+        "--trace",
+        nargs="?",
+        const="repro-trace.jsonl",
+        default=suppress,
+        metavar="FILE",
+        help="enable telemetry and write a JSONL trace "
+        "(default file: repro-trace.jsonl)",
+    )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=suppress,
+        metavar="SECONDS",
+        help="per-task wall-clock deadline (default: $REPRO_TIMEOUT or none)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=suppress,
+        metavar="N",
+        help="re-run a failed task up to N times with exponential backoff "
+        "(default: $REPRO_RETRIES or 0)",
+    )
+    group.add_argument(
+        "--faults",
+        default=suppress,
+        metavar="SPEC",
+        help="inject deterministic faults for chaos testing, "
+        "e.g. 'crash=0.2,seed=7' (see docs/robustness.md)",
+    )
+    return parent
+
+
+def _session_from_args(args, scale: str, eval_scale: Optional[str] = None,
+                       cache_default: bool = False):
+    """Build the one :class:`repro.api.Session` a work command uses."""
+    from repro.api import RunConfig, Session
+    from repro.core import faults as faults_mod
+    from repro.core.parallel import default_jobs
+
+    jobs = getattr(args, "jobs", 1)
+    jobs = default_jobs() if jobs == 0 else jobs
+    spec = getattr(args, "faults", None)
+    faults = faults_mod.FaultConfig.from_spec(spec) if spec else None
+    return Session(
+        RunConfig(
+            scale=scale,
+            eval_scale=eval_scale or scale,
+            seed=getattr(args, "seed", 0),
+            jobs=jobs,
+            cache=getattr(args, "use_cache", cache_default),
+            cache_dir=getattr(args, "cache_dir", None),
+            retries=getattr(args, "retries", None),
+            timeout=getattr(args, "timeout", None),
+            faults=faults,
+        )
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default file: repro-trace.jsonl)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    work = _work_parent()
 
     sub.add_parser("list", help="list registered workloads")
 
@@ -55,15 +161,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ("characterize", "Section 2 characterization of one workload"),
         ("candidates", "Section 3 candidate loads of one workload"),
     ):
-        cmd = sub.add_parser(name, help=help_text)
+        cmd = sub.add_parser(name, help=help_text, parents=[work])
         cmd.add_argument("workload")
         cmd.add_argument("--scale", choices=SCALES, default="small")
         cmd.add_argument("--seed", type=int, default=0)
 
     evaluate = sub.add_parser(
-        "evaluate", help="original vs load-transformed cycles per platform"
+        "evaluate",
+        help="original vs load-transformed cycles per platform",
+        parents=[work],
     )
-    evaluate.add_argument("workload")
+    evaluate.add_argument("workload", nargs="?")
+    evaluate.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_cells",
+        help="run the whole Table 8 grid (all amenable workloads × platforms) "
+        "fault-tolerantly; failed cells are reported, not fatal mid-sweep",
+    )
     evaluate.add_argument("--scale", choices=SCALES, default="small")
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument(
@@ -71,8 +186,17 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["alpha", "powerpc", "pentium4", "itanium", "all"],
         default="all",
     )
+    evaluate.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="with --all: stream completed cells to this JSONL file and "
+        "resume from it, running only the missing cells",
+    )
 
-    disasm = sub.add_parser("disasm", help="show a workload's machine code")
+    disasm = sub.add_parser(
+        "disasm", help="show a workload's machine code", parents=[work]
+    )
     disasm.add_argument("workload")
     disasm.add_argument("--transformed", action="store_true")
     disasm.add_argument(
@@ -80,26 +204,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     disasm.add_argument("--opt-level", type=int, choices=[0, 1, 2, 3], default=3)
 
-    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md", parents=[work]
+    )
     report.add_argument("--char-scale", choices=SCALES, default="medium")
     report.add_argument("--eval-scale", choices=SCALES, default="large")
     report.add_argument("--out", default="EXPERIMENTS.md")
-    report.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the independent runs (0 = all cores)",
-    )
-    report.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="do not read or write the persistent run cache",
-    )
-    report.add_argument(
-        "--cache-dir",
-        default=None,
-        help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
 
     cache = sub.add_parser(
         "cache", help="inspect, clear, or prune the persistent run cache"
@@ -168,14 +278,12 @@ def _cmd_list() -> None:
 
 
 def _cmd_characterize(args) -> None:
-    from repro.atom import characterize
     from repro.core.reporting import format_table, pct
     from repro.workloads import get_workload
 
     spec = get_workload(args.workload)
-    result = characterize(
-        spec.program(), spec.dataset(args.scale, args.seed), workload=spec.name
-    )
+    session = _session_from_args(args, scale=args.scale)
+    result = session.characterize(spec.name)
     mix = result.mix
     hierarchy = result.cache.hierarchy
     summary = result.sequences.summary()
@@ -205,15 +313,13 @@ def _cmd_characterize(args) -> None:
 
 
 def _cmd_candidates(args) -> None:
-    from repro.atom import characterize
     from repro.core import select_candidates
     from repro.core.candidates import candidate_lines
     from repro.workloads import get_workload
 
     spec = get_workload(args.workload)
-    result = characterize(
-        spec.program(), spec.dataset(args.scale, args.seed), workload=spec.name
-    )
+    session = _session_from_args(args, scale=args.scale)
+    result = session.characterize(spec.name)
     candidates = select_candidates(result)
     if not candidates:
         print(f"{spec.name}: no candidate loads at scale {args.scale}")
@@ -225,15 +331,21 @@ def _cmd_candidates(args) -> None:
 
 
 def _cmd_evaluate(args) -> None:
-    from repro.core import evaluate_workload
     from repro.core.reporting import format_table, pct
     from repro.cpu import PLATFORMS
     from repro.workloads import get_workload
 
+    if args.all_cells:
+        _cmd_evaluate_all(args)
+        return
+    if args.workload is None:
+        print("evaluate: name a workload or pass --all for the full grid")
+        sys.exit(2)
     spec = get_workload(args.workload)
     if not spec.amenable:
         print(f"{spec.name} has no transformed variant (not in the paper's Table 6)")
         sys.exit(1)
+    session = _session_from_args(args, scale=args.scale)
     keys = (
         ["alpha", "powerpc", "pentium4", "itanium"]
         if args.platform == "all"
@@ -241,9 +353,7 @@ def _cmd_evaluate(args) -> None:
     )
     rows = []
     for key in keys:
-        evaluation = evaluate_workload(
-            spec, PLATFORMS[key], scale=args.scale, seed=args.seed
-        )
+        evaluation = session.evaluate(spec.name, platform=key, scale=args.scale)
         rows.append(
             [
                 PLATFORMS[key].name,
@@ -261,6 +371,29 @@ def _cmd_evaluate(args) -> None:
     )
 
 
+def _cmd_evaluate_all(args) -> None:
+    """The full Table 8 grid, fault-tolerant and checkpoint-resumable."""
+    from repro.core.experiments import figure9_speedups, render_figure9, render_table8
+    from repro.core.parallel import FailedCell
+
+    session = _session_from_args(args, scale=args.scale)
+    platforms = None if args.platform == "all" else (args.platform,)
+    rows = session.evaluate(
+        platforms=platforms, scale=args.scale, checkpoint=args.checkpoint
+    )
+    print(render_table8(rows))
+    print()
+    print(render_figure9(figure9_speedups(rows)))
+    failed = [r for r in rows if isinstance(r, FailedCell)]
+    if failed:
+        print(f"\n{len(failed)} cell(s) failed after retries:")
+        for cell in failed:
+            print(f"  {cell.description}: {cell.error}")
+        if args.checkpoint:
+            print(f"re-run with --checkpoint {args.checkpoint} to retry only these")
+        sys.exit(1)
+
+
 def _cmd_disasm(args) -> None:
     from repro.lang.compiler import CompilerOptions
     from repro.workloads import get_workload
@@ -272,13 +405,25 @@ def _cmd_disasm(args) -> None:
 
 
 def _cmd_report(args) -> None:
+    from repro.core import faults as faults_mod
     from repro.core.parallel import default_jobs
     from repro.core.report import generate
     from repro.core.runcache import RunCache
 
-    cache = None if args.no_cache else RunCache(args.cache_dir)
-    jobs = default_jobs() if args.jobs == 0 else args.jobs
-    text = generate(args.char_scale, args.eval_scale, jobs=jobs, cache=cache)
+    use_cache = getattr(args, "use_cache", True)  # report caches by default
+    cache = RunCache(getattr(args, "cache_dir", None)) if use_cache else None
+    jobs = getattr(args, "jobs", 1)
+    jobs = default_jobs() if jobs == 0 else jobs
+    spec = getattr(args, "faults", None)
+    text = generate(
+        args.char_scale,
+        args.eval_scale,
+        jobs=jobs,
+        cache=cache,
+        retries=getattr(args, "retries", None),
+        timeout=getattr(args, "timeout", None),
+        faults=faults_mod.FaultConfig.from_spec(spec) if spec else None,
+    )
     with open(args.out, "w") as handle:
         handle.write(text)
     print(f"wrote {args.out}")
@@ -300,6 +445,7 @@ def _cmd_cache(args) -> None:
         print(f"hit rate:        {hit_rate:.1%}")
         print(f"stores:          {stats['stores']}")
         print(f"invalid entries: {stats['invalid']}")
+        print(f"quarantined:     {stats['quarantined']}")
         print(f"evictions:       {stats['evictions']}")
     elif args.action == "clear":
         removed = cache.clear()

@@ -29,18 +29,14 @@ from repro.workloads.registry import (
 
 
 class ExperimentContext:
-    """Memoizes characterization runs per (workload, scale, seed).
+    """Deprecated shim over :class:`repro.api.Session`.
 
-    Two optional accelerators compose with the in-memory memo:
-
-    * ``cache`` — a :class:`repro.core.runcache.RunCache`; completed
-      runs are persisted on disk keyed by a fingerprint of the program,
-      dataset, and tool configuration, so a later process skips the
-      interpretation entirely.
-    * ``jobs`` — worker-process count for :meth:`prefetch`, which fans
-      the uncached characterization runs out in parallel.  Each run is
-      independent and collected in workload order, so results are
-      bit-identical to the serial path.
+    Early code constructed an ``ExperimentContext(scale, seed, jobs,
+    cache)`` and called :meth:`run`/:meth:`prefetch` on it; the same
+    surface (plus resilience policy, evaluation, and sweeps) now lives
+    on :class:`repro.api.Session`, which this class delegates to.
+    Construction emits a :class:`DeprecationWarning`; see
+    ``docs/extending.md`` for the migration.
     """
 
     def __init__(
@@ -50,86 +46,57 @@ class ExperimentContext:
         jobs: int = 1,
         cache=None,
     ):
-        self.scale = scale
-        self.seed = seed
-        self.jobs = max(1, int(jobs))
-        self.cache = cache
-        self._runs: Dict[str, CharacterizationResult] = {}
+        import warnings
+
+        warnings.warn(
+            "ExperimentContext is deprecated; use repro.api.Session "
+            "(see docs/extending.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.api import RunConfig, Session
+
+        self._session = Session(
+            RunConfig(scale=scale, seed=seed, jobs=max(1, int(jobs)), cache=False)
+        )
+        # The old API took a RunCache *instance* (None = no caching);
+        # Session normally builds its own from a directory, so graft
+        # the caller's instance on directly.
+        self._session._cache = cache
+
+    @property
+    def scale(self) -> str:
+        return self._session.scale
+
+    @property
+    def seed(self) -> int:
+        return self._session.seed
+
+    @property
+    def jobs(self) -> int:
+        return self._session.jobs
+
+    @property
+    def cache(self):
+        return self._session.cache
+
+    @property
+    def _runs(self) -> Dict[str, CharacterizationResult]:
+        # Old callers keyed the memo by bare workload name.
+        return {
+            key[0]: result
+            for key, result in self._session._runs.items()
+            if key[1] == self.scale and key[2] == self.seed
+        }
 
     def _fingerprint(self, name: str) -> str:
-        from repro.core.runcache import workload_fingerprint
-
-        # Shared with the run cache AND run manifests (one source of
-        # truth for run identity; see repro.obs.manifest.run_manifest).
-        return workload_fingerprint(name, self.scale, self.seed)
-
-    def _load_cached(self, name: str) -> Optional[CharacterizationResult]:
-        if self.cache is None:
-            return None
-        result = self.cache.load(self._fingerprint(name))
-        return result if isinstance(result, CharacterizationResult) else None
-
-    def _store_cached(self, name: str, result: CharacterizationResult) -> None:
-        if self.cache is not None:
-            self.cache.store(self._fingerprint(name), result)
+        return self._session._fingerprint(name, self.scale, self.seed)
 
     def run(self, name: str) -> CharacterizationResult:
-        from repro import obs
-
-        with obs.span(
-            "experiment.run", workload=name, scale=self.scale, seed=self.seed
-        ) as span:
-            source = "memo"
-            result = self._runs.get(name)
-            if result is None:
-                result = self._load_cached(name)
-                source = "cache" if result is not None else source
-            if result is None:
-                source = "interp"
-                spec = get_workload(name)
-                result = characterize(
-                    spec.program(),
-                    spec.dataset(self.scale, self.seed),
-                    workload=name,
-                )
-                self._store_cached(name, result)
-            span.set_attr(source=source)
-            obs.metrics().counter(f"experiments.runs.{source}").inc()
-            self._runs[name] = result
-        return result
+        return self._session.run(name)
 
     def prefetch(self, names: Optional[List[str]] = None) -> None:
-        """Materialize runs for ``names`` (default: every workload).
-
-        Cached and memoized runs are reused; the remainder run across
-        ``self.jobs`` worker processes.  After this, every ``run()``
-        call for the listed names is a dictionary lookup.
-        """
-        from repro import obs
-
-        if names is None:
-            names = [spec.name for spec in all_workloads() + spec_workloads()]
-        with obs.span("experiment.prefetch", requested=len(names)) as span:
-            missing: List[str] = []
-            for name in names:
-                if name in self._runs:
-                    continue
-                cached = self._load_cached(name)
-                if cached is not None:
-                    self._runs[name] = cached
-                else:
-                    missing.append(name)
-            span.set_attr(missing=len(missing), jobs=self.jobs)
-            if not missing:
-                return
-            from repro.core.parallel import ParallelRunner
-
-            runner = ParallelRunner(jobs=self.jobs)
-            for name, result in runner.characterize_workloads(
-                missing, self.scale, self.seed
-            ).items():
-                self._runs[name] = result
-                self._store_cached(name, result)
+        self._session.prefetch(names)
 
 
 # ---------------------------------------------------------------------------
@@ -473,12 +440,20 @@ class RuntimeRow:
     paper_speedup: Optional[float]
 
 
+def _cell_key(task: Tuple[str, str, str, int]) -> str:
+    """Checkpoint key of one evaluation cell (workload:platform)."""
+    return f"{task[0]}:{task[1]}"
+
+
 def table8_runtimes(
     scale: str = "large",
     seed: int = 0,
     platform_keys: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium"),
     jobs: int = 1,
-) -> List[RuntimeRow]:
+    runner=None,
+    checkpoint: Optional[str] = None,
+    strict: bool = False,
+) -> List:
     """Table 8: original vs transformed cycles per amenable program and
     platform (the paper reports seconds; cycles are the simulator
     analogue — Figure 9's speedups are the comparable quantity).
@@ -486,17 +461,45 @@ def table8_runtimes(
     ``jobs > 1`` evaluates the (platform, workload) grid across worker
     processes; each cell is an independent deterministic simulation and
     rows come back in grid order, so the output is identical to serial.
-    """
-    from repro.core.parallel import ParallelRunner, _evaluate_task
 
-    tasks = [
-        (spec.name, key, scale, seed)
-        for key in platform_keys
-        for spec in amenable_workloads()
-    ]
-    results = ParallelRunner(jobs=jobs).map(_evaluate_task, tasks)
-    rows: List[RuntimeRow] = []
-    for name, key, evaluation in results:
+    ``runner`` supplies a pre-configured :class:`~repro.core.parallel.
+    ParallelRunner` (retry/timeout/fault policy); otherwise one is
+    built from ``jobs``.  A cell that still fails after the runner's
+    retries appears in the result as a :class:`~repro.core.parallel.
+    FailedCell` marker (the sweep degrades instead of raising) unless
+    ``strict=True``.  ``checkpoint`` names a JSONL file: completed
+    cells stream into it as they settle, and a rerun with the same
+    sweep parameters loads them back and runs only the missing cells.
+    """
+    from repro.core.parallel import FailedCell, ParallelRunner, _evaluate_task
+    from repro.core.resume import SweepCheckpoint, sweep_fingerprint
+
+    names = [spec.name for spec in amenable_workloads()]
+    tasks = [(name, key, scale, seed) for key in platform_keys for name in names]
+    store = SweepCheckpoint.open_for(
+        checkpoint,
+        sweep_fingerprint("table8", scale, seed, tuple(platform_keys), tuple(names)),
+    )
+    done: Dict[str, object] = store.load() if store is not None else {}
+    pending = [task for task in tasks if _cell_key(task) not in done]
+
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs)
+    on_result = None
+    if store is not None:
+        on_result = lambda index, task, value: store.record(_cell_key(task), value)
+    if pending:
+        mapper = runner.map if strict else runner.map_settled
+        settled = mapper(_evaluate_task, pending, on_result=on_result)
+        done.update(zip(map(_cell_key, pending), settled))
+
+    rows: List = []
+    for task in tasks:
+        value = done[_cell_key(task)]
+        if isinstance(value, FailedCell):
+            rows.append(value)
+            continue
+        name, key, evaluation = value
         spec = get_workload(name)
         platform = PLATFORMS[key]
         paper_speedup = None
@@ -517,10 +520,20 @@ def table8_runtimes(
     return rows
 
 
-def render_table8(rows: List[RuntimeRow]) -> str:
-    return format_table(
-        ["program", "platform", "orig cycles", "xform cycles", "speedup", "paper speedup"],
-        [
+def render_table8(rows: List) -> str:
+    from repro.core.parallel import FailedCell
+
+    body = []
+    failed = 0
+    for r in rows:
+        if isinstance(r, FailedCell):
+            failed += 1
+            name, key = r.task[0], r.task[1]
+            body.append(
+                [name, PLATFORMS[key].name, "—", "—", "FAILED", pct(None)]
+            )
+            continue
+        body.append(
             [
                 r.workload,
                 r.platform,
@@ -529,9 +542,14 @@ def render_table8(rows: List[RuntimeRow]) -> str:
                 pct(r.speedup),
                 pct(r.paper_speedup),
             ]
-            for r in rows
-        ],
-        title="Table 8: runtimes (simulated cycles), original vs load-transformed",
+        )
+    title = "Table 8: runtimes (simulated cycles), original vs load-transformed"
+    if failed:
+        title += f" [{failed} cell(s) FAILED — partial results]"
+    return format_table(
+        ["program", "platform", "orig cycles", "xform cycles", "speedup", "paper speedup"],
+        body,
+        title=title,
     )
 
 
@@ -542,37 +560,77 @@ class SpeedupSummary:
     harmonic_mean: float
     paper_harmonic_mean: Optional[float]
     per_workload: Dict[str, float]
+    failed: int = 0  # FailedCell markers excluded from the mean
 
 
 #: Figure 9 / Section 7: the paper's harmonic-mean speedups.
 PAPER_HMEAN = {"alpha": 0.254, "powerpc": 0.151, "pentium4": 0.043, "itanium": 0.127}
 
 
-def figure9_speedups(rows: List[RuntimeRow]) -> List[SpeedupSummary]:
-    """Figure 9: per-platform speedups with harmonic means."""
+def figure9_speedups(rows: List) -> List[SpeedupSummary]:
+    """Figure 9: per-platform speedups with harmonic means.
+
+    :class:`~repro.core.parallel.FailedCell` markers from a degraded
+    Table 8 sweep are excluded from the means and surfaced as each
+    summary's ``failed`` count, so a partial sweep still yields a
+    figure — annotated, not silently narrowed.
+    """
+    from repro.core.parallel import FailedCell
+
+    failed_by_platform: Dict[str, int] = {}
+    ok_rows: List[RuntimeRow] = []
+    for r in rows:
+        if isinstance(r, FailedCell):
+            key = r.task[1]
+            failed_by_platform[key] = failed_by_platform.get(key, 0) + 1
+        else:
+            ok_rows.append(r)
     summaries = []
-    for key in dict.fromkeys(r.platform_key for r in rows):
-        platform_rows = [r for r in rows if r.platform_key == key]
+    seen = dict.fromkeys(
+        [r.platform_key for r in ok_rows] + list(failed_by_platform)
+    )
+    for key in seen:
+        platform_rows = [r for r in ok_rows if r.platform_key == key]
+        platform = (
+            platform_rows[0].platform if platform_rows else PLATFORMS[key].name
+        )
         summaries.append(
             SpeedupSummary(
                 platform_key=key,
-                platform=platform_rows[0].platform,
-                harmonic_mean=harmonic_mean_speedup(r.speedup for r in platform_rows),
+                platform=platform,
+                harmonic_mean=harmonic_mean_speedup(
+                    r.speedup for r in platform_rows
+                )
+                if platform_rows
+                else 0.0,
                 paper_harmonic_mean=PAPER_HMEAN.get(key),
                 per_workload={r.workload: r.speedup for r in platform_rows},
+                failed=failed_by_platform.get(key, 0),
             )
         )
     return summaries
 
 
 def render_figure9(summaries: List[SpeedupSummary]) -> str:
-    workloads = list(summaries[0].per_workload) if summaries else []
+    workloads: List[str] = []
+    for summary in summaries:
+        for name in summary.per_workload:
+            if name not in workloads:
+                workloads.append(name)
     headers = ["platform"] + workloads + ["hmean", "paper hmean"]
     body = []
+    failed_total = 0
     for summary in summaries:
+        failed_total += summary.failed
         body.append(
             [summary.platform]
-            + [pct(summary.per_workload[w]) for w in workloads]
+            + [
+                pct(summary.per_workload[w]) if w in summary.per_workload else "FAILED"
+                for w in workloads
+            ]
             + [pct(summary.harmonic_mean), pct(summary.paper_harmonic_mean)]
         )
-    return format_table(headers, body, title="Figure 9: speedup of load-transformed code")
+    title = "Figure 9: speedup of load-transformed code"
+    if failed_total:
+        title += f" [{failed_total} cell(s) FAILED — hmean over surviving cells]"
+    return format_table(headers, body, title=title)

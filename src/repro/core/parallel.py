@@ -1,14 +1,14 @@
-"""Process-parallel experiment execution.
+"""Fault-tolerant process-parallel execution engine.
 
 The characterization and evaluation workload is embarrassingly
 parallel: each (program, dataset, seed) run is independent and
 deterministic, exactly like the paper running ATOM over each BioPerf
-binary separately.  :class:`ParallelRunner` fans such runs out over a
-``multiprocessing`` pool while keeping results **bit-identical** to the
-serial path:
+binary separately.  :class:`ParallelRunner` fans such runs out over its
+own supervised worker pool while keeping results **bit-identical** to
+the serial path:
 
-* tasks are dispatched and collected with ``Pool.map``, which preserves
-  input order, so aggregation order never depends on scheduling;
+* results are collected by task index and returned in input order, so
+  aggregation never depends on worker scheduling;
 * every worker entry point is a module-level function taking one
   picklable task tuple and resolving workload specs *by name* in the
   worker (programs are recompiled there — compilation is deterministic);
@@ -17,46 +17,89 @@ serial path:
   in a fixed order.
 
 ``jobs <= 1`` (or a single task) short-circuits to a plain serial loop
-in the calling process — no pool, no pickling — so the parallel API is
+in the calling process — no pool, no pickling — and an empty task list
+returns ``[]`` without touching a pool at all, so the parallel API is
 safe to use unconditionally.
 
-Failure and observability semantics (see ``docs/observability.md``):
+Fault tolerance (see ``docs/robustness.md``):
 
-* a task that raises in a worker surfaces as :class:`WorkerTaskError`
-  carrying the failing task's identity (workload, scale, seed, ...)
-  and the worker-side traceback — never a bare pool traceback;
-* ``retries=N`` re-runs a failed task up to N more times (in the
-  parent, serially — deterministic tasks that fail transiently are
-  environment problems, so the retry avoids the pool); every retry and
-  terminal failure emits a telemetry span and bumps the
-  ``parallel.retries`` / ``parallel.failures`` counters;
-* when telemetry is on, each worker captures its own spans and metric
-  deltas and ships them back with its result; the parent re-roots the
-  spans under the dispatching ``parallel.map`` span and folds the
-  metrics into its registry, so one trace shows the whole fan-out.
+* **timeouts + heartbeats** — each dispatched task has a wall-clock
+  deadline (``timeout=``) and each worker sends heartbeats from a side
+  thread; a task past its deadline, a worker whose heartbeat stalls,
+  or a worker process that dies outright is killed/collected, a
+  replacement worker is spawned, and the task is retried
+  (``parallel.timeouts`` / ``parallel.heartbeat_lost`` /
+  ``parallel.worker_deaths`` counters);
+* **retry with exponential backoff + jitter** — a failed task is
+  re-dispatched up to ``retries`` times with delays from a
+  :class:`BackoffPolicy` (deterministic jitter, ``parallel.retries``
+  counter, ``parallel.backoff_ms`` histogram, a ``parallel.retry``
+  span per attempt); in serial mode the failure chains the original
+  exception as ``__cause__``;
+* **result integrity** — pooled results travel as a checksummed pickle
+  envelope; a corrupted payload is detected in the parent
+  (``parallel.corrupt_results``) and retried like any failure;
+* **graceful degradation** — :meth:`ParallelRunner.map_settled`
+  returns a :class:`FailedCell` marker per terminally-failed task
+  instead of raising, so sweeps produce partial results;
+* **fault injection** — when a :class:`repro.core.faults.FaultConfig`
+  is active (``--faults`` / ``$REPRO_FAULTS``), workers deterministically
+  crash, hang, or corrupt results so all of the above is testable.
+
+When telemetry is on, each worker captures its own spans and metric
+deltas and ships them back with its result; the parent re-roots the
+spans under the dispatching ``parallel.map`` span and folds the
+metrics into its registry, so one trace shows the whole fan-out.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import multiprocessing
 import os
+import pickle
+import threading
+import time
 import traceback as _traceback
+from dataclasses import dataclass
+from multiprocessing import connection as _mpconn
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.atom.runner import CharacterizationResult, characterize
+from repro.core import faults as _faults
 from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 from repro.obs import tracing as _tracing
 from repro.obs.metrics import begin_worker_capture as _begin_metrics_capture
 from repro.obs.metrics import end_worker_capture as _end_metrics_capture
 from repro.workloads.registry import get_workload
 
-__all__ = ["ParallelRunner", "WorkerTaskError", "default_jobs"]
+__all__ = [
+    "BackoffPolicy",
+    "FailedCell",
+    "ParallelRunner",
+    "WorkerTaskError",
+    "default_jobs",
+]
+
+#: How often a worker's side thread sends a heartbeat.
+HEARTBEAT_INTERVAL = 0.25
 
 
 def default_jobs() -> int:
     """Worker count when the caller asks for "all cores"."""
     return max(1, os.cpu_count() or 1)
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
 
 
 class WorkerTaskError(RuntimeError):
@@ -69,6 +112,9 @@ class WorkerTaskError(RuntimeError):
         exc_message: the original exception's message.
         worker_traceback: the worker-side traceback text.
         attempts: how many times the task was tried in total.
+
+    When the failure happened in-parent (serial execution), the
+    original exception is chained as ``__cause__``.
     """
 
     def __init__(
@@ -90,6 +136,55 @@ class WorkerTaskError(RuntimeError):
             f"worker task failed after {attempts} attempt(s): {description}: "
             f"{exc_type}: {exc_message}"
         )
+
+
+@dataclass
+class FailedCell:
+    """Explicit marker for a task that failed after every retry.
+
+    :meth:`ParallelRunner.map_settled` (and the sweeps built on it)
+    puts one of these in the result list instead of raising, so a
+    single bad cell degrades one table entry, not the whole sweep.
+    """
+
+    description: str
+    task: Any
+    error: str  # "ExcType: message"
+    attempts: int
+
+    @property
+    def failed(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"FAILED[{self.description}: {self.error} ({self.attempts} attempts)]"
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter for task retries.
+
+    Delay for retry ``attempt`` (1-based count of *completed* failed
+    attempts) is ``min(cap, base * factor**(attempt-1))`` stretched by
+    up to ``jitter`` fraction; the jitter draw is a pure function of
+    (seed, task key, attempt) so a rerun backs off identically.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def delay(self, attempt: int, key: str) -> float:
+        raw = min(self.cap, self.base * self.factor ** max(0, attempt - 1))
+        if self.jitter <= 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"{self.seed}\x00{key}\x00{attempt}".encode()
+        ).digest()
+        roll = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return raw * (1.0 + self.jitter * roll)
 
 
 # ---------------------------------------------------------------------------
@@ -142,25 +237,48 @@ def describe_task(func: Callable, task: Any) -> str:
     return f"{getattr(func, '__name__', func)}({task!r})"
 
 
-def _invoke(payload: Tuple[Callable, Any, bool]) -> Tuple[str, Any, list, dict]:
-    """Worker shim around one task.
+# ---------------------------------------------------------------------------
+# Supervised worker pool
+# ---------------------------------------------------------------------------
+
+#: Set while a worker runs an injected hang, so its heartbeat thread
+#: goes silent and the fault looks like a truly frozen process.
+_hb_suspended = threading.Event()
+
+
+def _invoke_pooled(
+    func: Callable,
+    task: Any,
+    attempt: int,
+    capture: bool,
+    fault_config,
+) -> Tuple[str, Any, list, dict]:
+    """Run one task inside a worker.
 
     Returns ``(status, value, span_records, metrics_snapshot)`` where
-    ``status`` is ``"ok"`` (value = result) or ``"error"`` (value =
-    ``(exc_type, exc_message, traceback_text)``).  Exceptions never
-    escape: a raw exception crossing the pool boundary loses the task
-    identity and, when unpicklable, kills the whole map.
+    ``status`` is ``"ok"`` (value = checksummed pickle envelope
+    ``(payload, sha256hex)``) or ``"error"`` (value = ``(exc_type,
+    exc_message, traceback_text)``).  Exceptions never escape: a raw
+    exception crossing the process boundary loses the task identity
+    and, when unpicklable, kills the worker.
     """
-    func, task, capture = payload
+    key = describe_task(func, task)
     if capture:
         _tracing.begin_worker_capture()
         _begin_metrics_capture()
     try:
         with obs.span(
-            "parallel.task", task=describe_task(func, task), worker_pid=os.getpid()
+            "parallel.task", task=key, worker_pid=os.getpid(), attempt=attempt
         ):
+            _faults.maybe_crash_or_hang(
+                fault_config, key, attempt, in_worker=True,
+                on_hang=_hb_suspended.set,
+            )
             result = func(task)
-        status, value = "ok", result
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        payload = _faults.maybe_corrupt(fault_config, key, attempt, payload)
+        status, value = "ok", (payload, digest)
     except Exception as exc:  # noqa: BLE001 - forwarded with full context
         status = "error"
         value = (type(exc).__name__, str(exc), _traceback.format_exc())
@@ -172,61 +290,161 @@ def _invoke(payload: Tuple[Callable, Any, bool]) -> Tuple[str, Any, list, dict]:
     return status, value, records, snapshot
 
 
+def _worker_main(conn, capture: bool, fault_config) -> None:
+    """Worker process loop: recv task, run it, send outcome, heartbeat."""
+    _faults.install(fault_config)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(HEARTBEAT_INTERVAL):
+            if _hb_suspended.is_set():
+                continue
+            try:
+                with send_lock:
+                    conn.send(("beat",))
+            except OSError:
+                return
+
+    threading.Thread(target=_beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            index, func, task, attempt = message
+            outcome = _invoke_pooled(func, task, attempt, capture, fault_config)
+            _hb_suspended.clear()
+            try:
+                with send_lock:
+                    conn.send(("done", index, outcome))
+            except OSError:
+                break
+    finally:
+        stop.set()
+        conn.close()
+
+
+class _Worker:
+    """One supervised worker process and its duplex channel."""
+
+    def __init__(self, context, capture: bool, fault_config):
+        self.conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, capture, fault_config),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.index: Optional[int] = None  # task index in flight
+        self.attempt = 0
+        self.dispatched_at = 0.0
+        self.last_beat = time.monotonic()
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def dispatch(self, index: int, func: Callable, task: Any, attempt: int) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.dispatched_at = self.last_beat = time.monotonic()
+        self.conn.send((index, func, task, attempt))
+
+    def destroy(self, graceful: bool = False) -> None:
+        """Tear the worker down; ``graceful`` tries a sentinel first."""
+        try:
+            if graceful and not self.busy and self.process.is_alive():
+                self.conn.send(None)
+                self.process.join(timeout=1.0)
+        except (OSError, ValueError):
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
 class ParallelRunner:
-    """Maps deterministic tasks over worker processes (or serially)."""
+    """Maps deterministic tasks over supervised workers (or serially).
 
-    def __init__(self, jobs: Optional[int] = None, retries: int = 0):
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
-        self.retries = max(0, int(retries))
+    ``retries``/``timeout`` default from ``$REPRO_RETRIES`` /
+    ``$REPRO_TIMEOUT`` when not given, so harnesses can turn resilience
+    on without threading arguments everywhere.  ``faults`` pins a
+    :class:`repro.core.faults.FaultConfig` for injection (default: the
+    installed/env config, usually none).
+    """
 
-    # -- outcome handling ---------------------------------------------------
-    def _settle(
-        self, func: Callable, task: Any, outcome: Tuple[str, Any, list, dict]
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        heartbeat_timeout: Optional[float] = 30.0,
+        faults: Optional[_faults.FaultConfig] = None,
     ):
-        """Adopt one task's telemetry; retry or raise on failure."""
-        status, value, records, snapshot = outcome
-        tracer = _tracing.get_tracer()
-        if tracer is not None and records:
-            tracer.adopt(records)
-        obs.metrics().absorb(snapshot)
-        attempts = 1
-        while status == "error" and attempts <= self.retries:
-            obs.metrics().counter("parallel.retries").inc()
-            with obs.span(
-                "parallel.retry",
-                task=describe_task(func, task),
-                attempt=attempts + 1,
-                previous_error=f"{value[0]}: {value[1]}",
-            ):
-                # In-process retry: spans land in the parent tracer
-                # directly, so no cross-process capture (which would
-                # swap out the live tracer mid-run).
-                retry_outcome = _invoke((func, task, False))
-            status, value, records, snapshot = retry_outcome
-            if tracer is not None and records:
-                tracer.adopt(records)
-            obs.metrics().absorb(snapshot)
-            attempts += 1
-        if status == "error":
-            exc_type, exc_message, tb_text = value
-            obs.metrics().counter("parallel.failures").inc()
-            raise WorkerTaskError(
-                describe_task(func, task), task, exc_type, exc_message,
-                tb_text, attempts,
-            )
-        return value
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if retries is None:
+            env_retries = _env_float("REPRO_RETRIES")
+            retries = int(env_retries) if env_retries is not None else 0
+        self.retries = max(0, int(retries))
+        self.timeout = _env_float("REPRO_TIMEOUT") if timeout is None else timeout
+        self.backoff = backoff or BackoffPolicy()
+        self.heartbeat_timeout = heartbeat_timeout
+        self.faults = faults
 
-    def map(self, func: Callable, tasks: Sequence) -> List:
+    # -- public API ---------------------------------------------------------
+    def map(
+        self,
+        func: Callable,
+        tasks: Sequence,
+        on_result: Optional[Callable[[int, Any, Any], None]] = None,
+    ) -> List:
         """Apply ``func`` to each task, preserving task order.
 
-        Uses a process pool only when it can help (``jobs > 1`` and more
-        than one task); otherwise runs in-process.  ``func`` must be a
-        module-level function and each task must be picklable.  A task
-        that raises (after ``retries`` re-runs) surfaces as
+        Uses worker processes only when they can help (``jobs > 1`` and
+        more than one task); otherwise runs in-process.  ``func`` must
+        be a module-level function and each task picklable.  A task
+        that still fails after ``retries`` re-runs surfaces as
         :class:`WorkerTaskError` with the task identity attached.
+        ``on_result(index, task, value)`` is called as each task
+        settles successfully (checkpointing hook).
         """
+        return self._execute(func, tasks, strict=True, on_result=on_result)
+
+    def map_settled(
+        self,
+        func: Callable,
+        tasks: Sequence,
+        on_result: Optional[Callable[[int, Any, Any], None]] = None,
+    ) -> List:
+        """Like :meth:`map`, but degrade gracefully: terminal failures
+        come back as :class:`FailedCell` markers in the result list
+        instead of raising, so one bad cell cannot take down a sweep."""
+        return self._execute(func, tasks, strict=False, on_result=on_result)
+
+    def run_one(self, func: Callable, task: Any):
+        """One task through the full engine (retries, faults, telemetry)."""
+        return self.map(func, [task])[0]
+
+    # -- execution ----------------------------------------------------------
+    def _execute(self, func, tasks, strict: bool, on_result) -> List:
         tasks = list(tasks)
-        capture = obs.enabled()
+        if not tasks:
+            # Short-circuit: no span, no pool, no counters.
+            return []
+        fault_config = _faults.resolve(self.faults)
         workers = min(self.jobs, len(tasks))
         with obs.span(
             "parallel.map",
@@ -237,25 +455,269 @@ class ParallelRunner:
             obs.metrics().gauge("parallel.workers").set(max(workers, 1))
             obs.metrics().counter("parallel.tasks").inc(len(tasks))
             if self.jobs <= 1 or len(tasks) <= 1:
-                # Serial: tasks run in this process, so their spans land
-                # in the live tracer directly — no capture handoff.
-                return [
-                    self._settle(func, task, _invoke((func, task, False)))
-                    for task in tasks
-                ]
-            # fork shares the already-imported modules and compile caches
-            # with the workers; fall back to spawn where fork is missing.
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context("spawn")
-            payloads = [(func, task, capture) for task in tasks]
-            with context.Pool(processes=workers) as pool:
-                outcomes = pool.map(_invoke, payloads)
-            return [
-                self._settle(func, task, outcome)
-                for task, outcome in zip(tasks, outcomes)
-            ]
+                return self._run_serial(func, tasks, fault_config, strict, on_result)
+            return self._run_pooled(
+                func, tasks, workers, fault_config, strict, on_result
+            )
+
+    # -- serial path ---------------------------------------------------------
+    def _try_inline(self, func, task, key, attempt, fault_config):
+        """One in-process attempt; returns (value, error-or-None)."""
+        try:
+            with obs.span(
+                "parallel.task", task=key, worker_pid=os.getpid(), attempt=attempt
+            ):
+                _faults.maybe_crash_or_hang(
+                    fault_config, key, attempt, in_worker=False
+                )
+                value = func(task)
+                _faults.maybe_corrupt_inline(fault_config, key, attempt)
+            return value, None
+        except Exception as exc:  # noqa: BLE001 - retried or surfaced with context
+            return None, (type(exc).__name__, str(exc), _traceback.format_exc(), exc)
+
+    def _run_serial(self, func, tasks, fault_config, strict, on_result) -> List:
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            key = describe_task(func, task)
+            value, error = self._try_inline(func, task, key, 1, fault_config)
+            attempts = 1
+            while error is not None and attempts <= self.retries:
+                delay = self.backoff.delay(attempts, key)
+                obs.metrics().counter("parallel.retries").inc()
+                obs.metrics().histogram("parallel.backoff_ms").observe(delay * 1e3)
+                time.sleep(delay)
+                with obs.span(
+                    "parallel.retry",
+                    task=key,
+                    attempt=attempts + 1,
+                    previous_error=f"{error[0]}: {error[1]}",
+                    backoff_ms=round(delay * 1e3, 2),
+                ):
+                    value, error = self._try_inline(
+                        func, task, key, attempts + 1, fault_config
+                    )
+                attempts += 1
+            if error is not None:
+                exc_type, exc_message, tb_text, exc = error
+                obs.metrics().counter("parallel.failures").inc()
+                if strict:
+                    raise WorkerTaskError(
+                        key, task, exc_type, exc_message, tb_text, attempts
+                    ) from exc
+                results.append(
+                    FailedCell(key, task, f"{exc_type}: {exc_message}", attempts)
+                )
+                continue
+            if on_result is not None:
+                on_result(index, task, value)
+            results.append(value)
+        return results
+
+    # -- pooled path ----------------------------------------------------------
+    def _run_pooled(self, func, tasks, workers, fault_config, strict, on_result):
+        capture = obs.enabled()
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+
+        n = len(tasks)
+        unset = object()
+        results: List[Any] = [unset] * n
+        failures: Dict[int, Tuple[Tuple[str, str, str], int]] = {}
+        ready: List[Tuple[int, int]] = [(i, 1) for i in range(n)]
+        ready.reverse()  # pop() from the end yields index order
+        delayed: List[Tuple[float, int, int]] = []  # (ready_time, index, attempt)
+        settled = 0
+        pool: List[_Worker] = []
+
+        def spawn() -> _Worker:
+            worker = _Worker(context, capture, fault_config)
+            pool.append(worker)
+            return worker
+
+        def settle_ok(index: int, attempt: int, value) -> None:
+            nonlocal settled
+            results[index] = value
+            settled += 1
+            if on_result is not None:
+                on_result(index, tasks[index], value)
+
+        def settle_failure(index: int, attempt: int, error) -> None:
+            """Retry with backoff, or record a terminal failure."""
+            nonlocal settled
+            key = describe_task(func, tasks[index])
+            if attempt <= self.retries:
+                delay = self.backoff.delay(attempt, key)
+                obs.metrics().counter("parallel.retries").inc()
+                obs.metrics().histogram("parallel.backoff_ms").observe(delay * 1e3)
+                with obs.span(
+                    "parallel.retry",
+                    task=key,
+                    attempt=attempt + 1,
+                    previous_error=f"{error[0]}: {error[1]}",
+                    backoff_ms=round(delay * 1e3, 2),
+                ):
+                    pass  # marks the retry decision; re-run happens on a worker
+                heapq.heappush(
+                    delayed, (time.monotonic() + delay, index, attempt + 1)
+                )
+                return
+            obs.metrics().counter("parallel.failures").inc()
+            failures[index] = (error[:3], attempt)
+            settled += 1
+
+        def adopt_outcome(worker: _Worker) -> None:
+            """Handle a finished task message from ``worker``."""
+            index, attempt = worker.index, worker.attempt
+            worker.index = None
+            status, value, records, snapshot = worker.outcome
+            tracer = _tracing.get_tracer()
+            if tracer is not None and records:
+                tracer.adopt(records)
+            obs.metrics().absorb(snapshot)
+            if status == "ok":
+                payload, digest = value
+                if hashlib.sha256(payload).hexdigest() != digest:
+                    obs.metrics().counter("parallel.corrupt_results").inc()
+                    settle_failure(
+                        index,
+                        attempt,
+                        (
+                            "ResultCorruption",
+                            "result payload failed its integrity check",
+                            "",
+                        ),
+                    )
+                    return
+                settle_ok(index, attempt, pickle.loads(payload))
+            else:
+                settle_failure(index, attempt, value)
+
+        def reap(worker: _Worker, exc_type: str, message: str, counter: str) -> None:
+            """Kill a sick worker, spawn a replacement, fail its task."""
+            index, attempt = worker.index, worker.attempt
+            worker.index = None
+            obs.metrics().counter(counter).inc()
+            worker.destroy()
+            pool.remove(worker)
+            spawn()
+            if index is not None:
+                settle_failure(index, attempt, (exc_type, message, ""))
+
+        try:
+            for _ in range(workers):
+                spawn()
+            while settled < n:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    _, index, attempt = heapq.heappop(delayed)
+                    ready.append((index, attempt))
+                for worker in pool:
+                    if not ready:
+                        break
+                    if worker.busy:
+                        continue
+                    if not worker.process.is_alive():
+                        worker.destroy()
+                        pool.remove(worker)
+                        worker = spawn()
+                    index, attempt = ready.pop()
+                    worker.dispatch(index, func, tasks[index], attempt)
+
+                # How long we can sleep before something needs attention.
+                wait = 0.25
+                if delayed:
+                    wait = min(wait, max(0.0, delayed[0][0] - now))
+                for worker in pool:
+                    if not worker.busy:
+                        continue
+                    if self.timeout is not None:
+                        wait = min(
+                            wait,
+                            max(0.0, worker.dispatched_at + self.timeout - now),
+                        )
+                    if self.heartbeat_timeout is not None:
+                        wait = min(
+                            wait,
+                            max(
+                                0.0,
+                                worker.last_beat + self.heartbeat_timeout - now,
+                            ),
+                        )
+                busy_conns = {w.conn: w for w in pool if w.busy}
+                if busy_conns:
+                    for conn in _mpconn.wait(
+                        list(busy_conns), timeout=max(wait, 0.01)
+                    ):
+                        worker = busy_conns[conn]
+                        try:
+                            message = conn.recv()
+                        except (EOFError, OSError):
+                            reap(
+                                worker,
+                                "WorkerCrash",
+                                "worker process died mid-task",
+                                "parallel.worker_deaths",
+                            )
+                            continue
+                        worker.last_beat = time.monotonic()
+                        if message[0] == "done":
+                            worker.outcome = message[2]
+                            adopt_outcome(worker)
+                elif delayed:
+                    time.sleep(max(wait, 0.01))
+
+                now = time.monotonic()
+                for worker in list(pool):
+                    if not worker.busy:
+                        continue
+                    if (
+                        self.timeout is not None
+                        and now - worker.dispatched_at > self.timeout
+                    ):
+                        reap(
+                            worker,
+                            "TaskTimeout",
+                            f"task exceeded its {self.timeout:.1f}s deadline",
+                            "parallel.timeouts",
+                        )
+                    elif (
+                        self.heartbeat_timeout is not None
+                        and now - worker.last_beat > self.heartbeat_timeout
+                    ):
+                        reap(
+                            worker,
+                            "WorkerHeartbeatLost",
+                            "worker heartbeat stalled "
+                            f"for {self.heartbeat_timeout:.1f}s",
+                            "parallel.heartbeat_lost",
+                        )
+        finally:
+            for worker in list(pool):
+                worker.destroy(graceful=True)
+
+        if failures:
+            if strict:
+                index = min(failures)
+                (exc_type, exc_message, tb_text), attempts = failures[index]
+                raise WorkerTaskError(
+                    describe_task(func, tasks[index]),
+                    tasks[index],
+                    exc_type,
+                    exc_message,
+                    tb_text,
+                    attempts,
+                )
+            for index, ((exc_type, exc_message, _tb), attempts) in failures.items():
+                results[index] = FailedCell(
+                    describe_task(func, tasks[index]),
+                    tasks[index],
+                    f"{exc_type}: {exc_message}",
+                    attempts,
+                )
+        return results
 
     # -- high-level fan-outs ------------------------------------------------
     def characterize_workloads(

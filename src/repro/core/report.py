@@ -39,6 +39,9 @@ def generate(
     seed: int = 0,
     jobs: int = 1,
     cache=None,
+    retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+    faults=None,
 ) -> str:
     """Run everything and return the EXPERIMENTS.md markdown.
 
@@ -47,10 +50,31 @@ def generate(
     :class:`repro.core.runcache.RunCache`) persists characterization
     runs so a regeneration with unchanged inputs skips them entirely.
     The emitted report is byte-identical either way (modulo the
-    generation-time footer).
+    generation-time footer).  ``retries``/``timeout``/``faults`` set
+    the session's resilience policy (defaults: ``$REPRO_RETRIES`` /
+    ``$REPRO_TIMEOUT`` / ``$REPRO_FAULTS``); a Table 8 cell that fails
+    past retries renders as an annotated FAILED row instead of
+    aborting the whole report.
     """
     started = time.time()
-    context = E.ExperimentContext(scale=char_scale, seed=seed, jobs=jobs, cache=cache)
+    from repro.api import RunConfig, Session
+
+    session = Session(
+        RunConfig(
+            scale=char_scale,
+            eval_scale=eval_scale,
+            seed=seed,
+            jobs=jobs,
+            cache=False,
+            retries=retries,
+            timeout=timeout,
+            faults=faults,
+        )
+    )
+    # ``cache`` arrives as a RunCache instance (None = caching off), so
+    # graft it onto the session rather than having it build its own.
+    session._cache = cache
+    context = session
     context.prefetch()
     sections: List[str] = []
 
@@ -230,8 +254,37 @@ def generate(
     )
 
     # -- Tables 7, 8 / Figure 9 --------------------------------------------------------
-    runtime_rows = E.table8_runtimes(scale=eval_scale, seed=seed, jobs=jobs)
+    from repro.core.parallel import FailedCell
+    from repro.cpu.platforms import PLATFORMS
+
+    runtime_rows = E.table8_runtimes(
+        scale=eval_scale, seed=seed, runner=session.runner()
+    )
     summaries = E.figure9_speedups(runtime_rows)
+    failed_cells = sum(1 for r in runtime_rows if isinstance(r, FailedCell))
+    t8_note = ""
+    if failed_cells:
+        t8_note = (
+            f"\n\n**{failed_cells} cell(s) FAILED after retries — partial "
+            "results; see docs/robustness.md.**"
+        )
+    t8_body = []
+    for r in runtime_rows:
+        if isinstance(r, FailedCell):
+            t8_body.append(
+                [r.task[0], PLATFORMS[r.task[1]].name, "—", "—", "FAILED", None]
+            )
+            continue
+        t8_body.append(
+            [
+                r.workload,
+                r.platform,
+                r.original_cycles,
+                r.transformed_cycles,
+                pct(r.speedup),
+                pct(r.paper_speedup),
+            ]
+        )
     sections.append(
         "## Table 8 — original vs load-transformed runtimes\n\n"
         "The paper reports seconds on real machines; we report simulated\n"
@@ -239,21 +292,16 @@ def generate(
         "are the per-program speedups.\n\n"
         + _md_table(
             ["program", "platform", "orig cycles", "xform cycles", "speedup", "paper speedup"],
-            [
-                [
-                    r.workload,
-                    r.platform,
-                    r.original_cycles,
-                    r.transformed_cycles,
-                    pct(r.speedup),
-                    pct(r.paper_speedup),
-                ]
-                for r in runtime_rows
-            ],
+            t8_body,
         )
+        + t8_note
     )
 
-    workloads = list(summaries[0].per_workload) if summaries else []
+    workloads = []
+    for s in summaries:
+        for w in s.per_workload:
+            if w not in workloads:
+                workloads.append(w)
     sections.append(
         "## Figure 9 — speedups and harmonic means\n\n"
         "Paper harmonic means: Alpha 25.4%, PowerPC 15.1%, Pentium 4\n"
@@ -262,7 +310,10 @@ def generate(
             ["platform"] + workloads + ["hmean (measured)", "hmean (paper)"],
             [
                 [s.platform]
-                + [pct(s.per_workload[w]) for w in workloads]
+                + [
+                    pct(s.per_workload[w]) if w in s.per_workload else "FAILED"
+                    for w in workloads
+                ]
                 + [pct(s.harmonic_mean), pct(s.paper_harmonic_mean)]
                 for s in summaries
             ],

@@ -1,0 +1,140 @@
+"""Checkpoint/resume for long experiment sweeps.
+
+The full evaluation grid (Table 8 / Figure 9) is workloads × platforms
+runs; on the paper-scale datasets that is hours of interpretation.  An
+interrupted sweep — a killed job, a reboot, Ctrl-C — should resume by
+running only the missing cells, not restart from zero.
+
+:class:`SweepCheckpoint` is a deliberately simple store built for that
+one job:
+
+* **append-only JSONL** — each completed cell is one line, flushed as
+  soon as the engine settles it (via the runner's ``on_result`` hook),
+  so a crash loses at most the in-flight cells;
+* **self-verifying lines** — every line carries a SHA-256 of its
+  payload; a torn final line (the classic crash artifact) or a
+  hand-mangled one is skipped on load, never trusted;
+* **sweep-fingerprint scoped** — every line records a fingerprint of
+  the sweep definition (kind, scale, seed, platforms, workloads);
+  lines from a different sweep are ignored, so one file cannot poison
+  a differently-parameterized rerun;
+* **values by pickle** — cells are whole result rows (dataclasses),
+  stored base64-pickled exactly like the run cache stores results.
+
+This is a *cell* checkpoint, one layer above the :class:`~repro.core.
+runcache.RunCache`: the run cache skips re-interpreting a single
+(workload, scale, seed) run, while the checkpoint skips re-assembling
+whole sweep cells (including evaluation rows the run cache does not
+hold).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from typing import Dict, Iterable, Optional
+
+from repro import obs
+
+__all__ = ["SweepCheckpoint", "sweep_fingerprint"]
+
+
+def sweep_fingerprint(kind: str, *parts: object) -> str:
+    """Stable identity of a sweep definition.
+
+    Everything that changes which cells a sweep contains (its kind,
+    scale, seed, platform keys, workload names) must be fed in, so a
+    checkpoint written for one sweep can never satisfy another.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(kind.encode())
+    for part in parts:
+        hasher.update(b"\x00")
+        hasher.update(repr(part).encode())
+    return hasher.hexdigest()
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed sweep cells."""
+
+    def __init__(self, path: str, fingerprint: str):
+        self.path = path
+        self.fingerprint = fingerprint
+
+    # -- encoding ------------------------------------------------------------
+    @staticmethod
+    def _encode(value: object) -> Dict[str, str]:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return {
+            "data": base64.b64encode(payload).decode("ascii"),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+        }
+
+    @staticmethod
+    def _decode(entry: Dict[str, str]) -> object:
+        payload = base64.b64decode(entry["data"].encode("ascii"))
+        if hashlib.sha256(payload).hexdigest() != entry["sha256"]:
+            raise ValueError("checkpoint payload digest mismatch")
+        return pickle.loads(payload)
+
+    # -- load / record -------------------------------------------------------
+    def load(self) -> Dict[str, object]:
+        """Completed cells as ``{key: value}``.
+
+        Later lines win (a cell re-recorded after a resume supersedes
+        the earlier copy).  Unparseable, truncated, digest-mismatched,
+        or foreign-fingerprint lines are skipped and counted under the
+        ``checkpoint.skipped`` metric — a crash mid-write must never
+        block the resume it exists to enable.
+        """
+        cells: Dict[str, object] = {}
+        skipped = 0
+        try:
+            handle = open(self.path, encoding="utf-8")
+        except OSError:
+            return cells
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    if entry.get("sweep") != self.fingerprint:
+                        raise ValueError("foreign sweep fingerprint")
+                    cells[str(entry["key"])] = self._decode(entry)
+                except Exception:
+                    skipped += 1
+        if skipped:
+            obs.metrics().counter("checkpoint.skipped").inc(skipped)
+        if cells:
+            obs.metrics().counter("checkpoint.resumed_cells").inc(len(cells))
+        return cells
+
+    def record(self, key: str, value: object) -> None:
+        """Append one completed cell, flushed to disk immediately."""
+        entry = {"key": key, "sweep": self.fingerprint}
+        entry.update(self._encode(value))
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        obs.metrics().counter("checkpoint.recorded").inc()
+
+    def keys(self) -> Iterable[str]:
+        """Keys of the completed cells currently on disk."""
+        return self.load().keys()
+
+    @classmethod
+    def open_for(
+        cls, path: Optional[str], fingerprint: str
+    ) -> Optional["SweepCheckpoint"]:
+        """A checkpoint at ``path``, or None when checkpointing is off."""
+        if not path:
+            return None
+        return cls(path, fingerprint)

@@ -21,6 +21,14 @@ that can change the result:
 Anything that fails to fingerprint, load, or unpickle degrades to a
 cache miss — the cache can never change results, only skip work.
 
+Entries are written in a self-verifying envelope (magic header +
+SHA-256 of the pickled payload); :meth:`RunCache.load` re-hashes the
+payload on every read, so bit rot, truncation, or a torn write is
+*detected*, never silently unpickled.  A bad entry is moved into a
+``quarantine/`` subdirectory (for post-mortem) rather than deleted,
+counted under the persisted ``quarantined`` counter and the
+``runcache.quarantined`` metric, and the load degrades to a miss.
+
 Each cache directory also keeps a small ``_stats.json`` sidecar with
 cumulative hit/miss/store/invalid/eviction counters (surfaced by
 ``repro cache stats`` and mirrored into the :mod:`repro.obs.metrics`
@@ -44,7 +52,8 @@ from repro import obs
 from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 
 #: Bump when the pickled layout of tool state changes incompatibly.
-CACHE_VERSION = 1
+#: v2: entries carry a magic header + SHA-256 payload digest.
+CACHE_VERSION = 2
 
 #: Filename suffix for cache entries.
 _SUFFIX = ".pkl"
@@ -53,7 +62,13 @@ _SUFFIX = ".pkl"
 _STATS_FILE = "_stats.json"
 
 #: The counters persisted per cache directory.
-_STAT_KEYS = ("hits", "misses", "stores", "invalid", "evictions")
+_STAT_KEYS = ("hits", "misses", "stores", "invalid", "evictions", "quarantined")
+
+#: Leading bytes of every v2 cache entry.
+_MAGIC = b"repro-cache\x00"
+
+#: Subdirectory (under the cache dir) where corrupt entries are parked.
+_QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> str:
@@ -210,24 +225,58 @@ class RunCache:
         except OSError:
             pass
 
+    def _quarantine(self, key: str) -> None:
+        """Park a corrupt entry under ``quarantine/`` for post-mortem.
+
+        Moving (not deleting) keeps the evidence while guaranteeing the
+        bad bytes can never be loaded again; a failed move falls back
+        to best-effort deletion so the corrupt entry cannot keep
+        resurfacing as an invalid load.
+        """
+        source = self._path(key)
+        try:
+            pen = os.path.join(self.directory, _QUARANTINE_DIR)
+            os.makedirs(pen, exist_ok=True)
+            os.replace(source, os.path.join(pen, key + _SUFFIX))
+        except OSError:
+            try:
+                os.unlink(source)
+            except OSError:
+                return
+        self._bump(quarantined=1)
+
     # -- load / store --------------------------------------------------------
     def load(self, key: str) -> Optional[object]:
-        """The cached object for ``key``, or None on any failure."""
+        """The cached object for ``key``, or None on any failure.
+
+        Every read re-verifies the entry's envelope: magic header,
+        then SHA-256 of the payload against the stored digest, then
+        unpickling.  A failure at any step quarantines the entry and
+        counts as an invalid miss.
+        """
         try:
-            handle = open(self._path(key), "rb")
+            with open(self._path(key), "rb") as handle:
+                blob = handle.read()
         except OSError:
             self._bump(misses=1)
             return None
         try:
-            with handle:
-                value = pickle.load(handle)
+            if not blob.startswith(_MAGIC):
+                raise ValueError("missing cache magic")
+            header_end = blob.index(b"\n", len(_MAGIC))
+            digest = blob[len(_MAGIC):header_end].decode("ascii")
+            payload = blob[header_end + 1:]
+            if hashlib.sha256(payload).hexdigest() != digest:
+                raise ValueError("cache payload digest mismatch")
+            value = pickle.loads(payload)
         except Exception:
-            # Readable but truncated, corrupt, or written by an
-            # incompatible version: an *invalid* entry, counted apart
-            # from plain misses.  pickle can raise nearly anything on
-            # arbitrary bytes (garbage often starts with a valid
-            # opcode), so no narrower list is safe.
+            # Missing magic (foreign/legacy file), digest mismatch
+            # (bit rot, torn write), or an unpicklable payload: an
+            # *invalid* entry, counted apart from plain misses and
+            # moved out of the way.  pickle can raise nearly anything
+            # on arbitrary bytes, so no narrower list is safe.
             self._bump(misses=1, invalid=1)
+            self._quarantine(key)
             return None
         self._bump(hits=1)
         return value
@@ -235,13 +284,18 @@ class RunCache:
     def store(self, key: str, value: object) -> bool:
         """Atomically persist ``value`` under ``key``; False on failure."""
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(payload).hexdigest()
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=self.directory, prefix=".tmp-", suffix=_SUFFIX
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(_MAGIC)
+                    handle.write(digest.encode("ascii"))
+                    handle.write(b"\n")
+                    handle.write(payload)
                 os.replace(tmp_path, self._path(key))
             except BaseException:
                 try:
@@ -273,7 +327,8 @@ class RunCache:
         return stats
 
     def clear(self) -> int:
-        """Delete every entry and reset counters; returns entries removed."""
+        """Delete every entry (including quarantined ones) and reset
+        counters; returns the number of live entries removed."""
         removed = 0
         for path in self._entries():
             try:
@@ -281,6 +336,15 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        pen = os.path.join(self.directory, _QUARANTINE_DIR)
+        try:
+            for name in os.listdir(pen):
+                try:
+                    os.unlink(os.path.join(pen, name))
+                except OSError:
+                    pass
+        except OSError:
+            pass
         try:
             os.unlink(self._stats_path())
         except OSError:

@@ -96,10 +96,12 @@ def _compiler_point(task) -> SweepPoint:
     )
 
 
-def _run_points(worker, tasks, jobs: int) -> List[SweepPoint]:
+def _run_points(worker, tasks, jobs: int, runner=None) -> List[SweepPoint]:
     from repro.core.parallel import ParallelRunner
 
-    return ParallelRunner(jobs=jobs).map(worker, tasks)
+    if runner is None:
+        runner = ParallelRunner(jobs=jobs)
+    return runner.map(worker, tasks)
 
 
 def sweep_platform_field(
@@ -110,6 +112,7 @@ def sweep_platform_field(
     scale: str = "small",
     seed: int = 0,
     jobs: int = 1,
+    runner=None,
 ) -> List[SweepPoint]:
     """Evaluate original vs transformed while varying one platform field.
 
@@ -130,7 +133,7 @@ def sweep_platform_field(
             f"unknown platform field {field!r}; expected one of {sorted(names)}"
         )
     tasks = [(spec.name, field, value, base, scale, seed) for value in values]
-    return _run_points(_platform_point, tasks, jobs)
+    return _run_points(_platform_point, tasks, jobs, runner)
 
 
 def sweep_compiler_flag(
@@ -141,6 +144,7 @@ def sweep_compiler_flag(
     scale: str = "small",
     seed: int = 0,
     jobs: int = 1,
+    runner=None,
 ) -> List[SweepPoint]:
     """Vary one :class:`CompilerOptions` field for both code versions.
 
@@ -154,7 +158,7 @@ def sweep_compiler_flag(
     if not hasattr(probe, field):
         raise ValueError(f"unknown compiler option {field!r}")
     tasks = [(spec.name, field, value, platform, scale, seed) for value in values]
-    return _run_points(_compiler_point, tasks, jobs)
+    return _run_points(_compiler_point, tasks, jobs, runner)
 
 
 def render_sweep(points: Iterable[SweepPoint], title: Optional[str] = None) -> str:

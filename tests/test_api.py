@@ -1,0 +1,235 @@
+"""The repro.api session facade: one stable entry point over the
+pipeline, and the ISSUE's fault-injection matrix — crash/hang/corrupt
+× serial/parallel × cache warm/cold must all come back bit-identical
+to a clean run once retries mask the faults."""
+
+import pytest
+
+from repro import obs
+from repro.api import DEFAULT_PLATFORMS, RunConfig, Session
+from repro.core import experiments as E
+from repro.core.faults import FaultConfig
+from repro.core.parallel import (
+    BackoffPolicy,
+    FailedCell,
+    WorkerTaskError,
+)
+from repro.core.pipeline import EvaluationResult
+
+FAST = BackoffPolicy(base=0.001, cap=0.002)
+
+#: Two workloads so jobs=2 genuinely exercises the worker pool (a
+#: single task short-circuits onto the serial path).
+NAMES = ["fasta", "hmmsearch"]
+
+
+def _snap(result):
+    """A characterization run as plain comparable data."""
+    return (
+        result.mix.snapshot(),
+        result.coverage.snapshot(),
+        result.cache.snapshot(),
+        result.sequences.snapshot(),
+        result.executed,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_snapshots():
+    """Reference results: serial, no cache, no faults."""
+    with Session(scale="test", cache=False) as s:
+        return {name: _snap(s.run(name)) for name in NAMES}
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def test_run_config_overrides_ignore_none_and_leave_original():
+    base = RunConfig()
+    assert base.with_overrides() is base
+    assert base.with_overrides(scale=None, jobs=None) is base
+    tuned = base.with_overrides(scale="test", jobs=4)
+    assert (tuned.scale, tuned.jobs) == ("test", 4)
+    assert (base.scale, base.jobs) == ("medium", 1)
+
+
+def test_session_accepts_keyword_overrides():
+    session = Session(scale="test", jobs=3, seed=5, cache=False)
+    assert session.scale == "test"
+    assert session.jobs == 3
+    assert session.seed == 5
+    assert session.cache is None  # cache=False builds no RunCache
+
+
+def test_session_runner_carries_policy():
+    session = Session(
+        scale="test", cache=False, jobs=4, retries=2, timeout=9.0, backoff=FAST
+    )
+    runner = session.runner()
+    assert runner.jobs == 4
+    assert runner.retries == 2
+    assert runner.timeout == 9.0
+    assert session.runner(jobs=1).jobs == 1  # explicit override wins
+
+
+# -- characterization --------------------------------------------------------
+
+
+def test_session_memoizes_characterization():
+    with Session(scale="test", cache=False) as s:
+        first = s.run("fasta")
+        assert s.characterize("fasta") is first  # memo, not a rerun
+
+
+def test_unknown_workload_raises_in_the_caller():
+    session = Session(scale="test", cache=False)
+    with pytest.raises(KeyError):
+        session.characterize("no-such-workload")
+    with pytest.raises(KeyError):
+        session.evaluate("no-such-workload", platform="alpha")
+
+
+def test_results_persist_across_sessions_through_the_cache(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    with Session(scale="test", cache_dir=cache_dir) as first:
+        reference = _snap(first.run("fasta"))
+    obs.enable()
+    try:
+        with Session(scale="test", cache_dir=cache_dir) as second:
+            assert _snap(second.run("fasta")) == reference
+        snap = obs.metrics().snapshot()
+        assert snap["experiments.runs.cache"] == 1
+        assert "experiments.runs.interp" not in snap
+    finally:
+        obs.disable()
+
+
+# -- the fault matrix (ISSUE acceptance) -------------------------------------
+
+
+@pytest.mark.parametrize("warm", [False, True], ids=["cache-cold", "cache-warm"])
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "parallel"])
+@pytest.mark.parametrize("kind", ["crash", "hang", "corrupt"])
+def test_fault_matrix_bit_identical_after_retries(
+    kind, jobs, warm, tmp_path, clean_snapshots
+):
+    cache_dir = str(tmp_path / "cache")
+    if warm:
+        with Session(scale="test", cache_dir=cache_dir) as warmer:
+            warmer.prefetch(NAMES)
+    faults = FaultConfig(
+        **{kind: 1.0}, seed=5, times=1, hang_seconds=0.2
+    )
+    session = Session(
+        scale="test",
+        jobs=jobs,
+        cache_dir=cache_dir,
+        retries=2,
+        backoff=FAST,
+        faults=faults,
+    )
+    obs.enable()
+    try:
+        session.prefetch(NAMES)
+        results = {name: _snap(session.run(name)) for name in NAMES}
+        snap = obs.metrics().snapshot()
+    finally:
+        obs.disable()
+    assert results == clean_snapshots
+    if warm:
+        # Cache hits never execute, so nothing was there to inject into.
+        assert "faults.injected" not in snap
+    else:
+        assert snap[f"faults.injected.{kind}"] >= len(NAMES)
+        assert "experiments.prefetch_failures" not in snap
+        assert "parallel.failures" not in snap
+
+
+def test_prefetch_never_raises_and_the_failure_surfaces_on_run():
+    session = Session(
+        scale="test",
+        cache=False,
+        backoff=FAST,
+        faults=FaultConfig(crash=1.0, seed=0, times=99),
+    )
+    obs.enable()
+    try:
+        session.prefetch(["fasta"])
+        assert obs.metrics().snapshot()["experiments.prefetch_failures"] == 1
+    finally:
+        obs.disable()
+    with pytest.raises(WorkerTaskError):
+        session.run("fasta")
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def test_evaluate_single_platform_returns_evaluation_result():
+    session = Session(scale="test", eval_scale="test", cache=False)
+    ev = session.evaluate("hmmsearch", platform="alpha")
+    assert isinstance(ev, EvaluationResult)
+    assert ev.workload == "hmmsearch"
+    assert ev.original.cycles > 0 and ev.transformed.cycles > 0
+
+
+def test_evaluate_grid_matches_experiments_helper():
+    session = Session(eval_scale="test", cache=False)
+    rows = session.evaluate(platforms=("alpha",))
+    assert rows == E.table8_runtimes(scale="test", seed=0, platform_keys=("alpha",))
+
+
+def test_evaluate_grid_defaults_to_all_table7_platforms():
+    assert DEFAULT_PLATFORMS == ("alpha", "powerpc", "pentium4", "itanium")
+
+
+def test_evaluate_grid_under_faults_bit_identical_after_retries():
+    clean = Session(eval_scale="test", cache=False).evaluate(platforms=("alpha",))
+    faulted = Session(
+        eval_scale="test",
+        cache=False,
+        jobs=2,
+        retries=2,
+        backoff=FAST,
+        faults=FaultConfig(crash=0.5, seed=7, times=1),
+    ).evaluate(platforms=("alpha",))
+    assert faulted == clean
+
+
+def test_evaluate_grid_degrades_to_failed_cells_and_annotated_figure9():
+    session = Session(
+        eval_scale="test",
+        cache=False,
+        backoff=FAST,
+        faults=FaultConfig(crash=0.5, seed=3, times=99),  # unmaskable
+    )
+    rows = session.evaluate(platforms=("alpha",))
+    failed = [r for r in rows if isinstance(r, FailedCell)]
+    assert failed and len(failed) < len(rows)  # partial, not empty
+    summaries = E.figure9_speedups(rows)
+    assert summaries[0].failed == len(failed)
+    assert len(summaries[0].per_workload) == len(rows) - len(failed)
+    with pytest.raises(WorkerTaskError):
+        session.evaluate(platforms=("alpha",), strict=True)
+
+
+# -- lifecycle and the deprecated shim ---------------------------------------
+
+
+def test_trace_flushes_on_context_exit(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Session(scale="test", cache=False, trace=str(path)) as session:
+        session.run("fasta")
+    content = path.read_text()
+    assert "experiment.run" in content
+    assert Session(scale="test", cache=False).close() is None  # no trace, no file
+
+
+def test_experiment_context_is_a_deprecated_shim_over_session():
+    with pytest.warns(DeprecationWarning):
+        context = E.ExperimentContext(scale="test", seed=0, jobs=1, cache=None)
+    assert context.scale == "test"
+    assert context.cache is None
+    result = context.run("fasta")
+    assert context._runs["fasta"] is result  # old name-keyed memo view
+    assert isinstance(context._session, Session)
