@@ -47,6 +47,7 @@ import pytest
 
 from repro import obs
 from repro.core import experiments as E
+from repro.exec.backends import resolve_backend
 from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -122,14 +123,21 @@ def publish(results_dir, benchmark, request):
     ``instructions`` the dynamic instruction count the measured wall
     time covers, from which instructions/sec is derived.  Wall time is
     taken from the pytest-benchmark stats of the calling test.
+
+    The execution backend lands in both the record and its manifest
+    (the regression gate refuses cross-backend comparisons); pass
+    ``backend=`` when a benchmark pins one explicitly, otherwise the
+    ambient ``$REPRO_BACKEND``/default is recorded.
     """
     started = time.time()
 
-    def _publish(name: str, text: str, rows=None, instructions=None) -> None:
+    def _publish(name: str, text: str, rows=None, instructions=None,
+                 backend=None, rate=None) -> None:
         print()
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
 
+        backend = resolve_backend(backend)
         wall = None
         stats = getattr(benchmark, "stats", None)
         if stats is not None:
@@ -146,9 +154,14 @@ def publish(results_dir, benchmark, request):
             "eval_scale": EVAL_SCALE,
             "jobs": JOBS,
             "cache_enabled": CACHE_ENABLED,
+            "backend": backend,
             "wall_time_s": wall,
             "instructions": instructions,
+            # rate= overrides the wall-derived figure when a benchmark
+            # measures throughput itself (e.g. per-backend records whose
+            # shared test wall time would flatten the difference).
             "instructions_per_sec": (
+                rate if rate is not None else
                 instructions / wall if instructions and wall else None
             ),
             "rows": _jsonable(rows) if rows is not None else None,
@@ -164,6 +177,7 @@ def publish(results_dir, benchmark, request):
                 "eval_scale": EVAL_SCALE,
                 "jobs": JOBS,
                 "cache_enabled": CACHE_ENABLED,
+                "backend": backend,
             },
             timings={"wall": wall},
             extra={"instructions": instructions},

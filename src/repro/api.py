@@ -65,7 +65,11 @@ class RunConfig:
     ``$REPRO_TIMEOUT`` when None; ``faults`` pins a fault-injection
     config (default: whatever ``$REPRO_FAULTS`` says, usually none).
     ``trace`` names a JSONL file: telemetry is enabled for the
-    session's lifetime and flushed there on close.
+    session's lifetime and flushed there on close.  ``backend`` picks
+    the execution engine (``compiled``/``switch``; None defers to
+    ``$REPRO_BACKEND``, then the compiled default — see
+    :mod:`repro.exec.backends`).  Both backends are bit-identical, so
+    cached runs are shared across backends.
     """
 
     scale: str = "medium"
@@ -79,6 +83,7 @@ class RunConfig:
     backoff: Optional[BackoffPolicy] = None
     faults: Optional[faults_mod.FaultConfig] = None
     trace: Optional[str] = None
+    backend: Optional[str] = None
 
     def with_overrides(self, **overrides) -> "RunConfig":
         """A copy with the given fields replaced (None values ignored)."""
@@ -98,6 +103,7 @@ class Session:
         if config is None:
             config = RunConfig()
         self.config = config.with_overrides(**overrides)
+        self.backend  # fail fast on unknown backend names
         self._runs: Dict[Tuple[str, str, int], CharacterizationResult] = {}
         self._cache = None
         if self.config.cache:
@@ -119,6 +125,13 @@ class Session:
     @property
     def jobs(self) -> int:
         return max(1, int(self.config.jobs))
+
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend name (compiled/switch)."""
+        from repro.exec.backends import resolve_backend
+
+        return resolve_backend(self.config.backend)
 
     @property
     def cache(self):
@@ -168,7 +181,8 @@ class Session:
                 source = "interp"
                 _, result = self.runner(jobs=1).run_one(
                     _characterize_task,
-                    (name, scale, seed, DEFAULT_MAX_INSTRUCTIONS),
+                    (name, scale, seed, DEFAULT_MAX_INSTRUCTIONS,
+                     self.config.backend),
                 )
                 if self._cache is not None:
                     self._cache.store(self._fingerprint(name, scale, seed), result)
@@ -211,7 +225,8 @@ class Session:
             if not missing:
                 return
             tasks = [
-                (name, self.scale, self.seed, DEFAULT_MAX_INSTRUCTIONS)
+                (name, self.scale, self.seed, DEFAULT_MAX_INSTRUCTIONS,
+                 self.config.backend)
                 for name in missing
             ]
             for settled in self.runner().map_settled(_characterize_task, tasks):

@@ -15,7 +15,7 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.exec.trace import TraceEvent
 
 
-@dataclass
+@dataclass(slots=True)
 class PerLoadCacheStats:
     """Cache behaviour of one static load."""
 

@@ -16,7 +16,7 @@ from repro.atom.coverage import LoadCoverage
 from repro.atom.instmix import InstructionMix
 from repro.atom.loadprofile import CacheSim
 from repro.atom.sequences import SequenceProfile
-from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS, Interpreter
+from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 from repro.isa.program import Program
 
 
@@ -79,6 +79,8 @@ def characterize(
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     tools: Optional[Dict[str, object]] = None,
     workload: Optional[str] = None,
+    backend: Optional[str] = None,
+    code_key: Optional[str] = None,
 ) -> CharacterizationResult:
     """Run ``program`` once with the full tool set attached.
 
@@ -86,14 +88,29 @@ def characterize(
     ``cache``, ``sequences``), e.g. to supply a custom cache hierarchy.
     ``workload`` is a telemetry-only label attached to the span this
     run emits when tracing is enabled (see :mod:`repro.obs`).
+    ``backend`` selects the execution engine (compiled/switch; default
+    per :func:`repro.exec.backends.resolve_backend`); ``code_key`` is a
+    stable run identity (the workload fingerprint) letting the compiled
+    backend share generated code across equal programs.
     """
+    from repro.exec.backends import make_interpreter, resolve_backend
+
     tools = tools or {}
     mix = tools.get("mix") or InstructionMix()
     coverage = tools.get("coverage") or LoadCoverage()
     cache = tools.get("cache") or CacheSim()
     sequences = tools.get("sequences") or SequenceProfile()
-    with obs.span("characterize", workload=workload or "?") as span:
-        interp = Interpreter(program, bindings, max_instructions=max_instructions)
+    backend = resolve_backend(backend)
+    with obs.span(
+        "characterize", workload=workload or "?", backend=backend
+    ) as span:
+        interp = make_interpreter(
+            program,
+            bindings,
+            max_instructions=max_instructions,
+            backend=backend,
+            code_key=code_key,
+        )
         executed = interp.run(consumers=(mix, coverage, cache, sequences))
         span.set_attr(instructions=executed)
     return CharacterizationResult(

@@ -29,8 +29,6 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.branch.predictors import BasePredictor, BranchStats, Hybrid
 from repro.exec.trace import TraceEvent
-from repro.isa.instructions import Opcode
-from repro.isa.registers import Reg
 
 
 @dataclass
@@ -66,11 +64,11 @@ class SequenceSummary:
         return self.loads_after_hard_branch / self.total_loads
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingLoad:
     """A load waiting to learn whether its value is consumed quickly."""
 
-    dest: Reg
+    dest: int  # register key (Reg._hash) of the load's destination
     branch_sids: Tuple[int, ...]
     expires: int
 
@@ -109,9 +107,10 @@ class SequenceProfile:
         #: *any* branch shortly before it is hard to predict).
         self.after_branch_loads: Dict[Tuple[int, ...], int] = {}
 
-        # taint maps a register to a tuple of (dyn_load_id, load_sid,
-        # chain_depth) triples; empty tuple = untainted.
-        self._taint: Dict[Reg, tuple] = {}
+        # taint maps a register key (Reg._hash — a collision-free int
+        # packing, hashable at C speed) to a tuple of (dyn_load_id,
+        # load_sid, chain_depth) triples; absent = untainted.
+        self._taint: Dict[int, tuple] = {}
         self._counted: Set[int] = set()
         self._counted_floor = 0
         self._dyn_load_id = 0
@@ -141,11 +140,11 @@ class SequenceProfile:
         position = self._position
         self._position = position + 1
         if self._pending:
-            self._consume_pending(instr, position)
+            self._consume_pending(instr._read_keys, instr._dest_key, position)
         self.total_loads += 1
         dyn_load_id = self._dyn_load_id + 1
         self._dyn_load_id = dyn_load_id
-        self._taint[instr.dest] = ((dyn_load_id, instr.sid, 0),)
+        self._taint[instr._dest_key] = ((dyn_load_id, instr.sid, 0),)
         if self._recent_branches:
             window = self.window
             recent = tuple(
@@ -156,7 +155,7 @@ class SequenceProfile:
             if recent:
                 self._pending.append(
                     _PendingLoad(
-                        dest=instr.dest,
+                        dest=instr._dest_key,
                         branch_sids=recent,
                         expires=position + self.consume_window,
                     )
@@ -167,7 +166,7 @@ class SequenceProfile:
         position = self._position
         self._position = position + 1
         if self._pending:
-            self._consume_pending(instr, position)
+            self._consume_pending(instr._read_keys, instr._dest_key, position)
         self._on_branch(instr, taken, position)
 
     def on_step(self, instr) -> None:
@@ -175,16 +174,25 @@ class SequenceProfile:
         position = self._position
         self._position = position + 1
         if self._pending:
-            self._consume_pending(instr, position)
-        dest = instr.dest
-        if dest is None:
+            self._consume_pending(instr._read_keys, instr._dest_key, position)
+        dest_key = instr._dest_key
+        if dest_key is None:
             return
+        self._propagate(instr._read_keys, dest_key)
+
+    def _propagate(self, read_keys, dest_key: int) -> None:
+        """Taint flow of one register-writing instruction.
+
+        Shared by :meth:`on_step` and the compiled backend, whose
+        generated code performs the all-sources-untainted check inline
+        and calls in here only when some source carries taint (plus the
+        matching dead-destination delete on the untainted path).
+        """
         taint = self._taint
-        # Propagate taint through register-to-register operations.
         merged: tuple = ()
         max_chain = self.max_chain
-        for src in instr.reads():
-            tags = taint.get(src)
+        for key in read_keys:
+            tags = taint.get(key)
             if tags:
                 for dyn_id, sid, depth in tags:
                     if depth < max_chain:
@@ -192,22 +200,30 @@ class SequenceProfile:
         if merged:
             if len(merged) > 6:
                 merged = merged[:6]
-            taint[dest] = merged
-        elif dest in taint:
-            del taint[dest]
+            taint[dest_key] = merged
+        elif dest_key in taint:
+            del taint[dest_key]
 
     def _on_branch(self, instr, taken: bool, position: int) -> None:
-        correct = self.predictor.access(instr.sid, taken)
+        sid = instr.sid
+        correct = self.predictor.access(sid, taken)
         recent = self._recent_branches
-        recent.append((instr.sid, position))
-        if len(recent) > 6 or (recent and position - recent[0][1] > self.window):
+        recent.append((sid, position))
+        if len(recent) > 6 or position - recent[0][1] > self.window:
             del recent[0]
-        tags = self._taint.get(instr.srcs[0], ())
-        if not tags:
-            return
-        stats = self.seq_branch_stats.get(instr.sid)
+        tags = self._taint.get(instr._read_keys[0])
+        if tags:
+            self._branch_tainted(tags, taken, correct, sid)
+
+    def _branch_tainted(self, tags: tuple, taken, correct: bool, sid: int) -> None:
+        """Statistics for one branch whose condition carries load taint.
+
+        Shared by :meth:`_on_branch` and the compiled backend (which
+        checks the — far more common — untainted case inline).
+        """
+        stats = self.seq_branch_stats.get(sid)
         if stats is None:
-            stats = self.seq_branch_stats[instr.sid] = BranchStats()
+            stats = self.seq_branch_stats[sid] = BranchStats()
         stats.executed += 1
         if taken:
             stats.taken += 1
@@ -232,20 +248,32 @@ class SequenceProfile:
         self._counted = {d for d in self._counted if d >= floor}
         self._counted_floor = floor
 
-    def _consume_pending(self, instr, position: int) -> None:
-        reads = instr.reads()
+    def _consume_pending(self, read_keys, dest_key, position: int) -> None:
+        pending_list = self._pending
+        for pending in pending_list:
+            dest = pending.dest
+            if (
+                dest in read_keys
+                or position >= pending.expires
+                or dest == dest_key
+            ):
+                break
+        else:
+            return  # every entry stays pending: no mutation needed
         alive: List[_PendingLoad] = []
-        for pending in self._pending:
-            if pending.dest in reads:
+        for pending in pending_list:
+            if pending.dest in read_keys:
                 key = pending.branch_sids
                 self.after_branch_loads[key] = self.after_branch_loads.get(key, 0) + 1
                 continue  # resolved
             if position >= pending.expires:
                 continue  # expired unconsumed: not a tight chain
-            if instr.dest is not None and instr.dest == pending.dest:
+            if dest_key is not None and dest_key == pending.dest:
                 continue  # overwritten before use
             alive.append(pending)
-        self._pending = alive
+        # In-place so the list object stays stable (the compiled backend
+        # binds it once per run and appends through the same object).
+        pending_list[:] = alive
 
     # -- finalization ---------------------------------------------------------------
     def summary(self) -> SequenceSummary:

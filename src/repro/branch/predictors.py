@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchStats:
     """Prediction statistics for one static branch (or the whole run)."""
 
@@ -234,6 +234,67 @@ class Hybrid(BasePredictor):
             self._chooser[index] = _Counter2.update(value, gshare_correct)
         self.bimodal.update(sid, taken)
         self.gshare.update(sid, taken)
+
+    def access(self, sid: int, taken: bool) -> bool:
+        # Flattened predict+stats+update for the paper's un-aliased
+        # configuration: the generic path reads each component table up
+        # to three times per branch (predict, then update re-predicts
+        # both components); one pass computes every value it needs once.
+        # State transitions are identical to the inherited composition.
+        if self._aliased:
+            return super().access(sid, taken)
+        bimodal = self.bimodal
+        gshare = self.gshare
+        bimodal_table = bimodal._table
+        bimodal_value = bimodal_table.get(sid, 1)
+        history = gshare._history
+        mask = gshare._mask
+        gshare_index = (sid ^ history) & mask
+        gshare_table = gshare._table
+        gshare_value = gshare_table.get(gshare_index, 1)
+        bimodal_taken = bimodal_value >= 2
+        gshare_taken = gshare_value >= 2
+        chooser = self._chooser
+        prediction = (
+            gshare_taken if chooser.get(sid, 1) >= 2 else bimodal_taken
+        )
+        correct = prediction == taken
+        stats = self.per_branch.get(sid)
+        if stats is None:
+            stats = self.per_branch[sid] = BranchStats()
+        global_stats = self.global_stats
+        stats.executed += 1
+        global_stats.executed += 1
+        if taken:
+            stats.taken += 1
+            global_stats.taken += 1
+        if not correct:
+            stats.mispredicted += 1
+            global_stats.mispredicted += 1
+        gshare_correct = gshare_taken == taken
+        if (bimodal_taken == taken) != gshare_correct:
+            value = chooser.get(sid, 1)
+            if gshare_correct:
+                chooser[sid] = value + 1 if value < 3 else 3
+            else:
+                chooser[sid] = value - 1 if value > 0 else 0
+        if taken:
+            bimodal_table[sid] = (
+                bimodal_value + 1 if bimodal_value < 3 else 3
+            )
+            gshare_table[gshare_index] = (
+                gshare_value + 1 if gshare_value < 3 else 3
+            )
+            gshare._history = ((history << 1) | 1) & mask
+        else:
+            bimodal_table[sid] = (
+                bimodal_value - 1 if bimodal_value > 0 else 0
+            )
+            gshare_table[gshare_index] = (
+                gshare_value - 1 if gshare_value > 0 else 0
+            )
+            gshare._history = (history << 1) & mask
+        return correct
 
 
 class Perceptron(BasePredictor):

@@ -58,13 +58,30 @@ class CacheHierarchy:
         self.load_accesses = 0
         self.load_l1_misses = 0
         self.load_l2_misses = 0
+        # L1 geometry, prebound for the flattened hit path below
+        # (CacheConfig is frozen, so these cannot go stale).
+        self._l1_block_size = l1_config.block_size
+        self._l1_num_sets = l1_config.num_sets
 
     def access(self, addr: int, is_write: bool = False, is_load: bool = True) -> int:
         """Simulate one access; returns serving level (1, 2, or 3)."""
         if is_load:
             self.load_accesses += 1
-        if self.l1.access(addr, is_write):
+        # Flattened L1 hit path (the overwhelmingly common case): one
+        # set lookup instead of two method calls, with state updates
+        # identical to Cache.access.
+        l1 = self.l1
+        tag = addr // self._l1_block_size
+        cache_set = l1._sets.get(tag % self._l1_num_sets)
+        if cache_set is not None and tag in cache_set:
+            l1.hits += 1
+            cache_set.move_to_end(tag)
+            if is_write:
+                cache_set[tag] = True  # mark dirty
             return 1
+        # Miss: let Cache.access record it and allocate (it cannot hit —
+        # the line was just checked and nothing ran in between).
+        l1.access(addr, is_write)
         if is_load:
             self.load_l1_misses += 1
         if self.l2 is None:

@@ -22,7 +22,7 @@ Commands:
 Every work-running subcommand (characterize, candidates, evaluate,
 disasm, report) accepts one shared execution flag group —
 ``--jobs/--cache/--no-cache/--cache-dir/--trace/--timeout/--retries/
---faults`` — threaded into a single :class:`repro.api.Session`, so
+--faults/--backend`` — threaded into a single :class:`repro.api.Session`, so
 parallelism, caching, resilience policy, and fault injection behave
 identically everywhere (``report`` caches by default; the
 per-workload commands opt in with ``--cache``).
@@ -35,6 +35,7 @@ writes the collected spans and metrics to a JSONL trace on exit.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -108,6 +109,13 @@ def _work_parent() -> argparse.ArgumentParser:
         help="inject deterministic faults for chaos testing, "
         "e.g. 'crash=0.2,seed=7' (see docs/robustness.md)",
     )
+    group.add_argument(
+        "--backend",
+        choices=["compiled", "switch"],
+        default=suppress,
+        help="execution backend (default: $REPRO_BACKEND or compiled); "
+        "both are bit-identical — see docs/performance.md",
+    )
     return parent
 
 
@@ -133,6 +141,7 @@ def _session_from_args(args, scale: str, eval_scale: Optional[str] = None,
             retries=getattr(args, "retries", None),
             timeout=getattr(args, "timeout", None),
             faults=faults,
+            backend=getattr(args, "backend", None),
         )
     )
 
@@ -479,6 +488,12 @@ def _cmd_bench(args) -> None:
 
 def main(argv: Optional[List[str]] = None) -> None:
     args = _build_parser().parse_args(argv)
+
+    # One choke point for backend selection: exporting the flag makes
+    # every construction site — including worker processes spawned
+    # later — resolve the same engine (see repro.exec.backends).
+    if getattr(args, "backend", None):
+        os.environ["REPRO_BACKEND"] = args.backend
 
     trace_path = args.trace
     if trace_path is None:

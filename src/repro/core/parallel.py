@@ -193,16 +193,28 @@ class BackoffPolicy:
 
 
 def _characterize_task(
-    task: Tuple[str, str, int, int],
+    task: Tuple,
 ) -> Tuple[str, CharacterizationResult]:
-    """Worker: one full characterization run, resolved by workload name."""
-    name, scale, seed, max_instructions = task
+    """Worker: one full characterization run, resolved by workload name.
+
+    ``task`` is ``(name, scale, seed, max_instructions)`` with an
+    optional fifth ``backend`` element (older 4-tuples keep working and
+    use the ambient backend).  The workload fingerprint is passed as the
+    compiled backend's code key so a persistent worker pays codegen once
+    per workload, not once per task.
+    """
+    name, scale, seed, max_instructions = task[:4]
+    backend = task[4] if len(task) > 4 else None
+    from repro.core.runcache import workload_fingerprint
+
     spec = get_workload(name)
     result = characterize(
         spec.program(),
         spec.dataset(scale, seed),
         max_instructions=max_instructions,
         workload=name,
+        backend=backend,
+        code_key=workload_fingerprint(name, scale, seed, max_instructions),
     )
     return name, result
 
@@ -224,7 +236,7 @@ def describe_task(func: Callable, task: Any) -> str:
     """Human identity of one task tuple, by worker entry point."""
     try:
         if func is _characterize_task:
-            name, scale, seed, budget = task
+            name, scale, seed = task[:3]
             return f"characterize workload={name} scale={scale} seed={seed}"
         if func is _evaluate_task:
             name, platform_key, scale, seed = task

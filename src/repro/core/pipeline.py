@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.cpu.platforms import PlatformConfig, make_timing_model
 from repro.cpu.ooo import TimingResult
-from repro.exec.interpreter import Interpreter
+from repro.exec.backends import make_interpreter
 from repro.workloads.registry import WorkloadSpec
 
 
@@ -56,7 +56,7 @@ def run_timed(
     options = platform.compiler_options(alias_model=alias_model)
     program = spec.program(transformed=transformed, options=options)
     model = make_timing_model(platform)
-    interp = Interpreter(program, spec.dataset(scale, seed))
+    interp = make_interpreter(program, spec.dataset(scale, seed))
     interp.run(consumers=(model,))
     return model.result()
 

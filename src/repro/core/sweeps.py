@@ -73,7 +73,7 @@ def _compiler_point(task) -> SweepPoint:
     """Worker: evaluate one compiler-flag sweep point (both versions)."""
     name, field, value, platform, scale, seed = task
     from repro.cpu.platforms import make_timing_model
-    from repro.exec.interpreter import Interpreter
+    from repro.exec.backends import make_interpreter
     from repro.lang.compiler import compile_source
 
     spec = get_workload(name)
@@ -85,7 +85,7 @@ def _compiler_point(task) -> SweepPoint:
             spec.source(transformed), f"{spec.name}-{field}-{value}", options
         )
         model = make_timing_model(platform)
-        Interpreter(program, spec.dataset(scale, seed)).run(consumers=(model,))
+        make_interpreter(program, spec.dataset(scale, seed)).run(consumers=(model,))
         return model.result().cycles
 
     return SweepPoint(

@@ -6,6 +6,12 @@ it executes a :class:`repro.isa.Program` and publishes one
 attached analysis consumers.
 """
 
+from repro.exec.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    make_interpreter,
+    resolve_backend,
+)
 from repro.exec.interpreter import (
     BudgetExceeded,
     Interpreter,
@@ -15,12 +21,16 @@ from repro.exec.interpreter import (
 from repro.exec.trace import TraceCollector, TraceEvent, TraceWriter, replay_trace
 
 __all__ = [
+    "BACKENDS",
     "BudgetExceeded",
+    "DEFAULT_BACKEND",
     "Interpreter",
     "InterpreterError",
     "TraceCollector",
     "TraceEvent",
     "TraceWriter",
+    "make_interpreter",
     "replay_trace",
+    "resolve_backend",
     "run_program",
 ]

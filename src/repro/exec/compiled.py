@@ -1,0 +1,1734 @@
+"""Compiled execution backend: per-block codegen, bit-identical to the switch.
+
+The switch interpreter (:mod:`repro.exec.interpreter`) pays, for every
+dynamic instruction, an opcode-dispatch chain plus ``Dict[Reg, Number]``
+register traffic (each lookup runs a Python-level ``Reg.__hash__``).
+This backend removes both: for each :class:`~repro.isa.program.Program`
+it generates specialized Python source per basic block — registers
+renamed to slots of one flat dense register file (a precomputed
+``Reg -> int`` index map), immediates and array bases constant-folded,
+fused-tool transitions and sink dispatch inlined only for the event
+kinds actually observed — ``compile()``s it once, and drives the block
+functions from a small trampoline loop.
+
+Exactness contract (enforced by ``tests/test_exec/test_backends.py``):
+
+* bit-identical tool snapshots and memory/register state,
+* C-style division (``_trunc_div`` is shared with the switch),
+* identical ``InterpreterError`` / ``BudgetExceeded`` messages,
+* exact budget semantics — the instruction that would exceed the budget
+  never executes, even mid-block (runs that could cross the budget in
+  the current block fall back to a verbatim switch-style tail loop),
+* exact telemetry (``interp.instructions``, ``events.published/
+  dispatched/suppressed``) via per-block batched counter constants that
+  are also emitted on every generated error path.
+
+Codegen invariants (see ``docs/performance.md``):
+
+* **Read order**: source registers are read (and use-before-def
+  checked) in exactly the switch interpreter's evaluation order, so the
+  first error a program hits is the same error with the same message.
+* **Definite assignment**: a forward dataflow pass proves which
+  registers are always written before a read; only unproven reads get
+  an ``is UNDEF`` guard, each raising the exact switch message.
+* **Single exit accounting**: a regular block (control flow only at the
+  end) contributes one static instruction count per execution; blocks
+  with mid-block control return ``(next_block, executed)`` pairs.
+* **Exception attribution**: every generated line is mapped back to its
+  instruction, so an exception raised anywhere (including inside a tool
+  call) is attributed to the exact dynamic instruction count the switch
+  would report.
+
+Generated code mutates the *original* tool objects through the same
+shared helpers the switch path uses (``SequenceProfile._propagate`` /
+``_branch_tainted`` / ``_consume_pending``), so there is one source of
+truth for every non-trivial state transition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+from typing import Dict, Iterable, List, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from repro import obs
+from repro.exec.interpreter import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    EVENT_KINDS,
+    BudgetExceeded,
+    Interpreter,
+    InterpreterError,
+    _consumer_interests,
+    _CountingFanout,
+    _fuse_consumers,
+    _trunc_div,
+)
+from repro.isa.instructions import WORD_SIZE, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg, RegClass
+
+__all__ = ["CompiledInterpreter", "CompiledProgram", "compiled_for"]
+
+
+class _Undef:
+    """Sentinel for a register slot that has never been written."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<undef>"
+
+
+UNDEF = _Undef()
+
+_O = Opcode
+
+#: Straight two-source arithmetic/logic, switch-order preserved.
+_BINOPS = {
+    _O.ADD: "+", _O.FADD: "+",
+    _O.SUB: "-", _O.FSUB: "-",
+    _O.MUL: "*", _O.FMUL: "*",
+    _O.FDIV: "/",
+    _O.AND: "&", _O.OR: "|", _O.XOR: "^",
+    _O.SHL: "<<", _O.SHR: ">>",
+}
+#: Compares produce integer 0/1, exactly like the switch arms.
+_CMPOPS = {
+    _O.CMPGT: ">", _O.FCMPGT: ">",
+    _O.CMPLE: "<=", _O.FCMPLE: "<=",
+    _O.CMPLT: "<", _O.FCMPLT: "<",
+    _O.CMPGE: ">=", _O.FCMPGE: ">=",
+    _O.CMPEQ: "==", _O.FCMPEQ: "==",
+    _O.CMPNE: "!=", _O.FCMPNE: "!=",
+}
+
+_FILENAME_COUNTER = itertools.count()
+
+
+class _Emitter:
+    """Accumulates generated source lines plus the line -> instruction map."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        #: 1-based source line -> (instructions executed including the
+        #: one this line belongs to, that instruction).
+        self.line_map: Dict[int, Tuple[int, object]] = {}
+
+    def emit(self, indent: int, text: str, executed: Optional[int] = None,
+             instr: Optional[object] = None) -> None:
+        self.lines.append("    " * indent + text)
+        if executed is not None:
+            self.line_map[len(self.lines)] = (executed, instr)
+
+
+class _Batch:
+    """Per-block static event counts, flushed as ``+= constant`` stores.
+
+    In fused mode the mix counters, ``LoadCoverage.total_loads``,
+    ``SequenceProfile.total_loads``, and (under telemetry) the
+    ``FusedDispatchCounter`` per-kind counts are pure functions of *how
+    many instructions of each class executed* — so the generated code
+    applies them as one constant increment per counter at every block
+    exit, and emits the partial constants inline on every generated
+    raise so error-path state stays exact.
+    """
+
+    _FIELDS = (
+        ("mc_total", "MC.total"),
+        ("mc_loads", "MC.loads"),
+        ("mc_stores", "MC.stores"),
+        ("mc_branches", "MC.branches"),
+        ("mc_fp_total", "MC.fp_total"),
+        ("mc_fp_loads", "MC.fp_loads"),
+        ("cov_loads", "COV.total_loads"),
+        ("sq_loads", "SQ.total_loads"),
+        ("pgs_executed", "PGS.executed"),
+        ("fc_loads", "FC.loads"),
+        ("fc_stores", "FC.stores"),
+        ("fc_branches", "FC.branches"),
+        ("fc_steps", "FC.steps"),
+    )
+
+    def __init__(self, enabled: bool, telemetry: bool) -> None:
+        self.enabled = enabled
+        self.telemetry = telemetry
+        for name, _target in self._FIELDS:
+            setattr(self, name, 0)
+
+    def load(self, fp: bool) -> None:
+        if not self.enabled:
+            return
+        self.mc_total += 1
+        self.mc_loads += 1
+        if fp:
+            self.mc_fp_total += 1
+            self.mc_fp_loads += 1
+        self.cov_loads += 1
+        self.sq_loads += 1
+        if self.telemetry:
+            self.fc_loads += 1
+
+    def store(self, fp: bool) -> None:
+        if not self.enabled:
+            return
+        self.mc_total += 1
+        self.mc_stores += 1
+        if fp:  # only FSTORE counts fp (mirrors FusedStandardTools.store)
+            self.mc_fp_total += 1
+        if self.telemetry:
+            self.fc_stores += 1
+
+    def branch(self, inline_pred: bool = False) -> None:
+        if not self.enabled:
+            return
+        self.mc_total += 1
+        self.mc_branches += 1
+        if inline_pred:
+            # The un-aliased Hybrid increments its global executed count
+            # once per branch unconditionally; taken/mispredicted stay
+            # data-dependent and are updated inline.
+            self.pgs_executed += 1
+        if self.telemetry:
+            self.fc_branches += 1
+
+    def step(self, fp: bool) -> None:
+        if not self.enabled:
+            return
+        self.mc_total += 1
+        if fp:
+            self.mc_fp_total += 1
+        if self.telemetry:
+            self.fc_steps += 1
+
+    def stmts(self) -> List[str]:
+        out = []
+        for name, target in self._FIELDS:
+            value = getattr(self, name)
+            if value:
+                out.append(f"{target} += {value}")
+        return out
+
+    def prefix(self) -> str:
+        """Inline ``a += n; b += m; `` text for raise sites (may be empty)."""
+        stmts = self.stmts()
+        return "; ".join(stmts) + "; " if stmts else ""
+
+
+class CompiledProgram:
+    """One program compiled for one (array lengths, dispatch mode) pair."""
+
+    __slots__ = (
+        "filename", "source", "factory", "block_meta", "nregs", "reg_index",
+        "line_map", "flat", "positions", "block_flat_start", "instrs", "mode",
+        "lengths",
+    )
+
+    def locate(self, exc: BaseException) -> Tuple[int, Optional[object]]:
+        """Attribute an exception to the deepest generated-code line.
+
+        Returns ``(executed_within_block, instruction)`` — zero/None when
+        no generated frame is on the traceback (then the trampoline's
+        own block-entry count already equals the switch count).
+        """
+        executed, instr = 0, None
+        tb = exc.__traceback__
+        while tb is not None:
+            if tb.tb_frame.f_code.co_filename == self.filename:
+                entry = self.line_map.get(tb.tb_lineno)
+                if entry is not None:
+                    executed, instr = entry
+            tb = tb.tb_next
+        return executed, instr
+
+
+def _collect_registers(program: Program) -> Dict[Reg, int]:
+    """Stable Reg -> dense slot map; hard-wired r0 always occupies slot 0."""
+    index: Dict[Reg, int] = {Reg(RegClass.INT, 0, virtual=False): 0}
+    for block in program.blocks:
+        for instr in block.instructions:
+            for reg in instr.srcs:
+                if reg not in index:
+                    index[reg] = len(index)
+            dest = instr.dest
+            if dest is not None and dest not in index:
+                index[dest] = len(index)
+    return index
+
+
+def _reachable_prefix(block) -> List:
+    """Instructions of a block up to its first unconditional exit.
+
+    The switch interpreter can never reach code after a JMP/HALT inside
+    a block (blocks are only entered at their first instruction), so the
+    dead tail is not emitted at all.
+    """
+    out = []
+    for instr in block.instructions:
+        out.append(instr)
+        if instr.opcode is _O.JMP or instr.opcode is _O.HALT:
+            break
+    return out
+
+
+def _definite_assignment(
+    program: Program,
+    reachable: List[List],
+    reg_index: Dict[Reg, int],
+    block_pos: Dict[str, int],
+) -> List[Optional[set]]:
+    """Forward dataflow: register slots definitely written on *every*
+    path into each block.  Entry starts with only hard-wired r0; edges
+    (including mid-block branches, which ``BasicBlock.successors`` does
+    not model) export the defined-set at the exact exit point.  ``None``
+    marks a block the analysis never reached (guards are then emitted
+    for every read — sound either way, it never executes).
+    """
+    n = len(reachable)
+    ins: List[Optional[set]] = [None] * n
+    if n:
+        ins[0] = {0}
+
+    def export(target: int, defined: set) -> bool:
+        current = ins[target]
+        if current is None:
+            ins[target] = set(defined)
+            return True
+        merged = current & defined
+        if merged != current:
+            ins[target] = merged
+            return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for bi in range(n):
+            start = ins[bi]
+            if start is None:
+                continue
+            defined = set(start)
+            exited = False
+            for instr in reachable[bi]:
+                op = instr.opcode
+                if op is _O.BR:
+                    changed |= export(block_pos[instr.target], defined)
+                elif op is _O.JMP:
+                    changed |= export(block_pos[instr.target], defined)
+                    exited = True
+                    break
+                elif op is _O.HALT:
+                    exited = True
+                    break
+                dest = instr.dest
+                if dest is not None:
+                    defined.add(reg_index[dest])
+            if not exited and bi + 1 < n:
+                changed |= export(bi + 1, defined)
+    return ins
+
+
+class _BlockCodegen:
+    """Emits one basic block's function body."""
+
+    def __init__(self, gen: "_Generator", bi: int, defined: Optional[set]):
+        self.gen = gen
+        self.em = gen.em
+        self.bi = bi
+        # None (unreachable block) -> guard every read.
+        self.defined = set(defined) if defined is not None else set()
+        self.batch = _Batch(gen.fused, gen.telemetry)
+        self._have_pj: Optional[int] = None
+
+    # -- small helpers -----------------------------------------------------
+    def slot(self, reg: Reg) -> str:
+        return f"R[{self.gen.reg_index[reg]}]"
+
+    def line(self, indent: int, text: str, j: Optional[int] = None,
+             instr: Optional[object] = None) -> None:
+        self.em.emit(indent, text, None if j is None else j + 1, instr)
+
+    def guard(self, indent: int, reg: Reg, j: int, instr) -> None:
+        """Use-before-def check with the exact switch error message."""
+        if self.gen.reg_index[reg] in self.defined:
+            return
+        msg = (
+            f"use of undefined register {reg!r} at sid {instr.sid} "
+            f"({instr.opcode.name}, line {instr.line})"
+        )
+        self.line(
+            indent,
+            f"if {self.slot(reg)} is UNDEF: "
+            f"{self.batch.prefix()}raise E({msg!r}) from None",
+            j, instr,
+        )
+
+    def mark_defined(self, reg: Optional[Reg]) -> None:
+        if reg is not None:
+            self.defined.add(self.gen.reg_index[reg])
+
+    def flush_lines(self, indent: int, j: int, instr) -> None:
+        for stmt in self.batch.stmts():
+            self.line(indent, stmt, j, instr)
+
+    def ret(self, indent: int, target: int, j: int, instr,
+            irregular: bool) -> None:
+        """One block exit: flush batched counters, then return."""
+        self.flush_lines(indent, j, instr)
+        if irregular:
+            self.line(indent, f"return {target}, {j + 1}", j, instr)
+        else:
+            self.line(indent, f"return {target}", j, instr)
+
+    def oob(self, kind: str, instr, length: int) -> str:
+        return (
+            f'{self.batch.prefix()}raise E(f"{kind} out of bounds: '
+            f'{instr.array}[{{x}}] (len {length}) at sid {instr.sid} '
+            f'line {instr.line}") from None'
+        )
+
+    def index_expr(self, reg: Reg, imm) -> str:
+        offset = imm or 0
+        return self.slot(reg) if offset == 0 else f"{self.slot(reg)} + {offset}"
+
+    def addr_expr(self, base: int) -> str:
+        return f"{base} + x * {WORD_SIZE}"
+
+    # -- fused sequence-tool fragments -------------------------------------
+    def position(self, j: int) -> str:
+        return "p" if j == 0 else f"p + {j}"
+
+    def hoist_position(self, indent: int, instr, j: int) -> None:
+        """Bind the dynamic position once for instructions (loads and
+        branches) that use it repeatedly; ``pj(j)`` then resolves to the
+        bound local instead of re-adding the offset at every use."""
+        if j != 0:
+            self.line(indent, f"pj_ = p + {j}", j, instr)
+        self._have_pj = j
+
+    def pj(self, j: int) -> str:
+        if self._have_pj == j:
+            return "p" if j == 0 else "pj_"
+        return self.position(j)
+
+    def seq_consume(self, indent: int, instr, j: int) -> None:
+        """``SequenceProfile`` pending-load consumption (fused only).
+
+        Inlines the no-mutation scan (the condition mirrors
+        ``_consume_pending``'s early-out); the method is called only
+        when some pending load actually resolves, expires, or is
+        overwritten.
+        """
+        if not self.gen.fused:
+            return
+        keys = instr._read_keys
+        dest = instr._dest_key
+        hoisted = self._have_pj == j
+        pv = self.pj(j) if hoisted else "pj_"
+        conds = []
+        if keys:
+            conds.append(
+                f"pd_ in {keys!r}" if len(keys) > 1 else f"pd_ == {keys[0]}"
+            )
+        conds.append(f"{pv} >= pl_.expires")
+        if dest is not None:
+            conds.append(f"pd_ == {dest}")
+        self.line(indent, "if PEND:", j, instr)
+        if not hoisted:
+            self.line(indent + 1, f"pj_ = {self.position(j)}", j, instr)
+        self.line(indent + 1, "for pl_ in PEND:", j, instr)
+        self.line(indent + 2, "pd_ = pl_.dest", j, instr)
+        self.line(indent + 2, f"if {' or '.join(conds)}:", j, instr)
+        self.line(indent + 3, f"CPR({keys!r}, {dest!r}, {pv})", j, instr)
+        self.line(indent + 3, "break", j, instr)
+
+    def tag_expr(self, base: int) -> str:
+        """L1 tag of ``base + x * WORD_SIZE`` with the block geometry
+        folded to constants (the geometry rides in the mode key).
+
+        Array bases are block-aligned by construction and the stock
+        block size is a multiple of the word size, so the division
+        distributes: ``(base + x*w) // bs == base//bs + x // (bs//w)``.
+        """
+        bs, _ = self.gen.inline_l1
+        if base % bs == 0 and bs % WORD_SIZE == 0:
+            tag_base = base // bs
+            step = bs // WORD_SIZE
+            prefix = "" if tag_base == 0 else f"{tag_base} + "
+            return f"{prefix}x // {step}"
+        return f"({base} + x * {WORD_SIZE}) // {bs}"
+
+    def set_expr(self) -> str:
+        _, ns = self.gen.inline_l1
+        return f"t_ & {ns - 1}" if ns & (ns - 1) == 0 else f"t_ % {ns}"
+
+    def l1_store(self, indent: int, base: int, j: int, instr) -> None:
+        """Store-side hierarchy access, L1 hit path inlined."""
+        if not self.gen.inline_l1:
+            self.line(indent, f"HA({self.addr_expr(base)}, True, False)",
+                      j, instr)
+            return
+        self.line(indent, f"t_ = {self.tag_expr(base)}", j, instr)
+        self.line(indent, f"cs_ = L1G({self.set_expr()})", j, instr)
+        self.line(indent, "if cs_ is not None and t_ in cs_:", j, instr)
+        self.line(indent + 1, "L1.hits += 1", j, instr)
+        self.line(indent + 1, "cs_.move_to_end(t_)", j, instr)
+        self.line(indent + 1, "cs_[t_] = True", j, instr)
+        self.line(indent, "else:", j, instr)
+        self.line(indent + 1, f"HA({self.addr_expr(base)}, True, False)",
+                  j, instr)
+
+    def inline_predictor(self, ind: int, sid: int, j: int, instr) -> None:
+        """Flattened un-aliased ``Hybrid.access`` (see predictors.py).
+
+        Mirrors that method statement for statement against prebound
+        component tables; it stays the documentation of record, and the
+        mode key guards against predictor subclasses/configurations.
+        """
+        self.line(ind, f"bv_ = BTBg({sid}, 1)", j, instr)
+        self.line(ind, "hi_ = GSH._history", j, instr)
+        self.line(ind, f"gi_ = ({sid} ^ hi_) & GMASK", j, instr)
+        self.line(ind, "gv_ = GTBg(gi_, 1)", j, instr)
+        self.line(ind, "bt_ = bv_ >= 2", j, instr)
+        self.line(ind, "gt_ = gv_ >= 2", j, instr)
+        self.line(ind,
+                  f"cr = (gt_ if CHg({sid}, 1) >= 2 else bt_) == tk",
+                  j, instr)
+        self.line(ind, f"bs_ = PPBg({sid})", j, instr)
+        self.line(ind, f"if bs_ is None: bs_ = PPB[{sid}] = BST()", j, instr)
+        self.line(ind, "bs_.executed += 1", j, instr)
+        self.line(ind, "if tk:", j, instr)
+        self.line(ind + 1, "bs_.taken += 1", j, instr)
+        self.line(ind + 1, "PGS.taken += 1", j, instr)
+        self.line(ind, "if not cr:", j, instr)
+        self.line(ind + 1, "bs_.mispredicted += 1", j, instr)
+        self.line(ind + 1, "PGS.mispredicted += 1", j, instr)
+        self.line(ind, "gc_ = gt_ == tk", j, instr)
+        self.line(ind, "if (bt_ == tk) != gc_:", j, instr)
+        self.line(ind + 1, f"cv_ = CHg({sid}, 1)", j, instr)
+        self.line(ind + 1, "if gc_:", j, instr)
+        self.line(ind + 2, f"CH[{sid}] = cv_ + 1 if cv_ < 3 else 3", j, instr)
+        self.line(ind + 1, "else:", j, instr)
+        self.line(ind + 2, f"CH[{sid}] = cv_ - 1 if cv_ > 0 else 0", j, instr)
+        self.line(ind, "if tk:", j, instr)
+        self.line(ind + 1, f"BTB[{sid}] = bv_ + 1 if bv_ < 3 else 3", j, instr)
+        self.line(ind + 1, "GTB[gi_] = gv_ + 1 if gv_ < 3 else 3", j, instr)
+        self.line(ind + 1, "GSH._history = ((hi_ << 1) | 1) & GMASK", j, instr)
+        self.line(ind, "else:", j, instr)
+        self.line(ind + 1, f"BTB[{sid}] = bv_ - 1 if bv_ > 0 else 0", j, instr)
+        self.line(ind + 1, "GTB[gi_] = gv_ - 1 if gv_ > 0 else 0", j, instr)
+        self.line(ind + 1, "GSH._history = (hi_ << 1) & GMASK", j, instr)
+
+    def inline_branch_tainted(self, ind: int, sid: int, j: int, instr) -> None:
+        """Inline ``SequenceProfile._branch_tainted`` (the common case:
+        every hot-loop branch condition is load-tainted).  ``tg`` has
+        already been fetched; state transitions mirror the method."""
+        self.line(ind, "if tg is not None:", j, instr)
+        ind += 1
+        self.line(ind, f"sb_ = SBSg({sid})", j, instr)
+        self.line(ind, f"if sb_ is None: sb_ = SBS[{sid}] = BST()", j, instr)
+        self.line(ind, "sb_.executed += 1", j, instr)
+        self.line(ind, "if tk: sb_.taken += 1", j, instr)
+        self.line(ind, "if not cr: sb_.mispredicted += 1", j, instr)
+        self.line(ind, "ctd_ = SQ._counted", j, instr)
+        self.line(ind, "for d_, s_, e_ in tg:", j, instr)
+        self.line(ind + 1, "f_ = LFg(s_)", j, instr)
+        self.line(ind + 1, "if f_ is None: f_ = LF[s_] = BST()", j, instr)
+        self.line(ind + 1, "f_.executed += 1", j, instr)
+        self.line(ind + 1, "if not cr: f_.mispredicted += 1", j, instr)
+        self.line(ind + 1, "if d_ not in ctd_:", j, instr)
+        self.line(ind + 2, "ctd_.add(d_)", j, instr)
+        self.line(ind + 2, "SQ.load_to_branch_loads += 1", j, instr)
+        self.line(ind, "if len(ctd_) > 100000:", j, instr)
+        self.line(ind + 1, "SQ._dyn_load_id = dyn", j, instr)
+        self.line(ind + 1, "SQPC()", j, instr)
+
+    def seq_step_taint(self, indent: int, instr, j: int) -> None:
+        """Inline ``on_step`` taint flow, including the merge itself.
+
+        The merge mirrors :meth:`SequenceProfile._propagate` statement
+        for statement (source order incl. duplicate registers, depth
+        filter against ``max_chain``, cap at 6 tags); the method stays
+        the documentation of record for the transition.
+        """
+        if not self.gen.fused or instr._dest_key is None:
+            return
+        dest = instr._dest_key
+        keys = instr._read_keys
+        if not keys:
+            self.line(indent, f"if {dest} in TNT: del TNT[{dest}]", j, instr)
+            return
+        unique = list(dict.fromkeys(keys))
+        var = {key: f"t{ki}_" for ki, key in enumerate(unique)}
+        for key in unique:
+            self.line(indent, f"{var[key]} = TG({key})", j, instr)
+        checks = " and ".join(f"{var[key]} is None" for key in unique)
+        if len(keys) == 1:
+            # Single source: the overwhelmingly common shape is a
+            # single-tag tuple (every load starts one), handled without
+            # a comprehension (3.11 comprehensions cost a frame).  A
+            # single source carries at most 6 tags already, so the cap
+            # never applies.
+            v = var[keys[0]]
+            self.line(indent, f"if {v} is None:", j, instr)
+            self.line(indent + 1, f"if {dest} in TNT: del TNT[{dest}]", j, instr)
+            self.line(indent, f"elif len({v}) == 1:", j, instr)
+            self.line(indent + 1, f"d_, s_, e_ = {v}[0]", j, instr)
+            self.line(indent + 1, "if e_ < MX:", j, instr)
+            self.line(indent + 2, f"TNT[{dest}] = ((d_, s_, e_ + 1),)", j, instr)
+            self.line(indent + 1, f"elif {dest} in TNT:", j, instr)
+            self.line(indent + 2, f"del TNT[{dest}]", j, instr)
+            self.line(indent, "else:", j, instr)
+            self.line(indent + 1,
+                      f"m_ = [(d_, s_, e_ + 1) for d_, s_, e_ in {v} "
+                      f"if e_ < MX]",
+                      j, instr)
+            self.line(indent + 1, "if m_:", j, instr)
+            self.line(indent + 2, f"TNT[{dest}] = tuple(m_)", j, instr)
+            self.line(indent + 1, f"elif {dest} in TNT:", j, instr)
+            self.line(indent + 2, f"del TNT[{dest}]", j, instr)
+            return
+        self.line(indent, f"if {checks}:", j, instr)
+        self.line(indent + 1, f"if {dest} in TNT: del TNT[{dest}]", j, instr)
+        self.line(indent, "else:", j, instr)
+        first = True
+        for key in keys:
+            v = var[key]
+            comp = f"[(d_, s_, e_ + 1) for d_, s_, e_ in {v} if e_ < MX]"
+            if first:
+                # The single-tag shape is the common one; larger tag
+                # sets fall back to the comprehension.
+                self.line(indent + 1, f"if {v} is None:", j, instr)
+                self.line(indent + 2, "m_ = []", j, instr)
+                self.line(indent + 1, f"elif len({v}) == 1:", j, instr)
+                self.line(indent + 2, f"d_, s_, e_ = {v}[0]", j, instr)
+                self.line(indent + 2,
+                          "m_ = [(d_, s_, e_ + 1)] if e_ < MX else []",
+                          j, instr)
+                self.line(indent + 1, "else:", j, instr)
+                self.line(indent + 2, f"m_ = {comp}", j, instr)
+                first = False
+            else:
+                self.line(indent + 1, f"if {v}:", j, instr)
+                self.line(indent + 2, f"if len({v}) == 1:", j, instr)
+                self.line(indent + 3, f"d_, s_, e_ = {v}[0]", j, instr)
+                self.line(indent + 3,
+                          "if e_ < MX: m_.append((d_, s_, e_ + 1))",
+                          j, instr)
+                self.line(indent + 2, "else:", j, instr)
+                self.line(indent + 3, f"m_ += {comp}", j, instr)
+        self.line(indent + 1, "if m_:", j, instr)
+        self.line(
+            indent + 2,
+            f"TNT[{dest}] = tuple(m_[:6]) if len(m_) > 6 else tuple(m_)",
+            j, instr,
+        )
+        self.line(indent + 1, f"elif {dest} in TNT:", j, instr)
+        self.line(indent + 2, f"del TNT[{dest}]", j, instr)
+
+    # -- per-kind dispatch -------------------------------------------------
+    def dispatch_load(self, indent: int, instr, j: int, base: int) -> None:
+        gen = self.gen
+        sid = instr.sid
+        if gen.fused:
+            self.line(indent, f"st = CPLg({sid})", j, instr)
+            self.line(indent, f"if st is None: st = CPL[{sid}] = PLS()",
+                      j, instr)
+            if gen.inline_l1:
+                self.line(indent, f"t_ = {self.tag_expr(base)}", j, instr)
+                self.line(indent, f"cs_ = L1G({self.set_expr()})", j, instr)
+                self.line(indent, "if cs_ is not None and t_ in cs_:",
+                          j, instr)
+                self.line(indent + 1, "HIER.load_accesses += 1", j, instr)
+                self.line(indent + 1, "L1.hits += 1", j, instr)
+                self.line(indent + 1, "cs_.move_to_end(t_)", j, instr)
+                self.line(indent + 1, "st.accesses += 1", j, instr)
+                self.line(indent, "else:", j, instr)
+                self.line(indent + 1,
+                          f"lv = HA({self.addr_expr(base)}, False, True)",
+                          j, instr)
+                self.line(indent + 1, "st.accesses += 1", j, instr)
+                self.line(indent + 1, "if lv > 1: st.l1_misses += 1",
+                          j, instr)
+            else:
+                self.line(indent,
+                          f"lv = HA({self.addr_expr(base)}, False, True)",
+                          j, instr)
+                self.line(indent, "st.accesses += 1", j, instr)
+                self.line(indent, "if lv > 1: st.l1_misses += 1", j, instr)
+            if not gen.sync_cov:
+                self.line(indent, f"CC[{sid}] = CCg({sid}, 0) + 1", j, instr)
+            self.hoist_position(indent, instr, j)
+            pv = self.pj(j)
+            self.seq_consume(indent, instr, j)
+            self.line(indent, "dyn += 1", j, instr)
+            self.line(indent, f"TNT[{instr._dest_key}] = ((dyn, {sid}, 0),)",
+                      j, instr)
+            # Recent-branch window filter.  RB is position-sorted, so
+            # the in-window entries are a suffix; the common case is
+            # the whole list (a branch just ran) — a C-level
+            # tuple(map(itemgetter)) instead of a generator frame.
+            self.line(indent, "if RB:", j, instr)
+            self.line(indent + 1, f"if {pv} - RB[0][1] <= W:", j, instr)
+            self.line(indent + 2, "rec = T_(MAP_(IG0, RB))", j, instr)
+            self.line(indent + 1, "else:", j, instr)
+            self.line(indent + 2,
+                      f"rec = T_([s_ for s_, a_ in RB if {pv} - a_ <= W])",
+                      j, instr)
+            self.line(indent + 1,
+                      f"if rec: PEND.append(PLD({instr._dest_key}, rec, "
+                      f"{pv} + CW))",
+                      j, instr)
+            self.batch.load(instr.opcode is _O.FLOAD)
+        elif gen.has_sinks("load"):
+            self.line(indent,
+                      f"ev = TE(I{sid}, {self.addr_expr(base)}, None, v)",
+                      j, instr)
+            self.line(indent, "for s_ in S_load: s_(ev)", j, instr)
+
+    def dispatch_store(self, indent: int, instr, j: int,
+                       base: Optional[int]) -> None:
+        """Store *event* dispatch; ``base`` is None for a skipped CSTORE."""
+        gen = self.gen
+        if gen.fused:
+            if base is not None:
+                self.l1_store(indent, base, j, instr)
+            self.seq_consume(indent, instr, j)
+            self.batch.store(instr.opcode is _O.FSTORE)
+        elif gen.has_sinks("store"):
+            addr = "None" if base is None else self.addr_expr(base)
+            self.line(indent, f"ev = TE(I{instr.sid}, {addr}, None)", j, instr)
+            self.line(indent, "for s_ in S_store: s_(ev)", j, instr)
+
+    def dispatch_step(self, indent: int, instr, j: int,
+                      kind: str = "other") -> None:
+        gen = self.gen
+        if gen.fused:
+            self.seq_consume(indent, instr, j)
+            self.seq_step_taint(indent, instr, j)
+            self.batch.step(instr.is_fp)
+        elif gen.has_sinks(kind):
+            self.line(indent, f"ev = TE(I{instr.sid}, None, None)", j, instr)
+            self.line(indent, f"for s_ in S_{kind}: s_(ev)", j, instr)
+
+    # -- per-instruction emission ------------------------------------------
+    def emit_instr(self, instr, j: int, last: bool, irregular: bool) -> bool:
+        """Emit instruction ``j``; True when it unconditionally exits."""
+        gen = self.gen
+        op = instr.opcode
+        ind = 2
+        if op is _O.LOAD or op is _O.FLOAD:
+            self.emit_load(ind, instr, j)
+            return False
+        if op is _O.STORE or op is _O.FSTORE:
+            self.emit_store(ind, instr, j)
+            return False
+        if op is _O.CSTORE or op is _O.FCSTORE:
+            self.emit_cstore(ind, instr, j)
+            return False
+        if op is _O.BR:
+            self.emit_branch(ind, instr, j, last, irregular)
+            return last
+        if op is _O.JMP:
+            # The switch sets pc, then falls through to step dispatch.
+            if gen.fused:
+                self.seq_consume(ind, instr, j)
+                self.batch.step(False)
+            elif gen.has_sinks("other"):
+                self.line(ind, f"ev = TE(I{instr.sid}, None, None)", j, instr)
+                self.line(ind, "for s_ in S_other: s_(ev)", j, instr)
+            self.ret(ind, gen.block_pos[instr.target], j, instr, irregular)
+            return True
+        if op is _O.HALT:
+            if gen.fused:
+                self.seq_consume(ind, instr, j)
+                self.batch.step(False)
+            elif gen.has_sinks("halt"):
+                self.line(ind, f"ev = TE(I{instr.sid}, None, None)", j, instr)
+                self.line(ind, "for s_ in S_halt: s_(ev)", j, instr)
+            self.ret(ind, -1, j, instr, irregular)
+            return True
+        self.emit_alu(ind, instr, j)
+        return False
+
+    def emit_load(self, ind: int, instr, j: int) -> None:
+        gen = self.gen
+        s0 = instr.srcs[0]
+        base, length, mem = gen.array_info(instr.array)
+        self.guard(ind, s0, j, instr)
+        self.line(ind, f"x = {self.index_expr(s0, instr.imm)}", j, instr)
+        self.line(ind, f"if not 0 <= x < {length}: {self.oob('load', instr, length)}",
+                  j, instr)
+        if gen.fused or not gen.has_sinks("load"):
+            self.line(ind, f"{self.slot(instr.dest)} = {mem}[x]", j, instr)
+        else:
+            self.line(ind, f"v = {mem}[x]", j, instr)
+            self.line(ind, f"{self.slot(instr.dest)} = v", j, instr)
+        self.mark_defined(instr.dest)
+        self.dispatch_load(ind, instr, j, base)
+
+    def emit_store(self, ind: int, instr, j: int) -> None:
+        gen = self.gen
+        value, index = instr.srcs[0], instr.srcs[1]
+        base, length, mem = gen.array_info(instr.array)
+        self.guard(ind, index, j, instr)
+        self.line(ind, f"x = {self.index_expr(index, instr.imm)}", j, instr)
+        if gen.reg_index[value] in self.defined:
+            # Value proven defined: one fused bounds check.
+            self.line(ind,
+                      f"if not 0 <= x < {length}: {self.oob('store', instr, length)}",
+                      j, instr)
+            self.line(ind, f"{mem}[x] = {self.slot(value)}", j, instr)
+        else:
+            # Switch order: negative check, then the value read (KeyError
+            # beats a too-high index), then the high-bound store check.
+            self.line(ind, f"if x < 0: {self.oob('store', instr, length)}",
+                      j, instr)
+            self.guard(ind, value, j, instr)
+            self.line(ind, f"if x >= {length}: {self.oob('store', instr, length)}",
+                      j, instr)
+            self.line(ind, f"{mem}[x] = {self.slot(value)}", j, instr)
+        self.dispatch_store(ind, instr, j, base)
+
+    def emit_cstore(self, ind: int, instr, j: int) -> None:
+        gen = self.gen
+        value, index, pred = instr.srcs[0], instr.srcs[1], instr.srcs[2]
+        base, length, mem = gen.array_info(instr.array)
+        masked_store = not gen.fused and gen.has_sinks("store")
+        self.guard(ind, pred, j, instr)
+        self.line(ind, f"if {self.slot(pred)} != 0:", j, instr)
+        inner_defined = set(self.defined)
+        self.guard(ind + 1, index, j, instr)
+        self.line(ind + 1, f"x = {self.index_expr(index, instr.imm)}", j, instr)
+        if gen.reg_index[value] in self.defined:
+            self.line(ind + 1,
+                      f"if not 0 <= x < {length}: {self.oob('store', instr, length)}",
+                      j, instr)
+            self.line(ind + 1, f"{mem}[x] = {self.slot(value)}", j, instr)
+        else:
+            self.line(ind + 1, f"if x < 0: {self.oob('store', instr, length)}",
+                      j, instr)
+            self.guard(ind + 1, value, j, instr)
+            self.line(ind + 1, f"if x >= {length}: {self.oob('store', instr, length)}",
+                      j, instr)
+            self.line(ind + 1, f"{mem}[x] = {self.slot(value)}", j, instr)
+        if gen.fused:
+            self.l1_store(ind + 1, base, j, instr)
+            self.defined = inner_defined
+            self.seq_consume(ind, instr, j)
+            self.batch.store(False)  # FCSTORE does not count fp (switch parity)
+        elif masked_store:
+            self.line(ind + 1, f"a = {self.addr_expr(base)}", j, instr)
+            self.line(ind, "else:", j, instr)
+            self.line(ind + 1, "a = None", j, instr)
+            self.defined = inner_defined
+            self.line(ind, f"ev = TE(I{instr.sid}, a, None)", j, instr)
+            self.line(ind, "for s_ in S_store: s_(ev)", j, instr)
+        else:
+            self.defined = inner_defined
+
+    def emit_branch(self, ind: int, instr, j: int, last: bool,
+                    irregular: bool) -> None:
+        gen = self.gen
+        cond = instr.srcs[0]
+        taken_target = gen.block_pos[instr.target]
+        fall_target = gen.fall_target(self.bi)
+        self.guard(ind, cond, j, instr)
+        if gen.fused:
+            # on_branch order: consume pending, then predictor/recent/
+            # taint bookkeeping (SequenceProfile._on_branch inlined; the
+            # tainted-condition tail is the shared _branch_tainted).
+            sid = instr.sid
+            self.hoist_position(ind, instr, j)
+            pv = self.pj(j)
+            self.seq_consume(ind, instr, j)
+            self.line(ind, f"tk = {self.slot(cond)} != 0", j, instr)
+            if gen.inline_pred:
+                self.inline_predictor(ind, sid, j, instr)
+            else:
+                self.line(ind, f"cr = PA({sid}, tk)", j, instr)
+            self.line(ind, f"RB.append(({sid}, {pv}))", j, instr)
+            self.line(ind, f"if len(RB) > 6 or {pv} - RB[0][1] > W: del RB[0]",
+                      j, instr)
+            self.line(ind, f"tg = TG({instr._read_keys[0]})", j, instr)
+            if gen.inline_pred:
+                self.inline_branch_tainted(ind, sid, j, instr)
+            else:
+                self.line(ind,
+                          f"if tg is not None: SQ._dyn_load_id = dyn; "
+                          f"BT(tg, tk, cr, {sid})",
+                          j, instr)
+            self.batch.branch(gen.inline_pred)
+            self.line(ind, "if tk:", j, instr)
+            self.ret(ind + 1, taken_target, j, instr, irregular)
+            if last:
+                self.ret(ind, fall_target, j, instr, irregular)
+        else:
+            has_branch_sinks = not gen.fused and gen.has_sinks("branch")
+            if has_branch_sinks:
+                self.line(ind, f"if {self.slot(cond)} != 0:", j, instr)
+                self.line(ind + 1, f"ev = TE(I{instr.sid}, None, True)",
+                          j, instr)
+                self.line(ind + 1, "for s_ in S_branch: s_(ev)", j, instr)
+                self.ret(ind + 1, taken_target, j, instr, irregular)
+                self.line(ind, f"ev = TE(I{instr.sid}, None, False)", j, instr)
+                self.line(ind, "for s_ in S_branch: s_(ev)", j, instr)
+                if last:
+                    self.ret(ind, fall_target, j, instr, irregular)
+            else:
+                if last and not irregular:
+                    self.line(ind,
+                              f"return {taken_target} if {self.slot(cond)} != 0 "
+                              f"else {fall_target}",
+                              j, instr)
+                else:
+                    self.line(ind, f"if {self.slot(cond)} != 0:", j, instr)
+                    self.ret(ind + 1, taken_target, j, instr, irregular)
+                    if last:
+                        self.ret(ind, fall_target, j, instr, irregular)
+
+    def emit_alu(self, ind: int, instr, j: int) -> None:
+        op = instr.opcode
+        srcs = instr.srcs
+        dest = instr.dest
+        if op in _BINOPS:
+            self.guard(ind, srcs[0], j, instr)
+            self.guard(ind, srcs[1], j, instr)
+            self.line(ind,
+                      f"{self.slot(dest)} = {self.slot(srcs[0])} "
+                      f"{_BINOPS[op]} {self.slot(srcs[1])}",
+                      j, instr)
+        elif op in _CMPOPS:
+            self.guard(ind, srcs[0], j, instr)
+            self.guard(ind, srcs[1], j, instr)
+            self.line(ind,
+                      f"{self.slot(dest)} = 1 if {self.slot(srcs[0])} "
+                      f"{_CMPOPS[op]} {self.slot(srcs[1])} else 0",
+                      j, instr)
+        elif op is _O.MOV or op is _O.FMOV:
+            self.guard(ind, srcs[0], j, instr)
+            self.line(ind, f"{self.slot(dest)} = {self.slot(srcs[0])}", j, instr)
+        elif op is _O.LI or op is _O.FLI:
+            self.line(ind, f"{self.slot(dest)} = {instr.imm!r}", j, instr)
+        elif op is _O.CMOV or op is _O.FCMOV:
+            self.guard(ind, srcs[0], j, instr)
+            self.line(ind, f"if {self.slot(srcs[0])} != 0:", j, instr)
+            self.guard(ind + 1, srcs[1], j, instr)
+            self.line(ind + 1, f"{self.slot(dest)} = {self.slot(srcs[1])}",
+                      j, instr)
+            if self.gen.reg_index[dest] not in self.defined:
+                # The switch "touches" dest on the untaken arm so
+                # use-before-def is still detected there.
+                self.line(ind, "else:", j, instr)
+                self.guard(ind + 1, dest, j, instr)
+        elif op is _O.DIV:
+            self.guard(ind, srcs[0], j, instr)
+            self.guard(ind, srcs[1], j, instr)
+            self.line(ind,
+                      f"{self.slot(dest)} = td({self.slot(srcs[0])}, "
+                      f"{self.slot(srcs[1])})",
+                      j, instr)
+        elif op is _O.MOD:
+            self.guard(ind, srcs[0], j, instr)
+            self.guard(ind, srcs[1], j, instr)
+            self.line(ind,
+                      f"a_ = {self.slot(srcs[0])}; b_ = {self.slot(srcs[1])}; "
+                      f"{self.slot(dest)} = a_ - b_ * td(a_, b_)",
+                      j, instr)
+        elif op is _O.NEG or op is _O.FNEG:
+            self.guard(ind, srcs[0], j, instr)
+            self.line(ind, f"{self.slot(dest)} = -{self.slot(srcs[0])}", j, instr)
+        elif op is _O.CVTIF:
+            self.guard(ind, srcs[0], j, instr)
+            self.line(ind, f"{self.slot(dest)} = float({self.slot(srcs[0])})",
+                      j, instr)
+        elif op is _O.CVTFI:
+            self.guard(ind, srcs[0], j, instr)
+            self.line(ind, f"{self.slot(dest)} = int({self.slot(srcs[0])})",
+                      j, instr)
+        elif op is _O.NOP:
+            pass
+        else:  # pragma: no cover - every opcode is handled above
+            raise InterpreterError(f"unhandled opcode {op}")
+        self.mark_defined(dest)
+        self.dispatch_step(ind, instr, j)
+
+    def emit(self, instrs: List, irregular: bool) -> None:
+        """Emit the whole block body (after the ``def``/nonlocal header)."""
+        gen = self.gen
+        exited = False
+        for j, instr in enumerate(instrs):
+            exited = self.emit_instr(instr, j, j == len(instrs) - 1, irregular)
+        if not exited:
+            n = len(instrs)
+            target = gen.fall_target(self.bi)
+            self.flush_lines(2, n - 1, instrs[-1] if instrs else None)
+            if irregular:
+                self.em.emit(2, f"return {target}, {n}")
+            else:
+                self.em.emit(2, f"return {target}")
+
+
+class _Generator:
+    """Assembles the whole ``_factory`` module source for one mode."""
+
+    def __init__(self, program: Program, reg_index: Dict[Reg, int],
+                 bases: Dict[str, int], lengths: Dict[str, int],
+                 mode: Tuple) -> None:
+        self.program = program
+        self.reg_index = reg_index
+        self.mode = mode
+        self.fused = mode[0] == "fused"
+        self.telemetry = self.fused and mode[1]
+        self.inline_l1 = self.fused and mode[2]
+        self.inline_pred = self.fused and mode[3]
+        self.sync_cov = self.fused and mode[4]
+        self.sink_kinds = mode[1] if mode[0] == "masked" else frozenset()
+        #: sids whose TraceEvent construction needs an I<sid> constant
+        #: (masked mode binds one per reachable instruction).
+        self.event_sids: List[int] = []
+        if self.sink_kinds:
+            self.event_sids = sorted(
+                ins.sid for b in program.blocks for ins in _reachable_prefix(b)
+            )
+        self.em = _Emitter()
+        self.block_pos = {b.name: i for i, b in enumerate(program.blocks)}
+        self.nblocks = len(program.blocks)
+        #: name -> (slot var, base address, length); declaration order.
+        self.arrays = {
+            name: (f"M{i}", bases[name], lengths[name])
+            for i, name in enumerate(program.arrays)
+        }
+
+    def has_sinks(self, kind: str) -> bool:
+        return kind in self.sink_kinds
+
+    def array_info(self, name: str) -> Tuple[int, int, str]:
+        var, base, length = self.arrays[name]
+        return base, length, var
+
+    def fall_target(self, bi: int) -> int:
+        # Falling off the last block ends the run like the switch's
+        # ``while pc < end`` (no halt event is published).
+        return bi + 1 if bi + 1 < self.nblocks else -1
+
+    def block_defaults(self) -> str:
+        """``name=name`` default-argument list for the block functions.
+
+        Rebinding the factory's closure cells as defaults turns every
+        hot-path access from LOAD_DEREF into LOAD_FAST; the values are
+        all stable objects or constants (mutated in place, never
+        rebound), so the aliases cannot go stale.  ``dyn`` is the one
+        exception (rebound via nonlocal) and stays a closure cell.
+        """
+        names = ["R", "E", "UNDEF", "td"]
+        names += [var for (var, _base, _length) in self.arrays.values()]
+        if self.fused:
+            names += [
+                "MC", "COV", "CC", "CCg", "CPL", "CPLg", "PLS", "HA",
+                "SQ", "TNT", "TG", "PEND", "RB", "BT", "PA", "PLD",
+                "W", "CW", "MX", "IG0", "T_", "MAP_", "P0", "CPR",
+            ]
+            if self.inline_pred:
+                names += [
+                    "BTB", "BTBg", "GSH", "GTB", "GTBg", "GMASK", "CH",
+                    "CHg", "PPB", "PPBg", "PGS", "SBS", "SBSg", "LF",
+                    "LFg", "SQPC", "BST",
+                ]
+            if self.inline_l1:
+                names += ["HIER", "L1", "L1G"]
+            if self.telemetry:
+                names.append("FC")
+        elif self.sink_kinds:
+            names += ["TE"]
+            names += [f"I{sid}" for sid in self.event_sids]
+            names += [f"S_{k}" for k in EVENT_KINDS if k in self.sink_kinds]
+        return "".join(f", {name}={name}" for name in names)
+
+    def preamble(self) -> None:
+        em = self.em
+        em.emit(0, "def _factory(ns):")
+        for stmt in (
+            'R = ns["R"]',
+            'E = ns["E"]',
+            'UNDEF = ns["UNDEF"]',
+            'td = ns["td"]',
+            'mem = ns["mem"]',
+        ):
+            em.emit(1, stmt)
+        for name, (var, _base, _length) in self.arrays.items():
+            em.emit(1, f"{var} = mem[{name!r}]")
+        if self.fused:
+            for stmt in (
+                'F = ns["fused"]',
+                "MC = F.mix.counts",
+                "COV = F.coverage",
+                "CC = COV.counts",
+                "CCg = CC.get",
+                "CPL = F.cache.per_load",
+                "CPLg = CPL.get",
+                'PLS = ns["PLS"]',
+                "HA = F.cache.hierarchy.access",
+                "SQ = F.sequences",
+                "TNT = SQ._taint",
+                "TG = TNT.get",
+                "PEND = SQ._pending",
+                "RB = SQ._recent_branches",
+                "BT = SQ._branch_tainted",
+                "PA = SQ.predictor.access",
+                'PLD = ns["PLD"]',
+                "W = SQ.window",
+                "CW = SQ.consume_window",
+                "MX = SQ.max_chain",
+                'IG0 = ns["IG0"]',
+                "T_ = tuple",
+                "MAP_ = map",
+                'P0 = ns["pos0"]',
+                'dyn = ns["dyn0"]',
+            ):
+                em.emit(1, stmt)
+            if self.inline_pred:
+                for stmt in (
+                    "PRED = SQ.predictor",
+                    "BTB = PRED.bimodal._table",
+                    "BTBg = BTB.get",
+                    "GSH = PRED.gshare",
+                    "GTB = GSH._table",
+                    "GTBg = GTB.get",
+                    "GMASK = GSH._mask",
+                    "CH = PRED._chooser",
+                    "CHg = CH.get",
+                    "PPB = PRED.per_branch",
+                    "PPBg = PPB.get",
+                    "PGS = PRED.global_stats",
+                    "SBS = SQ.seq_branch_stats",
+                    "SBSg = SBS.get",
+                    "LF = SQ.load_feeds",
+                    "LFg = LF.get",
+                    "SQPC = SQ._prune_counted",
+                    'BST = ns["BST"]',
+                ):
+                    em.emit(1, stmt)
+            if self.inline_l1:
+                for stmt in (
+                    "HIER = F.cache.hierarchy",
+                    "L1 = HIER.l1",
+                    "L1G = L1._sets.get",
+                ):
+                    em.emit(1, stmt)
+            # Pending-load rebuild: _consume_pending's mutation path with
+            # the early-out scan stripped (the caller's inline scan has
+            # already established that some entry resolves, expires, or
+            # is overwritten).  That method stays the doc of record.
+            for stmt in (
+                "ABL = SQ.after_branch_loads",
+                "ABLg = ABL.get",
+                "def CPR(rk_, dk_, ps_, PEND=PEND, ABL=ABL, ABLg=ABLg):",
+                "    alive_ = []",
+                "    ap_ = alive_.append",
+                "    for pl2_ in PEND:",
+                "        pd2_ = pl2_.dest",
+                "        if pd2_ in rk_:",
+                "            bk_ = pl2_.branch_sids",
+                "            ABL[bk_] = ABLg(bk_, 0) + 1",
+                "            continue",
+                "        if ps_ >= pl2_.expires:",
+                "            continue",
+                "        if dk_ is not None and pd2_ == dk_:",
+                "            continue",
+                "        ap_(pl2_)",
+                "    PEND[:] = alive_",
+            ):
+                em.emit(1, stmt)
+            if self.telemetry:
+                em.emit(1, 'FC = ns["fc"]')
+        elif self.sink_kinds:
+            em.emit(1, 'TE = ns["TE"]')
+            em.emit(1, 'I = ns["I"]')
+            for sid in self.event_sids:
+                em.emit(1, f"I{sid} = I[{sid}]")
+            for kind in EVENT_KINDS:
+                if kind in self.sink_kinds:
+                    em.emit(1, f'S_{kind} = ns["S_{kind}"]')
+
+    def epilogue(self, nblocks: int) -> None:
+        em = self.em
+        em.emit(1, "def _sync(events):")
+        if self.fused:
+            em.emit(2, "SQ._position = P0 + events")
+            em.emit(2, "SQ._dyn_load_id = dyn")
+            if self.sync_cov:
+                # Coverage counts mirror per_load accesses execution for
+                # execution (same event stream), so the dict is rebuilt
+                # here — insertion order included — instead of upserted
+                # on every load.  run() verifies the lockstep invariant
+                # holds on entry before selecting this mode.
+                em.emit(2, "CC.clear()")
+                em.emit(2, "for s2_, st2_ in CPL.items():")
+                em.emit(3, "CC[s2_] = st2_.accesses")
+        else:
+            em.emit(2, "pass")
+        names = ", ".join(f"b{i}" for i in range(nblocks))
+        if nblocks == 1:
+            names += ","
+        em.emit(1, f"return ({names}), _sync")
+
+
+def _generate(program: Program, bases: Dict[str, int],
+              lengths: Dict[str, int], mode: Tuple) -> CompiledProgram:
+    reg_index = _collect_registers(program)
+    blocks = program.blocks
+    reachable = [_reachable_prefix(b) for b in blocks]
+    gen = _Generator(program, reg_index, bases, lengths, mode)
+    defined_in = _definite_assignment(program, reachable, reg_index,
+                                      gen.block_pos)
+    gen.preamble()
+    em = gen.em
+    defaults = gen.block_defaults()
+    block_meta: List[int] = []
+    for bi, instrs in enumerate(reachable):
+        # Irregular = control flow before the last instruction; those
+        # blocks report (next_block, executed) because the dynamic
+        # instruction count depends on the path taken.
+        irregular = any(
+            ins.opcode is _O.BR for ins in instrs[:-1]
+        )
+        block_meta.append(-len(instrs) if irregular else len(instrs))
+        em.emit(1, f"def b{bi}(c{defaults}):")
+        if gen.fused:
+            if any(ins.is_load for ins in instrs):
+                em.emit(2, "nonlocal dyn")
+            em.emit(2, "p = P0 + c")
+        if not instrs:
+            em.emit(2, f"return {gen.fall_target(bi)}")
+            continue
+        _BlockCodegen(gen, bi, defined_in[bi]).emit(instrs, irregular)
+    gen.epilogue(len(blocks))
+
+    source = "\n".join(em.lines) + "\n"
+    filename = f"<repro-compiled-{next(_FILENAME_COUNTER)}>"
+    code = compile(source, filename, "exec")
+    namespace: Dict[str, object] = {}
+    exec(code, namespace)
+    # Register the source so tracebacks through generated frames render.
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename
+    )
+
+    cp = CompiledProgram()
+    cp.filename = filename
+    cp.source = source
+    cp.factory = namespace["_factory"]
+    cp.block_meta = tuple(block_meta)
+    cp.nregs = len(reg_index)
+    cp.reg_index = reg_index
+    cp.line_map = em.line_map
+    # Switch-identical layout for the budget tail: the *full* block
+    # instruction lists (positions must match the switch even when a
+    # block carries dead code after a JMP/HALT).
+    flat: List = []
+    positions: Dict[str, int] = {}
+    starts: List[int] = []
+    for block in blocks:
+        starts.append(len(flat))
+        positions[block.name] = len(flat)
+        flat.extend(block.instructions)
+    cp.flat = flat
+    cp.positions = positions
+    cp.block_flat_start = tuple(starts)
+    cp.instrs = {ins.sid: ins for ins in flat}
+    cp.mode = mode
+    cp.lengths = tuple(lengths[name] for name in program.arrays)
+    return cp
+
+
+#: Per-Program compiled cache: Program identity -> {(lengths, mode): cp}.
+_WEAK_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+#: Cross-process-safe keyed cache: (code_key, lengths, mode) -> cp.  Used
+#: when the caller supplies a workload fingerprint, so parallel sweep
+#: cells and repeated Session runs that rebuild value-equal Program
+#: objects still pay codegen once per worker.  Bounded in practice by
+#: (registered workloads x scales x modes).
+_KEYED_CACHE: Dict[Tuple, CompiledProgram] = {}
+
+
+def compiled_for(program: Program, bases: Dict[str, int],
+                 lengths: Dict[str, int], mode: Tuple,
+                 code_key: Optional[str] = None) -> CompiledProgram:
+    """Compiled form of ``program`` for one (array lengths, mode) pair."""
+    lengths_key = tuple(lengths[name] for name in program.arrays)
+    key = (lengths_key, mode)
+    if code_key is not None:
+        full = (code_key, lengths_key, mode)
+        cp = _KEYED_CACHE.get(full)
+        if cp is None:
+            cp = _KEYED_CACHE[full] = _for_program(program, bases, lengths,
+                                                   mode, key)
+        return cp
+    return _for_program(program, bases, lengths, mode, key)
+
+
+def _for_program(program: Program, bases: Dict[str, int],
+                 lengths: Dict[str, int], mode: Tuple,
+                 key: Tuple) -> CompiledProgram:
+    per = _WEAK_CACHE.get(program)
+    if per is None:
+        per = _WEAK_CACHE[program] = {}
+    cp = per.get(key)
+    if cp is None:
+        cp = per[key] = _generate(program, bases, lengths, mode)
+    return cp
+
+
+class CompiledInterpreter(Interpreter):
+    """Drop-in :class:`Interpreter` running per-block compiled code.
+
+    Identical constructor contract plus ``code_key``: an optional stable
+    identity (the workload fingerprint) enabling the cross-Program
+    compiled-code cache.  ``run`` produces bit-identical tool state,
+    memory, registers, telemetry, and errors versus the switch backend.
+    """
+
+    def __init__(self, program, bindings=None,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 code_key: Optional[str] = None):
+        super().__init__(program, bindings, max_instructions)
+        self._code_key = code_key
+        self._tail_count: Optional[int] = None
+
+    # -- execution ---------------------------------------------------------
+    def run(self, consumers: Iterable[object] = ()) -> int:
+        from repro.atom.sequences import _PendingLoad
+        from repro.exec.trace import TraceEvent
+
+        program = self.program
+        if not any(block.instructions for block in program.blocks):
+            return 0
+
+        consumer_list = list(consumers)
+        fused = _fuse_consumers(consumer_list)
+        sinks_by_kind: Dict[str, List] = {kind: [] for kind in EVENT_KINDS}
+        if fused is None:
+            for consumer in consumer_list:
+                for kind in _consumer_interests(consumer):
+                    sinks_by_kind[kind].append(consumer.on_event)
+        telemetry = obs.enabled()
+        fused_counter = None
+        fanouts: Dict[str, _CountingFanout] = {}
+        if telemetry:
+            if fused is not None:
+                from repro.atom.fused import FusedDispatchCounter
+
+                fused_counter = FusedDispatchCounter(fused)
+            else:
+                for kind, sinks in sinks_by_kind.items():
+                    if sinks:
+                        fanouts[kind] = fanout = _CountingFanout(sinks)
+                        sinks_by_kind[kind] = [fanout]
+
+        if fused is not None:
+            dispatch_mode = "fused"
+            # Inline the L1 hit path only for the stock hierarchy/cache
+            # classes; a subclass may override ``access``, which the
+            # inline fast path would silently bypass.
+            from repro.branch.predictors import Hybrid
+            from repro.cache.cache import Cache
+            from repro.cache.hierarchy import CacheHierarchy
+
+            # The mode key carries the L1 geometry so the generated code
+            # can fold tag and set-index arithmetic into constants.
+            hierarchy = fused.cache.hierarchy
+            inline_l1: object = False
+            if type(hierarchy) is CacheHierarchy and type(hierarchy.l1) is Cache:
+                inline_l1 = (
+                    hierarchy._l1_block_size,
+                    hierarchy._l1_num_sets,
+                )
+            # The un-aliased Hybrid is the stock configuration; anything
+            # else (subclass, aliased tables) keeps the method calls so
+            # overrides stay in charge.
+            predictor = fused.sequences.predictor
+            inline_pred = type(predictor) is Hybrid and not predictor._aliased
+            # Coverage counts and per-load access counts advance in
+            # lockstep (one increment each per executed load), so when
+            # they start out equal — entry order included, since
+            # snapshots serialize dicts in insertion order — the
+            # coverage dict can be rebuilt at sync points instead of
+            # upserted per load.  Pre-seeded tools that diverge (e.g. a
+            # reused CacheSim with a fresh LoadCoverage) keep the
+            # per-load upsert.
+            sync_cov = list(fused.coverage.counts.items()) == [
+                (sid, stats.accesses)
+                for sid, stats in fused.cache.per_load.items()
+            ]
+            mode: Tuple = ("fused", telemetry, inline_l1, inline_pred,
+                           sync_cov)
+        elif any(sinks_by_kind.values()):
+            dispatch_mode = "masked"
+            mode = (
+                "masked",
+                frozenset(k for k, s in sinks_by_kind.items() if s),
+            )
+        else:
+            dispatch_mode = "bare"
+            mode = ("bare",)
+
+        lengths = {name: len(data) for name, data in self.memory.items()}
+        cp = compiled_for(program, self.bases, lengths, mode, self._code_key)
+
+        # Dense register file seeded from (possibly caller-preset) state.
+        reg_get = self.registers.get
+        R: List = [UNDEF] * cp.nregs
+        for reg, idx in cp.reg_index.items():
+            R[idx] = reg_get(reg, UNDEF)
+
+        ns: Dict[str, object] = {
+            "R": R,
+            "E": InterpreterError,
+            "UNDEF": UNDEF,
+            "td": _trunc_div,
+            "mem": self.memory,
+        }
+        if fused is not None:
+            from operator import itemgetter
+
+            from repro.atom.loadprofile import PerLoadCacheStats
+            from repro.branch.predictors import BranchStats
+
+            seq = fused.sequences
+            ns["fused"] = fused
+            ns["PLS"] = PerLoadCacheStats
+            ns["PLD"] = _PendingLoad
+            ns["IG0"] = itemgetter(0)
+            ns["BST"] = BranchStats
+            ns["pos0"] = seq._position
+            ns["dyn0"] = seq._dyn_load_id
+            if fused_counter is not None:
+                ns["fc"] = fused_counter
+        elif mode[0] == "masked":
+            ns["TE"] = TraceEvent
+            ns["I"] = cp.instrs
+            for kind in mode[1]:
+                ns[f"S_{kind}"] = sinks_by_kind[kind]
+
+        block_fns, sync = cp.factory(ns)
+        meta = cp.block_meta
+        budget = self.max_instructions
+        fused_mode = fused is not None
+        self._tail_count = None
+        tail_args = (sinks_by_kind, fused, fused_counter, TraceEvent)
+
+        run_span = obs.span(
+            "interpret", dispatch=dispatch_mode, consumers=len(consumer_list)
+        )
+        bi = 0
+        count = 0
+        run_span.__enter__()
+        try:
+            try:
+                while bi >= 0:
+                    n = meta[bi]
+                    if n >= 0:
+                        if count + n > budget:
+                            if fused_mode:
+                                sync(count)
+                            count = self._switch_tail(cp, R, bi, count,
+                                                      tail_args)
+                            bi = -1
+                            break
+                        bi = block_fns[bi](count)
+                        count += n
+                    else:
+                        if count - n > budget:
+                            if fused_mode:
+                                sync(count)
+                            count = self._switch_tail(cp, R, bi, count,
+                                                      tail_args)
+                            bi = -1
+                            break
+                        bi, executed = block_fns[bi](count)
+                        count += executed
+            except BaseException as exc:
+                if self._tail_count is not None:
+                    count = self._tail_count
+                else:
+                    delta, instr = cp.locate(exc)
+                    count += delta
+                    if fused_mode:
+                        # The failing instruction never dispatched its
+                        # (single, fused) event.
+                        sync(count - 1 if delta else count)
+                    if isinstance(exc, KeyError) and instr is not None:
+                        error = InterpreterError(
+                            f"use of undefined register {exc.args[0]!r} "
+                            f"at sid {instr.sid} ({instr.opcode.name}, "
+                            f"line {instr.line})"
+                        )
+                        if telemetry:
+                            self._flush_telemetry(run_span, count,
+                                                  fused_counter, fanouts)
+                        run_span.__exit__(type(error), error, None)
+                        raise error from None
+                if telemetry:
+                    self._flush_telemetry(run_span, count, fused_counter,
+                                          fanouts)
+                run_span.__exit__(type(exc), exc, exc.__traceback__)
+                raise
+        finally:
+            self._writeback(cp, R)
+        self.executed = count
+        if fused_mode and self._tail_count is None:
+            sync(count)
+        if telemetry:
+            self._flush_telemetry(run_span, count, fused_counter, fanouts)
+        run_span.__exit__(None, None, None)
+        return count
+
+    def _writeback(self, cp: CompiledProgram, R: List) -> None:
+        regs = self.registers
+        for reg, idx in cp.reg_index.items():
+            value = R[idx]
+            if value is not UNDEF:
+                regs[reg] = value
+
+    def _switch_tail(self, cp: CompiledProgram, R: List, bi: int,
+                     count: int, tail_args: Tuple) -> int:
+        """Run from the start of block ``bi`` to completion, switch-style.
+
+        Entered when the current block could cross the instruction
+        budget: a verbatim port of the switch loop over a dict register
+        view, so budget/raise semantics at the boundary are exact by
+        construction.  Never returns to compiled code.
+        """
+        sinks_by_kind, fused, fused_counter, TraceEvent = tail_args
+        regs: Dict[Reg, object] = {}
+        for reg, idx in cp.reg_index.items():
+            value = R[idx]
+            if value is not UNDEF:
+                regs[reg] = value
+        memory = self.memory
+        bases = self.bases
+        flat = cp.flat
+        positions = cp.positions
+        fused_load = fused_store = fused_branch = fused_step = None
+        if fused_counter is not None:
+            fused_load = fused_counter.load
+            fused_store = fused_counter.store
+            fused_branch = fused_counter.branch
+            fused_step = fused_counter.step
+        elif fused is not None:
+            fused_load = fused.load
+            fused_store = fused.store
+            fused_branch = fused.branch
+            fused_step = fused.step
+        load_sinks = sinks_by_kind["load"]
+        store_sinks = sinks_by_kind["store"]
+        branch_sinks = sinks_by_kind["branch"]
+        other_sinks = sinks_by_kind["other"]
+        halt_sinks = sinks_by_kind["halt"]
+        budget = self.max_instructions
+        O = Opcode
+        pc = cp.block_flat_start[bi]
+        end = len(flat)
+        instr = None
+        try:
+            try:
+                while pc < end:
+                    if count == budget:
+                        self.executed = count
+                        raise BudgetExceeded(
+                            f"exceeded budget of {budget} instructions"
+                        )
+                    instr = flat[pc]
+                    pc += 1
+                    count += 1
+                    op = instr.opcode
+                    if op is O.LOAD or op is O.FLOAD:
+                        array = instr.array
+                        index = regs[instr.srcs[0]] + (instr.imm or 0)
+                        data = memory[array]
+                        try:
+                            if index < 0:
+                                raise IndexError
+                            value = data[index]
+                            regs[instr.dest] = value
+                        except IndexError:
+                            raise InterpreterError(
+                                f"load out of bounds: {array}[{index}] "
+                                f"(len {len(data)}) at sid {instr.sid} "
+                                f"line {instr.line}"
+                            ) from None
+                        if fused_load is not None:
+                            fused_load(
+                                instr, bases[array] + index * WORD_SIZE, value
+                            )
+                        elif load_sinks:
+                            event = TraceEvent(
+                                instr, bases[array] + index * WORD_SIZE,
+                                None, value,
+                            )
+                            for sink in load_sinks:
+                                sink(event)
+                        continue
+                    if op is O.STORE or op is O.FSTORE:
+                        array = instr.array
+                        srcs = instr.srcs
+                        index = regs[srcs[1]] + (instr.imm or 0)
+                        data = memory[array]
+                        try:
+                            if index < 0:
+                                raise IndexError
+                            data[index] = regs[srcs[0]]
+                        except IndexError:
+                            raise InterpreterError(
+                                f"store out of bounds: {array}[{index}] "
+                                f"(len {len(data)}) at sid {instr.sid} "
+                                f"line {instr.line}"
+                            ) from None
+                        if fused_store is not None:
+                            fused_store(instr, bases[array] + index * WORD_SIZE)
+                        elif store_sinks:
+                            event = TraceEvent(
+                                instr, bases[array] + index * WORD_SIZE, None
+                            )
+                            for sink in store_sinks:
+                                sink(event)
+                        continue
+                    if op is O.CSTORE or op is O.FCSTORE:
+                        addr = None
+                        srcs = instr.srcs
+                        if regs[srcs[2]] != 0:
+                            array = instr.array
+                            index = regs[srcs[1]] + (instr.imm or 0)
+                            data = memory[array]
+                            try:
+                                if index < 0:
+                                    raise IndexError
+                                data[index] = regs[srcs[0]]
+                            except IndexError:
+                                raise InterpreterError(
+                                    f"store out of bounds: {array}[{index}] "
+                                    f"(len {len(data)}) at sid {instr.sid} "
+                                    f"line {instr.line}"
+                                ) from None
+                            addr = bases[array] + index * WORD_SIZE
+                        if fused_store is not None:
+                            fused_store(instr, addr)
+                        elif store_sinks:
+                            event = TraceEvent(instr, addr, None)
+                            for sink in store_sinks:
+                                sink(event)
+                        continue
+                    if op is O.BR:
+                        taken = regs[instr.srcs[0]] != 0
+                        if taken:
+                            pc = positions[instr.target]
+                        if fused_branch is not None:
+                            fused_branch(instr, taken)
+                        elif branch_sinks:
+                            event = TraceEvent(instr, None, taken)
+                            for sink in branch_sinks:
+                                sink(event)
+                        continue
+                    if op is O.JMP:
+                        pc = positions[instr.target]
+                    elif op in _BINOPS or op in _CMPOPS or op is O.NEG or \
+                            op is O.FNEG or op is O.MOV or op is O.FMOV:
+                        srcs = instr.srcs
+                        if op in _BINOPS:
+                            a = regs[srcs[0]]
+                            b = regs[srcs[1]]
+                            sym = _BINOPS[op]
+                            if sym == "+":
+                                regs[instr.dest] = a + b
+                            elif sym == "-":
+                                regs[instr.dest] = a - b
+                            elif sym == "*":
+                                regs[instr.dest] = a * b
+                            elif sym == "/":
+                                regs[instr.dest] = a / b
+                            elif sym == "&":
+                                regs[instr.dest] = a & b
+                            elif sym == "|":
+                                regs[instr.dest] = a | b
+                            elif sym == "^":
+                                regs[instr.dest] = a ^ b
+                            elif sym == "<<":
+                                regs[instr.dest] = a << b
+                            else:
+                                regs[instr.dest] = a >> b
+                        elif op in _CMPOPS:
+                            a = regs[srcs[0]]
+                            b = regs[srcs[1]]
+                            sym = _CMPOPS[op]
+                            if sym == ">":
+                                regs[instr.dest] = 1 if a > b else 0
+                            elif sym == "<=":
+                                regs[instr.dest] = 1 if a <= b else 0
+                            elif sym == "<":
+                                regs[instr.dest] = 1 if a < b else 0
+                            elif sym == ">=":
+                                regs[instr.dest] = 1 if a >= b else 0
+                            elif sym == "==":
+                                regs[instr.dest] = 1 if a == b else 0
+                            else:
+                                regs[instr.dest] = 1 if a != b else 0
+                        elif op is O.NEG or op is O.FNEG:
+                            regs[instr.dest] = -regs[srcs[0]]
+                        else:
+                            regs[instr.dest] = regs[srcs[0]]
+                    elif op is O.LI or op is O.FLI:
+                        regs[instr.dest] = instr.imm
+                    elif op is O.CMOV or op is O.FCMOV:
+                        if regs[instr.srcs[0]] != 0:
+                            regs[instr.dest] = regs[instr.srcs[1]]
+                        else:
+                            regs[instr.dest] = regs[instr.dest]
+                    elif op is O.DIV:
+                        regs[instr.dest] = _trunc_div(
+                            regs[instr.srcs[0]], regs[instr.srcs[1]]
+                        )
+                    elif op is O.MOD:
+                        a, b = regs[instr.srcs[0]], regs[instr.srcs[1]]
+                        regs[instr.dest] = a - b * _trunc_div(a, b)
+                    elif op is O.CVTIF:
+                        regs[instr.dest] = float(regs[instr.srcs[0]])
+                    elif op is O.CVTFI:
+                        regs[instr.dest] = int(regs[instr.srcs[0]])
+                    elif op is O.NOP:
+                        pass
+                    elif op is O.HALT:
+                        if fused_step is not None:
+                            fused_step(instr)
+                        elif halt_sinks:
+                            event = TraceEvent(instr, None, None)
+                            for sink in halt_sinks:
+                                sink(event)
+                        break
+                    else:  # pragma: no cover - all opcodes handled above
+                        raise InterpreterError(f"unhandled opcode {op}")
+                    if fused_step is not None:
+                        fused_step(instr)
+                    elif other_sinks:
+                        event = TraceEvent(instr, None, None)
+                        for sink in other_sinks:
+                            sink(event)
+            except KeyError as exc:
+                raise InterpreterError(
+                    f"use of undefined register {exc.args[0]!r} at sid "
+                    f"{instr.sid} ({instr.opcode.name}, line {instr.line})"
+                ) from None
+        finally:
+            self._tail_count = count
+            reg_index = cp.reg_index
+            for reg, value in regs.items():
+                R[reg_index[reg]] = value
+        return count
+
+
+def make_compiled(program, bindings=None,
+                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                  code_key: Optional[str] = None) -> CompiledInterpreter:
+    """Construction helper mirroring the :class:`Interpreter` signature."""
+    return CompiledInterpreter(program, bindings, max_instructions,
+                               code_key=code_key)

@@ -126,6 +126,10 @@ class Interpreter:
         self.memory: Dict[str, List[Number]] = {}
         self.bases: Dict[str, int] = {}
         self.executed = 0
+        #: Cached (blocks, flat, positions) layout; rebuilt only when the
+        #: program's block list object is replaced, so a second run() on
+        #: the same interpreter skips the flatten/positions work.
+        self._layout = None
         self._bind(bindings or {})
         # Physical integer register 0 is hard-wired to zero (MIPS-style);
         # the register allocator relies on this for spill addressing.
@@ -187,11 +191,18 @@ class Interpreter:
 
         program = self.program
         # Flatten blocks into one instruction list with label positions.
-        flat: List[Instruction] = []
-        positions: Dict[str, int] = {}
-        for block in program.blocks:
-            positions[block.name] = len(flat)
-            flat.extend(block.instructions)
+        # The layout is cached on the interpreter: a second run() reuses
+        # it unless the program's block list was replaced in between.
+        layout = self._layout
+        if layout is None or layout[0] is not program.blocks:
+            flat: List[Instruction] = []
+            positions: Dict[str, int] = {}
+            for block in program.blocks:
+                positions[block.name] = len(flat)
+                flat.extend(block.instructions)
+            self._layout = layout = (program.blocks, flat, positions)
+        else:
+            _, flat, positions = layout
         if not flat:
             return 0
 
@@ -273,8 +284,9 @@ class Interpreter:
                 count += 1
                 op = instr.opcode
                 if op is O.LOAD or op is O.FLOAD:
+                    array = instr.array
                     index = regs[instr.srcs[0]] + (instr.imm or 0)
-                    data = memory[instr.array]
+                    data = memory[array]
                     try:
                         if index < 0:
                             raise IndexError
@@ -282,37 +294,37 @@ class Interpreter:
                         regs[instr.dest] = value
                     except IndexError:
                         raise InterpreterError(
-                            f"load out of bounds: {instr.array}[{index}] "
+                            f"load out of bounds: {array}[{index}] "
                             f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
                         ) from None
                     if fused_load is not None:
-                        fused_load(
-                            instr, bases[instr.array] + index * WORD_SIZE, value
-                        )
+                        fused_load(instr, bases[array] + index * WORD_SIZE, value)
                     elif load_sinks:
                         event = TraceEvent(
-                            instr, bases[instr.array] + index * WORD_SIZE, None, value
+                            instr, bases[array] + index * WORD_SIZE, None, value
                         )
                         for sink in load_sinks:
                             sink(event)
                     continue
                 if op is O.STORE or op is O.FSTORE:
-                    index = regs[instr.srcs[1]] + (instr.imm or 0)
-                    data = memory[instr.array]
+                    array = instr.array
+                    srcs = instr.srcs
+                    index = regs[srcs[1]] + (instr.imm or 0)
+                    data = memory[array]
                     try:
                         if index < 0:
                             raise IndexError
-                        data[index] = regs[instr.srcs[0]]
+                        data[index] = regs[srcs[0]]
                     except IndexError:
                         raise InterpreterError(
-                            f"store out of bounds: {instr.array}[{index}] "
+                            f"store out of bounds: {array}[{index}] "
                             f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
                         ) from None
                     if fused_store is not None:
-                        fused_store(instr, bases[instr.array] + index * WORD_SIZE)
+                        fused_store(instr, bases[array] + index * WORD_SIZE)
                     elif store_sinks:
                         event = TraceEvent(
-                            instr, bases[instr.array] + index * WORD_SIZE, None
+                            instr, bases[array] + index * WORD_SIZE, None
                         )
                         for sink in store_sinks:
                             sink(event)
@@ -321,19 +333,21 @@ class Interpreter:
                     # Predicated store: a NOP when the predicate is zero
                     # (no memory access appears in the trace either).
                     addr = None
-                    if regs[instr.srcs[2]] != 0:
-                        index = regs[instr.srcs[1]] + (instr.imm or 0)
-                        data = memory[instr.array]
+                    srcs = instr.srcs
+                    if regs[srcs[2]] != 0:
+                        array = instr.array
+                        index = regs[srcs[1]] + (instr.imm or 0)
+                        data = memory[array]
                         try:
                             if index < 0:
                                 raise IndexError
-                            data[index] = regs[instr.srcs[0]]
+                            data[index] = regs[srcs[0]]
                         except IndexError:
                             raise InterpreterError(
-                                f"store out of bounds: {instr.array}[{index}] "
+                                f"store out of bounds: {array}[{index}] "
                                 f"(len {len(data)}) at sid {instr.sid} line {instr.line}"
                             ) from None
-                        addr = bases[instr.array] + index * WORD_SIZE
+                        addr = bases[array] + index * WORD_SIZE
                     if fused_store is not None:
                         fused_store(instr, addr)
                     elif store_sinks:
@@ -474,8 +488,15 @@ def run_program(
     bindings: Optional[Mapping[str, Binding]] = None,
     consumers: Iterable[object] = (),
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    backend: Optional[str] = None,
 ) -> Interpreter:
-    """Convenience wrapper: build an interpreter, run it, return it."""
-    interp = Interpreter(program, bindings, max_instructions)
+    """Convenience wrapper: build an interpreter, run it, return it.
+
+    ``backend`` selects the execution engine (``compiled``/``switch``;
+    default per :func:`repro.exec.backends.resolve_backend`).
+    """
+    from repro.exec.backends import make_interpreter
+
+    interp = make_interpreter(program, bindings, max_instructions, backend)
     interp.run(consumers)
     return interp

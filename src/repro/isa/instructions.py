@@ -205,6 +205,14 @@ class Instruction:
             self._reads = self.srcs + (self.dest,)
         else:
             self._reads = self.srcs
+        # Dense integer keys for the read set and destination.  Reg._hash
+        # is a collision-free packing of (index, class, virtual), so these
+        # keys identify registers across programs while hashing at C speed
+        # (dict lookups on Reg itself go through a Python-level __hash__
+        # call).  The sequence profiler and the compiled backend key their
+        # register-indexed state by these.
+        self._read_keys = tuple(reg._hash for reg in self._reads)
+        self._dest_key = None if self.dest is None else self.dest._hash
 
     # -- dataflow ----------------------------------------------------------
     def reads(self) -> Tuple[Reg, ...]:

@@ -102,15 +102,19 @@ def run_manifest(
     seed: int,
     max_instructions: Optional[int] = None,
     timings: Optional[Mapping[str, float]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Manifest for one characterization run of a registered workload.
 
     The fingerprint is computed by :func:`repro.core.runcache.
     workload_fingerprint` — identical inputs to the run cache's key, so
     the manifest of a run and the cache entry that stores it always
-    carry the same identity.
+    carry the same identity.  ``backend`` records the execution engine
+    (resolved from the environment when not given); the fingerprint
+    deliberately excludes it, since both backends are bit-identical.
     """
     from repro.core.runcache import workload_fingerprint
+    from repro.exec.backends import resolve_backend
     from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 
     if max_instructions is None:
@@ -123,6 +127,7 @@ def run_manifest(
             "scale": scale,
             "seed": seed,
             "max_instructions": max_instructions,
+            "backend": resolve_backend(backend),
         },
         tools=STANDARD_TOOLS,
         timings=timings,

@@ -16,7 +16,11 @@ benchmark:
   same work and the timing comparison is void;
 * a benchmark present in the baseline but not in the current run is
   ``"missing"`` (also a gate failure: silently dropping a benchmark is
-  how regressions hide).
+  how regressions hide);
+* records produced by different execution backends (both sides carry a
+  ``"backend"`` field and they disagree) are ``"backend-mismatch"`` —
+  the engines are bit-identical but not equally fast, so a cross-backend
+  timing comparison is void (records predating the field are exempt).
 
 ``repro bench compare`` and ``benchmarks/check_regression.py`` are thin
 wrappers over :func:`compare_dirs` / :func:`gate`.
@@ -42,7 +46,7 @@ __all__ = [
 #: Default tolerated fractional slowdown before the gate fails.
 DEFAULT_THRESHOLD = 0.10
 
-_FAILING = ("regression", "drift", "missing")
+_FAILING = ("regression", "drift", "missing", "backend-mismatch")
 
 
 @dataclass
@@ -104,6 +108,15 @@ def compare_records(
         return BenchComparison(
             name, "presence", None, None, None, "missing",
             note="present in baseline, absent in current run",
+        )
+
+    base_backend = baseline.get("backend")
+    cur_backend = current.get("backend")
+    if base_backend and cur_backend and base_backend != cur_backend:
+        return BenchComparison(
+            name, "backend", None, None, None, "backend-mismatch",
+            note=f"baseline ran {base_backend!r}, current ran {cur_backend!r}; "
+            "re-baseline or rerun with the same --backend",
         )
 
     base_instr = baseline.get("instructions")

@@ -1,0 +1,273 @@
+"""Differential matrix: the compiled backend must be bit-identical to switch.
+
+The compiled backend (``repro.exec.compiled``) is a from-scratch code
+generator; these tests are the proof obligation that it is an *exact*
+semantic clone of the reference switch interpreter.  Every registered
+workload runs on both engines and every observable — tool snapshots,
+scalar/array state, executed counts, telemetry counters, error
+messages, budget-abort points — must match to the bit, serially and
+through the process-parallel session path.
+"""
+
+import pytest
+
+from repro import obs
+from repro.api import RunConfig, Session
+from repro.atom import CacheSim, InstructionMix, LoadCoverage, SequenceProfile
+from repro.exec import (
+    BudgetExceeded,
+    InterpreterError,
+    TraceCollector,
+    make_interpreter,
+)
+from repro.lang import CompilerOptions, compile_source
+from repro.workloads import all_workloads, spec_workloads
+
+BACKENDS = ("switch", "compiled")
+SCALE = "test"
+
+WORKLOADS = [spec.name for spec in all_workloads() + spec_workloads()]
+
+O0 = CompilerOptions(opt_level=0)
+
+
+def standard_tools():
+    return (InstructionMix(), LoadCoverage(), CacheSim(), SequenceProfile())
+
+
+def run_workload(name, backend, tools=None, max_instructions=None):
+    """One characterization run; returns (interp, tools)."""
+    from repro.workloads import get_workload
+
+    spec = get_workload(name)
+    tools = standard_tools() if tools is None else tools
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    interp = make_interpreter(
+        spec.program(), spec.dataset(SCALE, 0), backend=backend, **kwargs
+    )
+    interp.run(consumers=tools)
+    return interp, tools
+
+
+def observable_state(interp, tools):
+    """Everything an engine exposes after a run, as comparable data."""
+    return {
+        "executed": interp.executed,
+        "registers": dict(interp.registers),
+        "memory": {name: list(arr) for name, arr in interp.memory.items()},
+        "snapshots": [tool.snapshot() for tool in tools],
+    }
+
+
+# -- full workload matrix, serial -----------------------------------------
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_serial_fused_bit_identical(name):
+    """Four standard tools (the fused fast path): all state matches."""
+    states = {}
+    for backend in BACKENDS:
+        interp, tools = run_workload(name, backend)
+        states[backend] = observable_state(interp, tools)
+    assert states["compiled"] == states["switch"]
+
+
+@pytest.mark.parametrize("name", ["hmmsearch", "blast", "gcc"])
+def test_serial_masked_bit_identical(name):
+    """Masked dispatch (per-kind sinks): identical event streams.
+
+    A ``TraceCollector`` observes every event, so comparing the two
+    collected streams instruction-by-instruction checks masked-mode
+    dispatch order, addresses, and branch outcomes exactly.
+    """
+    streams = {}
+    for backend in BACKENDS:
+        collector = TraceCollector()
+        interp, tools = run_workload(name, backend, tools=(InstructionMix(), collector))
+        streams[backend] = {
+            "state": observable_state(interp, (tools[0],)),
+            "events": [
+                (e.instr.sid, e.addr, e.taken, e.value) for e in collector
+            ],
+        }
+    assert streams["compiled"] == streams["switch"]
+
+
+@pytest.mark.parametrize("name", ["hmmsearch", "fasta"])
+def test_serial_bare_bit_identical(name):
+    """No consumers (the bare loop): final machine state matches."""
+    states = {}
+    for backend in BACKENDS:
+        interp, _ = run_workload(name, backend, tools=())
+        states[backend] = observable_state(interp, ())
+    assert states["compiled"] == states["switch"]
+
+
+# -- telemetry counters ----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["hmmsearch", "clustalw"])
+@pytest.mark.parametrize("tool_set", ["fused", "masked"])
+def test_telemetry_counters_match(name, tool_set):
+    """interp.* metric counters are identical across engines."""
+    snapshots = {}
+    for backend in BACKENDS:
+        tools = standard_tools() if tool_set == "fused" else (InstructionMix(),)
+        obs.enable()
+        try:
+            run_workload(name, backend, tools=tools)
+            snapshot = obs.metrics().snapshot()
+        finally:
+            obs.disable()
+        snapshots[backend] = {
+            key: value for key, value in snapshot.items() if key.startswith("interp.")
+        }
+    assert snapshots["compiled"], "telemetry run recorded no interp.* counters"
+    assert snapshots["compiled"] == snapshots["switch"]
+
+
+# -- process-parallel session path ----------------------------------------
+
+
+def test_jobs2_sessions_bit_identical():
+    """Every workload through ``jobs=2`` worker pools, one session per
+    backend: identical tool snapshots and executed counts."""
+    results = {}
+    for backend in BACKENDS:
+        session = Session(
+            RunConfig(scale=SCALE, jobs=2, cache=False, backend=backend)
+        )
+        assert session.backend == backend
+        session.prefetch(WORKLOADS)
+        results[backend] = {
+            name: {
+                "executed": run.executed,
+                "mix": run.mix.snapshot(),
+                "coverage": run.coverage.snapshot(),
+                "cache": run.cache.snapshot(),
+                "sequences": run.sequences.snapshot(),
+            }
+            for name in WORKLOADS
+            for run in [session.run(name)]
+        }
+    assert set(results["compiled"]) == set(WORKLOADS)
+    assert results["compiled"] == results["switch"]
+
+
+# -- budget semantics ------------------------------------------------------
+
+
+@pytest.mark.parametrize("budget", [1, 2, 777, 12345])
+def test_budget_exceeded_parity(budget):
+    """Both engines abort on the same instruction with the same message
+    and identical partial tool state (budgets chosen to land mid-block
+    as well as on the first instruction)."""
+    outcomes = {}
+    for backend in BACKENDS:
+        from repro.workloads import get_workload
+
+        spec = get_workload("hmmsearch")
+        tools = standard_tools()
+        interp = make_interpreter(
+            spec.program(),
+            spec.dataset(SCALE, 0),
+            max_instructions=budget,
+            backend=backend,
+        )
+        with pytest.raises(BudgetExceeded) as excinfo:
+            interp.run(consumers=tools)
+        outcomes[backend] = {
+            "message": str(excinfo.value),
+            "state": observable_state(interp, tools),
+        }
+    assert outcomes["compiled"] == outcomes["switch"]
+    assert outcomes["compiled"]["state"]["executed"] == budget
+
+
+# -- error message parity --------------------------------------------------
+
+
+def _error_message(source, backend, bindings=None, consumers=()):
+    program = compile_source(source, "t", O0)
+    interp = make_interpreter(program, bindings, backend=backend)
+    with pytest.raises(InterpreterError) as excinfo:
+        interp.run(consumers=consumers)
+    return str(excinfo.value)
+
+
+ERROR_PROGRAMS = [
+    # (source, bindings, expected message fragment)
+    (
+        "int a[]; int out[]; void kernel() { out[0] = a[5]; }",
+        {"a": [1, 2], "out": [0]},
+        "out of bounds",
+    ),
+    (
+        "int out[]; void kernel() { out[9] = 1; }",
+        {"out": [0, 0]},
+        "out of bounds",
+    ),
+    (
+        "int i; int a[]; int out[]; void kernel() { out[0] = a[i]; }",
+        {"i": -1, "a": [1], "out": [0]},
+        "out of bounds",
+    ),
+    (
+        "int out[]; void kernel() { int x; out[0] = x; }",
+        {"out": [0]},
+        "undefined register",
+    ),
+]
+
+
+@pytest.mark.parametrize("case", ERROR_PROGRAMS, ids=[f[2] + str(i) for i, f in enumerate(ERROR_PROGRAMS)])
+@pytest.mark.parametrize("tooling", ["bare", "fused"])
+def test_error_message_parity(case, tooling):
+    """Faulting programs raise byte-identical messages on both engines,
+    with and without the fused tool set attached."""
+    source, bindings, fragment = case
+    messages = {
+        backend: _error_message(
+            source,
+            backend,
+            bindings=bindings,
+            consumers=standard_tools() if tooling == "fused" else (),
+        )
+        for backend in BACKENDS
+    }
+    assert messages["compiled"] == messages["switch"]
+    assert fragment in messages["compiled"]
+
+
+def test_oob_abort_state_parity():
+    """After an out-of-bounds abort, partial machine and tool state
+    match (the fault happens mid-trace, after useful work)."""
+    source = """
+    int a[];
+    int out[];
+    void kernel() {
+        int i;
+        i = 0;
+        while (i < 12) {
+            out[i] = a[i] + 1;
+            i = i + 1;
+        }
+    }
+    """
+    outcomes = {}
+    for backend in BACKENDS:
+        program = compile_source(source, "t", O0)
+        tools = standard_tools()
+        interp = make_interpreter(
+            program, {"a": [3] * 8, "out": [0] * 8}, backend=backend
+        )
+        with pytest.raises(InterpreterError) as excinfo:
+            interp.run(consumers=tools)
+        outcomes[backend] = {
+            "message": str(excinfo.value),
+            "state": observable_state(interp, tools),
+        }
+    assert outcomes["compiled"] == outcomes["switch"]
+    assert "out of bounds" in outcomes["compiled"]["message"]

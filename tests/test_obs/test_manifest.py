@@ -4,6 +4,7 @@ import json
 
 from repro.core.experiments import ExperimentContext
 from repro.core.runcache import workload_fingerprint
+from repro.exec.backends import resolve_backend
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     STANDARD_TOOLS,
@@ -43,6 +44,9 @@ def test_run_manifest_contents():
         "scale": "test",
         "seed": 3,
         "max_instructions": 200_000_000,
+        # The recorded engine follows $REPRO_BACKEND (the CI matrix runs
+        # this suite once per backend).
+        "backend": resolve_backend(None),
     }
     assert manifest["tools"] == list(STANDARD_TOOLS)
     assert manifest["timings_s"] == {"interp": 1.5}

@@ -74,6 +74,23 @@ def test_missing_benchmark_fails():
     assert row.status == "missing" and row.failed
 
 
+def test_backend_mismatch_fails():
+    """Cross-engine timing comparisons are refused outright."""
+    base = dict(_record("t", rate=1e6), backend="switch")
+    cur = dict(_record("t", rate=3e6), backend="compiled")
+    row = compare_records("t", base, cur, threshold=10.0)
+    assert row.status == "backend-mismatch" and row.failed
+    assert "switch" in row.note and "compiled" in row.note
+
+
+def test_backend_missing_on_one_side_is_exempt():
+    """Records predating the backend field still compare normally."""
+    base = _record("t", rate=1e6)  # no backend key (older record)
+    cur = dict(_record("t", rate=1e6), backend="compiled")
+    row = compare_records("t", base, cur)
+    assert row.status == "ok"
+
+
 def test_wall_time_fallback_higher_is_worse():
     base = _record("t", wall=1.0)
     assert compare_records("t", base, _record("t", wall=1.5)).status == "regression"
