@@ -84,6 +84,9 @@ class RunConfig:
     faults: Optional[faults_mod.FaultConfig] = None
     trace: Optional[str] = None
     backend: Optional[str] = None
+    #: Keep one warm worker pool alive across batch calls (used by the
+    #: ``repro serve`` request server); released by :meth:`Session.close`.
+    keep_workers: bool = False
 
     def with_overrides(self, **overrides) -> "RunConfig":
         """A copy with the given fields replaced (None values ignored)."""
@@ -105,6 +108,8 @@ class Session:
         self.config = config.with_overrides(**overrides)
         self.backend  # fail fast on unknown backend names
         self._runs: Dict[Tuple[str, str, int], CharacterizationResult] = {}
+        self._fingerprints: Dict[Tuple[str, str, int], str] = {}
+        self._pool: Optional[ParallelRunner] = None
         self._cache = None
         if self.config.cache:
             from repro.core.runcache import RunCache
@@ -153,7 +158,44 @@ class Session:
 
         # Shared with the run cache AND run manifests (one source of
         # truth for run identity; see repro.obs.manifest.run_manifest).
-        return workload_fingerprint(name, scale, seed)
+        # Memoized: the fingerprint hashes the program's disassembly
+        # and dataset bindings, and the request server computes it per
+        # request for single-flight keying.
+        key = (name, scale, seed)
+        fingerprint = self._fingerprints.get(key)
+        if fingerprint is None:
+            fingerprint = workload_fingerprint(name, scale, seed)
+            self._fingerprints[key] = fingerprint
+        return fingerprint
+
+    fingerprint = _fingerprint
+
+    def _batch_runner(self) -> ParallelRunner:
+        """The runner batch calls use: warm and shared when
+        ``keep_workers`` is set, otherwise a fresh per-call pool."""
+        if not self.config.keep_workers:
+            return self.runner()
+        if self._pool is None:
+            self._pool = ParallelRunner(
+                jobs=self.jobs,
+                retries=self.config.retries,
+                timeout=self.config.timeout,
+                backoff=self.config.backoff,
+                faults=self.config.faults,
+                keep_alive=True,
+            )
+        return self._pool
+
+    def memoized(
+        self, name: str, scale: Optional[str] = None, seed: Optional[int] = None
+    ) -> Optional[CharacterizationResult]:
+        """The already-materialized run for ``(name, scale, seed)``, or
+        None — memo only, no disk I/O and no engine work.  The request
+        server's fast path: a hit is answered in the caller's thread
+        without consuming a queue slot."""
+        scale = self.scale if scale is None else scale
+        seed = self.seed if seed is None else seed
+        return self._runs.get((name, scale, seed))
 
     # -- characterization ----------------------------------------------------
     def run(
@@ -240,6 +282,79 @@ class Session:
                         self._fingerprint(name, self.scale, self.seed), result
                     )
 
+    def characterize_many(
+        self,
+        specs: Sequence[Tuple[str, Optional[str], Optional[int]]],
+        timeout: Optional[float] = None,
+    ) -> List[object]:
+        """One characterization per ``(name, scale, seed)`` triple, batched.
+
+        The batch path of the ``repro serve`` request server: memo and
+        run-cache hits are answered inline; the missing runs are
+        deduplicated and fanned out over **one** engine map — the
+        session's warm keep-alive pool when ``keep_workers`` is set —
+        and results come back aligned with ``specs``.  A run that still
+        fails after the session's retries occupies its slot as a
+        :class:`~repro.core.parallel.FailedCell` marker instead of
+        raising, so one bad request cannot take down a batch.  ``None``
+        scale/seed default to the session's.  ``timeout`` tightens
+        (never loosens) the engine's per-task deadline for this batch;
+        it is the hook request deadlines are mapped onto.  Unknown
+        workload names raise ``KeyError`` before any work is dispatched.
+        """
+        from repro.core.parallel import FailedCell, _characterize_task
+        from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+
+        keys = [
+            (
+                name,
+                self.scale if scale is None else scale,
+                self.seed if seed is None else seed,
+            )
+            for name, scale, seed in specs
+        ]
+        for name, _, _ in keys:
+            get_workload(name)  # KeyError here, not in a worker
+        with obs.span("experiment.batch", requested=len(keys)) as span:
+            resolved: Dict[Tuple[str, str, int], object] = {}
+            for key in dict.fromkeys(keys):
+                result = self._runs.get(key)
+                if result is None and self._cache is not None:
+                    cached = self._cache.load(self._fingerprint(*key))
+                    if isinstance(cached, CharacterizationResult):
+                        result = cached
+                        self._runs[key] = result
+                if result is not None:
+                    resolved[key] = result
+            missing = [key for key in dict.fromkeys(keys) if key not in resolved]
+            span.set_attr(missing=len(missing), jobs=self.jobs)
+            if missing:
+                tasks = [
+                    (name, scale, seed, DEFAULT_MAX_INSTRUCTIONS,
+                     self.config.backend)
+                    for name, scale, seed in missing
+                ]
+                runner = self._batch_runner()
+                saved = runner.timeout
+                if timeout is not None:
+                    runner.timeout = (
+                        timeout if saved is None else min(saved, timeout)
+                    )
+                try:
+                    settled_list = runner.map_settled(_characterize_task, tasks)
+                finally:
+                    runner.timeout = saved
+                for key, settled in zip(missing, settled_list):
+                    if isinstance(settled, FailedCell):
+                        obs.metrics().counter("experiments.batch_failures").inc()
+                        resolved[key] = settled
+                        continue
+                    _name, result = settled
+                    self._runs[key] = resolved[key] = result
+                    if self._cache is not None:
+                        self._cache.store(self._fingerprint(*key), result)
+            return [resolved[key] for key in keys]
+
     # -- evaluation ----------------------------------------------------------
     def evaluate(
         self,
@@ -315,7 +430,11 @@ class Session:
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> Optional[str]:
-        """Flush the trace file when tracing was requested; its path."""
+        """Release the keep-alive worker pool (if any) and flush the
+        trace file when tracing was requested; returns the trace path."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         if not self.config.trace:
             return None
         obs.flush_to(self.config.trace)

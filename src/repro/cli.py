@@ -14,6 +14,9 @@ Commands:
 * ``report`` — regenerate EXPERIMENTS.md (all tables and figures);
 * ``cache stats|clear|prune`` — inspect, clear, or size-bound the
   persistent run cache (stats include persisted hit/miss counters);
+* ``serve`` — run the characterization request server: one warm
+  session answering JSON requests with single-flight coalescing,
+  batching, and bounded-queue backpressure (see docs/service.md);
 * ``trace summary FILE`` — render a telemetry trace (JSONL) as a span
   tree with metrics;
 * ``bench compare`` — diff current ``BENCH_*.json`` results against a
@@ -120,7 +123,7 @@ def _work_parent() -> argparse.ArgumentParser:
 
 
 def _session_from_args(args, scale: str, eval_scale: Optional[str] = None,
-                       cache_default: bool = False):
+                       cache_default: bool = False, keep_workers: bool = False):
     """Build the one :class:`repro.api.Session` a work command uses."""
     from repro.api import RunConfig, Session
     from repro.core import faults as faults_mod
@@ -142,6 +145,7 @@ def _session_from_args(args, scale: str, eval_scale: Optional[str] = None,
             timeout=getattr(args, "timeout", None),
             faults=faults,
             backend=getattr(args, "backend", None),
+            keep_workers=keep_workers,
         )
     )
 
@@ -219,6 +223,49 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--char-scale", choices=SCALES, default="medium")
     report.add_argument("--eval-scale", choices=SCALES, default="large")
     report.add_argument("--out", default="EXPERIMENTS.md")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the characterization request server (docs/service.md)",
+        parents=[work],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8141)
+    serve.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="test",
+        help="default characterization scale for requests that omit one",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="pending-request ceiling; beyond it requests get 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max distinct runs folded into one engine map",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.02,
+        metavar="SECONDS",
+        help="how long the batcher lingers to coalesce requests",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline for requests that omit deadline_s",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect, clear, or prune the persistent run cache"
@@ -438,6 +485,31 @@ def _cmd_report(args) -> None:
     print(f"wrote {args.out}")
 
 
+def _cmd_serve(args) -> None:
+    from repro.serve import CharacterizationService, ServicePolicy
+    from repro.serve.server import main_loop
+
+    session = _session_from_args(
+        args, scale=args.scale, cache_default=True, keep_workers=True
+    )
+    policy = ServicePolicy(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window,
+        default_deadline_s=args.deadline,
+    )
+    service = CharacterizationService(session=session, policy=policy)
+    print(
+        f"repro serve: http://{args.host}:{args.port} "
+        f"(jobs={session.jobs}, backend={session.backend}, "
+        f"scale={session.scale}, max_queue={policy.max_queue})"
+    )
+    try:
+        main_loop(service, args.host, args.port)
+    finally:
+        session.close()
+
+
 def _cmd_cache(args) -> None:
     from repro.core.runcache import RunCache
 
@@ -518,6 +590,8 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_disasm(args)
         elif args.command == "report":
             _cmd_report(args)
+        elif args.command == "serve":
+            _cmd_serve(args)
         elif args.command == "cache":
             _cmd_cache(args)
         elif args.command == "trace":

@@ -344,6 +344,8 @@ class _Worker:
     """One supervised worker process and its duplex channel."""
 
     def __init__(self, context, capture: bool, fault_config):
+        self.capture = capture
+        self.fault_config = fault_config
         self.conn, child_conn = context.Pipe()
         self.process = context.Process(
             target=_worker_main,
@@ -395,6 +397,15 @@ class ParallelRunner:
     on without threading arguments everywhere.  ``faults`` pins a
     :class:`repro.core.faults.FaultConfig` for injection (default: the
     installed/env config, usually none).
+
+    With ``keep_alive=True`` the worker pool survives across
+    :meth:`map` calls instead of being torn down after each one: a
+    long-lived process (the ``repro serve`` batching server) pays
+    process spawn and per-workload codegen once, and every later batch
+    lands on warm workers.  Call :meth:`close` (or use the runner as a
+    context manager) to release the workers; a worker that is mid-task
+    when a map is abandoned is destroyed rather than reused, so a
+    stale result can never be attributed to a later batch.
     """
 
     def __init__(
@@ -405,6 +416,7 @@ class ParallelRunner:
         backoff: Optional[BackoffPolicy] = None,
         heartbeat_timeout: Optional[float] = 30.0,
         faults: Optional[_faults.FaultConfig] = None,
+        keep_alive: bool = False,
     ):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if retries is None:
@@ -415,6 +427,8 @@ class ParallelRunner:
         self.backoff = backoff or BackoffPolicy()
         self.heartbeat_timeout = heartbeat_timeout
         self.faults = faults
+        self.keep_alive = keep_alive
+        self._pool: List[_Worker] = []
 
     # -- public API ---------------------------------------------------------
     def map(
@@ -449,6 +463,19 @@ class ParallelRunner:
     def run_one(self, func: Callable, task: Any):
         """One task through the full engine (retries, faults, telemetry)."""
         return self.map(func, [task])[0]
+
+    def close(self) -> None:
+        """Release any keep-alive workers (idempotent)."""
+        for worker in list(self._pool):
+            worker.destroy(graceful=not worker.busy)
+        self._pool.clear()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
 
     # -- execution ----------------------------------------------------------
     def _execute(self, func, tasks, strict: bool, on_result) -> List:
@@ -542,7 +569,30 @@ class ParallelRunner:
         ready.reverse()  # pop() from the end yields index order
         delayed: List[Tuple[float, int, int]] = []  # (ready_time, index, attempt)
         settled = 0
-        pool: List[_Worker] = []
+        pool = self._pool
+
+        # Reuse surviving keep-alive workers: prune the dead or busy
+        # (a busy worker means a previous map was abandoned mid-task —
+        # its eventual result must not leak into this batch), drain
+        # heartbeats queued while the pool sat idle, and respawn when
+        # the telemetry capture mode changed (it is baked into each
+        # worker at spawn).
+        for worker in list(pool):
+            stale = (
+                worker.busy
+                or worker.capture != capture
+                or worker.fault_config != fault_config
+                or not worker.process.is_alive()
+            )
+            if not stale:
+                try:
+                    while worker.conn.poll():
+                        worker.conn.recv()
+                except (EOFError, OSError):
+                    stale = True
+            if stale:
+                worker.destroy()
+                pool.remove(worker)
 
         def spawn() -> _Worker:
             worker = _Worker(context, capture, fault_config)
@@ -619,7 +669,7 @@ class ParallelRunner:
                 settle_failure(index, attempt, (exc_type, message, ""))
 
         try:
-            for _ in range(workers):
+            while len(pool) < workers:
                 spawn()
             while settled < n:
                 now = time.monotonic()
@@ -708,7 +758,10 @@ class ParallelRunner:
                         )
         finally:
             for worker in list(pool):
-                worker.destroy(graceful=True)
+                if self.keep_alive and not worker.busy:
+                    continue  # warm worker, reused by the next map
+                worker.destroy(graceful=not worker.busy)
+                pool.remove(worker)
 
         if failures:
             if strict:

@@ -61,16 +61,32 @@ class Gauge:
         return self.value
 
 
-class Histogram:
-    """Streaming summary of observed values (count/sum/min/max)."""
+#: Retained samples per histogram before deterministic decimation.
+_RESERVOIR_CAP = 4096
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/quantiles).
+
+    Besides the running aggregates, a bounded reservoir of raw samples
+    supports :meth:`quantile` (p50/p99 latency, batch-size percentiles
+    for the request server).  When the reservoir fills it is decimated
+    — every other sample dropped, the keep-stride doubled — so memory
+    stays bounded in a long-lived process while the quantile estimate
+    keeps covering the whole observation history.  Decimation is
+    deterministic: identical observation sequences yield identical
+    quantiles.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_samples", "_stride")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._samples: list = []
+        self._stride = 1
 
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
@@ -80,19 +96,38 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) >= _RESERVOIR_CAP:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile of the retained samples (q in [0, 1])."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
     def snapshot(self) -> Dict[str, Any]:
-        return {
+        snap: Dict[str, Any] = {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
         }
+        if self._samples:
+            # Quantiles are per-process: absorb() folds only the
+            # aggregate fields, never another process's reservoir.
+            snap["p50"] = self.quantile(0.50)
+            snap["p99"] = self.quantile(0.99)
+        return snap
 
 
 class MetricsRegistry:

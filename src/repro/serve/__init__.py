@@ -1,0 +1,50 @@
+"""Characterization-as-a-service: an async batching server over the
+:class:`repro.api.Session` facade.
+
+One warm session (compiled-code cache, run cache, keep-alive worker
+pool) answers many requests: identical in-flight requests coalesce
+(single-flight on the run-cache fingerprint), compatible requests
+batch into one engine map, bounded queues reject with 429-style
+backpressure, and per-request deadlines ride the engine's own
+timeout/retry policy.  ``python -m repro serve`` starts the HTTP door;
+:class:`ServiceClient` is the in-process equivalent for tests and
+benchmarks.  Protocol and semantics: ``docs/service.md``.
+"""
+
+from repro.serve.admission import (  # noqa: F401
+    AdmissionController,
+    Deadline,
+    QueueFull,
+    ServicePolicy,
+)
+from repro.serve.batcher import Batcher  # noqa: F401
+from repro.serve.protocol import (  # noqa: F401
+    HTTP_STATUS,
+    ProtocolError,
+    ServiceRequest,
+    canonical,
+    canonical_json,
+    parse_request,
+)
+from repro.serve.server import (  # noqa: F401
+    CharacterizationService,
+    ServiceClient,
+    serve,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Batcher",
+    "CharacterizationService",
+    "Deadline",
+    "HTTP_STATUS",
+    "ProtocolError",
+    "QueueFull",
+    "ServiceClient",
+    "ServicePolicy",
+    "ServiceRequest",
+    "canonical",
+    "canonical_json",
+    "parse_request",
+    "serve",
+]

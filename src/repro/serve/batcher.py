@@ -1,0 +1,415 @@
+"""Request coalescing: single-flight, batching, deadline mapping.
+
+The batcher is the only component that talks to the engine, and it
+talks to it through exactly one door: the :class:`repro.api.Session`
+facade.  Three mechanisms turn a stream of independent requests into
+amortized engine work:
+
+* **memo fast path** — a characterize request whose run the session
+  has already materialized is answered synchronously in the submitting
+  thread, never touching the queue (``serve.fast_path`` counter);
+* **single-flight** — concurrent requests for the same run (keyed by
+  the run-cache ``workload_fingerprint``, the one source of run
+  identity) share one in-flight computation: followers attach a waiter
+  to the existing flight instead of consuming a queue slot
+  (``serve.singleflight_hits``);
+* **batching** — the dispatch thread lingers ``batch_window_s`` after
+  the first pending flight, then folds up to ``max_batch`` distinct
+  characterize runs into **one** :meth:`Session.characterize_many`
+  call — one engine map over the warm keep-alive worker pool.
+
+Deadlines: the tightest remaining request deadline of a batch becomes
+the engine's per-task ``timeout`` for that map (so a doomed task is
+killed, retried, and eventually failed by the engine's own policy),
+and any request whose deadline has passed by resolution time gets a
+``deadline_exceeded`` error even when the run itself succeeded — the
+result still lands in the session memo and run cache, so the client's
+retry is a fast-path hit.
+
+A run that fails past the engine's retries (including injected faults
+from ``--faults``) resolves its waiters with a ``task_failed`` error;
+the batcher thread itself never dies with a request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.parallel import FailedCell
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController, Deadline, ServicePolicy
+
+__all__ = ["Batcher"]
+
+#: Floor for the engine timeout derived from request deadlines, so a
+#: nearly-expired deadline cannot translate into a zero-second task
+#: timeout that kills healthy workers.
+_MIN_ENGINE_TIMEOUT = 0.05
+
+#: How many completed runs the /runs/<id> registry remembers.
+_RUNS_CAPACITY = 512
+
+
+class _Waiter:
+    __slots__ = ("future", "deadline", "enqueued")
+
+    def __init__(self, future: Future, deadline: Deadline):
+        self.future = future
+        self.deadline = deadline
+        self.enqueued = time.monotonic()
+
+
+class _Flight:
+    """One in-flight run and everybody waiting on it."""
+
+    __slots__ = ("key", "request", "waiters", "done")
+
+    def __init__(self, key: str, request: protocol.ServiceRequest):
+        self.key = key
+        self.request = request
+        self.waiters: List[_Waiter] = []
+        self.done = False
+
+
+class Batcher:
+    """Owns the pending queue, the single-flight registry, and the
+    dispatch thread.  ``submit`` returns a Future resolving to an
+    ``(http_status, body)`` pair; it raises
+    :class:`~repro.serve.admission.QueueFull` when admission rejects."""
+
+    def __init__(
+        self,
+        session,
+        policy: ServicePolicy,
+        admission: AdmissionController,
+    ):
+        self._session = session
+        self._policy = policy
+        self._admission = admission
+        self._cond = threading.Condition()
+        self._queue: Deque[_Flight] = deque()
+        self._inflight: Dict[str, _Flight] = {}
+        self._runs: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._stop = False
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="repro-serve-batcher"
+        )
+        self._thread.start()
+
+    # -- submission (caller threads) ----------------------------------------
+    def submit(self, request: protocol.ServiceRequest) -> Future:
+        """Admit one request; resolve from memo, attach to an in-flight
+        run, or enqueue a new flight."""
+        deadline = Deadline(
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._policy.default_deadline_s
+        )
+        key = self._key(request)
+        future: Future = Future()
+
+        if request.kind == "characterize":
+            memoized = self._session.memoized(
+                request.workload, request.scale, request.seed
+            )
+            if memoized is not None:
+                obs.metrics().counter("serve.fast_path").inc()
+                payload = protocol.characterization_payload(
+                    request.workload, memoized
+                )
+                self._record_run(key, request, payload)
+                future.set_result(
+                    (
+                        200,
+                        protocol.ok_body(
+                            key, request.kind, payload, cached=True, elapsed_ms=0.0
+                        ),
+                    )
+                )
+                self._observe_latency(0.0)
+                return future
+
+        with self._cond:
+            flight = self._inflight.get(key)
+            if flight is not None and not flight.done:
+                obs.metrics().counter("serve.singleflight_hits").inc()
+                flight.waiters.append(_Waiter(future, deadline))
+                return future
+            self._admission.try_admit()  # raises QueueFull
+            flight = _Flight(key, request)
+            flight.waiters.append(_Waiter(future, deadline))
+            self._inflight[key] = flight
+            self._queue.append(flight)
+            self._cond.notify()
+        return future
+
+    def _key(self, request: protocol.ServiceRequest) -> str:
+        """Run identity.  Characterize requests use the run-cache
+        fingerprint verbatim; evaluate/sweep requests get a derived
+        composite key (they have no cache entry to share with)."""
+        scale = (
+            request.scale
+            if request.scale is not None
+            else (
+                self._session.config.eval_scale
+                if request.kind == "evaluate"
+                else self._session.scale
+            )
+        )
+        seed = request.seed if request.seed is not None else self._session.seed
+        if request.kind == "characterize":
+            return self._session.fingerprint(request.workload, scale, seed)
+        if request.kind == "evaluate":
+            platform = request.platform or "alpha"
+            return f"evaluate:{request.workload}:{platform}:{scale}:{seed}"
+        return protocol.canonical_json(
+            [
+                "sweep",
+                request.workload,
+                request.field,
+                list(request.values or ()),
+                request.sweep_kind,
+                scale,
+                seed,
+            ]
+        )
+
+    # -- dispatch thread -----------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                if self._stop and not self._queue:
+                    return
+            if not self._stop:
+                self._linger()
+            with self._cond:
+                count = min(len(self._queue), self._policy.max_batch)
+                batch = [self._queue.popleft() for _ in range(count)]
+            if batch:
+                self._run_batch(batch)
+
+    def _linger(self) -> None:
+        """Wait out the coalescing window (or until a full batch)."""
+        end = time.monotonic() + self._policy.batch_window_s
+        while time.monotonic() < end:
+            with self._cond:
+                if len(self._queue) >= self._policy.max_batch or self._stop:
+                    return
+            time.sleep(min(0.005, self._policy.batch_window_s))
+
+    def _run_batch(self, batch: List[_Flight]) -> None:
+        started = time.monotonic()
+        obs.metrics().counter("serve.batches").inc()
+        obs.metrics().histogram("serve.batch_size").observe(len(batch))
+        try:
+            characterize = [
+                f for f in batch if f.request.kind == "characterize"
+            ]
+            others = [f for f in batch if f.request.kind != "characterize"]
+            live: List[_Flight] = []
+            for flight in characterize:
+                if all(w.deadline.expired for w in flight.waiters):
+                    self._resolve_expired(flight)
+                else:
+                    live.append(flight)
+            if live:
+                specs = [
+                    (f.request.workload, f.request.scale, f.request.seed)
+                    for f in live
+                ]
+                outcomes = self._session.characterize_many(
+                    specs, timeout=self._batch_timeout(live)
+                )
+                for flight, outcome in zip(live, outcomes):
+                    self._finish_characterize(flight, outcome)
+            for flight in others:
+                self._run_single(flight)
+        except Exception as exc:  # noqa: BLE001 - the server must survive
+            obs.metrics().counter("serve.internal_errors").inc()
+            body = protocol.error_body(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+            for flight in batch:
+                if not flight.done:
+                    self._resolve(flight, lambda _w: (500, body))
+        finally:
+            self._admission.observe_batch(time.monotonic() - started)
+
+    def _batch_timeout(self, flights: List[_Flight]) -> Optional[float]:
+        """The tightest live request deadline, as an engine timeout."""
+        remaining = [
+            w.deadline.remaining()
+            for f in flights
+            for w in f.waiters
+            if w.deadline.remaining() is not None
+        ]
+        if not remaining:
+            return None
+        return max(_MIN_ENGINE_TIMEOUT, min(remaining))
+
+    # -- resolution ----------------------------------------------------------
+    def _finish_characterize(self, flight: _Flight, outcome) -> None:
+        request = flight.request
+        if isinstance(outcome, FailedCell):
+            obs.metrics().counter("serve.task_failures").inc()
+            body = protocol.error_body(
+                "task_failed",
+                f"{outcome.description}: {outcome.error} "
+                f"({outcome.attempts} attempts)",
+            )
+            self._resolve(flight, lambda _w: (502, body))
+            return
+        payload = protocol.characterization_payload(request.workload, outcome)
+        self._record_run(flight.key, request, payload)
+
+        def _respond(waiter: _Waiter) -> Tuple[int, Dict[str, Any]]:
+            if waiter.deadline.expired:
+                obs.metrics().counter("serve.deadline_exceeded").inc()
+                return 504, protocol.error_body(
+                    "deadline_exceeded",
+                    "run completed after the request deadline; "
+                    "it is cached — retry to fetch it",
+                )
+            elapsed_ms = (time.monotonic() - waiter.enqueued) * 1e3
+            return 200, protocol.ok_body(
+                flight.key,
+                request.kind,
+                payload,
+                cached=False,
+                elapsed_ms=elapsed_ms,
+            )
+
+        self._resolve(flight, _respond)
+
+    def _run_single(self, flight: _Flight) -> None:
+        """One evaluate/sweep request through the session facade."""
+        request = flight.request
+        if all(w.deadline.expired for w in flight.waiters):
+            self._resolve_expired(flight)
+            return
+        try:
+            if request.kind == "evaluate":
+                evaluation = self._session.evaluate(
+                    request.workload,
+                    platform=request.platform,
+                    scale=request.scale,
+                )
+                payload = protocol.evaluation_payload(evaluation)
+            else:
+                extra = {} if request.scale is None else {"scale": request.scale}
+                points = self._session.sweep(
+                    request.workload,
+                    request.field,
+                    list(request.values or ()),
+                    kind=request.sweep_kind,
+                    **extra,
+                )
+                payload = protocol.sweep_payload(request.field, points)
+        except Exception as exc:  # noqa: BLE001 - per-request error, not a crash
+            obs.metrics().counter("serve.task_failures").inc()
+            body = protocol.error_body(
+                "task_failed", f"{type(exc).__name__}: {exc}"
+            )
+            self._resolve(flight, lambda _w: (502, body))
+            return
+
+        def _respond(waiter: _Waiter) -> Tuple[int, Dict[str, Any]]:
+            if waiter.deadline.expired:
+                obs.metrics().counter("serve.deadline_exceeded").inc()
+                return 504, protocol.error_body(
+                    "deadline_exceeded", "run completed after the request deadline"
+                )
+            elapsed_ms = (time.monotonic() - waiter.enqueued) * 1e3
+            return 200, protocol.ok_body(
+                flight.key,
+                request.kind,
+                payload,
+                cached=False,
+                elapsed_ms=elapsed_ms,
+            )
+
+        self._resolve(flight, _respond)
+
+    def _resolve_expired(self, flight: _Flight) -> None:
+        obs.metrics().counter("serve.deadline_exceeded").inc(len(flight.waiters))
+        body = protocol.error_body(
+            "deadline_exceeded", "request deadline passed while queued"
+        )
+        self._resolve(flight, lambda _w: (504, body))
+
+    def _resolve(self, flight: _Flight, respond) -> None:
+        """Answer every waiter and return the flight's queue slot."""
+        with self._cond:
+            flight.done = True
+            self._inflight.pop(flight.key, None)
+            waiters = list(flight.waiters)
+        for waiter in waiters:
+            self._observe_latency(time.monotonic() - waiter.enqueued)
+            try:
+                waiter.future.set_result(respond(waiter))
+            except Exception:  # future already cancelled/set
+                pass
+        self._admission.release(1)
+
+    @staticmethod
+    def _observe_latency(seconds: float) -> None:
+        obs.metrics().histogram("serve.latency_ms").observe(seconds * 1e3)
+
+    # -- run registry ---------------------------------------------------------
+    def _record_run(
+        self, key: str, request: protocol.ServiceRequest, payload: Dict[str, Any]
+    ) -> None:
+        record = {
+            "fingerprint": key,
+            "workload": request.workload,
+            "scale": (
+                request.scale if request.scale is not None else self._session.scale
+            ),
+            "seed": request.seed if request.seed is not None else self._session.seed,
+            "digest": payload.get("digest"),
+            "completed_unix": time.time(),
+        }
+        with self._cond:
+            self._runs[key] = record
+            self._runs.move_to_end(key)
+            while len(self._runs) > _RUNS_CAPACITY:
+                self._runs.popitem(last=False)
+
+    def get_run(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The stored record of a completed characterize run, with its
+        provenance manifest attached (built on demand; identical
+        fingerprint source as the run cache)."""
+        with self._cond:
+            record = self._runs.get(fingerprint)
+        if record is None:
+            return None
+        from repro.obs.manifest import run_manifest
+
+        manifest = run_manifest(
+            record["workload"],
+            record["scale"],
+            record["seed"],
+            backend=self._session.backend,
+        )
+        return dict(record, manifest=manifest)
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Drain the queue (remaining flights still run), stop the
+        dispatch thread."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30.0)

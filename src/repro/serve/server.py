@@ -1,0 +1,332 @@
+"""The characterization service: composition root, client, HTTP door.
+
+Three layers, separable on purpose:
+
+* :class:`CharacterizationService` — the whole service as a plain
+  object: one warm :class:`repro.api.Session` (shared compiled-code
+  cache, shared run cache, one keep-alive worker pool), one
+  :class:`~repro.serve.admission.AdmissionController`, one
+  :class:`~repro.serve.batcher.Batcher`.  ``handle_post`` /
+  ``handle_get`` speak (status, JSON-body) pairs and never raise for
+  request-shaped problems — every failure is an error envelope.
+* :class:`ServiceClient` — the in-process client tests and benchmarks
+  use: the same code path as the network door minus the sockets, so
+  "the service returns bit-identical payloads" is testable without
+  binding a port.
+* :func:`serve` / :func:`main_loop` — a stdlib-only asyncio HTTP/1.1
+  front end (``repro serve --port``).  Request parsing stays on the
+  event loop; the blocking engine call runs in a thread-pool executor
+  so slow runs never stall health checks.
+
+Routes::
+
+    POST /v1/characterize | /v1/evaluate | /v1/sweep | /v1/submit
+    GET  /healthz   liveness + queue depth
+    GET  /metrics   repro.obs metrics snapshot (JSON)
+    GET  /runs/<fingerprint>   stored run record + provenance manifest
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api import RunConfig, Session
+from repro.obs.metrics import enable as _enable_metrics, get_registry
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController, QueueFull, ServicePolicy
+from repro.serve.batcher import Batcher
+
+__all__ = ["CharacterizationService", "ServiceClient", "serve"]
+
+_POST_ROUTES = {
+    "/v1/characterize": "characterize",
+    "/v1/evaluate": "evaluate",
+    "/v1/sweep": "sweep",
+    "/v1/submit": None,  # kind comes from the body
+}
+
+#: Ceiling on accepted request bodies (1 MiB) — requests are tiny.
+_MAX_BODY = 1 << 20
+
+
+class CharacterizationService:
+    """The batching characterization service over one warm session.
+
+    ``session`` may be shared/pre-warmed; when None one is built from
+    ``config`` (default: ``scale="test"``, ``keep_workers=True``) and
+    owned — :meth:`close` only closes an owned session.  Metrics are
+    enabled for the service's lifetime (metrics only: tracing, which
+    changes worker capture behavior, stays at whatever the caller set).
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        policy: Optional[ServicePolicy] = None,
+        config: Optional[RunConfig] = None,
+    ):
+        _enable_metrics()
+        self._owns_session = session is None
+        if session is None:
+            session = Session(
+                config if config is not None
+                else RunConfig(scale="test", keep_workers=True)
+            )
+        self.session = session
+        self.policy = policy if policy is not None else ServicePolicy()
+        self.admission = AdmissionController(self.policy)
+        self.batcher = Batcher(session, self.policy, self.admission)
+        self._started = time.monotonic()
+        self._closed = False
+
+    # -- POST ---------------------------------------------------------------
+    def handle_post(
+        self, path: str, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One request through parse → admit → batch → respond."""
+        if path not in _POST_ROUTES:
+            return 404, protocol.error_body("not_found", f"no route {path}")
+        kind = _POST_ROUTES[path]
+        if kind is not None:
+            if not isinstance(payload, dict):
+                return 400, protocol.error_body(
+                    "bad_request", "request body must be a JSON object"
+                )
+            payload = dict(payload, kind=kind)
+        try:
+            request = protocol.parse_request(payload)
+        except protocol.ProtocolError as exc:
+            return (
+                protocol.HTTP_STATUS[exc.code],
+                protocol.error_body(exc.code, exc.message),
+            )
+        try:
+            future = self.batcher.submit(request)
+        except QueueFull as exc:
+            return 429, protocol.error_body(
+                "queue_full", str(exc), retry_after_s=exc.retry_after_s
+            )
+        return future.result()
+
+    # -- GET ----------------------------------------------------------------
+    def handle_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            return 200, {
+                "ok": True,
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "pending": self.batcher.pending,
+                "queue_depth": self.admission.depth,
+                "jobs": self.session.jobs,
+                "backend": self.session.backend,
+                "scale": self.session.scale,
+            }
+        if path == "/metrics":
+            registry = get_registry()
+            return 200, {
+                "ok": True,
+                "metrics": registry.snapshot() if registry else {},
+            }
+        if path.startswith("/runs/"):
+            fingerprint = path[len("/runs/"):]
+            record = self.batcher.get_run(fingerprint)
+            if record is None:
+                return 404, protocol.error_body(
+                    "not_found", f"no stored run {fingerprint!r}"
+                )
+            return 200, dict(record, ok=True)
+        return 404, protocol.error_body("not_found", f"no route {path}")
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        if self._owns_session:
+            self.session.close()
+
+    def __enter__(self) -> "CharacterizationService":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
+
+class ServiceClient:
+    """In-process client over a :class:`CharacterizationService`.
+
+    Every call returns the ``(status, body)`` the HTTP door would send
+    — same parse, same admission, same batcher — so tests exercise
+    identical semantics without a socket.
+    """
+
+    def __init__(self, service: CharacterizationService):
+        self.service = service
+
+    def request(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """POST /v1/submit: ``body`` carries its own ``kind``."""
+        return self.service.handle_post("/v1/submit", body)
+
+    def characterize(self, workload: str, **fields) -> Tuple[int, Dict[str, Any]]:
+        return self.request(dict(fields, kind="characterize", workload=workload))
+
+    def evaluate(self, workload: str, **fields) -> Tuple[int, Dict[str, Any]]:
+        return self.request(dict(fields, kind="evaluate", workload=workload))
+
+    def sweep(
+        self, workload: str, field: str, values, **fields
+    ) -> Tuple[int, Dict[str, Any]]:
+        return self.request(
+            dict(fields, kind="sweep", workload=workload, field=field,
+                 values=list(values))
+        )
+
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return self.service.handle_get("/healthz")
+
+    def metrics(self) -> Tuple[int, Dict[str, Any]]:
+        return self.service.handle_get("/metrics")
+
+    def run(self, fingerprint: str) -> Tuple[int, Dict[str, Any]]:
+        return self.service.handle_get(f"/runs/{fingerprint}")
+
+
+# ---------------------------------------------------------------------------
+# asyncio HTTP front end
+# ---------------------------------------------------------------------------
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    504: "Gateway Timeout",
+}
+
+
+def _encode_response(status: int, body: Dict[str, Any]) -> bytes:
+    data = json.dumps(body).encode()
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(data)}",
+        "Connection: keep-alive",
+    ]
+    retry = body.get("error", {}).get("retry_after_s") if status == 429 else None
+    if retry is not None:
+        headers.append(f"Retry-After: {max(1, int(-(-retry // 1)))}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode() + data
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """One HTTP/1.1 request as (method, path, body); None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                return None
+    if length > _MAX_BODY:
+        return None
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+async def _handle_connection(
+    service: CharacterizationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            request = await _read_request(reader)
+            if request is None:
+                break
+            method, path, raw = request
+            if method == "GET":
+                status, body = service.handle_get(path)
+            elif method == "POST":
+                try:
+                    payload = json.loads(raw.decode()) if raw else {}
+                except (ValueError, UnicodeDecodeError):
+                    status, body = 400, protocol.error_body(
+                        "bad_request", "body is not valid JSON"
+                    )
+                else:
+                    # The engine call blocks; keep the event loop free.
+                    status, body = await loop.run_in_executor(
+                        None, service.handle_post, path, payload
+                    )
+            else:
+                status, body = 405, protocol.error_body(
+                    "bad_request", f"method {method} not allowed"
+                )
+            writer.write(_encode_response(status, body))
+            await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve(
+    service: CharacterizationService,
+    host: str = "127.0.0.1",
+    port: int = 8141,
+    *,
+    ready: Optional["asyncio.Event"] = None,
+) -> None:
+    """Run the HTTP door until cancelled.  ``ready`` (if given) is set
+    once the socket is bound — tests use it instead of sleeping."""
+
+    async def _client(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    server = await asyncio.start_server(_client, host, port)
+    if ready is not None:
+        ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+def main_loop(
+    service: CharacterizationService, host: str, port: int
+) -> None:
+    """Blocking entry point for ``repro serve``."""
+    try:
+        asyncio.run(serve(service, host, port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()

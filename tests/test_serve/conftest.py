@@ -1,0 +1,23 @@
+"""Service test fixtures: telemetry hygiene around each module.
+
+:class:`~repro.serve.server.CharacterizationService` enables the
+global metrics registry for its lifetime, and the service fixtures
+here are module-scoped (one warm session per module), so the guard is
+module-scoped too: metrics stay live while a module's service is, and
+no module leaves telemetry on for the rest of the suite.  Tests that
+assert on counters read **deltas**, never absolutes — the registry is
+shared by every service in the module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True, scope="module")
+def clean_telemetry_module():
+    obs.disable()
+    yield
+    obs.disable()

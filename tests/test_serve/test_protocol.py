@@ -1,0 +1,144 @@
+"""Wire-protocol unit tests: validation, canonical JSON, digests."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.serve import protocol
+
+
+def _reject(body):
+    with pytest.raises(protocol.ProtocolError) as excinfo:
+        protocol.parse_request(body)
+    assert excinfo.value.code == "bad_request"
+    return excinfo.value
+
+
+class TestParseRequest:
+    def test_minimal_characterize(self):
+        request = protocol.parse_request(
+            {"kind": "characterize", "workload": "hmmsearch"}
+        )
+        assert request.kind == "characterize"
+        assert request.workload == "hmmsearch"
+        assert request.scale is None  # session default applies later
+        assert request.seed is None
+        assert request.deadline_s is None
+
+    def test_full_characterize(self):
+        request = protocol.parse_request(
+            {
+                "kind": "characterize",
+                "workload": "hmmsearch",
+                "scale": "test",
+                "seed": 3,
+                "deadline_s": 2.5,
+            }
+        )
+        assert request.scale == "test"
+        assert request.seed == 3
+        assert request.deadline_s == 2.5
+
+    def test_sweep_fields(self):
+        request = protocol.parse_request(
+            {
+                "kind": "sweep",
+                "workload": "hmmsearch",
+                "field": "l1_hit_int",
+                "values": [1, 2, 3],
+            }
+        )
+        assert request.field == "l1_hit_int"
+        assert request.values == (1, 2, 3)
+        assert request.sweep_kind == "platform"
+
+    def test_rejects_non_object(self):
+        _reject(["not", "a", "dict"])
+
+    def test_rejects_unknown_kind(self):
+        _reject({"kind": "zap", "workload": "hmmsearch"})
+
+    def test_rejects_unknown_workload(self):
+        error = _reject({"kind": "characterize", "workload": "no-such"})
+        assert "no-such" in error.message
+
+    def test_rejects_bad_scale(self):
+        _reject({"kind": "characterize", "workload": "hmmsearch", "scale": "xxl"})
+
+    def test_rejects_bad_seed(self):
+        _reject({"kind": "characterize", "workload": "hmmsearch", "seed": "zero"})
+
+    def test_rejects_bad_deadline(self):
+        _reject(
+            {"kind": "characterize", "workload": "hmmsearch", "deadline_s": 0}
+        )
+        _reject(
+            {"kind": "characterize", "workload": "hmmsearch", "deadline_s": -1}
+        )
+
+    def test_rejects_bad_platform(self):
+        _reject(
+            {"kind": "evaluate", "workload": "predator", "platform": "sparc"}
+        )
+
+    def test_rejects_sweep_without_field(self):
+        _reject({"kind": "sweep", "workload": "hmmsearch", "values": [1]})
+
+    def test_rejects_sweep_without_values(self):
+        _reject({"kind": "sweep", "workload": "hmmsearch", "field": "l1_hit_int"})
+
+    def test_rejects_bad_sweep_kind(self):
+        _reject(
+            {
+                "kind": "sweep",
+                "workload": "hmmsearch",
+                "field": "l1_hit_int",
+                "values": [1],
+                "sweep_kind": "voltage",
+            }
+        )
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert protocol.canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_round_trip_normalizes_tuples(self):
+        assert protocol.canonical({"xs": (1, 2)}) == {"xs": [1, 2]}
+
+    def test_digest_is_sha256_of_canonical_rest(self):
+        body = protocol._digested({"b": 2, "a": 1})
+        digest = body.pop("digest")
+        assert digest == hashlib.sha256(
+            protocol.canonical_json(body).encode()
+        ).hexdigest()
+
+    def test_digest_deterministic_across_key_order(self):
+        one = protocol._digested({"x": 1, "y": [3, 4]})
+        two = protocol._digested({"y": [3, 4], "x": 1})
+        assert one["digest"] == two["digest"]
+
+
+class TestEnvelopes:
+    def test_status_map_covers_every_error_code(self):
+        body = protocol.error_body("queue_full", "busy", retry_after_s=0.5)
+        assert body == {
+            "ok": False,
+            "error": {"code": "queue_full", "message": "busy",
+                      "retry_after_s": 0.5},
+        }
+        for code in ("bad_request", "not_found", "queue_full", "internal",
+                     "task_failed", "deadline_exceeded"):
+            assert code in protocol.HTTP_STATUS
+
+    def test_ok_body_shape(self):
+        body = protocol.ok_body("fp", "characterize", {"digest": "d"},
+                                cached=True, elapsed_ms=1.23456)
+        assert body["ok"] is True
+        assert body["id"] == "fp"
+        assert body["cached"] is True
+        assert body["elapsed_ms"] == 1.235
+        assert json.loads(json.dumps(body)) == body

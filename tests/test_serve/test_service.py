@@ -1,0 +1,161 @@
+"""Integration tests of the batching service over a real session.
+
+The load-bearing assertion of the whole subsystem lives here: a
+payload served through the batching/single-flight machinery is
+**bit-identical** — same canonical bytes, same SHA-256 digest — to one
+built from a direct :meth:`repro.api.Session.characterize` call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.serve import (
+    CharacterizationService,
+    ServiceClient,
+    ServicePolicy,
+)
+from repro.serve.protocol import canonical_json, characterization_payload
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = CharacterizationService(
+        config=RunConfig(scale="test", jobs=2, keep_workers=True, cache=False)
+    )
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service)
+
+
+class TestBitIdentity:
+    def test_served_payload_matches_direct_session(self, client):
+        status, body = client.characterize("hmmsearch")
+        assert status == 200
+        with Session(RunConfig(scale="test", cache=False)) as direct:
+            expected = characterization_payload(
+                "hmmsearch", direct.characterize("hmmsearch")
+            )
+        assert body["result"] == expected
+        assert canonical_json(body["result"]) == canonical_json(expected)
+
+    def test_digest_matches_recomputation_from_wire(self, client):
+        _, body = client.characterize("hmmsearch")
+        payload = dict(body["result"])
+        digest = payload.pop("digest")
+        assert digest == hashlib.sha256(
+            canonical_json(payload).encode()
+        ).hexdigest()
+
+    def test_warm_repeat_is_cached_and_identical(self, client):
+        _, cold = client.characterize("dnapenny")
+        _, warm = client.characterize("dnapenny")
+        assert cold["result"]["digest"] == warm["result"]["digest"]
+        assert warm["cached"] is True
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_requests_share_one_run(self):
+        # A wide coalescing window holds the first flight in the queue
+        # while followers attach, making the single-flight attach
+        # deterministic instead of racing the engine.
+        svc = CharacterizationService(
+            config=RunConfig(scale="test", jobs=1, keep_workers=True, cache=False),
+            policy=ServicePolicy(batch_window_s=0.3),
+        )
+        try:
+            client = ServiceClient(svc)
+            before = client.metrics()[1]["metrics"]
+            results = []
+
+            def call():
+                results.append(client.characterize("clustalw"))
+
+            first = threading.Thread(target=call)
+            first.start()
+            deadline = time.monotonic() + 5.0
+            while not svc.batcher._inflight and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert svc.batcher._inflight, "first request never queued"
+            followers = [threading.Thread(target=call) for _ in range(3)]
+            for thread in followers:
+                thread.start()
+            for thread in [first, *followers]:
+                thread.join(timeout=60)
+            assert len(results) == 4
+            digests = {body["result"]["digest"] for status, body in results}
+            assert all(status == 200 for status, _ in results)
+            assert len(digests) == 1
+            after = client.metrics()[1]["metrics"]
+
+            def delta(name):
+                return after.get(name, 0) - before.get(name, 0)
+
+            assert delta("serve.singleflight_hits") >= 3
+            # one queue slot, one batch, one engine run for 4 requests
+            assert delta("serve.batches") == 1
+        finally:
+            svc.close()
+
+
+class TestRoutesAndRegistry:
+    def test_healthz(self, client):
+        status, body = client.healthz()
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["jobs"] == 2
+        assert body["backend"] in ("compiled", "switch")
+
+    def test_metrics_exposes_serve_instruments(self, client):
+        client.characterize("hmmsearch")
+        status, body = client.metrics()
+        assert status == 200
+        names = set(body["metrics"])
+        assert {"serve.admitted", "serve.batches", "serve.latency_ms"} <= names
+        latency = body["metrics"]["serve.latency_ms"]
+        assert latency["count"] >= 1
+        assert "p50" in latency and "p99" in latency
+
+    def test_run_registry_round_trip(self, client):
+        _, body = client.characterize("hmmsearch")
+        status, record = client.run(body["id"])
+        assert status == 200
+        assert record["workload"] == "hmmsearch"
+        assert record["fingerprint"] == body["id"]
+        assert record["digest"] == body["result"]["digest"]
+        assert record["manifest"]["kind"] == "characterization"
+        assert record["manifest"]["fingerprint"] == body["id"]
+
+    def test_unknown_run_is_404(self, client):
+        status, body = client.run("not-a-fingerprint")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_unknown_route_is_404(self, service):
+        assert service.handle_get("/nope")[0] == 404
+        assert service.handle_post("/v1/nope", {})[0] == 404
+
+    def test_bad_request_is_400(self, client):
+        status, body = client.characterize("no-such-workload")
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+    def test_evaluate_and_sweep(self, client):
+        status, body = client.evaluate("predator", platform="alpha",
+                                       scale="test")
+        assert status == 200
+        assert body["result"]["workload"] == "predator"
+        assert body["result"]["speedup"] > 0
+        status, body = client.sweep("hmmsearch", "l1_hit_int", [1, 2],
+                                    scale="test")
+        assert status == 200
+        assert len(body["result"]["points"]) == 2
