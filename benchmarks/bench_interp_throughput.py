@@ -1,9 +1,10 @@
 """Execution backend micro-benchmark: dynamic instructions/sec.
 
-Measures both execution backends (``switch`` — the reference opcode
-dispatch loop — and ``compiled`` — per-block generated code, see
-``docs/performance.md``) on hmmsearch in the three dispatch modes each
-backend specializes for:
+Measures all three execution backends (``switch`` — the reference
+opcode dispatch loop — ``compiled`` — per-block generated code — and
+``batched`` — the lockstep tier over the compiled codegen, see
+``docs/performance.md``).  The scalar backends run hmmsearch in the
+three dispatch modes each specializes for:
 
 * **bare** — no consumers attached (no events constructed);
 * **masked** — ``InstructionMix`` only (interest-masked event dispatch,
@@ -11,25 +12,39 @@ backend specializes for:
 * **fused** — the standard four-tool characterization set, collapsed
   into the fused fast path.
 
+The batched backend is measured on its design point: a homogeneous
+sweep of one program (promlk) over ``B = 8`` distinct dataset seeds,
+all eight instances executing in lockstep through one
+:func:`repro.exec.batched.run_batch` call with the fused tool set
+attached, against the same eight runs executed one-by-one on the
+compiled backend.  All measurements interleave inside one best-of-N
+repeat loop so machine noise hits every backend alike.
+
 One ``BENCH_interp_throughput_<backend>.json`` record is emitted per
-backend (each carries its fused-mode throughput and its ``backend``
-field, so the regression gate never compares across engines), and the
-test asserts the tentpole acceptance ratio: the compiled backend must
-be at least 3x the switch backend with the four standard tools
-attached.  Runs are interleaved best-of-N so machine noise hits both
-backends alike.
+backend (each carries its throughput, its ``backend`` field, and — for
+the batched record — the effective batch size ``B``, so the regression
+gate never compares across engines), and the test asserts both
+acceptance ratios: compiled must stay at least 3x switch with the four
+standard tools attached, and batched must reach at least 5x compiled
+on the 8-instance sweep with every lane's tool snapshots bit-identical
+to its scalar run.
 """
 
 import os
 import time
 
 from repro.atom import CacheSim, InstructionMix, LoadCoverage, SequenceProfile
-from repro.exec import make_interpreter
+from repro.exec import make_interpreter, run_batch
 from repro.workloads import get_workload
 
 CHAR_SCALE = os.environ.get("REPRO_SCALE", "small")
 
-BACKENDS = ("switch", "compiled")
+BACKENDS = ("switch", "compiled", "batched")
+SCALAR_BACKENDS = ("switch", "compiled")
+
+#: The batched tier's gated sweep: one program, B distinct dataset seeds.
+BATCH_WORKLOAD = "promlk"
+BATCH = 8
 
 MODES = {
     "bare": tuple,
@@ -52,38 +67,94 @@ def _run_once(backend, program, dataset, tool_factory) -> dict:
     return {"instructions": executed, "instructions_per_sec": executed / elapsed}
 
 
-def sweep(repeats: int = 6):
-    """Per-backend, per-mode best-of-``repeats`` throughput.
+def _snapshots(tool_sets):
+    return [[tool.snapshot() for tool in tools] for tools in tool_sets]
 
-    The repeat loop is outermost so the two backends' measurements
-    interleave: a slow patch of machine time degrades both equally
-    instead of biasing whichever ran inside it.
+
+def sweep(repeats: int = 6):
+    """Per-backend best-of-``repeats`` throughput.
+
+    The repeat loop is outermost so every backend's measurements
+    interleave: a slow patch of machine time degrades all of them
+    equally instead of biasing whichever ran inside it.  Returns the
+    scalar mode grid plus the batched sweep's figures (including the
+    per-lane tool snapshots of both sides, for the bit-identity gate).
     """
     spec = get_workload("hmmsearch")
     program = spec.program()
     dataset = spec.dataset(CHAR_SCALE, 0)
+    bspec = get_workload(BATCH_WORKLOAD)
+    bprogram = bspec.program()
+    bdatasets = [bspec.dataset(CHAR_SCALE, seed) for seed in range(BATCH)]
+
     results = {
         backend: {mode: {"instructions": 0, "instructions_per_sec": 0.0}
                   for mode in MODES}
-        for backend in BACKENDS
+        for backend in SCALAR_BACKENDS
+    }
+    batched = {
+        "workload": BATCH_WORKLOAD,
+        "batch": BATCH,
+        "instructions": 0,
+        "instructions_per_sec": 0.0,
+        "scalar_instructions_per_sec": 0.0,
+        "lockstep_lanes": 0,
+        "batched_snapshots": None,
+        "scalar_snapshots": None,
     }
     for _ in range(repeats):
         for mode, tool_factory in MODES.items():
-            for backend in BACKENDS:
+            for backend in SCALAR_BACKENDS:
                 entry = _run_once(backend, program, dataset, tool_factory)
                 slot = results[backend][mode]
                 slot["instructions"] = entry["instructions"]
                 slot["instructions_per_sec"] = max(
                     slot["instructions_per_sec"], entry["instructions_per_sec"]
                 )
-    return results
+
+        # The lockstep sweep: one run_batch over all B datasets ...
+        started = time.perf_counter()
+        lanes = run_batch(
+            bprogram, bdatasets, consumers_factory=MODES["fused"]
+        )
+        elapsed = time.perf_counter() - started
+        assert all(lane.error is None for lane in lanes)
+        total = sum(lane.interp.executed for lane in lanes)
+        batched["instructions"] = total
+        batched["lockstep_lanes"] = sum(lane.lockstep for lane in lanes)
+        batched["instructions_per_sec"] = max(
+            batched["instructions_per_sec"], total / elapsed
+        )
+        if batched["batched_snapshots"] is None:
+            batched["batched_snapshots"] = _snapshots(
+                [lane.consumers for lane in lanes]
+            )
+
+        # ... against the same B runs, one-by-one on the compiled engine.
+        started = time.perf_counter()
+        scalar_total = 0
+        scalar_tools = []
+        for bdataset in bdatasets:
+            tools = MODES["fused"]()
+            interp = make_interpreter(bprogram, bdataset, backend="compiled")
+            scalar_total += interp.run(consumers=tools)
+            scalar_tools.append(tools)
+        elapsed = time.perf_counter() - started
+        assert scalar_total == total
+        batched["scalar_instructions_per_sec"] = max(
+            batched["scalar_instructions_per_sec"], scalar_total / elapsed
+        )
+        if batched["scalar_snapshots"] is None:
+            batched["scalar_snapshots"] = _snapshots(scalar_tools)
+
+    return results, batched
 
 
 def test_interpreter_throughput(benchmark, publish):
-    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    results, batched = benchmark.pedantic(sweep, iterations=1, rounds=1)
 
     lines = [f"execution backend throughput, hmmsearch @ {CHAR_SCALE}:"]
-    for backend in BACKENDS:
+    for backend in SCALAR_BACKENDS:
         for mode, entry in results[backend].items():
             lines.append(
                 f"  {backend:9s} {mode:7s} "
@@ -96,9 +167,29 @@ def test_interpreter_throughput(benchmark, publish):
             / results["switch"][mode]["instructions_per_sec"]
         )
         lines.append(f"  compiled/switch ({mode}): {ratio:.2f}x")
+    batch_ratio = (
+        batched["instructions_per_sec"]
+        / batched["scalar_instructions_per_sec"]
+    )
+    lines.append(
+        f"batched lockstep sweep, {batched['workload']} @ {CHAR_SCALE}, "
+        f"B={batched['batch']} distinct seeds:"
+    )
+    lines.append(
+        f"  batched   fused   "
+        f"{batched['instructions_per_sec'] / 1e6:8.3f} M instr/s"
+        f"  ({batched['instructions']} instrs, "
+        f"{batched['lockstep_lanes']}/{batched['batch']} lanes in lockstep)"
+    )
+    lines.append(
+        f"  compiled  fused   "
+        f"{batched['scalar_instructions_per_sec'] / 1e6:8.3f} M instr/s"
+        f"  (same {batched['batch']} runs, one-by-one)"
+    )
+    lines.append(f"  batched/compiled (fused sweep): {batch_ratio:.2f}x")
     text = "\n".join(lines)
 
-    for backend in BACKENDS:
+    for backend in SCALAR_BACKENDS:
         publish(
             f"interp_throughput_{backend}",
             text,
@@ -110,20 +201,43 @@ def test_interpreter_throughput(benchmark, publish):
             backend=backend,
             rate=results[backend]["fused"]["instructions_per_sec"],
         )
+    publish(
+        "interp_throughput_batched",
+        text,
+        rows=[
+            {
+                "configuration": "fused-sweep",
+                "backend": "batched",
+                "workload": batched["workload"],
+                "batch": batched["batch"],
+                "instructions": batched["instructions"],
+                "instructions_per_sec": batched["instructions_per_sec"],
+                "scalar_instructions_per_sec": (
+                    batched["scalar_instructions_per_sec"]
+                ),
+                "ratio": batch_ratio,
+                "lockstep_lanes": batched["lockstep_lanes"],
+            }
+        ],
+        instructions=batched["instructions"],
+        backend="batched",
+        batch=batched["batch"],
+        rate=batched["instructions_per_sec"],
+    )
 
-    for backend in BACKENDS:
+    for backend in SCALAR_BACKENDS:
         bare = results[backend]["bare"]["instructions_per_sec"]
         masked = results[backend]["masked"]["instructions_per_sec"]
         fused = results[backend]["fused"]["instructions_per_sec"]
         assert bare > masked > 0, backend
         assert fused > 0, backend
-    # Both backends execute the identical dynamic instruction stream.
+    # All backends execute the identical dynamic instruction stream.
     assert (
         results["compiled"]["fused"]["instructions"]
         == results["switch"]["fused"]["instructions"]
     )
-    # Tentpole acceptance: >=3x with the standard four tools attached
-    # (and the bare loop, free of any tool work, much further ahead).
+    # Compiled acceptance: >=3x switch with the standard four tools
+    # attached (and the bare loop, free of any tool work, further ahead).
     four_ratio = (
         results["compiled"]["fused"]["instructions_per_sec"]
         / results["switch"]["fused"]["instructions_per_sec"]
@@ -134,3 +248,9 @@ def test_interpreter_throughput(benchmark, publish):
         / results["switch"]["bare"]["instructions_per_sec"]
     )
     assert bare_ratio > four_ratio, "bare mode should benefit most"
+    # Batched acceptance: the whole sweep actually ran in lockstep, every
+    # lane's tool snapshots are bit-identical to its scalar run, and the
+    # sweep is >=5x the compiled backend on the same work.
+    assert batched["lockstep_lanes"] == batched["batch"]
+    assert batched["batched_snapshots"] == batched["scalar_snapshots"]
+    assert batch_ratio >= 5.0, f"batched/compiled sweep ratio {batch_ratio:.2f}x"

@@ -66,10 +66,12 @@ class RunConfig:
     config (default: whatever ``$REPRO_FAULTS`` says, usually none).
     ``trace`` names a JSONL file: telemetry is enabled for the
     session's lifetime and flushed there on close.  ``backend`` picks
-    the execution engine (``compiled``/``switch``; None defers to
-    ``$REPRO_BACKEND``, then the compiled default — see
-    :mod:`repro.exec.backends`).  Both backends are bit-identical, so
-    cached runs are shared across backends.
+    the execution engine (``compiled``/``switch``/``batched``; None
+    defers to ``$REPRO_BACKEND``, then the compiled default — see
+    :mod:`repro.exec.backends`).  All backends are bit-identical, so
+    cached runs are shared across backends; ``batched`` additionally
+    makes :meth:`Session.characterize_many` group compatible requests
+    (same workload and scale) into lockstep batches.
     """
 
     scale: str = "medium"
@@ -133,7 +135,7 @@ class Session:
 
     @property
     def backend(self) -> str:
-        """The resolved execution backend name (compiled/switch)."""
+        """The resolved backend name (compiled/switch/batched)."""
         from repro.exec.backends import resolve_backend
 
         return resolve_backend(self.config.backend)
@@ -301,8 +303,21 @@ class Session:
         (never loosens) the engine's per-task deadline for this batch;
         it is the hook request deadlines are mapped onto.  Unknown
         workload names raise ``KeyError`` before any work is dispatched.
+
+        With the ``batched`` backend, missing runs are additionally
+        grouped by (workload, scale): each group becomes **one**
+        lockstep batch task executing all its seeds together through
+        :func:`repro.exec.batched.run_batch`, settling per lane — a
+        seed that faults mid-batch degrades its own slot to a
+        :class:`~repro.core.parallel.FailedCell` while its batchmates
+        still land.  Every lane is bit-identical to a scalar run, so
+        memo/cache entries stay shared with the other backends.
         """
-        from repro.core.parallel import FailedCell, _characterize_task
+        from repro.core.parallel import (
+            FailedCell,
+            _characterize_batch_task,
+            _characterize_task,
+        )
         from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 
         keys = [
@@ -329,11 +344,23 @@ class Session:
             missing = [key for key in dict.fromkeys(keys) if key not in resolved]
             span.set_attr(missing=len(missing), jobs=self.jobs)
             if missing:
-                tasks = [
-                    (name, scale, seed, DEFAULT_MAX_INSTRUCTIONS,
-                     self.config.backend)
-                    for name, scale, seed in missing
-                ]
+                batched = self.backend == "batched"
+                if batched:
+                    groups: Dict[Tuple[str, str], List[int]] = {}
+                    for name, scale, seed in missing:
+                        groups.setdefault((name, scale), []).append(seed)
+                    func = _characterize_batch_task
+                    tasks = [
+                        (name, scale, tuple(seeds), DEFAULT_MAX_INSTRUCTIONS)
+                        for (name, scale), seeds in groups.items()
+                    ]
+                else:
+                    func = _characterize_task
+                    tasks = [
+                        (name, scale, seed, DEFAULT_MAX_INSTRUCTIONS,
+                         self.config.backend)
+                        for name, scale, seed in missing
+                    ]
                 runner = self._batch_runner()
                 saved = runner.timeout
                 if timeout is not None:
@@ -341,19 +368,61 @@ class Session:
                         timeout if saved is None else min(saved, timeout)
                     )
                 try:
-                    settled_list = runner.map_settled(_characterize_task, tasks)
+                    settled_list = runner.map_settled(func, tasks)
                 finally:
                     runner.timeout = saved
-                for key, settled in zip(missing, settled_list):
-                    if isinstance(settled, FailedCell):
-                        obs.metrics().counter("experiments.batch_failures").inc()
-                        resolved[key] = settled
-                        continue
-                    _name, result = settled
-                    self._runs[key] = resolved[key] = result
-                    if self._cache is not None:
-                        self._cache.store(self._fingerprint(*key), result)
+                if batched:
+                    self._settle_batched(tasks, settled_list, resolved)
+                else:
+                    for key, settled in zip(missing, settled_list):
+                        if isinstance(settled, FailedCell):
+                            obs.metrics().counter(
+                                "experiments.batch_failures"
+                            ).inc()
+                            resolved[key] = settled
+                            continue
+                        _name, result = settled
+                        self._runs[key] = resolved[key] = result
+                        if self._cache is not None:
+                            self._cache.store(self._fingerprint(*key), result)
             return [resolved[key] for key in keys]
+
+    def _settle_batched(self, tasks, settled_list, resolved) -> None:
+        """Fan lockstep-batch outcomes back onto per-(name, scale, seed)
+        slots: a whole-batch failure marks every member seed, a per-lane
+        failure marks only its own, and successful lanes are memoized
+        and cached exactly like scalar runs (they are bit-identical)."""
+        from repro.core.parallel import FailedCell
+
+        for task, settled in zip(tasks, settled_list):
+            name, scale, seeds, max_instructions = task
+            if isinstance(settled, FailedCell):
+                for seed in seeds:
+                    obs.metrics().counter("experiments.batch_failures").inc()
+                    resolved[(name, scale, seed)] = FailedCell(
+                        f"characterize workload={name} scale={scale} "
+                        f"seed={seed}",
+                        (name, scale, seed, max_instructions),
+                        settled.error,
+                        settled.attempts,
+                    )
+                continue
+            _name, lanes = settled
+            for seed, ok, payload in lanes:
+                key = (name, scale, seed)
+                if not ok:
+                    obs.metrics().counter("experiments.batch_failures").inc()
+                    resolved[key] = FailedCell(
+                        f"characterize workload={name} scale={scale} "
+                        f"seed={seed}",
+                        (name, scale, seed, max_instructions),
+                        payload,
+                        1,
+                    )
+                    continue
+                self._runs[key] = resolved[key] = payload
+                if self._cache is not None:
+                    self._cache.store(self._fingerprint(*key), payload)
 
     # -- evaluation ----------------------------------------------------------
     def evaluate(

@@ -114,10 +114,11 @@ def _work_parent() -> argparse.ArgumentParser:
     )
     group.add_argument(
         "--backend",
-        choices=["compiled", "switch"],
+        choices=["compiled", "switch", "batched"],
         default=suppress,
         help="execution backend (default: $REPRO_BACKEND or compiled); "
-        "both are bit-identical — see docs/performance.md",
+        "all are bit-identical — batched groups compatible runs into "
+        "lockstep batches — see docs/performance.md",
     )
     return parent
 

@@ -1,0 +1,542 @@
+"""Batched lockstep execution backend: B instances per codegen pass.
+
+Characterization traffic is dominated by sweeps of one ``Program`` over
+many datasets (the paper re-runs each BioPerf program per input; the
+serve batcher coalesces exactly such requests).  A scalar run pays the
+full fused-tool cost per instance even though ~95% of that cost — the
+cache/predictor/sequence tool transitions — is identical work repeated
+per lane.  This backend runs B instances in lockstep and pays the tool
+work once:
+
+* **Leader** (lane 0) is a real :class:`~repro.exec.compiled.
+  CompiledInterpreter` driven block-by-block in *record mode*: its
+  generated code appends every memory index and branch direction to a
+  shared ``rec`` list as it executes (see ``record=`` in
+  :func:`repro.exec.compiled.compiled_for`).
+* **Followers** (lanes 1..B-1) execute a *replay* variant of each block
+  (generated here): data operations only — no tools, no bounds checks,
+  no use-before-def guards — with each recorded site checked
+  positionally against ``rec``.  A mismatch means the lanes diverged.
+
+Why replay may drop the guards: array lengths are equal across lanes
+(an eligibility check), so index equality with the leader implies
+in-bounds; definedness of a register is a function of the control path
+alone (a successfully executed CMOV leaves its dest defined on *both*
+arms — the untaken arm verifies it), and control equality is enforced
+at every recorded branch, so any read the leader survived is defined in
+a converged follower too.  The single exception is the CMOV itself,
+whose condition is data: replay re-checks it and peels on ``UNDEF``.
+
+Divergence handling is correctness-first: a follower that diverges (or
+raises anything — ZeroDivisionError and friends) is *peeled* and re-run
+from scratch on the scalar compiled backend; a leader-side error or a
+budget crossing *abandons* the whole batch the same way.  Because
+peeled lanes re-run from pristine bindings (``Interpreter._bind``
+copies array contents), every per-lane observable — tool snapshots,
+registers, memory, telemetry counters, error strings, BudgetExceeded
+abort points — is bit-identical to a scalar run by construction.
+``tests/test_exec/test_backends.py`` enforces this three-ways.
+
+Telemetry: an abandoned lockstep attempt emits nothing (the scalar
+re-runs own their spans/counters); a converged batch emits one
+``interpret`` span (``dispatch="batched"``, ``batch=B``) and flushes
+the leader's counters once per converged lane, so ``interp.*`` metrics
+match B scalar runs exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import linecache
+import pickle
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro import obs
+from repro.exec.compiled import (
+    _BINOPS,
+    _CMPOPS,
+    UNDEF,
+    CompiledInterpreter,
+    _collect_registers,
+    _definite_assignment,
+    _reachable_prefix,
+)
+from repro.exec.interpreter import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    _fuse_consumers,
+    _trunc_div,
+)
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+__all__ = ["LaneResult", "run_batch"]
+
+_O = Opcode
+
+_REPLAY_FILENAME_COUNTER = itertools.count()
+
+
+class _Diverged(Exception):
+    """A follower lane left the leader's control/address path."""
+
+
+class _ReplayProgram:
+    """Per-``Program`` replay code: one guard-free function per block."""
+
+    __slots__ = ("filename", "source", "factory", "nregs", "reg_index")
+
+
+def _slot(reg_index, reg) -> str:
+    return f"R[{reg_index[reg]}]"
+
+
+def _index_expr(reg_index, reg, imm) -> str:
+    offset = imm or 0
+    s = _slot(reg_index, reg)
+    return s if offset == 0 else f"{s} + {offset}"
+
+
+def _generate_replay(program: Program) -> _ReplayProgram:
+    """Emit the follower-side replay module for ``program``.
+
+    The replay of a block follows the leader's control path by
+    construction (every branch checks its recorded direction and
+    returns on taken), so along the one path that executes, the rec
+    slot consumed at each site has a *static* index: loads, stores and
+    branches occupy exactly one slot each, and a CSTORE always occupies
+    one (the committed index, or None when the predicate was false).
+    The leader publishes each block's sites as a single tuple (the
+    prefix its exit path executed) appended to ``rec``; replay binds it
+    once, right before the first site — safe because the only exits
+    reachable before the first site are JMP/HALT paths, and a block's
+    reachable prefix ends at those, so no site can follow them.
+    """
+    reg_index = _collect_registers(program)
+    blocks = program.blocks
+    reachable = [_reachable_prefix(b) for b in blocks]
+    block_pos = {b.name: i for i, b in enumerate(blocks)}
+    defined_in = _definite_assignment(program, reachable, reg_index,
+                                      block_pos)
+    arrays = {name: f"M{i}" for i, name in enumerate(program.arrays)}
+
+    lines: List[str] = []
+
+    def emit(indent: int, text: str) -> None:
+        lines.append("    " * indent + text)
+
+    emit(0, "def _factory(ns):")
+    for stmt in (
+        'R = ns["R"]',
+        'REC = ns["rec"]',
+        'UNDEF = ns["UNDEF"]',
+        'td = ns["td"]',
+        'DV = ns["DV"]',
+        'mem = ns["mem"]',
+    ):
+        emit(1, stmt)
+    for name, var in arrays.items():
+        emit(1, f"{var} = mem[{name!r}]")
+    defaults = "".join(
+        f", {name}={name}"
+        for name in ["R", "REC", "UNDEF", "td", "DV"] + list(arrays.values())
+    )
+
+    for bi, instrs in enumerate(reachable):
+        emit(1, f"def b{bi}({defaults.lstrip(', ')}):")
+        defined = (set(defined_in[bi])
+                   if defined_in[bi] is not None else set())
+        ri = 0  # static rec-slot cursor along the fall-through path
+        body = False
+
+        def site() -> str:
+            """The next site's tuple access; binds the tuple on first use."""
+            nonlocal ri
+            if ri == 0:
+                emit(2, "T = REC[0]")
+            expr = f"T[{ri}]"
+            ri += 1
+            return expr
+
+        for instr in instrs:
+            op = instr.opcode
+            srcs = instr.srcs
+            dest = instr.dest
+            ind = 2
+            if op is _O.LOAD or op is _O.FLOAD:
+                emit(ind, f"x = {_index_expr(reg_index, srcs[0], instr.imm)}")
+                emit(ind, f"if x != {site()}: raise DV")
+                emit(ind, f"{_slot(reg_index, dest)} = {arrays[instr.array]}[x]")
+                defined.add(reg_index[dest])
+            elif op is _O.STORE or op is _O.FSTORE:
+                emit(ind, f"x = {_index_expr(reg_index, srcs[1], instr.imm)}")
+                emit(ind, f"if x != {site()}: raise DV")
+                emit(ind, f"{arrays[instr.array]}[x] = {_slot(reg_index, srcs[0])}")
+            elif op is _O.CSTORE or op is _O.FCSTORE:
+                # The recorded site carries taken-ness: the committed
+                # index, or None when the leader's predicate was false.
+                emit(ind, f"t = {site()}")
+                emit(ind, f"if {_slot(reg_index, srcs[2])} != 0:")
+                emit(ind + 1, "if t is None: raise DV")
+                emit(ind + 1,
+                     f"x = {_index_expr(reg_index, srcs[1], instr.imm)}")
+                emit(ind + 1, "if x != t: raise DV")
+                emit(ind + 1,
+                     f"{arrays[instr.array]}[x] = {_slot(reg_index, srcs[0])}")
+                emit(ind, "elif t is not None:")
+                emit(ind + 1, "raise DV")
+            elif op is _O.BR:
+                emit(ind, f"tk = {_slot(reg_index, srcs[0])} != 0")
+                emit(ind, f"if tk != {site()}: raise DV")
+                emit(ind, "if tk: return")
+            elif op is _O.JMP or op is _O.HALT:
+                emit(ind, "return")
+                body = True
+                break
+            elif op in _BINOPS:
+                emit(ind,
+                     f"{_slot(reg_index, dest)} = {_slot(reg_index, srcs[0])} "
+                     f"{_BINOPS[op]} {_slot(reg_index, srcs[1])}")
+                defined.add(reg_index[dest])
+            elif op in _CMPOPS:
+                emit(ind,
+                     f"{_slot(reg_index, dest)} = 1 if "
+                     f"{_slot(reg_index, srcs[0])} {_CMPOPS[op]} "
+                     f"{_slot(reg_index, srcs[1])} else 0")
+                defined.add(reg_index[dest])
+            elif op is _O.MOV or op is _O.FMOV:
+                emit(ind, f"{_slot(reg_index, dest)} = {_slot(reg_index, srcs[0])}")
+                defined.add(reg_index[dest])
+            elif op is _O.LI or op is _O.FLI:
+                emit(ind, f"{_slot(reg_index, dest)} = {instr.imm!r}")
+                defined.add(reg_index[dest])
+            elif op is _O.CMOV or op is _O.FCMOV:
+                # The one data-dependent definedness point (see module
+                # docstring): the follower's condition may disagree
+                # with the leader's, so the arm the leader never took
+                # must re-check definedness itself and peel on UNDEF.
+                emit(ind, f"if {_slot(reg_index, srcs[0])} != 0:")
+                if reg_index[srcs[1]] not in defined:
+                    emit(ind + 1,
+                         f"if {_slot(reg_index, srcs[1])} is UNDEF: raise DV")
+                emit(ind + 1,
+                     f"{_slot(reg_index, dest)} = {_slot(reg_index, srcs[1])}")
+                if reg_index[dest] not in defined:
+                    emit(ind, "else:")
+                    emit(ind + 1,
+                         f"if {_slot(reg_index, dest)} is UNDEF: raise DV")
+                defined.add(reg_index[dest])
+            elif op is _O.DIV:
+                emit(ind,
+                     f"{_slot(reg_index, dest)} = td({_slot(reg_index, srcs[0])}, "
+                     f"{_slot(reg_index, srcs[1])})")
+                defined.add(reg_index[dest])
+            elif op is _O.MOD:
+                emit(ind,
+                     f"a_ = {_slot(reg_index, srcs[0])}; "
+                     f"b_ = {_slot(reg_index, srcs[1])}; "
+                     f"{_slot(reg_index, dest)} = a_ - b_ * td(a_, b_)")
+                defined.add(reg_index[dest])
+            elif op is _O.NEG or op is _O.FNEG:
+                emit(ind, f"{_slot(reg_index, dest)} = -{_slot(reg_index, srcs[0])}")
+                defined.add(reg_index[dest])
+            elif op is _O.CVTIF:
+                emit(ind,
+                     f"{_slot(reg_index, dest)} = float({_slot(reg_index, srcs[0])})")
+                defined.add(reg_index[dest])
+            elif op is _O.CVTFI:
+                emit(ind,
+                     f"{_slot(reg_index, dest)} = int({_slot(reg_index, srcs[0])})")
+                defined.add(reg_index[dest])
+            elif op is _O.NOP:
+                continue
+            body = True
+        if not body:
+            emit(2, "return")
+
+    names = ", ".join(f"b{i}" for i in range(len(blocks)))
+    if len(blocks) == 1:
+        names += ","
+    emit(1, f"return ({names})")
+
+    source = "\n".join(lines) + "\n"
+    filename = f"<repro-replay-{next(_REPLAY_FILENAME_COUNTER)}>"
+    code = compile(source, filename, "exec")
+    namespace: Dict[str, object] = {}
+    exec(code, namespace)
+    linecache.cache[filename] = (
+        len(source), None, source.splitlines(True), filename
+    )
+
+    rp = _ReplayProgram()
+    rp.filename = filename
+    rp.source = source
+    rp.factory = namespace["_factory"]
+    rp.nregs = len(reg_index)
+    rp.reg_index = reg_index
+    return rp
+
+
+#: Replay depends only on the Program (no lengths, no dispatch mode).
+_REPLAY_WEAK: "WeakKeyDictionary" = WeakKeyDictionary()
+_REPLAY_KEYED: Dict[str, _ReplayProgram] = {}
+
+
+def replay_for(program: Program,
+               code_key: Optional[str] = None) -> _ReplayProgram:
+    if code_key is not None:
+        rp = _REPLAY_KEYED.get(code_key)
+        if rp is None:
+            rp = _REPLAY_KEYED[code_key] = _generate_replay(program)
+        return rp
+    rp = _REPLAY_WEAK.get(program)
+    if rp is None:
+        rp = _REPLAY_WEAK[program] = _generate_replay(program)
+    return rp
+
+
+class LaneResult:
+    """Outcome of one lane of :func:`run_batch`.
+
+    ``interp`` exposes the lane's final machine state (partial state on
+    error, exactly as a scalar run would leave it); ``consumers`` is
+    the lane's tool tuple; ``error`` is the exception a scalar run
+    raises (None on success); ``lockstep`` records whether the lane
+    completed in the vectorized tier (False = scalar fallback/peel).
+    """
+
+    __slots__ = ("interp", "consumers", "error", "lockstep")
+
+    def __init__(self, interp, consumers, error=None, lockstep=False):
+        self.interp = interp
+        self.consumers = consumers
+        self.error = error
+        self.lockstep = lockstep
+
+
+def _scalar_lane(program, bindings, max_instructions, code_key,
+                 factory) -> LaneResult:
+    """Run one lane from pristine bindings on the compiled backend."""
+    consumers = tuple(factory())
+    interp = None
+    try:
+        interp = CompiledInterpreter(program, bindings, max_instructions,
+                                     code_key=code_key)
+        interp.run(consumers=consumers)
+    except Exception as exc:
+        return LaneResult(interp, consumers, error=exc)
+    return LaneResult(interp, consumers)
+
+
+def _tools_eligible(factory) -> Optional[Tuple]:
+    """The leader's fresh tool tuple when lockstep may engage, else None.
+
+    Lockstep requires tools whose final state is a pure function of the
+    observed event stream shared by converged lanes: the empty set, or
+    the exact standard four-tool set (which fuses).  The factory must
+    also be deterministic — two fresh sets with differing initial
+    snapshots would make the end-of-run deepcopy unsound.
+    """
+    probe = tuple(factory())
+    if not probe:
+        return probe
+    if _fuse_consumers(list(probe)) is None:
+        return None
+    control = tuple(factory())
+    try:
+        if ([t.snapshot() for t in probe]
+                != [t.snapshot() for t in control]):
+            return None
+    except Exception:
+        return None
+    return probe
+
+
+def run_batch(
+    program: Program,
+    bindings_list: Sequence[Optional[Mapping[str, object]]],
+    *,
+    consumers_factory=None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    code_key: Optional[str] = None,
+) -> List[LaneResult]:
+    """Execute ``program`` over B binding sets, vectorizing where safe.
+
+    Returns one :class:`LaneResult` per entry of ``bindings_list``, in
+    order.  ``consumers_factory`` (if given) is called once per lane to
+    build that lane's consumer tuple — per-lane tools must be distinct
+    objects, hence a factory rather than a shared tuple.  Every lane's
+    result is bit-identical to ``make_interpreter(...).run(...)`` with
+    the same inputs; lanes that cannot run in lockstep (custom tools,
+    mismatched array lengths, divergence, errors, budget crossings) are
+    transparently executed on the scalar compiled backend.
+    """
+    B = len(bindings_list)
+    if B == 0:
+        return []
+    factory = consumers_factory if consumers_factory is not None else tuple
+    results: List[Optional[LaneResult]] = [None] * B
+
+    def scalar(lane: int) -> LaneResult:
+        return _scalar_lane(program, bindings_list[lane], max_instructions,
+                            code_key, factory)
+
+    probe = _tools_eligible(factory) if B >= 2 else None
+    if B < 2 or probe is None:
+        return [scalar(i) for i in range(B)]
+
+    # Per-lane interpreters.  A lane whose construction fails gets the
+    # scalar path's exact behaviour (fresh tools, the same exception).
+    interps: List[Optional[CompiledInterpreter]] = []
+    for lane in range(B):
+        try:
+            interps.append(
+                CompiledInterpreter(program, bindings_list[lane],
+                                    max_instructions, code_key=code_key)
+            )
+        except Exception as exc:
+            interps.append(None)
+            results[lane] = LaneResult(None, tuple(factory()), error=exc)
+
+    leader = interps[0]
+    if leader is None:
+        for lane in range(1, B):
+            if results[lane] is None:
+                results[lane] = scalar(lane)
+        return results  # type: ignore[return-value]
+
+    ctx = leader._prepare(list(probe), record=True)
+    if ctx is None:
+        # Empty program: every lane's run() is a 0-instruction no-op.
+        results[0] = LaneResult(leader, probe)
+        leader_lengths = None
+        followers: List[List] = []
+    else:
+        leader_lengths = [len(leader.memory[name])
+                          for name in program.arrays]
+        rp = replay_for(program, code_key)
+        followers = []
+        for lane in range(1, B):
+            interp = interps[lane]
+            if interp is None:
+                continue
+            if [len(interp.memory[name])
+                    for name in program.arrays] != leader_lengths:
+                continue  # incompatible shape: scalar below
+            R = [UNDEF] * rp.nregs
+            reg_get = interp.registers.get
+            for reg, idx in rp.reg_index.items():
+                R[idx] = reg_get(reg, UNDEF)
+            fns = rp.factory({
+                "R": R,
+                "rec": ctx.rec,
+                "UNDEF": UNDEF,
+                "td": _trunc_div,
+                "DV": _Diverged,
+                "mem": interp.memory,
+            })
+            followers.append([lane, interp, R, fns])
+
+    if ctx is not None and followers:
+        rec = ctx.rec
+        rec_clear = rec.clear
+        block_fns = ctx.block_fns
+        meta = ctx.cp.block_meta
+        budget = leader.max_instructions
+        bi = 0
+        count = 0
+        abandoned = False
+        while bi >= 0:
+            n = meta[bi]
+            need = n if n >= 0 else -n
+            if count + need > budget:
+                # The block *might* cross the budget; exact mid-block
+                # abort semantics (partial tool state, message) come
+                # from the scalar re-runs.
+                abandoned = True
+                break
+            rec_clear()
+            try:
+                if n >= 0:
+                    nxt = block_fns[bi](count)
+                    executed = n
+                else:
+                    nxt, executed = block_fns[bi](count)
+            except Exception:
+                abandoned = True
+                break
+            if followers:
+                alive = []
+                for st in followers:
+                    try:
+                        st[3][bi]()
+                    except Exception:
+                        # Diverged (or raised what the scalar run will
+                        # raise): peel — re-run from pristine bindings.
+                        results[st[0]] = scalar(st[0])
+                    else:
+                        alive.append(st)
+                followers = alive
+            count += executed
+            bi = nxt
+
+        if abandoned:
+            # Leader error or possible budget crossing: nothing was
+            # published (no span, no counters, tools discarded), so the
+            # from-scratch scalar runs are the only observable story.
+            results[0] = scalar(0)
+            for st in followers:
+                results[st[0]] = scalar(st[0])
+        else:
+            if ctx.fused_mode:
+                ctx.sync(count)
+            leader._writeback(ctx.cp, ctx.R)
+            leader.executed = count
+            results[0] = LaneResult(leader, probe, lockstep=True)
+            if followers and probe:
+                # Converged lanes observed the identical event stream,
+                # so each follower's tools are value-copies of the
+                # leader's final state.  The tools already round-trip
+                # through pickle (the process-parallel session path
+                # ships them between workers), and a C-speed loads() per
+                # lane is far cheaper than a Python-recursion deepcopy.
+                try:
+                    blob = pickle.dumps(probe, pickle.HIGHEST_PROTOCOL)
+                    clone = lambda: pickle.loads(blob)  # noqa: E731
+                except Exception:
+                    clone = lambda: copy.deepcopy(probe)  # noqa: E731
+            else:
+                clone = tuple
+            for lane, interp, R, _fns in followers:
+                regs = interp.registers
+                for reg, idx in rp.reg_index.items():
+                    value = R[idx]
+                    if value is not UNDEF:
+                        regs[reg] = value
+                interp.executed = count
+                results[lane] = LaneResult(interp, clone(), lockstep=True)
+            nlanes = 1 + len(followers)
+            run_span = obs.span(
+                "interpret",
+                dispatch="batched",
+                consumers=len(probe),
+                batch=nlanes,
+            )
+            run_span.__enter__()
+            if ctx.telemetry:
+                # Converged lanes observed identical event streams, so
+                # interp.* counters equal B_converged scalar runs.
+                for _ in range(nlanes):
+                    leader._flush_telemetry(run_span, count,
+                                            ctx.fused_counter, ctx.fanouts)
+            run_span.__exit__(None, None, None)
+    elif ctx is not None:
+        # No lockstep-compatible follower: the vector tier buys nothing,
+        # and the leader context was never driven — run lane 0 scalar.
+        results[0] = scalar(0)
+
+    for lane in range(B):
+        if results[lane] is None:
+            results[lane] = scalar(lane)
+    return results  # type: ignore[return-value]

@@ -339,6 +339,11 @@ class _BlockCodegen:
         self.defined = set(defined) if defined is not None else set()
         self.batch = _Batch(gen.fused, gen.telemetry)
         self._have_pj: Optional[int] = None
+        #: Record-mode site locals (``rc0_, rc1_, ...``) in emission
+        #: order; flushed as ONE tuple append per block exit so the
+        #: batched leader pays a single RCA call per block, and each
+        #: exit publishes exactly the prefix its path executed.
+        self.rec_sites: List[str] = []
 
     # -- small helpers -----------------------------------------------------
     def slot(self, reg: Reg) -> str:
@@ -371,9 +376,25 @@ class _BlockCodegen:
         for stmt in self.batch.stmts():
             self.line(indent, stmt, j, instr)
 
+    def rec_name(self) -> str:
+        """Allocate the next record-site local."""
+        name = f"rc{len(self.rec_sites)}_"
+        self.rec_sites.append(name)
+        return name
+
+    def rec_flush(self, indent: int, j: int, instr) -> None:
+        """Publish the record prefix executed on this exit path."""
+        if not self.gen.record or not self.rec_sites:
+            return
+        tup = ", ".join(self.rec_sites)
+        if len(self.rec_sites) == 1:
+            tup += ","
+        self.line(indent, f"RCA(({tup}))", j, instr)
+
     def ret(self, indent: int, target: int, j: int, instr,
             irregular: bool) -> None:
         """One block exit: flush batched counters, then return."""
+        self.rec_flush(indent, j, instr)
         self.flush_lines(indent, j, instr)
         if irregular:
             self.line(indent, f"return {target}, {j + 1}", j, instr)
@@ -764,6 +785,8 @@ class _BlockCodegen:
         else:
             self.line(ind, f"v = {mem}[x]", j, instr)
             self.line(ind, f"{self.slot(instr.dest)} = v", j, instr)
+        if gen.record:
+            self.line(ind, f"{self.rec_name()} = x", j, instr)
         self.mark_defined(instr.dest)
         self.dispatch_load(ind, instr, j, base)
 
@@ -788,6 +811,8 @@ class _BlockCodegen:
             self.line(ind, f"if x >= {length}: {self.oob('store', instr, length)}",
                       j, instr)
             self.line(ind, f"{mem}[x] = {self.slot(value)}", j, instr)
+        if gen.record:
+            self.line(ind, f"{self.rec_name()} = x", j, instr)
         self.dispatch_store(ind, instr, j, base)
 
     def emit_cstore(self, ind: int, instr, j: int) -> None:
@@ -812,20 +837,33 @@ class _BlockCodegen:
             self.line(ind + 1, f"if x >= {length}: {self.oob('store', instr, length)}",
                       j, instr)
             self.line(ind + 1, f"{mem}[x] = {self.slot(value)}", j, instr)
+        rec = self.rec_name() if gen.record else None
+        if rec is not None:
+            # One rec site per CSTORE: the committed index when taken,
+            # None when skipped (replay decodes taken-ness from it).
+            self.line(ind + 1, f"{rec} = x", j, instr)
         if gen.fused:
             self.l1_store(ind + 1, base, j, instr)
             self.defined = inner_defined
+            if rec is not None:
+                self.line(ind, "else:", j, instr)
+                self.line(ind + 1, f"{rec} = None", j, instr)
             self.seq_consume(ind, instr, j)
             self.batch.store(False)  # FCSTORE does not count fp (switch parity)
         elif masked_store:
             self.line(ind + 1, f"a = {self.addr_expr(base)}", j, instr)
             self.line(ind, "else:", j, instr)
             self.line(ind + 1, "a = None", j, instr)
+            if rec is not None:
+                self.line(ind + 1, f"{rec} = None", j, instr)
             self.defined = inner_defined
             self.line(ind, f"ev = TE(I{instr.sid}, a, None)", j, instr)
             self.line(ind, "for s_ in S_store: s_(ev)", j, instr)
         else:
             self.defined = inner_defined
+            if rec is not None:
+                self.line(ind, "else:", j, instr)
+                self.line(ind + 1, f"{rec} = None", j, instr)
 
     def emit_branch(self, ind: int, instr, j: int, last: bool,
                     irregular: bool) -> None:
@@ -843,6 +881,8 @@ class _BlockCodegen:
             pv = self.pj(j)
             self.seq_consume(ind, instr, j)
             self.line(ind, f"tk = {self.slot(cond)} != 0", j, instr)
+            if gen.record:
+                self.line(ind, f"{self.rec_name()} = tk", j, instr)
             if gen.inline_pred:
                 self.inline_predictor(ind, sid, j, instr)
             else:
@@ -865,8 +905,14 @@ class _BlockCodegen:
                 self.ret(ind, fall_target, j, instr, irregular)
         else:
             has_branch_sinks = not gen.fused and gen.has_sinks("branch")
+            if gen.record:
+                self.line(ind, f"tk = {self.slot(cond)} != 0", j, instr)
+                self.line(ind, f"{self.rec_name()} = tk", j, instr)
+                cond_test = "tk"
+            else:
+                cond_test = f"{self.slot(cond)} != 0"
             if has_branch_sinks:
-                self.line(ind, f"if {self.slot(cond)} != 0:", j, instr)
+                self.line(ind, f"if {cond_test}:", j, instr)
                 self.line(ind + 1, f"ev = TE(I{instr.sid}, None, True)",
                           j, instr)
                 self.line(ind + 1, "for s_ in S_branch: s_(ev)", j, instr)
@@ -877,12 +923,13 @@ class _BlockCodegen:
                     self.ret(ind, fall_target, j, instr, irregular)
             else:
                 if last and not irregular:
+                    self.rec_flush(ind, j, instr)
                     self.line(ind,
-                              f"return {taken_target} if {self.slot(cond)} != 0 "
+                              f"return {taken_target} if {cond_test} "
                               f"else {fall_target}",
                               j, instr)
                 else:
-                    self.line(ind, f"if {self.slot(cond)} != 0:", j, instr)
+                    self.line(ind, f"if {cond_test}:", j, instr)
                     self.ret(ind + 1, taken_target, j, instr, irregular)
                     if last:
                         self.ret(ind, fall_target, j, instr, irregular)
@@ -962,6 +1009,7 @@ class _BlockCodegen:
         if not exited:
             n = len(instrs)
             target = gen.fall_target(self.bi)
+            self.rec_flush(2, n - 1, instrs[-1] if instrs else None)
             self.flush_lines(2, n - 1, instrs[-1] if instrs else None)
             if irregular:
                 self.em.emit(2, f"return {target}, {n}")
@@ -974,10 +1022,15 @@ class _Generator:
 
     def __init__(self, program: Program, reg_index: Dict[Reg, int],
                  bases: Dict[str, int], lengths: Dict[str, int],
-                 mode: Tuple) -> None:
+                 mode: Tuple, record: bool = False) -> None:
         self.program = program
         self.reg_index = reg_index
         self.mode = mode
+        #: Record mode (the batched backend's leader lane): the
+        #: generated code appends every memory index and every branch
+        #: direction to ``ns["rec"]`` so follower lanes can replay the
+        #: block and verify convergence (see repro.exec.batched).
+        self.record = record
         self.fused = mode[0] == "fused"
         self.telemetry = self.fused and mode[1]
         self.inline_l1 = self.fused and mode[2]
@@ -1022,6 +1075,8 @@ class _Generator:
         exception (rebound via nonlocal) and stays a closure cell.
         """
         names = ["R", "E", "UNDEF", "td"]
+        if self.record:
+            names.append("RCA")
         names += [var for (var, _base, _length) in self.arrays.values()]
         if self.fused:
             names += [
@@ -1056,6 +1111,8 @@ class _Generator:
             'mem = ns["mem"]',
         ):
             em.emit(1, stmt)
+        if self.record:
+            em.emit(1, 'RCA = ns["rec"].append')
         for name, (var, _base, _length) in self.arrays.items():
             em.emit(1, f"{var} = mem[{name!r}]")
         if self.fused:
@@ -1175,11 +1232,12 @@ class _Generator:
 
 
 def _generate(program: Program, bases: Dict[str, int],
-              lengths: Dict[str, int], mode: Tuple) -> CompiledProgram:
+              lengths: Dict[str, int], mode: Tuple,
+              record: bool = False) -> CompiledProgram:
     reg_index = _collect_registers(program)
     blocks = program.blocks
     reachable = [_reachable_prefix(b) for b in blocks]
-    gen = _Generator(program, reg_index, bases, lengths, mode)
+    gen = _Generator(program, reg_index, bases, lengths, mode, record)
     defined_in = _definite_assignment(program, reachable, reg_index,
                                       gen.block_pos)
     gen.preamble()
@@ -1254,30 +1312,60 @@ _KEYED_CACHE: Dict[Tuple, CompiledProgram] = {}
 
 def compiled_for(program: Program, bases: Dict[str, int],
                  lengths: Dict[str, int], mode: Tuple,
-                 code_key: Optional[str] = None) -> CompiledProgram:
-    """Compiled form of ``program`` for one (array lengths, mode) pair."""
+                 code_key: Optional[str] = None,
+                 record: bool = False) -> CompiledProgram:
+    """Compiled form of ``program`` for one (array lengths, mode) pair.
+
+    ``record`` selects the recording variant used by the batched
+    backend's leader lane (a separate cache entry: the generated source
+    differs).
+    """
     lengths_key = tuple(lengths[name] for name in program.arrays)
-    key = (lengths_key, mode)
+    key = (lengths_key, mode, record)
     if code_key is not None:
-        full = (code_key, lengths_key, mode)
+        full = (code_key, lengths_key, mode, record)
         cp = _KEYED_CACHE.get(full)
         if cp is None:
             cp = _KEYED_CACHE[full] = _for_program(program, bases, lengths,
-                                                   mode, key)
+                                                   mode, key, record)
         return cp
-    return _for_program(program, bases, lengths, mode, key)
+    return _for_program(program, bases, lengths, mode, key, record)
 
 
 def _for_program(program: Program, bases: Dict[str, int],
                  lengths: Dict[str, int], mode: Tuple,
-                 key: Tuple) -> CompiledProgram:
+                 key: Tuple, record: bool = False) -> CompiledProgram:
     per = _WEAK_CACHE.get(program)
     if per is None:
         per = _WEAK_CACHE[program] = {}
     cp = per.get(key)
     if cp is None:
-        cp = per[key] = _generate(program, bases, lengths, mode)
+        cp = per[key] = _generate(program, bases, lengths, mode, record)
     return cp
+
+
+class _ExecContext:
+    """Everything :meth:`CompiledInterpreter._drive` needs for one run.
+
+    Built by :meth:`CompiledInterpreter._prepare`; the batched backend
+    holds one per leader lane and steps the trampoline itself so it can
+    interleave follower replay between blocks.
+    """
+
+    __slots__ = (
+        "cp",
+        "block_fns",
+        "sync",
+        "R",
+        "rec",
+        "fused_mode",
+        "telemetry",
+        "fused_counter",
+        "fanouts",
+        "dispatch_mode",
+        "nconsumers",
+        "tail_args",
+    )
 
 
 class CompiledInterpreter(Interpreter):
@@ -1298,14 +1386,28 @@ class CompiledInterpreter(Interpreter):
 
     # -- execution ---------------------------------------------------------
     def run(self, consumers: Iterable[object] = ()) -> int:
+        ctx = self._prepare(list(consumers))
+        if ctx is None:
+            return 0
+        return self._drive(ctx)
+
+    def _prepare(self, consumer_list: List[object],
+                 record: bool = False) -> Optional["_ExecContext"]:
+        """Mode selection, codegen, and namespace assembly for one run.
+
+        Returns the execution context the trampoline (:meth:`_drive`)
+        needs, or None for an empty program.  ``record`` builds the
+        recording code variant and attaches the shared ``rec`` list (the
+        batched backend's leader lane drives the context itself,
+        interleaving follower replay between blocks).
+        """
         from repro.atom.sequences import _PendingLoad
         from repro.exec.trace import TraceEvent
 
         program = self.program
         if not any(block.instructions for block in program.blocks):
-            return 0
+            return None
 
-        consumer_list = list(consumers)
         fused = _fuse_consumers(consumer_list)
         sinks_by_kind: Dict[str, List] = {kind: [] for kind in EVENT_KINDS}
         if fused is None:
@@ -1374,7 +1476,8 @@ class CompiledInterpreter(Interpreter):
             mode = ("bare",)
 
         lengths = {name: len(data) for name, data in self.memory.items()}
-        cp = compiled_for(program, self.bases, lengths, mode, self._code_key)
+        cp = compiled_for(program, self.bases, lengths, mode, self._code_key,
+                          record=record)
 
         # Dense register file seeded from (possibly caller-preset) state.
         reg_get = self.registers.get
@@ -1389,6 +1492,10 @@ class CompiledInterpreter(Interpreter):
             "td": _trunc_div,
             "mem": self.memory,
         }
+        rec: Optional[List] = None
+        if record:
+            rec = []
+            ns["rec"] = rec
         if fused is not None:
             from operator import itemgetter
 
@@ -1412,14 +1519,40 @@ class CompiledInterpreter(Interpreter):
                 ns[f"S_{kind}"] = sinks_by_kind[kind]
 
         block_fns, sync = cp.factory(ns)
+        self._tail_count = None
+
+        ctx = _ExecContext()
+        ctx.cp = cp
+        ctx.block_fns = block_fns
+        ctx.sync = sync
+        ctx.R = R
+        ctx.rec = rec
+        ctx.fused_mode = fused is not None
+        ctx.telemetry = telemetry
+        ctx.fused_counter = fused_counter
+        ctx.fanouts = fanouts
+        ctx.dispatch_mode = dispatch_mode
+        ctx.nconsumers = len(consumer_list)
+        ctx.tail_args = (sinks_by_kind, fused, fused_counter, TraceEvent)
+        return ctx
+
+    def _drive(self, ctx: "_ExecContext") -> int:
+        """The trampoline over a prepared context: budget pre-checks,
+        per-block calls, exact error attribution, final writeback."""
+        cp = ctx.cp
+        block_fns = ctx.block_fns
+        sync = ctx.sync
+        R = ctx.R
         meta = cp.block_meta
         budget = self.max_instructions
-        fused_mode = fused is not None
-        self._tail_count = None
-        tail_args = (sinks_by_kind, fused, fused_counter, TraceEvent)
+        fused_mode = ctx.fused_mode
+        telemetry = ctx.telemetry
+        fused_counter = ctx.fused_counter
+        fanouts = ctx.fanouts
+        tail_args = ctx.tail_args
 
         run_span = obs.span(
-            "interpret", dispatch=dispatch_mode, consumers=len(consumer_list)
+            "interpret", dispatch=ctx.dispatch_mode, consumers=ctx.nconsumers
         )
         bi = 0
         count = 0

@@ -103,6 +103,7 @@ def run_manifest(
     max_instructions: Optional[int] = None,
     timings: Optional[Mapping[str, float]] = None,
     backend: Optional[str] = None,
+    batch: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Manifest for one characterization run of a registered workload.
 
@@ -110,8 +111,11 @@ def run_manifest(
     workload_fingerprint` — identical inputs to the run cache's key, so
     the manifest of a run and the cache entry that stores it always
     carry the same identity.  ``backend`` records the execution engine
-    (resolved from the environment when not given); the fingerprint
-    deliberately excludes it, since both backends are bit-identical.
+    (resolved from the environment when not given) and ``batch`` the
+    effective lockstep batch size when the batched tier ran this run
+    (``1`` for a degenerate single-lane batch, absent for the scalar
+    backends); the fingerprint deliberately excludes both, since every
+    backend — and every batch lane — is bit-identical.
     """
     from repro.core.runcache import workload_fingerprint
     from repro.exec.backends import resolve_backend
@@ -119,16 +123,19 @@ def run_manifest(
 
     if max_instructions is None:
         max_instructions = DEFAULT_MAX_INSTRUCTIONS
+    config = {
+        "workload": name,
+        "scale": scale,
+        "seed": seed,
+        "max_instructions": max_instructions,
+        "backend": resolve_backend(backend),
+    }
+    if batch is not None:
+        config["batch"] = int(batch)
     return build_manifest(
         kind="characterization",
         fingerprint=workload_fingerprint(name, scale, seed, max_instructions),
-        config={
-            "workload": name,
-            "scale": scale,
-            "seed": seed,
-            "max_instructions": max_instructions,
-            "backend": resolve_backend(backend),
-        },
+        config=config,
         tools=STANDARD_TOOLS,
         timings=timings,
     )

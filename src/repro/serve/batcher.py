@@ -16,7 +16,13 @@ amortized engine work:
 * **batching** — the dispatch thread lingers ``batch_window_s`` after
   the first pending flight, then folds up to ``max_batch`` distinct
   characterize runs into **one** :meth:`Session.characterize_many`
-  call — one engine map over the warm keep-alive worker pool.
+  call — one engine map over the warm keep-alive worker pool.  With
+  the ``batched`` execution backend this coalescing goes one level
+  deeper: ``characterize_many`` groups the batch's compatible runs
+  (same workload and scale) into lockstep batches executed by
+  :func:`repro.exec.batched.run_batch`, so a homogeneous sweep of N
+  requests pays the interpretation loop roughly once, not N times —
+  batched execution is the natural engine under this coalescing tier.
 
 Deadlines: the tightest remaining request deadline of a batch becomes
 the engine's per-task ``timeout`` for that map (so a doomed task is
@@ -224,11 +230,23 @@ class Batcher:
                     (f.request.workload, f.request.scale, f.request.seed)
                     for f in live
                 ]
+                # With the batched backend, compatible specs execute as
+                # one lockstep batch; remember each group's size so the
+                # run record states the effective B it rode in on.
+                groups: Dict[Tuple[str, str], int] = {}
+                if self._session.backend == "batched":
+                    for name, scale, _seed in specs:
+                        group = (name, scale or self._session.scale)
+                        groups[group] = groups.get(group, 0) + 1
                 outcomes = self._session.characterize_many(
                     specs, timeout=self._batch_timeout(live)
                 )
                 for flight, outcome in zip(live, outcomes):
-                    self._finish_characterize(flight, outcome)
+                    request = flight.request
+                    batch = groups.get(
+                        (request.workload, request.scale or self._session.scale)
+                    )
+                    self._finish_characterize(flight, outcome, batch=batch)
             for flight in others:
                 self._run_single(flight)
         except Exception as exc:  # noqa: BLE001 - the server must survive
@@ -255,7 +273,9 @@ class Batcher:
         return max(_MIN_ENGINE_TIMEOUT, min(remaining))
 
     # -- resolution ----------------------------------------------------------
-    def _finish_characterize(self, flight: _Flight, outcome) -> None:
+    def _finish_characterize(
+        self, flight: _Flight, outcome, batch: Optional[int] = None
+    ) -> None:
         request = flight.request
         if isinstance(outcome, FailedCell):
             obs.metrics().counter("serve.task_failures").inc()
@@ -267,7 +287,7 @@ class Batcher:
             self._resolve(flight, lambda _w: (502, body))
             return
         payload = protocol.characterization_payload(request.workload, outcome)
-        self._record_run(flight.key, request, payload)
+        self._record_run(flight.key, request, payload, batch=batch)
 
         def _respond(waiter: _Waiter) -> Tuple[int, Dict[str, Any]]:
             if waiter.deadline.expired:
@@ -364,7 +384,11 @@ class Batcher:
 
     # -- run registry ---------------------------------------------------------
     def _record_run(
-        self, key: str, request: protocol.ServiceRequest, payload: Dict[str, Any]
+        self,
+        key: str,
+        request: protocol.ServiceRequest,
+        payload: Dict[str, Any],
+        batch: Optional[int] = None,
     ) -> None:
         record = {
             "fingerprint": key,
@@ -376,6 +400,8 @@ class Batcher:
             "digest": payload.get("digest"),
             "completed_unix": time.time(),
         }
+        if batch is not None:
+            record["batch"] = int(batch)
         with self._cond:
             self._runs[key] = record
             self._runs.move_to_end(key)
@@ -397,6 +423,7 @@ class Batcher:
             record["scale"],
             record["seed"],
             backend=self._session.backend,
+            batch=record.get("batch"),
         )
         return dict(record, manifest=manifest)
 

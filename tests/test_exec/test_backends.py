@@ -1,12 +1,16 @@
-"""Differential matrix: the compiled backend must be bit-identical to switch.
+"""Differential matrix: every backend must be bit-identical to switch.
 
 The compiled backend (``repro.exec.compiled``) is a from-scratch code
-generator; these tests are the proof obligation that it is an *exact*
-semantic clone of the reference switch interpreter.  Every registered
-workload runs on both engines and every observable — tool snapshots,
-scalar/array state, executed counts, telemetry counters, error
-messages, budget-abort points — must match to the bit, serially and
-through the process-parallel session path.
+generator and the batched backend (``repro.exec.batched``) a lockstep
+tier on top of it; these tests are the proof obligation that both are
+*exact* semantic clones of the reference switch interpreter.  Every
+registered workload runs on all three engines and every observable —
+tool snapshots, scalar/array state, executed counts, telemetry
+counters, error strings, budget-abort points — must match to the bit,
+serially, through the process-parallel session path, and through
+:func:`repro.exec.batched.run_batch` at batch sizes 1/2/8 including
+deliberately divergent batches (different datasets, an OOB fault in
+one lane while the rest complete, a mid-block budget abort).
 """
 
 import pytest
@@ -19,11 +23,12 @@ from repro.exec import (
     InterpreterError,
     TraceCollector,
     make_interpreter,
+    run_batch,
 )
 from repro.lang import CompilerOptions, compile_source
 from repro.workloads import all_workloads, spec_workloads
 
-BACKENDS = ("switch", "compiled")
+BACKENDS = ("switch", "compiled", "batched")
 SCALE = "test"
 
 WORKLOADS = [spec.name for spec in all_workloads() + spec_workloads()]
@@ -61,6 +66,13 @@ def observable_state(interp, tools):
     }
 
 
+def assert_all_equal(by_backend):
+    """Every backend's observation equals the switch reference."""
+    reference = by_backend["switch"]
+    for backend, value in by_backend.items():
+        assert value == reference, f"{backend} diverges from switch"
+
+
 # -- full workload matrix, serial -----------------------------------------
 
 
@@ -71,7 +83,7 @@ def test_serial_fused_bit_identical(name):
     for backend in BACKENDS:
         interp, tools = run_workload(name, backend)
         states[backend] = observable_state(interp, tools)
-    assert states["compiled"] == states["switch"]
+    assert_all_equal(states)
 
 
 @pytest.mark.parametrize("name", ["hmmsearch", "blast", "gcc"])
@@ -92,7 +104,7 @@ def test_serial_masked_bit_identical(name):
                 (e.instr.sid, e.addr, e.taken, e.value) for e in collector
             ],
         }
-    assert streams["compiled"] == streams["switch"]
+    assert_all_equal(streams)
 
 
 @pytest.mark.parametrize("name", ["hmmsearch", "fasta"])
@@ -102,7 +114,7 @@ def test_serial_bare_bit_identical(name):
     for backend in BACKENDS:
         interp, _ = run_workload(name, backend, tools=())
         states[backend] = observable_state(interp, ())
-    assert states["compiled"] == states["switch"]
+    assert_all_equal(states)
 
 
 # -- telemetry counters ----------------------------------------------------
@@ -125,7 +137,7 @@ def test_telemetry_counters_match(name, tool_set):
             key: value for key, value in snapshot.items() if key.startswith("interp.")
         }
     assert snapshots["compiled"], "telemetry run recorded no interp.* counters"
-    assert snapshots["compiled"] == snapshots["switch"]
+    assert_all_equal(snapshots)
 
 
 # -- process-parallel session path ----------------------------------------
@@ -153,7 +165,7 @@ def test_jobs2_sessions_bit_identical():
             for run in [session.run(name)]
         }
     assert set(results["compiled"]) == set(WORKLOADS)
-    assert results["compiled"] == results["switch"]
+    assert_all_equal(results)
 
 
 # -- budget semantics ------------------------------------------------------
@@ -182,7 +194,7 @@ def test_budget_exceeded_parity(budget):
             "message": str(excinfo.value),
             "state": observable_state(interp, tools),
         }
-    assert outcomes["compiled"] == outcomes["switch"]
+    assert_all_equal(outcomes)
     assert outcomes["compiled"]["state"]["executed"] == budget
 
 
@@ -237,7 +249,7 @@ def test_error_message_parity(case, tooling):
         )
         for backend in BACKENDS
     }
-    assert messages["compiled"] == messages["switch"]
+    assert_all_equal(messages)
     assert fragment in messages["compiled"]
 
 
@@ -269,5 +281,217 @@ def test_oob_abort_state_parity():
             "message": str(excinfo.value),
             "state": observable_state(interp, tools),
         }
-    assert outcomes["compiled"] == outcomes["switch"]
+    assert_all_equal(outcomes)
     assert "out of bounds" in outcomes["compiled"]["message"]
+
+
+# -- batched lockstep execution (run_batch) --------------------------------
+
+
+def scalar_reference(name, seed, max_instructions=None):
+    """One compiled scalar run: (state, error-string-or-None)."""
+    from repro.workloads import get_workload
+
+    spec = get_workload(name)
+    tools = standard_tools()
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    interp = make_interpreter(
+        spec.program(), spec.dataset(SCALE, seed), backend="compiled", **kwargs
+    )
+    error = None
+    try:
+        interp.run(consumers=tools)
+    except Exception as exc:  # noqa: BLE001 - compared verbatim below
+        error = f"{type(exc).__name__}: {exc}"
+    return observable_state(interp, tools), error
+
+
+def lane_observation(lane):
+    """A LaneResult as (state, error-string-or-None)."""
+    error = None
+    if lane.error is not None:
+        error = f"{type(lane.error).__name__}: {lane.error}"
+    return observable_state(lane.interp, lane.consumers), error
+
+
+def batch_workload(name, seeds, max_instructions=None):
+    from repro.workloads import get_workload
+
+    spec = get_workload(name)
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    return run_batch(
+        spec.program(),
+        [spec.dataset(SCALE, seed) for seed in seeds],
+        consumers_factory=standard_tools,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("batch", [1, 2, 8])
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_run_batch_bit_identical(name, batch):
+    """Every lane of a homogeneous batch equals its scalar run exactly,
+    at the degenerate (B=1), minimal (B=2), and sweep (B=8) sizes."""
+    reference = scalar_reference(name, 0)
+    lanes = batch_workload(name, [0] * batch)
+    assert len(lanes) == batch
+    for lane in lanes:
+        assert lane_observation(lane) == reference
+
+
+def test_run_batch_lockstep_engages():
+    """The fast path is actually exercised: a homogeneous 8-lane batch
+    keeps every follower in lockstep (no silent scalar fallback)."""
+    lanes = batch_workload("promlk", [0] * 8)
+    assert [lane.lockstep for lane in lanes[1:]] == [True] * 7
+
+
+@pytest.mark.parametrize("name", ["promlk", "hmmsearch", "fasta"])
+def test_run_batch_divergent_datasets(name):
+    """Lanes over different datasets: each still equals its own scalar
+    run, whether it stayed in lockstep or peeled off."""
+    seeds = [0, 1, 2, 3]
+    lanes = batch_workload(name, seeds)
+    for seed, lane in zip(seeds, lanes):
+        assert lane_observation(lane) == scalar_reference(name, seed)
+
+
+def test_run_batch_oob_lane_while_others_complete():
+    """An out-of-bounds fault in one lane aborts that lane exactly where
+    its scalar run would, while its batchmates run to completion."""
+    source = """
+    int n; int a[]; int out[];
+    void kernel() {
+        int i;
+        i = 0;
+        while (i < n) {
+            out[i] = a[i] + 1;
+            i = i + 1;
+        }
+    }
+    """
+    program = compile_source(source, "t", O0)
+    bindings = [
+        {"n": 4, "a": [3] * 8, "out": [0] * 8},
+        {"n": 12, "a": [3] * 8, "out": [0] * 8},  # faults at i == 8
+        {"n": 8, "a": [5] * 8, "out": [0] * 8},
+    ]
+    lanes = run_batch(program, bindings, consumers_factory=standard_tools)
+    references = []
+    for binding in bindings:
+        tools = standard_tools()
+        interp = make_interpreter(
+            compile_source(source, "t", O0),
+            {k: list(v) if isinstance(v, list) else v for k, v in binding.items()},
+            backend="compiled",
+        )
+        error = None
+        try:
+            interp.run(consumers=tools)
+        except InterpreterError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        references.append((observable_state(interp, tools), error))
+    assert [lane_observation(lane) for lane in lanes] == references
+    assert lanes[0].error is None and lanes[2].error is None
+    assert "out of bounds" in str(lanes[1].error)
+
+
+@pytest.mark.parametrize("budget", [1, 2, 777, 12345])
+def test_run_batch_budget_parity(budget):
+    """A budget crossing mid-batch aborts every lane on the same
+    instruction, with the same message and partial state, as scalar
+    runs (budgets land both on block boundaries and mid-block)."""
+    reference = scalar_reference("hmmsearch", 0, max_instructions=budget)
+    assert reference[1] is not None and "BudgetExceeded" in reference[1]
+    lanes = batch_workload("hmmsearch", [0] * 3, max_instructions=budget)
+    for lane in lanes:
+        assert lane_observation(lane) == reference
+
+
+def test_run_batch_masked_collector_fallback():
+    """A non-standard tool set (TraceCollector) is ineligible for
+    lockstep: every lane falls back to scalar with identical event
+    streams, so correctness never depends on eligibility."""
+    from repro.workloads import get_workload
+
+    spec = get_workload("hmmsearch")
+
+    def masked_tools():
+        return (InstructionMix(), TraceCollector())
+
+    lanes = run_batch(
+        spec.program(),
+        [spec.dataset(SCALE, 0) for _ in range(2)],
+        consumers_factory=masked_tools,
+    )
+    assert [lane.lockstep for lane in lanes] == [False, False]
+    mix, collector = standard = masked_tools()
+    interp = make_interpreter(
+        spec.program(), spec.dataset(SCALE, 0), backend="compiled"
+    )
+    interp.run(consumers=standard)
+    reference_events = [
+        (e.instr.sid, e.addr, e.taken, e.value) for e in collector
+    ]
+    for lane in lanes:
+        assert lane.error is None
+        lane_mix, lane_collector = lane.consumers
+        assert lane_mix.snapshot() == mix.snapshot()
+        events = [
+            (e.instr.sid, e.addr, e.taken, e.value) for e in lane_collector
+        ]
+        assert events == reference_events
+
+
+def test_run_batch_telemetry_counter_parity():
+    """A converged 4-lane batch books the same interp.* counters as
+    four scalar runs (per-lane flushes, not one shared flush)."""
+    obs.enable()
+    try:
+        batch_workload("promlk", [0] * 4)
+        batched = {
+            k: v
+            for k, v in obs.metrics().snapshot().items()
+            if k.startswith("interp.")
+        }
+    finally:
+        obs.disable()
+    obs.enable()
+    try:
+        for _ in range(4):
+            run_workload("promlk", "compiled")
+        scalar = {
+            k: v
+            for k, v in obs.metrics().snapshot().items()
+            if k.startswith("interp.")
+        }
+    finally:
+        obs.disable()
+    assert batched == scalar
+
+
+def test_session_batched_characterize_many():
+    """The batched session groups compatible requests into lockstep
+    batches; results stay bit-identical to the compiled session."""
+    specs = [("promlk", None, seed) for seed in range(4)] + [
+        ("hmmsearch", None, 0),
+        ("hmmsearch", None, 1),
+    ]
+    snapshots = {}
+    for backend in ("compiled", "batched"):
+        session = Session(RunConfig(scale=SCALE, cache=False, backend=backend))
+        snapshots[backend] = [
+            {
+                "executed": run.executed,
+                "mix": run.mix.snapshot(),
+                "coverage": run.coverage.snapshot(),
+                "cache": run.cache.snapshot(),
+                "sequences": run.sequences.snapshot(),
+            }
+            for run in session.characterize_many(specs)
+        ]
+    assert snapshots["batched"] == snapshots["compiled"]
