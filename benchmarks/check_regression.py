@@ -7,6 +7,14 @@ throughput drops beyond the threshold, wall-time blowups, dynamic
 instruction-count drift, and silently missing benchmarks all fail the
 gate).  Exit status 0 = pass, 1 = regression.
 
+One absolute gate rides along: when the current serve-throughput
+record carries an ``observability_overhead_frac`` (the fractional warm
+request-rate cost of per-request instrumentation, measured interleaved
+against a ``telemetry=False`` service by
+``bench_serve_throughput.py``), it must stay at or under
+``--max-obs-overhead`` (default 5%) — request-scoped observability is
+only acceptable while it is close to free.
+
 Usage::
 
     python benchmarks/check_regression.py \\
@@ -21,7 +29,45 @@ drift check is machine-independent and stays strict regardless.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+
+
+def _check_observability_overhead(current_dir: str, limit: float) -> bool:
+    """The absolute observability-overhead gate; True = pass.
+
+    Reads the current ``BENCH_serve_throughput.json`` record; silently
+    passes when the record (or the field) is absent so partial
+    benchmark runs do not trip it.
+    """
+    path = os.path.join(current_dir, "BENCH_serve_throughput.json")
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return True
+    overhead = record.get("observability_overhead_frac")
+    if not isinstance(overhead, (int, float)):
+        return True
+    on = record.get("overhead_rps_instrumented")
+    off = record.get("overhead_rps_telemetry_off")
+    detail = (
+        f" (instrumented {on:.0f} req/s vs telemetry-off {off:.0f} req/s)"
+        if isinstance(on, (int, float)) and isinstance(off, (int, float))
+        else ""
+    )
+    if overhead > limit:
+        print(
+            f"FAIL: observability overhead {overhead * 100:.1f}% exceeds "
+            f"the {limit * 100:.0f}% budget{detail}"
+        )
+        return False
+    print(
+        f"observability overhead {overhead * 100:.1f}% "
+        f"(budget {limit * 100:.0f}%){detail}"
+    )
+    return True
 
 
 def main(argv=None) -> int:
@@ -34,17 +80,28 @@ def main(argv=None) -> int:
         default=0.10,
         help="tolerated fractional slowdown (default 0.10)",
     )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=0.05,
+        help="tolerated fractional observability overhead (default 0.05)",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.regression import compare_dirs, gate, render_comparison
 
     rows = compare_dirs(args.baseline, args.current, threshold=args.threshold)
     print(render_comparison(rows, threshold=args.threshold))
-    if not rows:
+    overhead_ok = _check_observability_overhead(
+        args.current, args.max_obs_overhead
+    )
+    if not rows and overhead_ok:
         print("no baseline benchmarks found — nothing to gate")
         return 0
-    if not gate(rows):
+    if not gate(rows) or not overhead_ok:
         failing = [row.name for row in rows if row.failed]
+        if not overhead_ok:
+            failing.append("observability_overhead")
         print(f"FAIL: perf gate tripped by: {', '.join(failing)}")
         return 1
     print("OK: no regressions against the baseline")

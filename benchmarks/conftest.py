@@ -134,7 +134,7 @@ def publish(results_dir, benchmark, request):
     started = time.time()
 
     def _publish(name: str, text: str, rows=None, instructions=None,
-                 backend=None, rate=None, batch=None) -> None:
+                 backend=None, rate=None, batch=None, extra=None) -> None:
         print()
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
@@ -169,6 +169,10 @@ def publish(results_dir, benchmark, request):
             ),
             "rows": _jsonable(rows) if rows is not None else None,
         }
+        if extra:
+            # Benchmark-specific scalars (e.g. the observability
+            # overhead fraction) the regression gate reads by name.
+            record.update(_jsonable(extra))
         bench_path = results_dir / f"BENCH_{name}.json"
         bench_path.write_text(json.dumps(record, indent=2) + "\n")
         manifest = build_manifest(

@@ -288,6 +288,7 @@ class Session:
         self,
         specs: Sequence[Tuple[str, Optional[str], Optional[int]]],
         timeout: Optional[float] = None,
+        tags: Optional[Sequence[Optional[Dict[str, object]]]] = None,
     ) -> List[object]:
         """One characterization per ``(name, scale, seed)`` triple, batched.
 
@@ -312,6 +313,15 @@ class Session:
         :class:`~repro.core.parallel.FailedCell` while its batchmates
         still land.  Every lane is bit-identical to a scalar run, so
         memo/cache entries stay shared with the other backends.
+
+        ``tags`` is an optional per-spec list of trace attrs (the
+        request server passes ``{"request_id": ...}`` per request):
+        they are folded into the engine task dispatched for each spec
+        and installed as ambient trace context in the worker, so the
+        spans a task produces carry the request ID(s) that caused it.
+        Several specs landing on one engine task (duplicate specs, or
+        seeds grouped into one lockstep batch) merge their IDs into a
+        ``request_ids`` list.
         """
         from repro.core.parallel import (
             FailedCell,
@@ -330,6 +340,42 @@ class Session:
         ]
         for name, _, _ in keys:
             get_workload(name)  # KeyError here, not in a worker
+
+        key_attrs: Dict[Tuple[str, str, int], Dict[str, object]] = {}
+        if tags is not None:
+            if len(tags) != len(keys):
+                raise ValueError(
+                    f"tags length {len(tags)} != specs length {len(keys)}"
+                )
+            for key, tag in zip(keys, tags):
+                if not tag:
+                    continue
+                entry = key_attrs.setdefault(key, {})
+                for field, value in tag.items():
+                    if field == "request_id":
+                        entry.setdefault("_rids", []).append(value)
+                    else:
+                        entry[field] = value
+
+        def _ctx(task_keys) -> Optional[Dict[str, object]]:
+            """The merged trace context for one engine task covering
+            ``task_keys``; None when no spec carried tags."""
+            rids: List[object] = []
+            merged: Dict[str, object] = {}
+            for task_key in task_keys:
+                entry = key_attrs.get(task_key)
+                if not entry:
+                    continue
+                rids.extend(entry.get("_rids", ()))
+                merged.update(
+                    {f: v for f, v in entry.items() if f != "_rids"}
+                )
+            if rids:
+                if len(rids) == 1:
+                    merged["request_id"] = rids[0]
+                else:
+                    merged["request_ids"] = rids
+            return merged or None
         with obs.span("experiment.batch", requested=len(keys)) as span:
             resolved: Dict[Tuple[str, str, int], object] = {}
             for key in dict.fromkeys(keys):
@@ -354,6 +400,10 @@ class Session:
                         (name, scale, tuple(seeds), DEFAULT_MAX_INSTRUCTIONS)
                         for (name, scale), seeds in groups.items()
                     ]
+                    contexts = [
+                        _ctx([(name, scale, seed) for seed in seeds])
+                        for (name, scale), seeds in groups.items()
+                    ]
                 else:
                     func = _characterize_task
                     tasks = [
@@ -361,6 +411,9 @@ class Session:
                          self.config.backend)
                         for name, scale, seed in missing
                     ]
+                    contexts = [_ctx([key]) for key in missing]
+                if not any(contexts):
+                    contexts = None
                 runner = self._batch_runner()
                 saved = runner.timeout
                 if timeout is not None:
@@ -368,7 +421,9 @@ class Session:
                         timeout if saved is None else min(saved, timeout)
                     )
                 try:
-                    settled_list = runner.map_settled(func, tasks)
+                    settled_list = runner.map_settled(
+                        func, tasks, contexts=contexts
+                    )
                 finally:
                     runner.timeout = saved
                 if batched:
@@ -498,6 +553,14 @@ class Session:
         return fn(workload, field, values, runner=self.runner(), **kwargs)
 
     # -- lifecycle -----------------------------------------------------------
+    def pool_liveness(self) -> List[Dict[str, object]]:
+        """Health of the warm keep-alive worker pool, one entry per
+        worker (pid, alive, busy, heartbeat age) — what ``/healthz``
+        reports as ``workers``.  Empty when no pool is warm."""
+        if self._pool is None:
+            return []
+        return self._pool.liveness()
+
     def close(self) -> Optional[str]:
         """Release the keep-alive worker pool (if any) and flush the
         trace file when tracing was requested; returns the trace path."""

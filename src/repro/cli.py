@@ -267,6 +267,25 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="default per-request deadline for requests that omit deadline_s",
     )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSONL record per request here (repro obs tail)",
+    )
+    serve.add_argument(
+        "--flightrec-dir",
+        default="flightrec",
+        metavar="DIR",
+        help="write flight-recorder incident dumps here on 5xx/worker "
+        "death ('' disables dumps; the in-memory ring stays on)",
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable per-request metrics/access-log/flight-recorder "
+        "(the observability-overhead baseline)",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect, clear, or prune the persistent run cache"
@@ -282,6 +301,37 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=512.0,
         help="prune: evict oldest entries until the cache fits this size",
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect live service observability artifacts"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    tail = obs_sub.add_parser(
+        "tail",
+        help="follow a service access log; live per-workload p50/p99 "
+        "and error rates",
+    )
+    tail.add_argument("file", help="JSONL access log (repro serve --access-log)")
+    tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep watching the file and re-render as records arrive",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period with --follow (default 2s)",
+    )
+    tail.add_argument(
+        "--last",
+        type=int,
+        default=5,
+        metavar="N",
+        help="raw records echoed under the summary table (default 5)",
     )
 
     trace = sub.add_parser("trace", help="inspect a telemetry trace file")
@@ -499,11 +549,18 @@ def _cmd_serve(args) -> None:
         batch_window_s=args.batch_window,
         default_deadline_s=args.deadline,
     )
-    service = CharacterizationService(session=session, policy=policy)
+    service = CharacterizationService(
+        session=session,
+        policy=policy,
+        telemetry=not args.no_telemetry,
+        access_log_path=args.access_log,
+        flightrec_dir=args.flightrec_dir or None,
+    )
     print(
         f"repro serve: http://{args.host}:{args.port} "
         f"(jobs={session.jobs}, backend={session.backend}, "
-        f"scale={session.scale}, max_queue={policy.max_queue})"
+        f"scale={session.scale}, max_queue={policy.max_queue}, "
+        f"telemetry={'on' if service.telemetry else 'off'})"
     )
     try:
         main_loop(service, args.host, args.port)
@@ -538,6 +595,29 @@ def _cmd_cache(args) -> None:
             f"evicted {evicted} cached run(s) from {cache.directory} "
             f"(bound {args.max_mb:.0f} MB)"
         )
+
+
+def _cmd_obs_tail(args) -> None:
+    import time as _time
+
+    from repro.obs.accesslog import read_access_jsonl, render_tail
+
+    records = read_access_jsonl(args.file)
+    print(render_tail(records, last=args.last))
+    if not args.follow:
+        return
+    seen = len(records)
+    try:
+        while True:
+            _time.sleep(args.interval)
+            records = read_access_jsonl(args.file)
+            if len(records) == seen:
+                continue
+            seen = len(records)
+            print()
+            print(render_tail(records, last=args.last))
+    except KeyboardInterrupt:
+        pass
 
 
 def _cmd_trace(args) -> None:
@@ -595,6 +675,8 @@ def main(argv: Optional[List[str]] = None) -> None:
             _cmd_serve(args)
         elif args.command == "cache":
             _cmd_cache(args)
+        elif args.command == "obs":
+            _cmd_obs_tail(args)
         elif args.command == "trace":
             _cmd_trace(args)
         elif args.command == "bench":

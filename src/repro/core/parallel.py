@@ -70,6 +70,8 @@ from repro import obs
 from repro.atom.runner import CharacterizationResult, characterize
 from repro.core import faults as _faults
 from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+from repro.obs import context as _obs_context
+from repro.obs import flightrec as _flightrec
 from repro.obs import tracing as _tracing
 from repro.obs.metrics import begin_worker_capture as _begin_metrics_capture
 from repro.obs.metrics import end_worker_capture as _end_metrics_capture
@@ -308,6 +310,7 @@ def _invoke_pooled(
     attempt: int,
     capture: bool,
     fault_config,
+    ctx: Optional[dict] = None,
 ) -> Tuple[str, Any, list, dict]:
     """Run one task inside a worker.
 
@@ -317,13 +320,18 @@ def _invoke_pooled(
     exc_message, traceback_text)``).  Exceptions never escape: a raw
     exception crossing the process boundary loses the task identity
     and, when unpicklable, kills the worker.
+
+    ``ctx`` is the dispatching thread's ambient trace-context attrs
+    (request IDs from the serving path), re-installed around the task
+    body so worker-side spans — adopted back by the parent — carry the
+    originating request identity.
     """
     key = describe_task(func, task)
     if capture:
         _tracing.begin_worker_capture()
         _begin_metrics_capture()
     try:
-        with obs.span(
+        with _obs_context.use(ctx), obs.span(
             "parallel.task", task=key, worker_pid=os.getpid(), attempt=attempt
         ):
             _faults.maybe_crash_or_hang(
@@ -371,8 +379,11 @@ def _worker_main(conn, capture: bool, fault_config) -> None:
                 break
             if message is None:
                 break
-            index, func, task, attempt = message
-            outcome = _invoke_pooled(func, task, attempt, capture, fault_config)
+            index, func, task, attempt = message[:4]
+            ctx = message[4] if len(message) > 4 else None
+            outcome = _invoke_pooled(
+                func, task, attempt, capture, fault_config, ctx
+            )
             _hb_suspended.clear()
             try:
                 with send_lock:
@@ -407,11 +418,18 @@ class _Worker:
     def busy(self) -> bool:
         return self.index is not None
 
-    def dispatch(self, index: int, func: Callable, task: Any, attempt: int) -> None:
+    def dispatch(
+        self,
+        index: int,
+        func: Callable,
+        task: Any,
+        attempt: int,
+        ctx: Optional[dict] = None,
+    ) -> None:
         self.index = index
         self.attempt = attempt
         self.dispatched_at = self.last_beat = time.monotonic()
-        self.conn.send((index, func, task, attempt))
+        self.conn.send((index, func, task, attempt, ctx))
 
     def destroy(self, graceful: bool = False) -> None:
         """Tear the worker down; ``graceful`` tries a sentinel first."""
@@ -480,6 +498,7 @@ class ParallelRunner:
         func: Callable,
         tasks: Sequence,
         on_result: Optional[Callable[[int, Any, Any], None]] = None,
+        contexts: Optional[Sequence[Optional[dict]]] = None,
     ) -> List:
         """Apply ``func`` to each task, preserving task order.
 
@@ -489,20 +508,29 @@ class ParallelRunner:
         that still fails after ``retries`` re-runs surfaces as
         :class:`WorkerTaskError` with the task identity attached.
         ``on_result(index, task, value)`` is called as each task
-        settles successfully (checkpointing hook).
+        settles successfully (checkpointing hook).  ``contexts`` is an
+        optional per-task list of trace-context attr dicts (request
+        IDs from the serving path) installed around each task body —
+        in the worker process for pooled runs — so the spans a task
+        produces are tagged with the request(s) that caused it.
         """
-        return self._execute(func, tasks, strict=True, on_result=on_result)
+        return self._execute(
+            func, tasks, strict=True, on_result=on_result, contexts=contexts
+        )
 
     def map_settled(
         self,
         func: Callable,
         tasks: Sequence,
         on_result: Optional[Callable[[int, Any, Any], None]] = None,
+        contexts: Optional[Sequence[Optional[dict]]] = None,
     ) -> List:
         """Like :meth:`map`, but degrade gracefully: terminal failures
         come back as :class:`FailedCell` markers in the result list
         instead of raising, so one bad cell cannot take down a sweep."""
-        return self._execute(func, tasks, strict=False, on_result=on_result)
+        return self._execute(
+            func, tasks, strict=False, on_result=on_result, contexts=contexts
+        )
 
     def run_one(self, func: Callable, task: Any):
         """One task through the full engine (retries, faults, telemetry)."""
@@ -514,6 +542,26 @@ class ParallelRunner:
             worker.destroy(graceful=not worker.busy)
         self._pool.clear()
 
+    def liveness(self) -> List[Dict[str, Any]]:
+        """Health of the keep-alive pool, one entry per worker.
+
+        Each entry reports the worker's pid, whether the process is
+        alive, whether a task is in flight, and the age of its last
+        heartbeat — the signals ``/healthz`` exposes so a replica
+        health-checker can see a wedged pool before requests time out.
+        Empty when no keep-alive pool is warm (workers are per-map).
+        """
+        now = time.monotonic()
+        return [
+            {
+                "pid": worker.process.pid,
+                "alive": worker.process.is_alive(),
+                "busy": worker.busy,
+                "heartbeat_age_s": round(now - worker.last_beat, 3),
+            }
+            for worker in self._pool
+        ]
+
     def __enter__(self) -> "ParallelRunner":
         return self
 
@@ -522,11 +570,18 @@ class ParallelRunner:
         return False
 
     # -- execution ----------------------------------------------------------
-    def _execute(self, func, tasks, strict: bool, on_result) -> List:
+    def _execute(self, func, tasks, strict: bool, on_result, contexts=None) -> List:
         tasks = list(tasks)
         if not tasks:
             # Short-circuit: no span, no pool, no counters.
             return []
+        if contexts is not None:
+            contexts = list(contexts)
+            if len(contexts) != len(tasks):
+                raise ValueError(
+                    f"contexts length {len(contexts)} != tasks length "
+                    f"{len(tasks)}"
+                )
         fault_config = _faults.resolve(self.faults)
         workers = min(self.jobs, len(tasks))
         with obs.span(
@@ -538,9 +593,11 @@ class ParallelRunner:
             obs.metrics().gauge("parallel.workers").set(max(workers, 1))
             obs.metrics().counter("parallel.tasks").inc(len(tasks))
             if self.jobs <= 1 or len(tasks) <= 1:
-                return self._run_serial(func, tasks, fault_config, strict, on_result)
+                return self._run_serial(
+                    func, tasks, fault_config, strict, on_result, contexts
+                )
             return self._run_pooled(
-                func, tasks, workers, fault_config, strict, on_result
+                func, tasks, workers, fault_config, strict, on_result, contexts
             )
 
     # -- serial path ---------------------------------------------------------
@@ -559,31 +616,44 @@ class ParallelRunner:
         except Exception as exc:  # noqa: BLE001 - retried or surfaced with context
             return None, (type(exc).__name__, str(exc), _traceback.format_exc(), exc)
 
-    def _run_serial(self, func, tasks, fault_config, strict, on_result) -> List:
+    def _run_serial(
+        self, func, tasks, fault_config, strict, on_result, contexts=None
+    ) -> List:
         results: List[Any] = []
         for index, task in enumerate(tasks):
             key = describe_task(func, task)
-            value, error = self._try_inline(func, task, key, 1, fault_config)
-            attempts = 1
-            while error is not None and attempts <= self.retries:
-                delay = self.backoff.delay(attempts, key)
-                obs.metrics().counter("parallel.retries").inc()
-                obs.metrics().histogram("parallel.backoff_ms").observe(delay * 1e3)
-                time.sleep(delay)
-                with obs.span(
-                    "parallel.retry",
-                    task=key,
-                    attempt=attempts + 1,
-                    previous_error=f"{error[0]}: {error[1]}",
-                    backoff_ms=round(delay * 1e3, 2),
-                ):
-                    value, error = self._try_inline(
-                        func, task, key, attempts + 1, fault_config
+            ctx = contexts[index] if contexts is not None else None
+            with _obs_context.use(ctx):
+                value, error = self._try_inline(func, task, key, 1, fault_config)
+                attempts = 1
+                while error is not None and attempts <= self.retries:
+                    delay = self.backoff.delay(attempts, key)
+                    obs.metrics().counter("parallel.retries").inc()
+                    obs.metrics().histogram("parallel.backoff_ms").observe(
+                        delay * 1e3
                     )
-                attempts += 1
+                    time.sleep(delay)
+                    with obs.span(
+                        "parallel.retry",
+                        task=key,
+                        attempt=attempts + 1,
+                        previous_error=f"{error[0]}: {error[1]}",
+                        backoff_ms=round(delay * 1e3, 2),
+                    ):
+                        value, error = self._try_inline(
+                            func, task, key, attempts + 1, fault_config
+                        )
+                    attempts += 1
             if error is not None:
                 exc_type, exc_message, tb_text, exc = error
                 obs.metrics().counter("parallel.failures").inc()
+                _flightrec.note(
+                    "task_failed",
+                    task=key,
+                    error=f"{exc_type}: {exc_message}",
+                    attempts=attempts,
+                    **(ctx or {}),
+                )
                 if strict:
                     raise WorkerTaskError(
                         key, task, exc_type, exc_message, tb_text, attempts
@@ -598,7 +668,9 @@ class ParallelRunner:
         return results
 
     # -- pooled path ----------------------------------------------------------
-    def _run_pooled(self, func, tasks, workers, fault_config, strict, on_result):
+    def _run_pooled(
+        self, func, tasks, workers, fault_config, strict, on_result, contexts=None
+    ):
         capture = obs.enabled()
         try:
             context = multiprocessing.get_context("fork")
@@ -671,6 +743,13 @@ class ParallelRunner:
                 )
                 return
             obs.metrics().counter("parallel.failures").inc()
+            _flightrec.note(
+                "task_failed",
+                task=key,
+                error=f"{error[0]}: {error[1]}",
+                attempts=attempt,
+                **((contexts[index] if contexts is not None else None) or {}),
+            )
             failures[index] = (error[:3], attempt)
             settled += 1
 
@@ -706,6 +785,30 @@ class ParallelRunner:
             index, attempt = worker.index, worker.attempt
             worker.index = None
             obs.metrics().counter(counter).inc()
+            key = describe_task(func, tasks[index]) if index is not None else None
+            ctx = (
+                contexts[index]
+                if contexts is not None and index is not None
+                else None
+            )
+            _flightrec.note(
+                "worker_reaped",
+                reason=exc_type,
+                detail=message,
+                worker_pid=worker.process.pid,
+                task=key,
+                attempt=attempt,
+                **(ctx or {}),
+            )
+            recorder = _flightrec.get_recorder()
+            if recorder is not None and exc_type == "WorkerCrash":
+                # A worker dying outright is an incident; timeouts and
+                # stalled heartbeats are noted but only dumped if the
+                # request ultimately 5xxes (the batcher's trigger).
+                recorder.dump(
+                    "worker-death",
+                    extra={"task": key, "detail": message, **(ctx or {})},
+                )
             worker.destroy()
             pool.remove(worker)
             spawn()
@@ -730,7 +833,13 @@ class ParallelRunner:
                         pool.remove(worker)
                         worker = spawn()
                     index, attempt = ready.pop()
-                    worker.dispatch(index, func, tasks[index], attempt)
+                    worker.dispatch(
+                        index,
+                        func,
+                        tasks[index],
+                        attempt,
+                        contexts[index] if contexts is not None else None,
+                    )
 
                 # How long we can sleep before something needs attention.
                 wait = 0.25

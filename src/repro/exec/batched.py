@@ -54,6 +54,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from repro import obs
+from repro.obs import flightrec as _flightrec
 from repro.exec.compiled import (
     _BINOPS,
     _CMPOPS,
@@ -465,6 +466,10 @@ def run_batch(
                     nxt, executed = block_fns[bi](count)
             except Exception:
                 abandoned = True
+                _flightrec.note(
+                    "batch_abandoned", reason="leader_fault", block=bi,
+                    executed=count, lanes=1 + len(followers),
+                )
                 break
             if followers:
                 alive = []
@@ -474,6 +479,11 @@ def run_batch(
                     except Exception:
                         # Diverged (or raised what the scalar run will
                         # raise): peel — re-run from pristine bindings.
+                        obs.metrics().counter("batched.lane_peels").inc()
+                        _flightrec.note(
+                            "lane_peel", lane=st[0], block=bi,
+                            executed=count,
+                        )
                         results[st[0]] = scalar(st[0])
                     else:
                         alive.append(st)
@@ -482,9 +492,18 @@ def run_batch(
             bi = nxt
 
         if abandoned:
-            # Leader error or possible budget crossing: nothing was
-            # published (no span, no counters, tools discarded), so the
-            # from-scratch scalar runs are the only observable story.
+            # Leader error or possible budget crossing: nothing from the
+            # abandoned attempt is published (no interpret span, no
+            # interp.* counters, tools discarded), so the from-scratch
+            # scalar runs are the only observable story; the abandonment
+            # itself is counted under batched.* (which the cross-backend
+            # parity checks deliberately exclude).
+            obs.metrics().counter("batched.abandoned").inc()
+            if count + need > budget and bi >= 0:
+                _flightrec.note(
+                    "batch_abandoned", reason="budget", block=bi,
+                    executed=count, lanes=1 + len(followers),
+                )
             results[0] = scalar(0)
             for st in followers:
                 results[st[0]] = scalar(st[0])
@@ -517,6 +536,8 @@ def run_batch(
                 interp.executed = count
                 results[lane] = LaneResult(interp, clone(), lockstep=True)
             nlanes = 1 + len(followers)
+            obs.metrics().counter("batched.batches").inc()
+            obs.metrics().counter("batched.lockstep_lanes").inc(nlanes)
             run_span = obs.span(
                 "interpret",
                 dispatch="batched",

@@ -14,7 +14,15 @@ our own stack so a characterization run is never a black box:
 * :mod:`repro.obs.manifest` — run provenance written next to results
   (config fingerprint shared with the run cache, git rev, platform);
 * :mod:`repro.obs.regression` — the ``repro bench compare`` /
-  ``benchmarks/check_regression.py`` perf gate over ``BENCH_*.json``.
+  ``benchmarks/check_regression.py`` perf gate over ``BENCH_*.json``;
+* :mod:`repro.obs.context` — request-scoped trace-context propagation
+  (the ambient request ID every span inherits, across processes);
+* :mod:`repro.obs.accesslog` — the structured one-record-per-request
+  JSONL access log behind ``repro obs tail``;
+* :mod:`repro.obs.prometheus` — ``/metrics?format=prometheus`` text
+  exposition and its validating parser;
+* :mod:`repro.obs.flightrec` — the bounded fault flight recorder that
+  dumps incident artifacts on 5xx/worker-death/chaos faults.
 
 Telemetry is off by default and the off path is a no-op: ``span()``
 returns a shared inert span and ``metrics()`` a registry that discards
@@ -28,16 +36,22 @@ from __future__ import annotations
 import os
 from typing import Optional
 
+from repro.obs import context
+from repro.obs import flightrec
 from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
+from repro.obs.context import TraceContext
 from repro.obs.metrics import metrics
 from repro.obs.tracing import get_tracer, span
 
 __all__ = [
+    "TraceContext",
     "configure_from_env",
+    "context",
     "disable",
     "enable",
     "enabled",
+    "flightrec",
     "flush_to",
     "get_tracer",
     "metrics",

@@ -15,11 +15,13 @@ instrumented unconditionally.  Naming convention: dotted lowercase,
 
 from __future__ import annotations
 
+import bisect
 import threading
 from typing import Any, Dict, Mapping, Optional, Union
 
 __all__ = [
     "Counter",
+    "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -27,8 +29,25 @@ __all__ = [
     "enable",
     "enabled",
     "get_registry",
+    "labeled",
     "metrics",
 ]
+
+
+def labeled(name: str, **labels: Any) -> str:
+    """The canonical label-encoded metric name: ``name{k="v",...}``.
+
+    Labels are sorted by key so the same label set always produces the
+    same instrument name; values are stringified.  The Prometheus
+    exposition (:mod:`repro.obs.prometheus`) splits this form back into
+    a metric family plus label set.
+    """
+    if not labels:
+        return name
+    body = ",".join(
+        f'{key}="{labels[key]}"' for key in sorted(labels)
+    )
+    return f"{name}{{{body}}}"
 
 
 class Counter:
@@ -64,27 +83,48 @@ class Gauge:
 #: Retained samples per histogram before deterministic decimation.
 _RESERVOIR_CAP = 4096
 
+#: Fixed exponential bucket upper bounds (milliseconds for latency
+#: histograms): 0.25 ms … ~33 s, doubling.  Fixed bounds — identical in
+#: every process and across restarts — are what make bucket counts
+#: mergeable across workers (:meth:`MetricsRegistry.absorb`) and
+#: scrapeable as cumulative ``le`` series by Prometheus.
+DEFAULT_BUCKETS = tuple(0.25 * 2**i for i in range(18))
+
 
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/quantiles).
+    """Streaming summary of observed values (count/sum/min/max/buckets).
 
-    Besides the running aggregates, a bounded reservoir of raw samples
-    supports :meth:`quantile` (p50/p99 latency, batch-size percentiles
-    for the request server).  When the reservoir fills it is decimated
-    — every other sample dropped, the keep-stride doubled — so memory
-    stays bounded in a long-lived process while the quantile estimate
-    keeps covering the whole observation history.  Decimation is
+    Memory is bounded two ways.  Fixed exponential **buckets**
+    (:data:`DEFAULT_BUCKETS` by default) count observations at
+    ``O(len(buckets))`` space forever — these are exact, mergeable
+    across processes, and feed the Prometheus exposition.  A bounded
+    **reservoir** of raw samples additionally supports
+    :meth:`quantile` (p50/p99 latency for the request server): when it
+    fills it is decimated — every other sample dropped, the
+    keep-stride doubled — so the quantile estimate keeps covering the
+    whole observation history at fixed cost.  Decimation is
     deterministic: identical observation sequences yield identical
     quantiles.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum", "_samples", "_stride")
+    __slots__ = (
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "bounds",
+        "bucket_counts",
+        "_samples",
+        "_stride",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self.bounds = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.bounds)
         self._samples: list = []
         self._stride = 1
 
@@ -96,6 +136,10 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        index = bisect.bisect_left(self.bounds, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+        # Values above the last bound land only in +Inf (i.e. count).
         if self.count % self._stride == 0:
             self._samples.append(value)
             if len(self._samples) >= _RESERVOIR_CAP:
@@ -122,9 +166,19 @@ class Histogram:
             "max": self.maximum,
             "mean": self.mean,
         }
+        if any(self.bucket_counts):
+            # Per-bucket (non-cumulative) counts, keyed by the upper
+            # bound; the Prometheus renderer accumulates them into
+            # cumulative ``le`` series.  Zero buckets are elided.
+            snap["buckets"] = {
+                repr(bound): count
+                for bound, count in zip(self.bounds, self.bucket_counts)
+                if count
+            }
         if self._samples:
             # Quantiles are per-process: absorb() folds only the
-            # aggregate fields, never another process's reservoir.
+            # aggregate and bucket fields, never another process's
+            # reservoir.
             snap["p50"] = self.quantile(0.50)
             snap["p99"] = self.quantile(0.99)
         return snap
@@ -154,14 +208,14 @@ class MetricsRegistry:
             )
         return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(labeled(name, **labels), Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(labeled(name, **labels), Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(labeled(name, **labels), Histogram)
 
     def snapshot(self) -> Dict[str, Any]:
         """All instruments as plain data, sorted by name."""
@@ -173,15 +227,23 @@ class MetricsRegistry:
     def absorb(self, snapshot: Mapping[str, Any]) -> None:
         """Fold a worker's counter/histogram snapshot into this registry.
 
-        Counters add; histograms combine count/sum/min/max; gauges take
-        the worker's last value.  Used when a pool worker ships its
-        metrics back with its results.
+        Counters add; histograms combine count/sum/min/max and fold
+        bucket counts (fixed bounds make the per-bucket counts directly
+        addable); gauges take the worker's last value.  Used when a
+        pool worker ships its metrics back with its results.
         """
         for name, value in snapshot.items():
             if isinstance(value, dict) and "count" in value:
                 hist = self.histogram(name)
                 hist.count += int(value.get("count", 0))
                 hist.total += float(value.get("sum", 0.0))
+                index_of = {
+                    repr(bound): i for i, bound in enumerate(hist.bounds)
+                }
+                for bound, bucket_count in (value.get("buckets") or {}).items():
+                    index = index_of.get(str(bound))
+                    if index is not None:
+                        hist.bucket_counts[index] += int(bucket_count)
                 for key, pick in (("min", min), ("max", max)):
                     other = value.get(key)
                     if other is None:
@@ -226,13 +288,13 @@ class _NoopRegistry:
 
     __slots__ = ()
 
-    def counter(self, name: str) -> _NoopInstrument:
+    def counter(self, name: str, **labels: Any) -> _NoopInstrument:
         return _NOOP_INSTRUMENT
 
-    def gauge(self, name: str) -> _NoopInstrument:
+    def gauge(self, name: str, **labels: Any) -> _NoopInstrument:
         return _NOOP_INSTRUMENT
 
-    def histogram(self, name: str) -> _NoopInstrument:
+    def histogram(self, name: str, **labels: Any) -> _NoopInstrument:
         return _NOOP_INSTRUMENT
 
     def snapshot(self) -> Dict[str, Any]:

@@ -1,0 +1,221 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a ``MetricsRegistry.snapshot()`` into
+the Prometheus `text exposition format`__ so ``/metrics?format=
+prometheus`` can be scraped by stock tooling, while the JSON snapshot
+stays the default for humans and tests.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+
+Mapping rules (the snapshot is plain data, so the mapping is by shape):
+
+* dotted metric names become underscore families
+  (``serve.requests`` → ``serve_requests``);
+* a label-encoded name — ``serve.requests{workload="blast",outcome=
+  "ok"}``, the registry's canonical labeled form — splits into family
+  + label set;
+* ``int`` values render as ``counter``, other scalars as ``gauge``;
+* histogram snapshots (dicts with ``count``/``sum``) render as
+  ``<family>_bucket{le=...}`` cumulative bucket series (when the
+  histogram carries fixed buckets) plus ``_sum``/``_count``.
+
+:func:`parse_prometheus` is the matching reader used by the CI step
+that scrapes the live endpoint and validates the exposition is
+well-formed (every sample typed, bucket series cumulative, ``+Inf``
+equal to ``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["parse_prometheus", "render_prometheus"]
+
+_FAMILY_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)\s*$"
+)
+
+
+def _family(name: str) -> str:
+    """A dotted repro metric name as a Prometheus family name."""
+    return _FAMILY_OK.sub("_", name.replace(".", "_"))
+
+
+def _split_labels(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split the registry's ``name{k="v",...}`` form into (base, labels)."""
+    if "{" not in name or not name.endswith("}"):
+        return name, {}
+    base, _, rest = name.partition("{")
+    labels = {key: value for key, value in _LABEL_RE.findall(rest[:-1])}
+    return base, labels
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: Any) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """A metrics snapshot as Prometheus text exposition (version 0.0.4)."""
+    # Group label-encoded names into families so each family gets one
+    # TYPE line regardless of how many label sets it carries.
+    families: Dict[str, Dict[str, Any]] = {}
+    for name, value in snapshot.items():
+        base, labels = _split_labels(name)
+        family = _family(base)
+        if isinstance(value, dict) and "count" in value:
+            kind = "histogram"
+        elif isinstance(value, bool):
+            kind, value = "gauge", int(value)
+        elif isinstance(value, int):
+            kind = "counter"
+        elif isinstance(value, (float,)):
+            kind = "gauge"
+        else:
+            continue  # unknown shape: skip rather than emit garbage
+        entry = families.setdefault(family, {"kind": kind, "samples": []})
+        if entry["kind"] != kind:
+            # Shape collision across label sets; degrade to untyped.
+            entry["kind"] = "untyped"
+        entry["samples"].append((labels, value))
+
+    lines: List[str] = []
+    for family in sorted(families):
+        entry = families[family]
+        kind = entry["kind"]
+        lines.append(f"# TYPE {family} {kind}")
+        for labels, value in entry["samples"]:
+            if isinstance(value, dict):
+                buckets = value.get("buckets") or {}
+                cumulative = 0
+                for bound in sorted(buckets, key=float):
+                    cumulative += int(buckets[bound])
+                    bucket_labels = dict(labels, le=_format_value(float(bound)))
+                    lines.append(
+                        f"{family}_bucket{_label_str(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                inf_labels = dict(labels, le="+Inf")
+                lines.append(
+                    f"{family}_bucket{_label_str(inf_labels)} "
+                    f"{int(value.get('count', 0))}"
+                )
+                lines.append(
+                    f"{family}_sum{_label_str(labels)} "
+                    f"{_format_value(value.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{family}_count{_label_str(labels)} "
+                    f"{int(value.get('count', 0))}"
+                )
+            else:
+                lines.append(
+                    f"{family}{_label_str(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[str, Any]:
+    """Parse (and structurally validate) a text exposition.
+
+    Returns ``{"types": {family: kind}, "samples": [(name, labels,
+    value), ...]}``.  Raises ``ValueError`` on malformed lines, samples
+    whose family has no TYPE declaration, non-cumulative histogram
+    bucket series, or a ``+Inf`` bucket disagreeing with ``_count``.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        name, label_body, value_text = match.groups()
+        labels = (
+            {key: value for key, value in _LABEL_RE.findall(label_body)}
+            if label_body
+            else {}
+        )
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad sample value: {value_text!r}"
+                )
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        samples.append((name, labels, value))
+
+    # Validate histogram bucket series: cumulative, +Inf == _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        counts: Dict[str, float] = {}
+        for name, labels, value in samples:
+            base_labels = {k: v for k, v in labels.items() if k != "le"}
+            key = _label_str(base_labels)
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(f"{family}: bucket sample without le")
+                bound = math.inf if le == "+Inf" else float(le)
+                series.setdefault(key, []).append((bound, value))
+            elif name == family + "_count":
+                counts[key] = value
+        for key, points in series.items():
+            points.sort(key=lambda item: item[0])
+            last = -math.inf
+            for bound, value in points:
+                if value < last:
+                    raise ValueError(
+                        f"{family}: bucket series not cumulative at "
+                        f"le={bound}"
+                    )
+                last = value
+            if not points or points[-1][0] != math.inf:
+                raise ValueError(f"{family}: missing +Inf bucket")
+            if key in counts and points[-1][1] != counts[key]:
+                raise ValueError(
+                    f"{family}: +Inf bucket {points[-1][1]} != _count "
+                    f"{counts[key]}"
+                )
+    return {"types": types, "samples": samples}

@@ -29,6 +29,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.obs import context as _context
+from repro.obs import flightrec as _flightrec
+
 __all__ = [
     "Span",
     "SpanRecord",
@@ -189,9 +192,20 @@ class Tracer:
         return stack
 
     def span(self, name: str, **attrs: Any) -> Span:
-        """Open a span whose parent is the thread's current span."""
+        """Open a span whose parent is the thread's current span.
+
+        Ambient trace-context attributes (:func:`repro.obs.context.
+        current_attrs` — the request ID threaded through the serving
+        path) are folded in under explicit ``attrs``, so every span a
+        request causes is tagged with its originating request ID
+        without call sites knowing about requests.
+        """
         stack = self._stack()
         parent_id = stack[-1].span_id if stack else None
+        ambient = _context.current_attrs()
+        if ambient:
+            ambient.update(attrs)
+            attrs = ambient
         return Span(self, name, parent_id, attrs)
 
     def current_span_id(self) -> Optional[str]:
@@ -212,6 +226,9 @@ class Tracer:
     def _finish(self, record: SpanRecord) -> None:
         with self._lock:
             self.records.append(record)
+        recorder = _flightrec.get_recorder()
+        if recorder is not None:
+            recorder.note_span(record.to_dict())
 
     # -- collection ---------------------------------------------------------
     def drain(self) -> List[SpanRecord]:

@@ -35,6 +35,18 @@ retry is a fast-path hit.
 A run that fails past the engine's retries (including injected faults
 from ``--faults``) resolves its waiters with a ``task_failed`` error;
 the batcher thread itself never dies with a request.
+
+Observability (PR 7): every waiter carries the request's
+:class:`~repro.obs.context.TraceContext`; a coalesced follower's
+context names the leader request it joined.  The flight records when
+it was popped from the queue and when engine work started/ended, so
+each response can report per-stage timings (queue wait, batch
+formation, execution, total).  Those travel to the service layer in a
+private ``_obs`` envelope field (stripped before the response leaves
+the service) where they become the access-log record and the labeled
+``serve.requests`` / ``serve.stage_ms`` metrics.  Request IDs are
+passed to :meth:`Session.characterize_many` as per-spec tags so
+worker-side spans carry the originating request identity.
 """
 
 from __future__ import annotations
@@ -47,6 +59,8 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.parallel import FailedCell
+from repro.obs import flightrec as _flightrec
+from repro.obs.context import TraceContext, mint_request_id
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, Deadline, ServicePolicy
 
@@ -62,24 +76,69 @@ _RUNS_CAPACITY = 512
 
 
 class _Waiter:
-    __slots__ = ("future", "deadline", "enqueued")
+    __slots__ = ("future", "deadline", "enqueued", "ctx")
 
-    def __init__(self, future: Future, deadline: Deadline):
+    def __init__(
+        self,
+        future: Future,
+        deadline: Deadline,
+        ctx: Optional[TraceContext] = None,
+    ):
         self.future = future
         self.deadline = deadline
         self.enqueued = time.monotonic()
+        self.ctx = ctx
 
 
 class _Flight:
-    """One in-flight run and everybody waiting on it."""
+    """One in-flight run and everybody waiting on it.
 
-    __slots__ = ("key", "request", "waiters", "done")
+    ``popped``/``exec_start``/``exec_end`` are monotonic stage marks
+    (queue exit, engine dispatch, engine return) shared by every
+    waiter; per-waiter queue/total times differ only by ``enqueued``.
+    The first waiter's request ID is the flight's **leader** identity:
+    later coalescers record it as ``coalesced_into`` and the engine
+    task is tagged with it.
+    """
+
+    __slots__ = (
+        "key",
+        "request",
+        "waiters",
+        "done",
+        "popped",
+        "exec_start",
+        "exec_end",
+    )
 
     def __init__(self, key: str, request: protocol.ServiceRequest):
         self.key = key
         self.request = request
         self.waiters: List[_Waiter] = []
         self.done = False
+        self.popped: Optional[float] = None
+        self.exec_start: Optional[float] = None
+        self.exec_end: Optional[float] = None
+
+    @property
+    def leader_id(self) -> Optional[str]:
+        for waiter in self.waiters:
+            if waiter.ctx is not None:
+                return waiter.ctx.request_id
+        return None
+
+    def stages_ms(self, waiter: _Waiter, now: float) -> Dict[str, float]:
+        """Per-stage latencies for one waiter, clamped at zero (a
+        follower can attach after the flight was popped)."""
+        popped = self.popped if self.popped is not None else now
+        exec_start = self.exec_start if self.exec_start is not None else popped
+        exec_end = self.exec_end if self.exec_end is not None else exec_start
+        return {
+            "queue": round(max(0.0, popped - waiter.enqueued) * 1e3, 3),
+            "batch": round(max(0.0, exec_start - popped) * 1e3, 3),
+            "exec": round(max(0.0, exec_end - exec_start) * 1e3, 3),
+            "total": round(max(0.0, now - waiter.enqueued) * 1e3, 3),
+        }
 
 
 class Batcher:
@@ -108,9 +167,18 @@ class Batcher:
         self._thread.start()
 
     # -- submission (caller threads) ----------------------------------------
-    def submit(self, request: protocol.ServiceRequest) -> Future:
+    def submit(
+        self,
+        request: protocol.ServiceRequest,
+        ctx: Optional[TraceContext] = None,
+    ) -> Future:
         """Admit one request; resolve from memo, attach to an in-flight
-        run, or enqueue a new flight."""
+        run, or enqueue a new flight.  ``ctx`` is the request's trace
+        identity (minted here when the caller has none); a request that
+        attaches to an existing flight gets a derived context recording
+        the leader request it coalesced into."""
+        if ctx is None:
+            ctx = TraceContext(mint_request_id())
         deadline = Deadline(
             request.deadline_s
             if request.deadline_s is not None
@@ -124,19 +192,32 @@ class Batcher:
                 request.workload, request.scale, request.seed
             )
             if memoized is not None:
+                started = time.monotonic()
                 obs.metrics().counter("serve.fast_path").inc()
                 payload = protocol.characterization_payload(
                     request.workload, memoized
                 )
                 self._record_run(key, request, payload)
-                future.set_result(
-                    (
-                        200,
-                        protocol.ok_body(
-                            key, request.kind, payload, cached=True, elapsed_ms=0.0
-                        ),
-                    )
+                elapsed_ms = (time.monotonic() - started) * 1e3
+                body = protocol.ok_body(
+                    key,
+                    request.kind,
+                    payload,
+                    cached=True,
+                    elapsed_ms=0.0,
+                    request_id=ctx.request_id,
                 )
+                # A memo hit never queues, batches, or executes — only
+                # ``total`` is a real stage (and observing three zeros
+                # per hit would dominate the fast path's cost).
+                body["_obs"] = {
+                    "workload": request.workload,
+                    "kind": request.kind,
+                    "id": key,
+                    "cached": True,
+                    "stages_ms": {"total": round(elapsed_ms, 3)},
+                }
+                future.set_result((200, body))
                 self._observe_latency(0.0)
                 return future
 
@@ -144,11 +225,17 @@ class Batcher:
             flight = self._inflight.get(key)
             if flight is not None and not flight.done:
                 obs.metrics().counter("serve.singleflight_hits").inc()
-                flight.waiters.append(_Waiter(future, deadline))
+                leader = flight.leader_id
+                follower = (
+                    TraceContext(ctx.request_id, coalesced_into=leader)
+                    if leader is not None and leader != ctx.request_id
+                    else ctx
+                )
+                flight.waiters.append(_Waiter(future, deadline, follower))
                 return future
             self._admission.try_admit()  # raises QueueFull
             flight = _Flight(key, request)
-            flight.waiters.append(_Waiter(future, deadline))
+            flight.waiters.append(_Waiter(future, deadline, ctx))
             self._inflight[key] = flight
             self._queue.append(flight)
             self._cond.notify()
@@ -198,6 +285,9 @@ class Batcher:
             with self._cond:
                 count = min(len(self._queue), self._policy.max_batch)
                 batch = [self._queue.popleft() for _ in range(count)]
+            now = time.monotonic()
+            for flight in batch:
+                flight.popped = now
             if batch:
                 self._run_batch(batch)
 
@@ -230,6 +320,16 @@ class Batcher:
                     (f.request.workload, f.request.scale, f.request.seed)
                     for f in live
                 ]
+                # Tag each engine task with the leader request that
+                # caused it, so worker-side spans carry the request ID.
+                tags = [
+                    (
+                        {"request_id": f.leader_id}
+                        if f.leader_id is not None
+                        else None
+                    )
+                    for f in live
+                ]
                 # With the batched backend, compatible specs execute as
                 # one lockstep batch; remember each group's size so the
                 # run record states the effective B it rode in on.
@@ -238,25 +338,41 @@ class Batcher:
                     for name, scale, _seed in specs:
                         group = (name, scale or self._session.scale)
                         groups[group] = groups.get(group, 0) + 1
+                exec_start = time.monotonic()
+                for flight in live:
+                    flight.exec_start = exec_start
                 outcomes = self._session.characterize_many(
-                    specs, timeout=self._batch_timeout(live)
+                    specs, timeout=self._batch_timeout(live), tags=tags
                 )
+                exec_end = time.monotonic()
+                for flight in live:
+                    flight.exec_end = exec_end
                 for flight, outcome in zip(live, outcomes):
                     request = flight.request
-                    batch = groups.get(
+                    batch_n = groups.get(
                         (request.workload, request.scale or self._session.scale)
                     )
-                    self._finish_characterize(flight, outcome, batch=batch)
+                    self._finish_characterize(
+                        flight, outcome, batch=batch_n, batch_size=len(live)
+                    )
             for flight in others:
                 self._run_single(flight)
         except Exception as exc:  # noqa: BLE001 - the server must survive
             obs.metrics().counter("serve.internal_errors").inc()
-            body = protocol.error_body(
-                "internal", f"{type(exc).__name__}: {exc}"
+            message = f"{type(exc).__name__}: {exc}"
+            _flightrec.note(
+                "batch_internal_error",
+                error=message,
+                flights=[f.key for f in batch],
             )
             for flight in batch:
                 if not flight.done:
-                    self._resolve(flight, lambda _w: (500, body))
+                    self._resolve(
+                        flight,
+                        self._error_responder(
+                            flight, 500, "internal", message
+                        ),
+                    )
         finally:
             self._admission.observe_batch(time.monotonic() - started)
 
@@ -273,38 +389,120 @@ class Batcher:
         return max(_MIN_ENGINE_TIMEOUT, min(remaining))
 
     # -- resolution ----------------------------------------------------------
+    def _obs_fields(
+        self,
+        flight: _Flight,
+        waiter: _Waiter,
+        now: float,
+        *,
+        cached: bool = False,
+        batch_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """The private ``_obs`` block the service layer turns into the
+        access-log record; stripped before the response hits the wire."""
+        request = flight.request
+        fields: Dict[str, Any] = {
+            "workload": request.workload,
+            "kind": request.kind,
+            "id": flight.key,
+            "cached": cached,
+            "stages_ms": flight.stages_ms(waiter, now),
+        }
+        if batch_size is not None:
+            fields["batch_size"] = batch_size
+        if waiter.ctx is not None and waiter.ctx.coalesced_into is not None:
+            fields["coalesced_into"] = waiter.ctx.coalesced_into
+        return fields
+
+    def _error_responder(
+        self,
+        flight: _Flight,
+        status: int,
+        code: str,
+        message: str,
+        batch_size: Optional[int] = None,
+    ):
+        """A per-waiter responder for one error outcome: each waiter's
+        envelope echoes its own request ID and stage timings."""
+
+        def _respond(waiter: _Waiter) -> Tuple[int, Dict[str, Any]]:
+            body = protocol.error_body(
+                code,
+                message,
+                request_id=(
+                    waiter.ctx.request_id if waiter.ctx is not None else None
+                ),
+            )
+            body["_obs"] = self._obs_fields(
+                flight, waiter, time.monotonic(), batch_size=batch_size
+            )
+            return status, body
+
+        return _respond
+
     def _finish_characterize(
-        self, flight: _Flight, outcome, batch: Optional[int] = None
+        self,
+        flight: _Flight,
+        outcome,
+        batch: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         request = flight.request
         if isinstance(outcome, FailedCell):
             obs.metrics().counter("serve.task_failures").inc()
-            body = protocol.error_body(
-                "task_failed",
+            message = (
                 f"{outcome.description}: {outcome.error} "
-                f"({outcome.attempts} attempts)",
+                f"({outcome.attempts} attempts)"
             )
-            self._resolve(flight, lambda _w: (502, body))
+            _flightrec.note(
+                "request_failed",
+                request_id=flight.leader_id,
+                workload=request.workload,
+                error=message,
+            )
+            self._resolve(
+                flight,
+                self._error_responder(
+                    flight, 502, "task_failed", message, batch_size=batch_size
+                ),
+            )
             return
         payload = protocol.characterization_payload(request.workload, outcome)
         self._record_run(flight.key, request, payload, batch=batch)
 
         def _respond(waiter: _Waiter) -> Tuple[int, Dict[str, Any]]:
+            now = time.monotonic()
+            rid = waiter.ctx.request_id if waiter.ctx is not None else None
             if waiter.deadline.expired:
                 obs.metrics().counter("serve.deadline_exceeded").inc()
-                return 504, protocol.error_body(
+                body = protocol.error_body(
                     "deadline_exceeded",
                     "run completed after the request deadline; "
                     "it is cached — retry to fetch it",
+                    request_id=rid,
                 )
-            elapsed_ms = (time.monotonic() - waiter.enqueued) * 1e3
-            return 200, protocol.ok_body(
+                body["_obs"] = self._obs_fields(
+                    flight, waiter, now, batch_size=batch_size
+                )
+                return 504, body
+            elapsed_ms = (now - waiter.enqueued) * 1e3
+            body = protocol.ok_body(
                 flight.key,
                 request.kind,
                 payload,
                 cached=False,
                 elapsed_ms=elapsed_ms,
+                request_id=rid,
+                coalesced_into=(
+                    waiter.ctx.coalesced_into
+                    if waiter.ctx is not None
+                    else None
+                ),
             )
+            body["_obs"] = self._obs_fields(
+                flight, waiter, now, batch_size=batch_size
+            )
+            return 200, body
 
         self._resolve(flight, _respond)
 
@@ -314,55 +512,90 @@ class Batcher:
         if all(w.deadline.expired for w in flight.waiters):
             self._resolve_expired(flight)
             return
+        ctx = TraceContext(flight.leader_id) if flight.leader_id else None
+        flight.exec_start = time.monotonic()
         try:
-            if request.kind == "evaluate":
-                evaluation = self._session.evaluate(
-                    request.workload,
-                    platform=request.platform,
-                    scale=request.scale,
-                )
-                payload = protocol.evaluation_payload(evaluation)
-            else:
-                extra = {} if request.scale is None else {"scale": request.scale}
-                points = self._session.sweep(
-                    request.workload,
-                    request.field,
-                    list(request.values or ()),
-                    kind=request.sweep_kind,
-                    **extra,
-                )
-                payload = protocol.sweep_payload(request.field, points)
+            from repro.obs import context as _context
+
+            with _context.use(ctx):
+                if request.kind == "evaluate":
+                    evaluation = self._session.evaluate(
+                        request.workload,
+                        platform=request.platform,
+                        scale=request.scale,
+                    )
+                    payload = protocol.evaluation_payload(evaluation)
+                else:
+                    extra = (
+                        {} if request.scale is None else {"scale": request.scale}
+                    )
+                    points = self._session.sweep(
+                        request.workload,
+                        request.field,
+                        list(request.values or ()),
+                        kind=request.sweep_kind,
+                        **extra,
+                    )
+                    payload = protocol.sweep_payload(request.field, points)
         except Exception as exc:  # noqa: BLE001 - per-request error, not a crash
+            flight.exec_end = time.monotonic()
             obs.metrics().counter("serve.task_failures").inc()
-            body = protocol.error_body(
-                "task_failed", f"{type(exc).__name__}: {exc}"
+            message = f"{type(exc).__name__}: {exc}"
+            _flightrec.note(
+                "request_failed",
+                request_id=flight.leader_id,
+                workload=request.workload,
+                error=message,
             )
-            self._resolve(flight, lambda _w: (502, body))
+            self._resolve(
+                flight,
+                self._error_responder(flight, 502, "task_failed", message),
+            )
             return
+        flight.exec_end = time.monotonic()
 
         def _respond(waiter: _Waiter) -> Tuple[int, Dict[str, Any]]:
+            now = time.monotonic()
+            rid = waiter.ctx.request_id if waiter.ctx is not None else None
             if waiter.deadline.expired:
                 obs.metrics().counter("serve.deadline_exceeded").inc()
-                return 504, protocol.error_body(
-                    "deadline_exceeded", "run completed after the request deadline"
+                body = protocol.error_body(
+                    "deadline_exceeded",
+                    "run completed after the request deadline",
+                    request_id=rid,
                 )
-            elapsed_ms = (time.monotonic() - waiter.enqueued) * 1e3
-            return 200, protocol.ok_body(
+                body["_obs"] = self._obs_fields(flight, waiter, now)
+                return 504, body
+            elapsed_ms = (now - waiter.enqueued) * 1e3
+            body = protocol.ok_body(
                 flight.key,
                 request.kind,
                 payload,
                 cached=False,
                 elapsed_ms=elapsed_ms,
+                request_id=rid,
+                coalesced_into=(
+                    waiter.ctx.coalesced_into
+                    if waiter.ctx is not None
+                    else None
+                ),
             )
+            body["_obs"] = self._obs_fields(flight, waiter, now)
+            return 200, body
 
         self._resolve(flight, _respond)
 
     def _resolve_expired(self, flight: _Flight) -> None:
         obs.metrics().counter("serve.deadline_exceeded").inc(len(flight.waiters))
-        body = protocol.error_body(
-            "deadline_exceeded", "request deadline passed while queued"
+        self._resolve(
+            flight,
+            self._error_responder(
+                flight,
+                504,
+                "deadline_exceeded",
+                "request deadline passed while queued",
+            ),
         )
-        self._resolve(flight, lambda _w: (504, body))
 
     def _resolve(self, flight: _Flight, respond) -> None:
         """Answer every waiter and return the flight's queue slot."""

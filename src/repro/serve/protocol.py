@@ -285,30 +285,52 @@ def sweep_payload(field: str, points: Sequence[object]) -> Dict[str, Any]:
 
 
 def ok_body(
-    request_id: str,
+    run_id: str,
     kind: str,
     payload: Dict[str, Any],
     *,
     cached: bool,
     elapsed_ms: float,
+    request_id: Optional[str] = None,
+    coalesced_into: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Success envelope; ``id`` is the run's workload fingerprint
-    (retrievable as ``GET /runs/<id>`` while the server remembers it)."""
-    return {
+    (retrievable as ``GET /runs/<id>`` while the server remembers it).
+
+    ``request_id`` is the trace identity minted at the door (or
+    supplied via ``X-Repro-Request-Id``) and is echoed verbatim so a
+    client can join its response to the access log and spans;
+    ``coalesced_into`` names the leader request a coalesced follower
+    joined.  Both live outside ``result``, so the bit-identity digest
+    of the payload is unaffected by trace identity.
+    """
+    body = {
         "ok": True,
-        "id": request_id,
+        "id": run_id,
         "kind": kind,
         "cached": cached,
         "elapsed_ms": round(elapsed_ms, 3),
         "result": payload,
     }
+    if request_id is not None:
+        body["request_id"] = request_id
+    if coalesced_into is not None:
+        body["coalesced_into"] = coalesced_into
+    return body
 
 
 def error_body(
-    code: str, message: str, retry_after_s: Optional[float] = None
+    code: str,
+    message: str,
+    retry_after_s: Optional[float] = None,
+    request_id: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Error envelope; ``retry_after_s`` accompanies ``queue_full``."""
+    """Error envelope; ``retry_after_s`` accompanies ``queue_full`` and
+    ``request_id`` echoes the request's trace identity (when known)."""
     error: Dict[str, Any] = {"code": code, "message": message}
     if retry_after_s is not None:
         error["retry_after_s"] = round(retry_after_s, 3)
-    return {"ok": False, "error": error}
+    body: Dict[str, Any] = {"ok": False, "error": error}
+    if request_id is not None:
+        body["request_id"] = request_id
+    return body

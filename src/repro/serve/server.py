@@ -21,9 +21,21 @@ Three layers, separable on purpose:
 Routes::
 
     POST /v1/characterize | /v1/evaluate | /v1/sweep | /v1/submit
-    GET  /healthz   liveness + queue depth
-    GET  /metrics   repro.obs metrics snapshot (JSON)
+    GET  /healthz   liveness, uptime, backend, worker-pool heartbeats,
+                    flight-recorder status
+    GET  /metrics   repro.obs metrics snapshot (JSON, the default) or
+                    Prometheus text exposition (?format=prometheus)
     GET  /runs/<fingerprint>   stored run record + provenance manifest
+
+Request-scoped observability: every POST is assigned a request ID —
+the inbound ``X-Repro-Request-Id`` header when the client supplies a
+valid one, a minted ``req-...`` otherwise — that is installed as
+ambient trace context for the request's whole life, echoed in the
+response envelope (and response header), written to the structured
+access log with per-stage timings, and carried by every span the
+request causes, including worker-process spans adopted across the
+pool boundary.  A 5xx triggers a flight-recorder incident dump when a
+dump directory is configured (``repro serve --flightrec-dir``).
 """
 
 from __future__ import annotations
@@ -34,12 +46,17 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.api import RunConfig, Session
-from repro.obs.metrics import enable as _enable_metrics, get_registry
+from repro.obs import context as _context
+from repro.obs import flightrec as _flightrec
+from repro.obs.accesslog import AccessLog
+from repro.obs.context import REQUEST_ID_HEADER, TraceContext
+from repro.obs.metrics import enable as _enable_metrics, get_registry, metrics
+from repro.obs.prometheus import render_prometheus
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, QueueFull, ServicePolicy
 from repro.serve.batcher import Batcher
 
-__all__ = ["CharacterizationService", "ServiceClient", "serve"]
+__all__ = ["CharacterizationService", "PlainText", "ServiceClient", "serve"]
 
 _POST_ROUTES = {
     "/v1/characterize": "characterize",
@@ -50,6 +67,11 @@ _POST_ROUTES = {
 
 #: Ceiling on accepted request bodies (1 MiB) — requests are tiny.
 _MAX_BODY = 1 << 20
+
+
+class PlainText(str):
+    """Marker type: a ``handle_get`` body that is already rendered text
+    (the Prometheus exposition), not a JSON-able dict."""
 
 
 class CharacterizationService:
@@ -67,8 +89,25 @@ class CharacterizationService:
         session: Optional[Session] = None,
         policy: Optional[ServicePolicy] = None,
         config: Optional[RunConfig] = None,
+        telemetry: bool = True,
+        access_log_path: Optional[str] = None,
+        flightrec_dir: Optional[str] = None,
     ):
-        _enable_metrics()
+        """``telemetry=False`` runs the service with per-request
+        instrumentation off — no metrics registry, no access log, no
+        flight recorder — the baseline the observability-overhead
+        benchmark compares against.  ``access_log_path`` additionally
+        appends JSONL records for ``repro obs tail``; ``flightrec_dir``
+        enables incident dumps (the in-memory event ring is on whenever
+        telemetry is)."""
+        self.telemetry = bool(telemetry)
+        self.access_log: Optional[AccessLog] = None
+        self._owns_flightrec = False
+        if self.telemetry:
+            _enable_metrics()
+            self.access_log = AccessLog(access_log_path)
+            _flightrec.enable(flightrec_dir)
+            self._owns_flightrec = True
         self._owns_session = session is None
         if session is None:
             session = Session(
@@ -81,19 +120,54 @@ class CharacterizationService:
         self.batcher = Batcher(session, self.policy, self.admission)
         self._started = time.monotonic()
         self._closed = False
+        # Instrument handles cached per registry: resolving a labeled
+        # name (format + sort + registry lock) five times per request
+        # costs more than the memo fast path itself.  Rebuilt if the
+        # global registry is swapped under us (tests do).
+        self._handle_cache: Tuple[Any, Dict[Any, Any], Dict[str, Any]] = (
+            None, {}, {},
+        )
+
+    # -- request identity ----------------------------------------------------
+    def _request_context(self, request_id: Optional[str]) -> TraceContext:
+        """The request's trace identity: the client's ID when valid
+        (printable ASCII, bounded length), a minted one otherwise."""
+        if request_id is not None and _context.valid_request_id(request_id):
+            return TraceContext(request_id)
+        return TraceContext(_context.mint_request_id())
 
     # -- POST ---------------------------------------------------------------
     def handle_post(
-        self, path: str, payload: Any
+        self, path: str, payload: Any, request_id: Optional[str] = None
     ) -> Tuple[int, Dict[str, Any]]:
-        """One request through parse → admit → batch → respond."""
+        """One request through parse → admit → batch → respond.
+
+        ``request_id`` is the raw inbound ``X-Repro-Request-Id`` value
+        (None when absent); the resolved ID is echoed in every response
+        envelope this method returns.
+        """
+        ctx = self._request_context(request_id)
+        with _context.use(ctx):
+            status, body = self._handle_post_inner(path, payload, ctx)
+        if isinstance(body, dict):
+            body.setdefault("request_id", ctx.request_id)
+            self._observe_request(ctx, status, body.pop("_obs", None), body)
+        return status, body
+
+    def _handle_post_inner(
+        self, path: str, payload: Any, ctx: TraceContext
+    ) -> Tuple[int, Dict[str, Any]]:
         if path not in _POST_ROUTES:
-            return 404, protocol.error_body("not_found", f"no route {path}")
+            return 404, protocol.error_body(
+                "not_found", f"no route {path}", request_id=ctx.request_id
+            )
         kind = _POST_ROUTES[path]
         if kind is not None:
             if not isinstance(payload, dict):
                 return 400, protocol.error_body(
-                    "bad_request", "request body must be a JSON object"
+                    "bad_request",
+                    "request body must be a JSON object",
+                    request_id=ctx.request_id,
                 )
             payload = dict(payload, kind=kind)
         try:
@@ -101,19 +175,95 @@ class CharacterizationService:
         except protocol.ProtocolError as exc:
             return (
                 protocol.HTTP_STATUS[exc.code],
-                protocol.error_body(exc.code, exc.message),
+                protocol.error_body(
+                    exc.code, exc.message, request_id=ctx.request_id
+                ),
             )
         try:
-            future = self.batcher.submit(request)
+            future = self.batcher.submit(request, ctx)
         except QueueFull as exc:
             return 429, protocol.error_body(
-                "queue_full", str(exc), retry_after_s=exc.retry_after_s
+                "queue_full",
+                str(exc),
+                retry_after_s=exc.retry_after_s,
+                request_id=ctx.request_id,
             )
         return future.result()
 
+    def _observe_request(
+        self,
+        ctx: TraceContext,
+        status: int,
+        obs_fields: Optional[Dict[str, Any]],
+        body: Dict[str, Any],
+    ) -> None:
+        """Emit the request's telemetry: one access-log record, the
+        labeled ``serve.requests`` counter, per-stage latency
+        histograms, and — on a 5xx — a flight-recorder incident dump."""
+        if not self.telemetry:
+            return
+        obs_fields = obs_fields or {}
+        outcome = (
+            "ok" if status < 400
+            else body.get("error", {}).get("code", "error")
+        )
+        workload = obs_fields.get("workload") or "-"
+        registry = metrics()
+        cached_registry, counters, stage_hists = self._handle_cache
+        if cached_registry is not registry:
+            counters, stage_hists = {}, {}
+            self._handle_cache = (registry, counters, stage_hists)
+        counter_key = (workload, outcome)
+        counter = counters.get(counter_key)
+        if counter is None:
+            counter = counters[counter_key] = registry.counter(
+                "serve.requests",
+                workload=workload,
+                backend=self.session.backend,
+                outcome=outcome,
+            )
+        counter.inc()
+        stages = obs_fields.get("stages_ms") or {}
+        for stage, value in stages.items():
+            hist = stage_hists.get(stage)
+            if hist is None:
+                hist = stage_hists[stage] = registry.histogram(
+                    "serve.stage_ms", stage=stage
+                )
+            hist.observe(value)
+        record: Dict[str, Any] = {
+            "request_id": ctx.request_id,
+            "status": status,
+            "outcome": outcome,
+            "workload": obs_fields.get("workload"),
+            "kind": obs_fields.get("kind"),
+            "id": obs_fields.get("id"),
+            "cached": obs_fields.get("cached", False),
+            "backend": self.session.backend,
+            "stages_ms": stages or None,
+        }
+        for optional in ("batch_size", "coalesced_into"):
+            if optional in obs_fields:
+                record[optional] = obs_fields[optional]
+        if self.access_log is not None:
+            self.access_log.log(**record)
+        if status >= 500:
+            recorder = _flightrec.get_recorder()
+            if recorder is not None:
+                recorder.note("request_5xx", **record)
+                recorder.dump(
+                    f"http-{status}",
+                    access_tail=(
+                        self.access_log.tail(32) if self.access_log else None
+                    ),
+                    extra=record,
+                )
+
     # -- GET ----------------------------------------------------------------
-    def handle_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+    def handle_get(self, path: str) -> Tuple[int, Any]:
+        path, _, query = path.partition("?")
         if path == "/healthz":
+            recorder = _flightrec.get_recorder()
             return 200, {
                 "ok": True,
                 "status": "ok",
@@ -123,13 +273,25 @@ class CharacterizationService:
                 "jobs": self.session.jobs,
                 "backend": self.session.backend,
                 "scale": self.session.scale,
+                "telemetry": self.telemetry,
+                "workers": getattr(
+                    self.session, "pool_liveness", lambda: []
+                )(),
+                "flightrec": (
+                    recorder.status()
+                    if recorder is not None
+                    else {"enabled": False}
+                ),
+                "requests_logged": (
+                    self.access_log.count if self.access_log else 0
+                ),
             }
         if path == "/metrics":
             registry = get_registry()
-            return 200, {
-                "ok": True,
-                "metrics": registry.snapshot() if registry else {},
-            }
+            snapshot = registry.snapshot() if registry else {}
+            if "format=prometheus" in query:
+                return 200, PlainText(render_prometheus(snapshot))
+            return 200, {"ok": True, "metrics": snapshot}
         if path.startswith("/runs/"):
             fingerprint = path[len("/runs/"):]
             record = self.batcher.get_run(fingerprint)
@@ -146,6 +308,10 @@ class CharacterizationService:
             return
         self._closed = True
         self.batcher.close()
+        if self.access_log is not None:
+            self.access_log.close()
+        if self._owns_flightrec:
+            _flightrec.disable()
         if self._owns_session:
             self.session.close()
 
@@ -168,9 +334,12 @@ class ServiceClient:
     def __init__(self, service: CharacterizationService):
         self.service = service
 
-    def request(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
-        """POST /v1/submit: ``body`` carries its own ``kind``."""
-        return self.service.handle_post("/v1/submit", body)
+    def request(
+        self, body: Dict[str, Any], request_id: Optional[str] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """POST /v1/submit: ``body`` carries its own ``kind``.
+        ``request_id`` plays the ``X-Repro-Request-Id`` header."""
+        return self.service.handle_post("/v1/submit", body, request_id)
 
     def characterize(self, workload: str, **fields) -> Tuple[int, Dict[str, Any]]:
         return self.request(dict(fields, kind="characterize", workload=workload))
@@ -189,8 +358,9 @@ class ServiceClient:
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
         return self.service.handle_get("/healthz")
 
-    def metrics(self) -> Tuple[int, Dict[str, Any]]:
-        return self.service.handle_get("/metrics")
+    def metrics(self, format: Optional[str] = None) -> Tuple[int, Any]:
+        path = "/metrics" if format is None else f"/metrics?format={format}"
+        return self.service.handle_get(path)
 
     def run(self, fingerprint: str) -> Tuple[int, Dict[str, Any]]:
         return self.service.handle_get(f"/runs/{fingerprint}")
@@ -213,24 +383,37 @@ _REASONS = {
 }
 
 
-def _encode_response(status: int, body: Dict[str, Any]) -> bytes:
-    data = json.dumps(body).encode()
+def _encode_response(status: int, body: Any) -> bytes:
+    if isinstance(body, PlainText):
+        data = str(body).encode()
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        data = json.dumps(body).encode()
+        content_type = "application/json"
     headers = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
         f"Content-Length: {len(data)}",
         "Connection: keep-alive",
     ]
-    retry = body.get("error", {}).get("retry_after_s") if status == 429 else None
-    if retry is not None:
-        headers.append(f"Retry-After: {max(1, int(-(-retry // 1)))}")
+    if isinstance(body, dict):
+        request_id = body.get("request_id")
+        if request_id is not None:
+            headers.append(f"{REQUEST_ID_HEADER}: {request_id}")
+        retry = (
+            body.get("error", {}).get("retry_after_s") if status == 429 else None
+        )
+        if retry is not None:
+            headers.append(f"Retry-After: {max(1, int(-(-retry // 1)))}")
     return ("\r\n".join(headers) + "\r\n\r\n").encode() + data
 
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, bytes]]:
-    """One HTTP/1.1 request as (method, path, body); None on EOF."""
+) -> Optional[Tuple[str, str, bytes, Dict[str, str]]]:
+    """One HTTP/1.1 request as (method, path, body, headers); None on
+    EOF.  Header names are lower-cased; duplicate headers keep the last
+    value (none of the headers the door reads repeat legitimately)."""
     try:
         request_line = await reader.readline()
     except (ConnectionError, asyncio.IncompleteReadError):
@@ -242,11 +425,13 @@ async def _read_request(
         return None
     method, path = parts[0].upper(), parts[1]
     length = 0
+    headers: Dict[str, str] = {}
     while True:
         line = await reader.readline()
         if not line or line in (b"\r\n", b"\n"):
             break
         name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
         if name.strip().lower() == "content-length":
             try:
                 length = int(value.strip())
@@ -255,7 +440,7 @@ async def _read_request(
     if length > _MAX_BODY:
         return None
     body = await reader.readexactly(length) if length else b""
-    return method, path, body
+    return method, path, body, headers
 
 
 async def _handle_connection(
@@ -269,7 +454,8 @@ async def _handle_connection(
             request = await _read_request(reader)
             if request is None:
                 break
-            method, path, raw = request
+            method, path, raw, headers = request
+            request_id = headers.get(REQUEST_ID_HEADER.lower())
             if method == "GET":
                 status, body = service.handle_get(path)
             elif method == "POST":
@@ -277,12 +463,13 @@ async def _handle_connection(
                     payload = json.loads(raw.decode()) if raw else {}
                 except (ValueError, UnicodeDecodeError):
                     status, body = 400, protocol.error_body(
-                        "bad_request", "body is not valid JSON"
+                        "bad_request", "body is not valid JSON",
+                        request_id=request_id,
                     )
                 else:
                     # The engine call blocks; keep the event loop free.
                     status, body = await loop.run_in_executor(
-                        None, service.handle_post, path, payload
+                        None, service.handle_post, path, payload, request_id
                     )
             else:
                 status, body = 405, protocol.error_body(
@@ -323,10 +510,26 @@ async def serve(
 def main_loop(
     service: CharacterizationService, host: str, port: int
 ) -> None:
-    """Blocking entry point for ``repro serve``."""
+    """Blocking entry point for ``repro serve``.
+
+    SIGTERM shuts down like Ctrl-C so ``service.close()`` always runs:
+    buffered access-log records are flushed, the flight recorder is
+    detached, and the worker pool is torn down.
+    """
+    import signal
+
+    def _on_sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread (tests drive serve() directly)
+        previous = None
     try:
         asyncio.run(serve(service, host, port))
     except KeyboardInterrupt:
         pass
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
         service.close()

@@ -257,10 +257,16 @@ REQUIRED_ANCHORS = {
         "/healthz", "/metrics", "/v1/characterize", "/v1/submit",
         "queue_full", "deadline_exceeded", "task_failed",
         "ServiceClient", "retry_after_s", "serve.singleflight_hits",
+        "X-Repro-Request-Id", "--access-log", "--flightrec-dir",
+        "--no-telemetry", "format=prometheus", "coalesced_into",
     ],
     os.path.join("docs", "robustness.md"): ["--faults", "FailedCell"],
     os.path.join("docs", "performance.md"): ["--backend"],
-    os.path.join("docs", "observability.md"): ["--trace", "bench compare"],
+    os.path.join("docs", "observability.md"): [
+        "--trace", "bench compare", "X-Repro-Request-Id",
+        "format=prometheus", "obs tail", "repro-flightrec-v1",
+        "--max-obs-overhead",
+    ],
     os.path.join("docs", "parallel.md"): ["--jobs", "cache"],
 }
 

@@ -1,0 +1,101 @@
+"""Access log: buffering/flush policy, reader, and the tail view."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.accesslog import (
+    AccessLog,
+    read_access_jsonl,
+    render_tail,
+    summarize_access_records,
+)
+
+
+class TestFlushPolicy:
+    def test_count_based_flush(self, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(path, flush_every=3, flush_interval_s=3600.0)
+        try:
+            log.log(request_id="r1")
+            log.log(request_id="r2")
+            assert read_access_jsonl(path) == []  # still buffered
+            log.log(request_id="r3")
+            assert len(read_access_jsonl(path)) == 3
+        finally:
+            log.close()
+
+    def test_time_based_flush_floor(self, tmp_path):
+        # A low-traffic server must not sit on records for 64 requests:
+        # once the interval has elapsed, the next log() flushes.
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(path, flush_every=64, flush_interval_s=0.0)
+        try:
+            log.log(request_id="r1")
+            assert len(read_access_jsonl(path)) == 1
+        finally:
+            log.close()
+
+    def test_close_flushes_remainder(self, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        log = AccessLog(path, flush_every=64, flush_interval_s=3600.0)
+        log.log(request_id="r1")
+        log.close()
+        assert len(read_access_jsonl(path)) == 1
+
+    def test_tail_and_count_without_file(self):
+        log = AccessLog(path=None)
+        log.log(request_id="r1", status=200)
+        log.log(request_id="r2", status=502)
+        assert log.count == 2
+        assert [r["request_id"] for r in log.tail()] == ["r1", "r2"]
+        log.close()
+
+
+class TestReader:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_access_jsonl(str(tmp_path / "absent.jsonl")) == []
+
+    def test_skips_foreign_and_garbage_lines(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        path.write_text(
+            json.dumps({"type": "access", "request_id": "r1"}) + "\n"
+            + json.dumps({"type": "span", "name": "x"}) + "\n"
+            + "not json\n"
+        )
+        records = read_access_jsonl(str(path))
+        assert [r["request_id"] for r in records] == ["r1"]
+
+
+class TestSummary:
+    RECORDS = [
+        {"workload": "hmmsearch", "status": 200,
+         "stages_ms": {"total": 10.0}},
+        {"workload": "hmmsearch", "status": 200,
+         "stages_ms": {"total": 30.0}},
+        {"workload": "hmmsearch", "status": 502,
+         "stages_ms": {"total": 5.0}},
+        {"workload": "promlk", "status": 200,
+         "stages_ms": {"total": 1.0}},
+    ]
+
+    def test_per_workload_rollup(self):
+        rows = summarize_access_records(self.RECORDS)
+        assert [row["workload"] for row in rows] == ["hmmsearch", "promlk"]
+        top = rows[0]
+        assert top["requests"] == 3
+        assert top["errors"] == 1
+        assert top["error_rate"] == 1 / 3
+        assert top["max_ms"] == 30.0
+
+    def test_render_tail_lists_recent_requests(self):
+        text = render_tail(
+            [dict(r, request_id=f"req-{i}")
+             for i, r in enumerate(self.RECORDS)],
+            last=2,
+        )
+        assert "hmmsearch" in text
+        assert "req-3" in text and "req-0" not in text
+
+    def test_render_tail_empty(self):
+        assert "(no access records)" in render_tail([])

@@ -1,0 +1,121 @@
+"""Trace-context propagation: ambient request identity."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import context as ctx_mod
+from repro.obs import tracing
+from repro.obs.context import TraceContext
+
+
+class TestTraceContext:
+    def test_attrs_carry_request_id(self):
+        ctx = TraceContext("req-abc")
+        assert ctx.attrs() == {"request_id": "req-abc"}
+
+    def test_attrs_carry_coalesced_into(self):
+        ctx = TraceContext("req-b", coalesced_into="req-a")
+        assert ctx.attrs() == {
+            "request_id": "req-b",
+            "coalesced_into": "req-a",
+        }
+
+    def test_minted_ids_are_unique_and_valid(self):
+        ids = {ctx_mod.mint_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        for request_id in ids:
+            assert request_id.startswith("req-")
+            assert ctx_mod.valid_request_id(request_id)
+
+    def test_valid_request_id_rejects_junk(self):
+        assert ctx_mod.valid_request_id("client-42")
+        assert not ctx_mod.valid_request_id("")
+        assert not ctx_mod.valid_request_id("has space")
+        assert not ctx_mod.valid_request_id("new\nline")
+        assert not ctx_mod.valid_request_id("x" * 129)
+        assert not ctx_mod.valid_request_id(1234)
+
+
+class TestAmbientStack:
+    def test_use_installs_and_restores(self):
+        assert ctx_mod.current() is None
+        with ctx_mod.use(TraceContext("req-1")) as ctx:
+            assert ctx_mod.current() is ctx
+            assert ctx_mod.current_attrs() == {"request_id": "req-1"}
+        assert ctx_mod.current() is None
+        assert ctx_mod.current_attrs() == {}
+
+    def test_use_accepts_plain_dict_and_none(self):
+        with ctx_mod.use({"request_id": "req-d", "extra": 1}):
+            assert ctx_mod.current_attrs() == {
+                "request_id": "req-d",
+                "extra": 1,
+            }
+        with ctx_mod.use(None):
+            assert ctx_mod.current_attrs() == {}
+
+    def test_nested_contexts_merge_inner_last(self):
+        with ctx_mod.use(TraceContext("req-outer")):
+            with ctx_mod.use({"request_id": "req-inner", "lane": 3}):
+                attrs = ctx_mod.current_attrs()
+                assert attrs["request_id"] == "req-inner"
+                assert attrs["lane"] == 3
+            assert ctx_mod.current_attrs() == {"request_id": "req-outer"}
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["attrs"] = ctx_mod.current_attrs()
+
+        with ctx_mod.use(TraceContext("req-main")):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["attrs"] == {}
+
+    def test_use_restores_on_exception(self):
+        try:
+            with ctx_mod.use(TraceContext("req-x")):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert ctx_mod.current() is None
+
+
+class TestSpanIntegration:
+    def test_spans_inherit_ambient_request_id(self):
+        tracer = tracing.enable()
+        try:
+            with ctx_mod.use(TraceContext("req-span")):
+                with tracing.span("work", phase="x"):
+                    pass
+            records = tracer.drain()
+        finally:
+            tracing.disable()
+        assert len(records) == 1
+        assert records[0].attrs["request_id"] == "req-span"
+        assert records[0].attrs["phase"] == "x"
+
+    def test_explicit_attrs_beat_ambient(self):
+        tracer = tracing.enable()
+        try:
+            with ctx_mod.use({"request_id": "req-a", "stage": "ambient"}):
+                with tracing.span("work", stage="explicit"):
+                    pass
+            records = tracer.drain()
+        finally:
+            tracing.disable()
+        assert records[0].attrs["stage"] == "explicit"
+        assert records[0].attrs["request_id"] == "req-a"
+
+    def test_spans_without_context_stay_clean(self):
+        tracer = tracing.enable()
+        try:
+            with tracing.span("work"):
+                pass
+            records = tracer.drain()
+        finally:
+            tracing.disable()
+        assert "request_id" not in records[0].attrs

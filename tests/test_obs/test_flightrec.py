@@ -1,0 +1,127 @@
+"""Flight recorder: bounded ring, incident dumps, global switch."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import flightrec
+from repro.obs.flightrec import FlightRecorder
+
+
+class TestRing:
+    def test_note_records_event_with_stamp(self):
+        recorder = FlightRecorder()
+        recorder.note("lane_peel", lane=3, block=7)
+        events = recorder.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event["event"] == "lane_peel"
+        assert event["lane"] == 3
+        assert event["block"] == 7
+        assert event["pid"] == os.getpid()
+        assert "ts" in event
+
+    def test_payload_kind_field_does_not_collide(self):
+        recorder = FlightRecorder()
+        recorder.note("request_5xx", kind="characterize", status=502)
+        event = recorder.events()[0]
+        assert event["event"] == "request_5xx"
+        assert event["kind"] == "characterize"
+
+    def test_ring_is_bounded_oldest_dropped(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(20):
+            recorder.note("tick", index=index)
+        events = recorder.events()
+        assert len(events) == 8
+        assert [event["index"] for event in events] == list(range(12, 20))
+
+    def test_note_span_tags_event_kind(self):
+        recorder = FlightRecorder()
+        recorder.note_span({"type": "span", "name": "x", "duration_s": 0.1})
+        event = recorder.events()[0]
+        assert event["event"] == "span"
+        assert event["name"] == "x"
+
+
+class TestDump:
+    def test_no_directory_means_no_dump(self):
+        recorder = FlightRecorder(directory=None)
+        recorder.note("boom")
+        assert recorder.dump("worker-death") is None
+
+    def test_dump_writes_incident_artifact(self, tmp_path):
+        recorder = FlightRecorder(directory=str(tmp_path))
+        recorder.note("worker_reaped", worker_pid=123, task="t1")
+        path = recorder.dump(
+            "worker-death",
+            access_tail=[{"request_id": "req-1", "status": 502}],
+            extra={"task": "t1"},
+        )
+        assert path is not None and os.path.exists(path)
+        with open(path) as handle:
+            artifact = json.load(handle)
+        assert artifact["schema"] == "repro-flightrec-v1"
+        assert artifact["reason"] == "worker-death"
+        assert artifact["context"] == {"task": "t1"}
+        assert artifact["access_log_tail"][0]["request_id"] == "req-1"
+        events = [e["event"] for e in artifact["events"]]
+        assert "worker_reaped" in events
+
+    def test_dump_cap_stops_writing(self, tmp_path):
+        recorder = FlightRecorder(directory=str(tmp_path), max_dumps=2)
+        assert recorder.dump("a") is not None
+        assert recorder.dump("b") is not None
+        assert recorder.dump("c") is None
+        assert len(os.listdir(tmp_path)) == 2
+
+    def test_reason_is_sanitized_in_filename(self, tmp_path):
+        recorder = FlightRecorder(directory=str(tmp_path))
+        path = recorder.dump("http/500 weird reason!")
+        assert os.path.exists(path)
+        assert "/500" not in os.path.basename(path)
+
+    def test_status_reports_ring_and_dumps(self, tmp_path):
+        recorder = FlightRecorder(directory=str(tmp_path), max_dumps=4)
+        recorder.note("x")
+        recorder.dump("y")
+        status = recorder.status()
+        assert status["enabled"] is True
+        assert status["events"] >= 1
+        assert status["dumps_written"] == 1
+        assert status["dumps_remaining"] == 3
+
+
+class TestGlobalSwitch:
+    def test_note_is_noop_when_disabled(self):
+        flightrec.disable()
+        flightrec.note("ignored")  # must not raise
+        assert flightrec.get_recorder() is None
+
+    def test_enable_records_and_disable_drops(self):
+        recorder = flightrec.enable()
+        try:
+            flightrec.note("hello", a=1)
+            assert flightrec.get_recorder() is recorder
+            assert recorder.events()[0]["event"] == "hello"
+        finally:
+            flightrec.disable()
+        assert flightrec.get_recorder() is None
+
+
+class TestTracerIntegration:
+    def test_finished_spans_land_in_ring(self):
+        from repro.obs import tracing
+
+        recorder = flightrec.enable()
+        tracing.enable()
+        try:
+            with tracing.span("unit.work", step=1):
+                pass
+            events = recorder.events()
+        finally:
+            tracing.disable()
+            flightrec.disable()
+        spans = [e for e in events if e["event"] == "span"]
+        assert spans and spans[0]["name"] == "unit.work"

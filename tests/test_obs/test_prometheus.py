@@ -1,0 +1,135 @@
+"""Prometheus text exposition: renderer and validating parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import parse_prometheus, render_prometheus
+
+
+def _sample_map(parsed):
+    return {
+        (name, tuple(sorted(labels.items()))): value
+        for name, labels, value in parsed["samples"]
+    }
+
+
+class TestRender:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("runcache.hits").inc(3)
+        registry.gauge("pool.workers").set(2.5)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE runcache_hits counter" in text
+        assert "runcache_hits 3" in text
+        assert "# TYPE pool_workers gauge" in text
+        assert "pool_workers 2.5" in text
+
+    def test_labels_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "serve.requests", workload="hmmsearch", outcome="ok"
+        ).inc(7)
+        parsed = parse_prometheus(render_prometheus(registry.snapshot()))
+        samples = _sample_map(parsed)
+        key = (
+            "serve_requests",
+            (("outcome", "ok"), ("workload", "hmmsearch")),
+        )
+        assert samples[key] == 7
+
+    def test_histogram_series_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("serve.stage_ms", stage="total")
+        for value in (0.1, 0.2, 5.0, 1000.0, 10**9):
+            hist.observe(value)
+        text = render_prometheus(registry.snapshot())
+        parsed = parse_prometheus(text)
+        assert parsed["types"]["serve_stage_ms"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in parsed["samples"]
+            if name == "serve_stage_ms_bucket"
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts), "bucket series must be cumulative"
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 5  # the 1e9 sample lands only in +Inf
+        samples = _sample_map(parsed)
+        assert samples[("serve_stage_ms_count", (("stage", "total"),))] == 5
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({}) == ""
+        assert parse_prometheus("") == {"types": {}, "samples": []}
+
+
+class TestParserValidation:
+    def test_rejects_untyped_sample(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("mystery_metric 4\n")
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE x counter\nx{y= 1\n")
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="2.0"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_rejects_inf_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4.0\n"
+            "h_count 7\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+
+class TestServiceExposition:
+    def test_service_metrics_endpoint_parses(self):
+        from repro.api import RunConfig
+        from repro.serve.server import (
+            CharacterizationService,
+            PlainText,
+            ServiceClient,
+        )
+
+        service = CharacterizationService(
+            config=RunConfig(scale="test", jobs=1, cache=False)
+        )
+        try:
+            client = ServiceClient(service)
+            status, body = client.characterize("hmmsearch")
+            assert status == 200, body
+            status, text = client.metrics(format="prometheus")
+            assert status == 200
+            assert isinstance(text, PlainText)
+            parsed = parse_prometheus(str(text))
+            families = set(parsed["types"])
+            assert "serve_requests" in families
+            assert parsed["types"]["serve_requests"] == "counter"
+            assert "serve_stage_ms" in families
+        finally:
+            service.close()

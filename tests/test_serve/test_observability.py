@@ -1,0 +1,599 @@
+"""End-to-end request-scoped observability of the serving path.
+
+Covers the PR's acceptance path: a request ID minted (or honored) at
+the door is echoed in every envelope, logged with per-stage timings,
+carried by every span the request causes — including spans captured in
+pool worker processes and adopted across the process boundary — and,
+when something 5xxes, lands in a flight-recorder incident dump.  The
+batched lockstep backend's fault telemetry (lane peels, abandoned
+batches) and its no-leakage invariant ride along.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.api import RunConfig
+from repro.core import faults as faults_mod
+from repro.obs import flightrec
+from repro.obs import tracing
+from repro.obs.context import REQUEST_ID_HEADER
+from repro.serve import CharacterizationService, ServiceClient, ServicePolicy
+
+
+def _service(**kwargs):
+    config = kwargs.pop(
+        "config", RunConfig(scale="test", jobs=1, cache=False)
+    )
+    return CharacterizationService(config=config, **kwargs)
+
+
+class TestRequestIdentity:
+    def test_minted_id_is_echoed_in_envelope(self):
+        svc = _service()
+        try:
+            status, body = ServiceClient(svc).characterize("hmmsearch")
+            assert status == 200
+            assert body["request_id"].startswith("req-")
+            assert "_obs" not in body, "private obs block must be stripped"
+        finally:
+            svc.close()
+
+    def test_client_supplied_id_is_honored(self):
+        svc = _service()
+        try:
+            client = ServiceClient(svc)
+            status, body = client.request(
+                {"kind": "characterize", "workload": "hmmsearch"},
+                request_id="trace-me-42",
+            )
+            assert status == 200
+            assert body["request_id"] == "trace-me-42"
+        finally:
+            svc.close()
+
+    def test_invalid_client_id_is_replaced(self):
+        svc = _service()
+        try:
+            status, body = ServiceClient(svc).request(
+                {"kind": "characterize", "workload": "hmmsearch"},
+                request_id="bad id\nwith newline",
+            )
+            assert status == 200
+            assert body["request_id"].startswith("req-")
+        finally:
+            svc.close()
+
+    def test_error_envelopes_carry_request_id(self):
+        svc = _service()
+        try:
+            client = ServiceClient(svc)
+            status, body = client.request(
+                {"kind": "characterize", "workload": "zzz"},
+                request_id="bad-req-1",
+            )
+            assert status == 400
+            assert body["request_id"] == "bad-req-1"
+        finally:
+            svc.close()
+
+    def test_coalesced_followers_name_their_leader(self):
+        release = threading.Event()
+        svc = _service(
+            config=RunConfig(scale="test", jobs=1, cache=False),
+            policy=ServicePolicy(batch_window_s=0.01),
+        )
+        real_evaluate = svc.session.evaluate
+
+        def slow_evaluate(*args, **kwargs):
+            release.wait(10)
+            return real_evaluate(*args, **kwargs)
+
+        svc.session.evaluate = slow_evaluate
+        try:
+            client = ServiceClient(svc)
+            results = {}
+
+            def issue(rid):
+                results[rid] = client.request(
+                    {"kind": "evaluate", "workload": "predator"},
+                    request_id=rid,
+                )
+
+            threads = []
+            for rid in ("req-lead", "req-follow-1", "req-follow-2"):
+                thread = threading.Thread(target=issue, args=(rid,))
+                thread.start()
+                threads.append(thread)
+                # Leader first, then followers attach to its flight.
+                import time as _time
+
+                _time.sleep(0.05)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=15)
+            statuses = {rid: status for rid, (status, _) in results.items()}
+            assert set(statuses.values()) == {200}
+            bodies = {rid: body for rid, (_, body) in results.items()}
+            leaders = {
+                body.get("coalesced_into")
+                for rid, body in bodies.items()
+                if body.get("coalesced_into")
+            }
+            # At least one request joined another's flight and recorded
+            # whose; the leader itself reports no coalescing.
+            assert leaders, "no request recorded coalescing"
+            for leader in leaders:
+                assert bodies[leader].get("coalesced_into") is None
+        finally:
+            release.set()
+            svc.close()
+
+
+class TestAccessLog:
+    def test_every_request_logs_stage_timings(self, tmp_path):
+        log_path = str(tmp_path / "access.jsonl")
+        svc = _service(access_log_path=log_path)
+        try:
+            client = ServiceClient(svc)
+            status, body = client.request(
+                {"kind": "characterize", "workload": "hmmsearch"},
+                request_id="req-logged",
+            )
+            assert status == 200
+            status, _ = client.characterize("hmmsearch")  # memo hit
+            assert status == 200
+        finally:
+            svc.close()
+        from repro.obs.accesslog import read_access_jsonl
+
+        records = read_access_jsonl(log_path)
+        assert len(records) == 2
+        first, second = records
+        assert first["request_id"] == "req-logged"
+        assert first["cached"] is False
+        for stage in ("queue", "batch", "exec", "total"):
+            assert stage in first["stages_ms"], stage
+            assert first["stages_ms"][stage] >= 0.0
+        assert first["stages_ms"]["total"] >= first["stages_ms"]["exec"]
+        assert second["cached"] is True
+        assert "total" in second["stages_ms"]
+
+    def test_telemetry_off_logs_nothing(self, tmp_path):
+        log_path = str(tmp_path / "access.jsonl")
+        svc = _service(telemetry=False, access_log_path=log_path)
+        try:
+            status, body = ServiceClient(svc).characterize("hmmsearch")
+            assert status == 200
+            assert body["request_id"].startswith("req-")  # identity stays
+            assert svc.access_log is None
+        finally:
+            svc.close()
+        assert not os.path.exists(log_path)
+
+    def test_healthz_reports_observability_state(self):
+        svc = _service()
+        try:
+            client = ServiceClient(svc)
+            client.characterize("hmmsearch")
+            status, health = client.healthz()
+            assert status == 200
+            assert health["telemetry"] is True
+            assert health["requests_logged"] == 1
+            assert health["flightrec"]["enabled"] is True
+            assert health["uptime_s"] >= 0.0
+            assert isinstance(health["workers"], list)
+        finally:
+            svc.close()
+
+
+def _batched_pair(client, workloads, request_ids):
+    """Issue one request per workload concurrently so they land in the
+    same batch window — a multi-task engine map engages the worker pool
+    (a single task short-circuits to the serial in-parent path)."""
+    results = {}
+
+    def issue(workload, rid):
+        results[rid] = client.request(
+            {"kind": "characterize", "workload": workload}, request_id=rid
+        )
+
+    threads = [
+        threading.Thread(target=issue, args=(workload, rid))
+        for workload, rid in zip(workloads, request_ids)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return results
+
+
+class TestWorkerSpanAdoption:
+    def test_adopted_worker_spans_carry_request_id(self):
+        tracing.enable()
+        svc = _service(
+            config=RunConfig(
+                scale="test", jobs=2, cache=False, keep_workers=True
+            ),
+            policy=ServicePolicy(batch_window_s=0.1),
+        )
+        try:
+            client = ServiceClient(svc)
+            results = _batched_pair(
+                client,
+                ("hmmsearch", "fasta"),
+                ("req-adopted", "req-adopted-2"),
+            )
+            assert {status for status, _ in results.values()} == {200}
+            records = obs.get_tracer().drain()
+        finally:
+            svc.close()
+            tracing.disable()
+        tagged = [
+            r for r in records if r.attrs.get("request_id") == "req-adopted"
+        ]
+        assert tagged, "no span carried the request ID"
+        foreign = [r for r in tagged if r.pid != os.getpid()]
+        assert foreign, (
+            "no worker-process span adopted across the pool carried "
+            "the request ID"
+        )
+
+    def test_worker_pool_heartbeats_in_healthz(self):
+        svc = _service(
+            config=RunConfig(
+                scale="test", jobs=2, cache=False, keep_workers=True
+            ),
+            policy=ServicePolicy(batch_window_s=0.1),
+        )
+        try:
+            client = ServiceClient(svc)
+            results = _batched_pair(
+                client, ("hmmsearch", "fasta"), ("req-hb-1", "req-hb-2")
+            )
+            assert {status for status, _ in results.values()} == {200}
+            _, health = client.healthz()
+            workers = health["workers"]
+            assert len(workers) == 2
+            for worker in workers:
+                assert worker["alive"] is True
+                assert isinstance(worker["pid"], int)
+                assert worker["heartbeat_age_s"] is None or (
+                    worker["heartbeat_age_s"] >= 0.0
+                )
+        finally:
+            svc.close()
+
+
+class TestFlightRecorder:
+    def test_worker_crash_dumps_incident_with_request_trail(self, tmp_path):
+        dump_dir = str(tmp_path / "flightrec")
+        svc = _service(
+            config=RunConfig(
+                scale="test",
+                jobs=2,
+                cache=False,
+                keep_workers=True,
+                retries=0,
+                faults=faults_mod.FaultConfig.from_spec("crash=1.0,seed=7"),
+            ),
+            flightrec_dir=dump_dir,
+        )
+        try:
+            client = ServiceClient(svc)
+            status, body = client.request(
+                {"kind": "characterize", "workload": "hmmsearch"},
+                request_id="req-doomed",
+            )
+            assert status == 502
+            assert body["request_id"] == "req-doomed"
+        finally:
+            svc.close()
+        dumps = sorted(os.listdir(dump_dir))
+        assert dumps, "no incident artifact written"
+        trail_found = False
+        for name in dumps:
+            with open(os.path.join(dump_dir, name)) as handle:
+                artifact = json.load(handle)
+            assert artifact["schema"] == "repro-flightrec-v1"
+            blob = json.dumps(artifact)
+            if "req-doomed" in blob:
+                trail_found = True
+        assert trail_found, "no dump carries the failing request's trail"
+
+    def test_no_dumps_on_healthy_requests(self, tmp_path):
+        dump_dir = str(tmp_path / "flightrec")
+        svc = _service(flightrec_dir=dump_dir)
+        try:
+            status, _ = ServiceClient(svc).characterize("hmmsearch")
+            assert status == 200
+        finally:
+            svc.close()
+        assert not os.path.exists(dump_dir) or not os.listdir(dump_dir)
+
+
+class TestHttpDoorObservability:
+    def test_header_id_flows_through_socket_log_and_spans(self, tmp_path):
+        import asyncio
+        import socket
+        import urllib.error
+        import urllib.request
+
+        from repro.serve.server import serve
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        log_path = str(tmp_path / "access.jsonl")
+        tracing.enable()
+        svc = _service(
+            config=RunConfig(
+                scale="test", jobs=1, cache=False, keep_workers=True
+            ),
+            access_log_path=log_path,
+        )
+        loop = asyncio.new_event_loop()
+        bound = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(loop)
+
+            async def main():
+                ready = asyncio.Event()
+                task = asyncio.ensure_future(
+                    serve(svc, "127.0.0.1", port, ready=ready)
+                )
+                await ready.wait()
+                bound.set()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                pending = [
+                    t for t in asyncio.all_tasks()
+                    if t is not asyncio.current_task()
+                ]
+                for t in pending:
+                    t.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+
+            try:
+                loop.run_until_complete(main())
+            except RuntimeError:
+                pass
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert bound.wait(10), "HTTP server never bound"
+        base = f"http://127.0.0.1:{port}"
+
+        try:
+            request = urllib.request.Request(
+                base + "/v1/characterize",
+                data=json.dumps({"workload": "hmmsearch"}).encode(),
+                headers={
+                    "Content-Type": "application/json",
+                    REQUEST_ID_HEADER: "req-wire-777",
+                },
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.status == 200
+                assert (
+                    response.headers.get(REQUEST_ID_HEADER) == "req-wire-777"
+                )
+                body = json.loads(response.read())
+            assert body["request_id"] == "req-wire-777"
+            assert body["result"]["workload"] == "hmmsearch"
+
+            prom_request = urllib.request.Request(
+                base + "/metrics?format=prometheus"
+            )
+            with urllib.request.urlopen(prom_request, timeout=10) as response:
+                assert response.status == 200
+                assert "text/plain" in response.headers.get("Content-Type")
+                text = response.read().decode()
+            from repro.obs.prometheus import parse_prometheus
+
+            parsed = parse_prometheus(text)
+            assert "serve_requests" in parsed["types"]
+        finally:
+            def _shutdown():
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+            loop.call_soon_threadsafe(_shutdown)
+            thread.join(timeout=10)
+            if not thread.is_alive():
+                loop.close()
+            svc.close()
+            records = obs.get_tracer().drain()
+            tracing.disable()
+
+        from repro.obs.accesslog import read_access_jsonl
+
+        log_records = read_access_jsonl(log_path)
+        assert [r["request_id"] for r in log_records] == ["req-wire-777"]
+        assert "total" in log_records[0]["stages_ms"]
+        tagged = [
+            r for r in records if r.attrs.get("request_id") == "req-wire-777"
+        ]
+        assert tagged, "no span carried the wire request ID"
+
+
+class TestBatchedBackendTelemetry:
+    """Cross-process telemetry under ``--backend batched`` + ``jobs=2``."""
+
+    def test_adopted_spans_carry_request_ids_under_batched(self):
+        tracing.enable()
+        svc = _service(
+            config=RunConfig(
+                scale="test",
+                jobs=2,
+                cache=False,
+                keep_workers=True,
+                backend="batched",
+            ),
+            policy=ServicePolicy(batch_window_s=0.1),
+        )
+        try:
+            client = ServiceClient(svc)
+            results = _batched_pair(
+                client,
+                ("fasta", "promlk"),
+                ("req-batched-1", "req-batched-2"),
+            )
+            assert {status for status, _ in results.values()} == {200}
+            records = obs.get_tracer().drain()
+        finally:
+            svc.close()
+            tracing.disable()
+        foreign_tagged = [
+            r
+            for r in records
+            if r.pid != os.getpid()
+            and r.attrs.get("request_id") == "req-batched-1"
+        ]
+        assert foreign_tagged, (
+            "batched-backend worker spans did not carry the request ID"
+        )
+
+    def test_lane_peel_emits_counter_and_event(self):
+        from repro.exec import run_batch
+        from repro.lang import CompilerOptions, compile_source
+
+        source = """
+        int n; int a[]; int out[];
+        void kernel() {
+            int i;
+            i = 0;
+            while (i < n) {
+                out[i] = a[i] + 1;
+                i = i + 1;
+            }
+        }
+        """
+        program = compile_source(source, "t", CompilerOptions(opt_level=0))
+        bindings = [
+            {"n": 8, "a": [3] * 8, "out": [0] * 8},
+            {"n": 4, "a": [3] * 8, "out": [0] * 8},  # diverges: peels
+            {"n": 8, "a": [5] * 8, "out": [0] * 8},
+        ]
+        recorder = flightrec.enable()
+        obs.enable()
+        try:
+            run_batch(program, bindings)
+            peels = obs.metrics().snapshot().get("batched.lane_peels", 0)
+            events = [
+                e for e in recorder.events() if e["event"] == "lane_peel"
+            ]
+        finally:
+            obs.disable()
+            flightrec.disable()
+        assert peels >= 1
+        assert events, "no lane_peel event reached the flight recorder"
+        assert all("lane" in e and "block" in e for e in events)
+
+    def test_leader_fault_abandons_with_event(self):
+        from repro.exec import run_batch
+        from repro.lang import CompilerOptions, compile_source
+
+        source = """
+        int n; int a[]; int out[];
+        void kernel() {
+            int i;
+            i = 0;
+            while (i < n) {
+                out[i] = a[i] + 1;
+                i = i + 1;
+            }
+        }
+        """
+        program = compile_source(source, "t", CompilerOptions(opt_level=0))
+        bindings = [
+            {"n": 12, "a": [3] * 8, "out": [0] * 8},  # leader faults OOB
+            {"n": 12, "a": [3] * 8, "out": [0] * 8},
+        ]
+        recorder = flightrec.enable()
+        obs.enable()
+        try:
+            lanes = run_batch(program, bindings)
+            abandoned = obs.metrics().snapshot().get("batched.abandoned", 0)
+            events = [
+                e
+                for e in recorder.events()
+                if e["event"] == "batch_abandoned"
+                and e["reason"] == "leader_fault"
+            ]
+        finally:
+            obs.disable()
+            flightrec.disable()
+        assert all("out of bounds" in str(lane.error) for lane in lanes)
+        assert abandoned >= 1
+        assert events, "leader fault did not record a batch_abandoned event"
+
+    def test_abandoned_batch_leaks_no_interp_counters(self):
+        """The abandoned lockstep attempt publishes nothing: interp.*
+        counters after a budget-abandoned batch equal the sum of its
+        per-lane scalar reference runs exactly."""
+        from repro.exec import InterpreterError, make_interpreter, run_batch
+        from repro.lang import CompilerOptions, compile_source
+
+        source = """
+        int n; int a[]; int out[];
+        void kernel() {
+            int i;
+            i = 0;
+            while (i < n) {
+                out[i] = a[i] + 1;
+                i = i + 1;
+            }
+        }
+        """
+        program = compile_source(source, "t", CompilerOptions(opt_level=0))
+
+        def bindings():
+            return [
+                {"n": 8, "a": [3] * 8, "out": [0] * 8} for _ in range(3)
+            ]
+
+        budget = 10  # crosses mid-run: the lockstep attempt is abandoned
+
+        def interp_counters():
+            return {
+                key: value
+                for key, value in obs.metrics().snapshot().items()
+                if key.startswith("interp.")
+            }
+
+        obs.enable()
+        try:
+            run_batch(program, bindings(), max_instructions=budget)
+            batched = interp_counters()
+        finally:
+            obs.disable()
+
+        obs.enable()
+        try:
+            for binding in bindings():
+                interp = make_interpreter(
+                    program,
+                    binding,
+                    backend="switch",
+                    max_instructions=budget,
+                )
+                with pytest.raises(InterpreterError):
+                    interp.run()
+            scalar = interp_counters()
+        finally:
+            obs.disable()
+
+        assert batched, "budget run recorded no interp.* counters"
+        assert batched == scalar
