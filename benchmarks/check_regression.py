@@ -7,13 +7,22 @@ throughput drops beyond the threshold, wall-time blowups, dynamic
 instruction-count drift, and silently missing benchmarks all fail the
 gate).  Exit status 0 = pass, 1 = regression.
 
-One absolute gate rides along: when the current serve-throughput
-record carries an ``observability_overhead_frac`` (the fractional warm
-request-rate cost of per-request instrumentation, measured interleaved
-against a ``telemetry=False`` service by
-``bench_serve_throughput.py``), it must stay at or under
-``--max-obs-overhead`` (default 5%) — request-scoped observability is
-only acceptable while it is close to free.
+Absolute gates ride along:
+
+* when the current serve-throughput record carries an
+  ``observability_overhead_frac`` (the fractional warm request-rate
+  cost of per-request instrumentation, measured interleaved against a
+  ``telemetry=False`` service by ``bench_serve_throughput.py``), it
+  must stay at or under ``--max-obs-overhead`` (default 5%) —
+  request-scoped observability is only acceptable while it is close
+  to free;
+* when the current trace-replay record exists
+  (``bench_trace_replay.py``), its worst count-tier ``replay_speedup``
+  must stay at or above ``--min-replay-speedup`` (default 5x) and the
+  branch-dense promlk artifact at or under ``--max-trace-bytes``
+  per dynamic instruction (default 1.0) — the trace store's whole
+  point is answering analyses faster than re-simulation from a
+  compact artifact.
 
 Usage::
 
@@ -70,6 +79,51 @@ def _check_observability_overhead(current_dir: str, limit: float) -> bool:
     return True
 
 
+def _check_trace_replay(
+    current_dir: str, min_speedup: float, max_bytes: float
+) -> bool:
+    """The absolute trace-replay gates; True = pass.
+
+    Reads the current ``BENCH_trace_replay.json`` record; silently
+    passes when the record (or a field) is absent so partial benchmark
+    runs do not trip it.
+    """
+    path = os.path.join(current_dir, "BENCH_trace_replay.json")
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return True
+    ok = True
+    speedup = record.get("replay_speedup")
+    if isinstance(speedup, (int, float)):
+        if speedup < min_speedup:
+            print(
+                f"FAIL: count-tier trace replay only {speedup:.1f}x "
+                f"re-simulation (floor {min_speedup:.0f}x)"
+            )
+            ok = False
+        else:
+            print(
+                f"trace replay {speedup:.0f}x re-simulation "
+                f"(floor {min_speedup:.0f}x)"
+            )
+    density = record.get("promlk_bytes_per_instruction")
+    if isinstance(density, (int, float)):
+        if density > max_bytes:
+            print(
+                f"FAIL: promlk trace artifact {density:.3f} "
+                f"bytes/instruction exceeds the {max_bytes:.1f} budget"
+            )
+            ok = False
+        else:
+            print(
+                f"promlk trace artifact {density:.3f} bytes/instruction "
+                f"(budget {max_bytes:.1f})"
+            )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="baseline BENCH dir")
@@ -86,6 +140,18 @@ def main(argv=None) -> int:
         default=0.05,
         help="tolerated fractional observability overhead (default 0.05)",
     )
+    parser.add_argument(
+        "--min-replay-speedup",
+        type=float,
+        default=5.0,
+        help="count-tier trace-replay speedup floor (default 5.0)",
+    )
+    parser.add_argument(
+        "--max-trace-bytes",
+        type=float,
+        default=1.0,
+        help="promlk trace bytes/instruction budget (default 1.0)",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.regression import compare_dirs, gate, render_comparison
@@ -95,13 +161,18 @@ def main(argv=None) -> int:
     overhead_ok = _check_observability_overhead(
         args.current, args.max_obs_overhead
     )
-    if not rows and overhead_ok:
+    trace_ok = _check_trace_replay(
+        args.current, args.min_replay_speedup, args.max_trace_bytes
+    )
+    if not rows and overhead_ok and trace_ok:
         print("no baseline benchmarks found — nothing to gate")
         return 0
-    if not gate(rows) or not overhead_ok:
+    if not gate(rows) or not overhead_ok or not trace_ok:
         failing = [row.name for row in rows if row.failed]
         if not overhead_ok:
             failing.append("observability_overhead")
+        if not trace_ok:
+            failing.append("trace_replay")
         print(f"FAIL: perf gate tripped by: {', '.join(failing)}")
         return 1
     print("OK: no regressions against the baseline")

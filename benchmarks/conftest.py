@@ -46,6 +46,7 @@ from pathlib import Path
 import pytest
 
 from repro import obs
+from repro.api import Session
 from repro.core import experiments as E
 from repro.exec.backends import resolve_backend
 from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
@@ -58,19 +59,11 @@ JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
 CACHE_ENABLED = os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
 
 
-def _run_cache():
-    if not CACHE_ENABLED:
-        return None
-    from repro.core.runcache import RunCache
-
-    return RunCache()
-
-
 @pytest.fixture(scope="session")
-def context() -> E.ExperimentContext:
+def context() -> Session:
     """One characterization pass per workload, shared by all benchmarks."""
-    return E.ExperimentContext(
-        scale=CHAR_SCALE, seed=0, jobs=JOBS, cache=_run_cache()
+    return Session(
+        scale=CHAR_SCALE, seed=0, jobs=JOBS, cache=CACHE_ENABLED
     )
 
 

@@ -30,9 +30,12 @@ Every run — even a single serial one — goes through the fault-tolerant
 execution engine, so retry/timeout/fault behavior is identical whether
 a workload is characterized alone or as part of a fan-out.
 
-:class:`repro.core.experiments.ExperimentContext` remains as a thin
-deprecated shim over this module; new code should construct a
-:class:`Session`.
+:meth:`Session.analyze` is the trace-backed query path: the first
+analysis of a workload records a :class:`repro.trace.TraceArtifact`
+(one instrumented compiled run, banked in the run cache), and every
+subsequent analysis — any set of tools from the
+:mod:`repro.atom.registry` — replays the stored trace without
+re-executing the program, bit-identical to direct execution.
 """
 
 from __future__ import annotations
@@ -47,7 +50,7 @@ from repro.core.parallel import BackoffPolicy, ParallelRunner
 from repro.core.pipeline import EvaluationResult
 from repro.workloads.registry import all_workloads, get_workload, spec_workloads
 
-__all__ = ["RunConfig", "Session"]
+__all__ = ["AnalyzeResult", "RunConfig", "Session"]
 
 #: The Table 7 platform keys, in paper order.
 DEFAULT_PLATFORMS: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium")
@@ -96,8 +99,32 @@ class RunConfig:
         return replace(self, **changes) if changes else self
 
 
+@dataclass
+class AnalyzeResult:
+    """One :meth:`Session.analyze` answer.
+
+    ``tools`` maps registry names to the tool instances holding the
+    analysis state; ``payloads`` maps the same names to their
+    JSON-friendly payloads (:func:`repro.atom.registry.payloads`).
+    ``source`` says where the trace came from (``memo``/``cache``/
+    ``record``); ``replayed`` is False only when the run was not
+    traceable (budget-crossing or raising runs) and the tools were fed
+    by direct execution instead — the results are identical either way.
+    """
+
+    workload: str
+    scale: str
+    seed: int
+    fingerprint: str
+    executed: int
+    source: str
+    replayed: bool
+    tools: Dict[str, object]
+    payloads: Dict[str, object]
+
+
 class Session:
-    """One configured pipeline: characterize, evaluate, sweep.
+    """One configured pipeline: characterize, analyze, evaluate, sweep.
 
     Construct with a :class:`RunConfig` or keyword overrides
     (``Session(scale="test", jobs=4)``).  Usable as a context manager;
@@ -111,6 +138,7 @@ class Session:
         self.backend  # fail fast on unknown backend names
         self._runs: Dict[Tuple[str, str, int], CharacterizationResult] = {}
         self._fingerprints: Dict[Tuple[str, str, int], str] = {}
+        self._traces: Dict[Tuple[str, str, int], object] = {}
         self._pool: Optional[ParallelRunner] = None
         self._cache = None
         if self.config.cache:
@@ -236,6 +264,98 @@ class Session:
         return result
 
     characterize = run
+
+    # -- trace-backed analysis ----------------------------------------------
+    def analyze(
+        self,
+        name: str,
+        tools: Optional[Sequence[str]] = None,
+        scale: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> AnalyzeResult:
+        """Run the named analysis tools over ``name``'s instruction
+        stream, replaying a stored trace instead of re-executing.
+
+        ``tools`` is a list of :mod:`repro.atom.registry` names (default:
+        the standard characterization four).  The first analyze of a
+        ``(workload, scale, seed)`` records a trace with the compiled
+        backend's ``record="trace"`` variant and banks it in the run
+        cache; after that any tool set is answered at replay speed.
+        Recording always uses the compiled backend regardless of the
+        session's configured backend — all backends are bit-identical,
+        so the trace (and everything replayed from it) matches what any
+        of them would observe.  Unknown tool names raise ``KeyError``.
+        """
+        from repro.atom.registry import payloads as tool_payloads
+        from repro.atom.registry import resolve_tools
+        from repro.exec.compiled import CompiledInterpreter
+        from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
+        from repro.trace import TraceStore, record_trace, replay_tools
+        from repro.trace import trace_fingerprint as _trace_fp
+
+        spec = get_workload(name)  # KeyError for unknown workloads first
+        resolved = resolve_tools(tools)  # then for unknown tool names
+        scale = self.scale if scale is None else scale
+        seed = self.seed if seed is None else seed
+        memo_key = (name, scale, seed)
+        with obs.span(
+            "session.analyze", workload=name, scale=scale, seed=seed,
+            tools=",".join(resolved),
+        ) as span:
+            fingerprint = _trace_fp(name, scale, seed)
+            store = (
+                TraceStore(self._cache) if self._cache is not None else None
+            )
+            source = "memo"
+            artifact = self._traces.get(memo_key)
+            if artifact is None and store is not None:
+                artifact = store.load(fingerprint)
+                if artifact is not None:
+                    source = "cache"
+            program = spec.program()
+            if artifact is None:
+                source = "record"
+                artifact = record_trace(
+                    program,
+                    spec.dataset(scale, seed),
+                    max_instructions=DEFAULT_MAX_INSTRUCTIONS,
+                    code_key=fingerprint,
+                    workload=name,
+                    scale=scale,
+                    seed=seed,
+                )
+                if artifact is not None and store is not None:
+                    store.store(fingerprint, artifact)
+            replayed = artifact is not None
+            if replayed:
+                self._traces[memo_key] = artifact
+                executed = replay_tools(artifact, program, resolved)
+            else:
+                # Not traceable (budget-crossing or raising run): feed
+                # the same tools by direct execution — identical tool
+                # state, identical budget/error semantics, no artifact.
+                source = "direct"
+                interp = CompiledInterpreter(
+                    program,
+                    spec.dataset(scale, seed),
+                    DEFAULT_MAX_INSTRUCTIONS,
+                    code_key=fingerprint,
+                )
+                interp.run(consumers=tuple(resolved.values()))
+                executed = interp.executed
+            span.set_attr(source=source, instructions=executed)
+            obs.metrics().counter(f"session.analyze.{source}").inc()
+            return AnalyzeResult(
+                workload=name,
+                scale=scale,
+                seed=seed,
+                fingerprint=fingerprint,
+                executed=executed,
+                source=source,
+                replayed=replayed,
+                tools=dict(resolved),
+                payloads=tool_payloads(resolved),
+            )
 
     def prefetch(self, names: Optional[List[str]] = None) -> None:
         """Materialize runs for ``names`` (default: every workload).

@@ -13,6 +13,15 @@ from repro.atom.coverage import LoadCoverage
 from repro.atom.fused import FusedStandardTools
 from repro.atom.instmix import InstructionMix
 from repro.atom.loadprofile import CacheSim
+from repro.atom.registry import (
+    STANDARD_TOOLS,
+    ToolSpec,
+    get_tool,
+    register_tool,
+    resolve_tools,
+    tool_names,
+    tool_payload,
+)
 from repro.atom.reuse import ReuseDistance
 from repro.atom.runner import CharacterizationResult, characterize
 from repro.atom.sequences import SequenceProfile
@@ -28,7 +37,14 @@ __all__ = [
     "InstructionMix",
     "LoadCoverage",
     "ReuseDistance",
+    "STANDARD_TOOLS",
     "SequenceProfile",
     "TeeTool",
+    "ToolSpec",
     "characterize",
+    "get_tool",
+    "register_tool",
+    "resolve_tools",
+    "tool_names",
+    "tool_payload",
 ]

@@ -155,8 +155,17 @@ class FusedDispatchCounter:
         }
 
 
-#: The exact classes the interpreter is willing to fuse.
-_STANDARD = (InstructionMix, LoadCoverage, CacheSim, SequenceProfile)
+#: The exact classes the interpreter is willing to fuse: the standard
+#: registry entries (mix, coverage, cache, sequences), in order.  The
+#: registry owns name->factory resolution; fusion stays keyed on the
+#: exact classes those factories construct.
+def _standard_classes() -> tuple:
+    from repro.atom.registry import STANDARD_TOOLS, get_tool
+
+    return tuple(get_tool(name).factory for name in STANDARD_TOOLS)
+
+
+_STANDARD = _standard_classes()
 
 
 def fuse_standard_tools(

@@ -17,6 +17,11 @@ Commands:
 * ``serve`` — run the characterization request server: one warm
   session answering JSON requests with single-flight coalescing,
   batching, and bounded-queue backpressure (see docs/service.md);
+* ``trace record WORKLOAD`` — execute a workload once and bank its
+  execution-trace artifact in the run cache (see docs/traces.md);
+* ``trace replay WORKLOAD --tools NAME,NAME`` — answer analysis-tool
+  queries from the stored trace, recording it on first touch;
+* ``trace ls`` — list the stored trace artifacts;
 * ``trace summary FILE`` — render a telemetry trace (JSONL) as a span
   tree with metrics;
 * ``bench compare`` — diff current ``BENCH_*.json`` results against a
@@ -334,12 +339,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="raw records echoed under the summary table (default 5)",
     )
 
-    trace = sub.add_parser("trace", help="inspect a telemetry trace file")
+    trace = sub.add_parser(
+        "trace", help="record, replay, and inspect execution traces"
+    )
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     summary = trace_sub.add_parser(
-        "summary", help="render the span tree and metrics of a trace"
+        "summary", help="render the span tree and metrics of a telemetry trace"
     )
     summary.add_argument("file", help="JSONL trace written by --trace/REPRO_TRACE")
+    for name, help_text in (
+        ("record", "execute a workload once and store its trace artifact"),
+        ("replay", "replay analysis tools from the stored trace "
+                   "(records it on first touch)"),
+    ):
+        cmd = trace_sub.add_parser(name, help=help_text, parents=[work])
+        cmd.add_argument("workload")
+        cmd.add_argument("--scale", choices=SCALES, default="small")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument(
+            "--tools",
+            default=None,
+            metavar="NAME,NAME",
+            help="comma-separated analysis tools from the registry "
+            "(default: the standard characterization set; "
+            "see python -m repro trace replay --help)",
+        )
+    trace_ls = trace_sub.add_parser("ls", help="list stored trace artifacts")
+    trace_ls.add_argument(
+        "--cache-dir",
+        default=None,
+        help="run-cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
     bench = sub.add_parser("bench", help="benchmark trajectory utilities")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -620,11 +650,117 @@ def _cmd_obs_tail(args) -> None:
         pass
 
 
-def _cmd_trace(args) -> None:
-    from repro.obs.sinks import read_trace_jsonl, render_summary
+def _parse_tools(spec: Optional[str]) -> Optional[List[str]]:
+    """``--tools name,name`` -> a registry name list (None = default)."""
+    if spec is None:
+        return None
+    return [name.strip() for name in spec.split(",") if name.strip()]
 
-    spans, metric_values = read_trace_jsonl(args.file)
-    print(render_summary(spans, metric_values))
+
+def _cmd_trace(args) -> None:
+    if args.trace_command == "record":
+        _cmd_trace_record(args)
+    elif args.trace_command == "replay":
+        _cmd_trace_replay(args)
+    elif args.trace_command == "ls":
+        _cmd_trace_ls(args)
+    else:  # summary
+        from repro.obs.sinks import read_trace_jsonl, render_summary
+
+        spans, metric_values = read_trace_jsonl(args.file)
+        print(render_summary(spans, metric_values))
+
+
+def _cmd_trace_record(args) -> None:
+    from repro.trace import TraceStore, record_trace, trace_fingerprint
+    from repro.workloads import get_workload
+
+    spec = get_workload(args.workload)
+    fingerprint = trace_fingerprint(args.workload, args.scale, args.seed)
+    artifact = record_trace(
+        spec.program(),
+        spec.dataset(args.scale, args.seed),
+        code_key=fingerprint,
+        workload=args.workload,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    if artifact is None:
+        print(
+            f"{args.workload} @ {args.scale} is not traceable (the run "
+            f"crosses the instruction budget or raises); analyses fall "
+            f"back to direct execution"
+        )
+        sys.exit(1)
+    session = _session_from_args(args, scale=args.scale, cache_default=True)
+    stored = False
+    if session.cache is not None:
+        store = TraceStore(session.cache)
+        stored = store.store(fingerprint, artifact)
+        size = store.entry_bytes(fingerprint)
+    else:
+        size = artifact.nbytes()
+    print(f"recorded {args.workload} @ {args.scale} (seed {args.seed})")
+    print(f"  fingerprint:  {fingerprint}")
+    print(f"  instructions: {artifact.executed}")
+    print(f"  bytes:        {size}"
+          + ("" if stored else "  (not stored: cache disabled)"))
+    if args.tools:
+        _cmd_trace_replay(args)
+
+
+def _cmd_trace_replay(args) -> None:
+    session = _session_from_args(args, scale=args.scale, cache_default=True)
+    result = session.analyze(
+        args.workload, tools=_parse_tools(args.tools),
+        scale=args.scale, seed=args.seed,
+    )
+    how = "replayed from trace" if result.replayed else "direct execution"
+    print(
+        f"{result.workload} @ {result.scale} (seed {result.seed}): "
+        f"{result.executed} instructions, {how} (source: {result.source})"
+    )
+    for name, payload in result.payloads.items():
+        print(f"\n[{name}]")
+        for key, value in payload.items():
+            if isinstance(value, dict):
+                print(f"  {key}: {{{len(value)} entries}}")
+            elif isinstance(value, float):
+                print(f"  {key}: {value:.6g}")
+            else:
+                print(f"  {key}: {value}")
+
+
+def _cmd_trace_ls(args) -> None:
+    from repro.core.reporting import format_table
+    from repro.core.runcache import RunCache
+    from repro.trace import TraceStore
+
+    store = TraceStore(RunCache(args.cache_dir))
+    index = store.index()
+    if not index:
+        print(f"no stored traces under {store.cache.directory}")
+        return
+    rows = [
+        [
+            meta.get("workload", "?"),
+            meta.get("scale", "?"),
+            meta.get("seed", "?"),
+            meta.get("executed", "?"),
+            meta.get("bytes", "?"),
+            fingerprint[:12],
+        ]
+        for fingerprint, meta in sorted(
+            index.items(), key=lambda item: str(item[1].get("workload"))
+        )
+    ]
+    print(
+        format_table(
+            ["workload", "scale", "seed", "instructions", "bytes", "key"],
+            rows,
+            title=f"stored traces ({store.cache.directory})",
+        )
+    )
 
 
 def _cmd_bench(args) -> None:

@@ -3,18 +3,18 @@
 Every function returns structured rows (and can render itself through
 :mod:`repro.core.reporting`); the benchmark harness under
 ``benchmarks/`` simply calls these and prints the result next to the
-paper's published numbers.  An :class:`ExperimentContext` memoizes the
-single characterization run each workload needs, so producing all of
-Figure 1 / Tables 1-5 costs one pass per program, exactly like the
-paper's single ATOM profile run.
+paper's published numbers.  The characterization-driven functions take
+a :class:`repro.api.Session`, which memoizes the single run each
+workload needs, so producing all of Figure 1 / Tables 1-5 costs one
+pass per program, exactly like the paper's single ATOM profile run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.atom.runner import CharacterizationResult, LoadProfileRow, characterize
+from repro.atom.runner import LoadProfileRow, characterize
 from repro.core import candidates as candidates_mod
 from repro.core.pipeline import EvaluationResult, evaluate_workload, harmonic_mean_speedup
 from repro.core.reporting import format_table, pct
@@ -28,75 +28,8 @@ from repro.workloads.registry import (
 )
 
 
-class ExperimentContext:
-    """Deprecated shim over :class:`repro.api.Session`.
-
-    Early code constructed an ``ExperimentContext(scale, seed, jobs,
-    cache)`` and called :meth:`run`/:meth:`prefetch` on it; the same
-    surface (plus resilience policy, evaluation, and sweeps) now lives
-    on :class:`repro.api.Session`, which this class delegates to.
-    Construction emits a :class:`DeprecationWarning`; see
-    ``docs/extending.md`` for the migration.
-    """
-
-    def __init__(
-        self,
-        scale: str = "medium",
-        seed: int = 0,
-        jobs: int = 1,
-        cache=None,
-    ):
-        import warnings
-
-        warnings.warn(
-            "ExperimentContext is deprecated; use repro.api.Session "
-            "(see docs/extending.md)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.api import RunConfig, Session
-
-        self._session = Session(
-            RunConfig(scale=scale, seed=seed, jobs=max(1, int(jobs)), cache=False)
-        )
-        # The old API took a RunCache *instance* (None = no caching);
-        # Session normally builds its own from a directory, so graft
-        # the caller's instance on directly.
-        self._session._cache = cache
-
-    @property
-    def scale(self) -> str:
-        return self._session.scale
-
-    @property
-    def seed(self) -> int:
-        return self._session.seed
-
-    @property
-    def jobs(self) -> int:
-        return self._session.jobs
-
-    @property
-    def cache(self):
-        return self._session.cache
-
-    @property
-    def _runs(self) -> Dict[str, CharacterizationResult]:
-        # Old callers keyed the memo by bare workload name.
-        return {
-            key[0]: result
-            for key, result in self._session._runs.items()
-            if key[1] == self.scale and key[2] == self.seed
-        }
-
-    def _fingerprint(self, name: str) -> str:
-        return self._session._fingerprint(name, self.scale, self.seed)
-
-    def run(self, name: str) -> CharacterizationResult:
-        return self._session.run(name)
-
-    def prefetch(self, names: Optional[List[str]] = None) -> None:
-        self._session.prefetch(names)
+if TYPE_CHECKING:  # avoid importing the API layer at module import time
+    from repro.api import Session
 
 
 # ---------------------------------------------------------------------------
@@ -116,7 +49,7 @@ class MixRow:
     paper_fp_fraction: Optional[float]
 
 
-def figure1_instruction_mix(context: ExperimentContext) -> List[MixRow]:
+def figure1_instruction_mix(context: "Session") -> List[MixRow]:
     """Figure 1 + Table 1: instruction profile of the nine programs."""
     rows = []
     for spec in all_workloads():
@@ -172,7 +105,7 @@ class CoverageRow:
 
 
 def figure2_coverage(
-    context: ExperimentContext,
+    context: "Session",
     bioperf: Tuple[str, ...] = ("hmmsearch", "clustalw", "fasta"),
     spec_like: Tuple[str, ...] = ("gcc", "crafty", "vortex"),
 ) -> List[CoverageRow]:
@@ -220,7 +153,7 @@ class CacheRow:
     amat: float
 
 
-def table2_cache(context: ExperimentContext) -> List[CacheRow]:
+def table2_cache(context: "Session") -> List[CacheRow]:
     """Table 2: cache performance under the Table 3 configuration."""
     rows = []
     for spec in all_workloads():
@@ -273,7 +206,7 @@ class SequenceRow:
     paper_after_hard: Optional[float]
 
 
-def table4_sequences(context: ExperimentContext) -> List[SequenceRow]:
+def table4_sequences(context: "Session") -> List[SequenceRow]:
     """Table 4(a)+(b): the two problematic load sequences."""
     rows = []
     for spec in all_workloads():
@@ -325,7 +258,7 @@ def render_table4(rows: List[SequenceRow]) -> str:
 
 
 def table5_load_profile(
-    context: ExperimentContext, workload: str = "hmmsearch", top: int = 8
+    context: "Session", workload: str = "hmmsearch", top: int = 8
 ) -> List[LoadProfileRow]:
     """Table 5: per-load profile of the hottest loads of one program."""
     return context.run(workload).load_profile(top=top)

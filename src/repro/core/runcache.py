@@ -149,10 +149,11 @@ def workload_fingerprint(
 
     Resolves the workload by name and feeds its current disassembly and
     dataset bindings into :func:`run_fingerprint`.  This is the **only**
-    place run identity is computed: :class:`~repro.core.experiments.
-    ExperimentContext` keys the cache with it and :func:`repro.obs.
-    manifest.run_manifest` stamps it into manifests, so the two can
-    never drift apart.
+    place run identity is computed: :class:`repro.api.Session` keys the
+    cache with it, :class:`repro.trace.TraceStore` keys trace artifacts
+    with it (under ``tool_config="trace"``), and :func:`repro.obs.
+    manifest.run_manifest` stamps it into manifests, so they can never
+    drift apart.
     """
     from repro.workloads.registry import get_workload
 

@@ -787,6 +787,12 @@ class _BlockCodegen:
             self.line(ind, f"{self.slot(instr.dest)} = v", j, instr)
         if gen.record:
             self.line(ind, f"{self.rec_name()} = x", j, instr)
+            if gen.record == "trace":
+                # Trace capture: the loaded value rides as a second rec
+                # site so replay can synthesize the exact load event
+                # stream (value included) without touching memory.
+                self.line(ind, f"{self.rec_name()} = {self.slot(instr.dest)}",
+                          j, instr)
         self.mark_defined(instr.dest)
         self.dispatch_load(ind, instr, j, base)
 
@@ -1022,14 +1028,17 @@ class _Generator:
 
     def __init__(self, program: Program, reg_index: Dict[Reg, int],
                  bases: Dict[str, int], lengths: Dict[str, int],
-                 mode: Tuple, record: bool = False) -> None:
+                 mode: Tuple, record: "bool | str" = False) -> None:
         self.program = program
         self.reg_index = reg_index
         self.mode = mode
         #: Record mode (the batched backend's leader lane): the
         #: generated code appends every memory index and every branch
         #: direction to ``ns["rec"]`` so follower lanes can replay the
-        #: block and verify convergence (see repro.exec.batched).
+        #: block and verify convergence (see repro.exec.batched).  The
+        #: ``"trace"`` variant additionally records every loaded value,
+        #: which is what the trace-artifact recorder (repro.trace)
+        #: needs to replay analysis tools without re-executing.
         self.record = record
         self.fused = mode[0] == "fused"
         self.telemetry = self.fused and mode[1]
@@ -1233,7 +1242,7 @@ class _Generator:
 
 def _generate(program: Program, bases: Dict[str, int],
               lengths: Dict[str, int], mode: Tuple,
-              record: bool = False) -> CompiledProgram:
+              record: "bool | str" = False) -> CompiledProgram:
     reg_index = _collect_registers(program)
     blocks = program.blocks
     reachable = [_reachable_prefix(b) for b in blocks]
@@ -1313,12 +1322,13 @@ _KEYED_CACHE: Dict[Tuple, CompiledProgram] = {}
 def compiled_for(program: Program, bases: Dict[str, int],
                  lengths: Dict[str, int], mode: Tuple,
                  code_key: Optional[str] = None,
-                 record: bool = False) -> CompiledProgram:
+                 record: "bool | str" = False) -> CompiledProgram:
     """Compiled form of ``program`` for one (array lengths, mode) pair.
 
     ``record`` selects the recording variant used by the batched
     backend's leader lane (a separate cache entry: the generated source
-    differs).
+    differs); ``record="trace"`` selects the trace-capture variant that
+    also records loaded values (used by :mod:`repro.trace`).
     """
     lengths_key = tuple(lengths[name] for name in program.arrays)
     key = (lengths_key, mode, record)
@@ -1334,7 +1344,7 @@ def compiled_for(program: Program, bases: Dict[str, int],
 
 def _for_program(program: Program, bases: Dict[str, int],
                  lengths: Dict[str, int], mode: Tuple,
-                 key: Tuple, record: bool = False) -> CompiledProgram:
+                 key: Tuple, record: "bool | str" = False) -> CompiledProgram:
     per = _WEAK_CACHE.get(program)
     if per is None:
         per = _WEAK_CACHE[program] = {}
@@ -1392,7 +1402,7 @@ class CompiledInterpreter(Interpreter):
         return self._drive(ctx)
 
     def _prepare(self, consumer_list: List[object],
-                 record: bool = False) -> Optional["_ExecContext"]:
+                 record: "bool | str" = False) -> Optional["_ExecContext"]:
         """Mode selection, codegen, and namespace assembly for one run.
 
         Returns the execution context the trampoline (:meth:`_drive`)

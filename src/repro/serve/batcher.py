@@ -243,8 +243,10 @@ class Batcher:
 
     def _key(self, request: protocol.ServiceRequest) -> str:
         """Run identity.  Characterize requests use the run-cache
-        fingerprint verbatim; evaluate/sweep requests get a derived
-        composite key (they have no cache entry to share with)."""
+        fingerprint verbatim; evaluate/sweep/analyze requests get a
+        derived composite key (an analyze key includes the requested
+        tool tuple — the same trace answers different tool sets, but
+        those are different responses and must not share a flight)."""
         scale = (
             request.scale
             if request.scale is not None
@@ -260,6 +262,16 @@ class Batcher:
         if request.kind == "evaluate":
             platform = request.platform or "alpha"
             return f"evaluate:{request.workload}:{platform}:{scale}:{seed}"
+        if request.kind == "analyze":
+            return protocol.canonical_json(
+                [
+                    "analyze",
+                    request.workload,
+                    list(request.tools) if request.tools is not None else None,
+                    scale,
+                    seed,
+                ]
+            )
         return protocol.canonical_json(
             [
                 "sweep",
@@ -507,7 +519,11 @@ class Batcher:
         self._resolve(flight, _respond)
 
     def _run_single(self, flight: _Flight) -> None:
-        """One evaluate/sweep request through the session facade."""
+        """One evaluate/sweep/analyze request through the session
+        facade.  Analyze runs in this thread (the trace record path is
+        single-process; replay is cheap), and its result lands in the
+        session's trace store — the retry after a deadline miss replays
+        the stored trace instead of re-executing."""
         request = flight.request
         if all(w.deadline.expired for w in flight.waiters):
             self._resolve_expired(flight)
@@ -518,7 +534,19 @@ class Batcher:
             from repro.obs import context as _context
 
             with _context.use(ctx):
-                if request.kind == "evaluate":
+                if request.kind == "analyze":
+                    analysis = self._session.analyze(
+                        request.workload,
+                        tools=(
+                            list(request.tools)
+                            if request.tools is not None
+                            else None
+                        ),
+                        scale=request.scale,
+                        seed=request.seed,
+                    )
+                    payload = protocol.analyze_payload(analysis)
+                elif request.kind == "evaluate":
                     evaluation = self._session.evaluate(
                         request.workload,
                         platform=request.platform,

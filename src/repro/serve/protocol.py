@@ -1,8 +1,8 @@
 """Wire protocol of the characterization service.
 
 One request, one JSON object; one response, one JSON envelope.  The
-protocol is deliberately small — three request kinds mirroring the
-three verbs of :class:`repro.api.Session` — and deliberately
+protocol is deliberately small — four request kinds mirroring the
+four verbs of :class:`repro.api.Session` — and deliberately
 *canonical*: every result payload is round-tripped through sorted-key
 JSON and stamped with a SHA-256 digest of its canonical encoding, so
 "the server returned exactly what a direct ``Session`` call returns"
@@ -16,6 +16,7 @@ Request (POST body)::
     {"kind": "evaluate", "workload": "predator", "platform": "alpha"}
     {"kind": "sweep", "workload": "hmmsearch", "field": "l1_hit_int",
      "values": [1, 2, 3], "sweep_kind": "platform"}
+    {"kind": "analyze", "workload": "fasta", "tools": ["mix", "branch"]}
 
 Response envelope::
 
@@ -43,6 +44,7 @@ __all__ = [
     "HTTP_STATUS",
     "ProtocolError",
     "ServiceRequest",
+    "analyze_payload",
     "canonical",
     "canonical_json",
     "characterization_payload",
@@ -66,7 +68,7 @@ HTTP_STATUS: Dict[str, int] = {
 }
 
 #: Request kinds the service accepts.
-KINDS = ("characterize", "evaluate", "sweep")
+KINDS = ("characterize", "evaluate", "sweep", "analyze")
 
 
 class ProtocolError(Exception):
@@ -90,6 +92,7 @@ class ServiceRequest:
     field: Optional[str] = None  # sweep only
     values: Optional[Tuple[object, ...]] = None  # sweep only
     sweep_kind: str = "platform"  # sweep only
+    tools: Optional[Tuple[str, ...]] = None  # analyze only; None -> standard
     deadline_s: Optional[float] = None
 
 
@@ -139,6 +142,35 @@ def parse_request(data: Any) -> ServiceRequest:
     field = data.get("field")
     values: Optional[Tuple[object, ...]] = None
     sweep_kind = data.get("sweep_kind", "platform")
+    tools: Optional[Tuple[str, ...]] = None
+    if kind == "analyze":
+        raw_tools = data.get("tools")
+        if raw_tools is not None:
+            if not isinstance(raw_tools, (list, tuple)) or not all(
+                isinstance(t, str) and t for t in raw_tools
+            ):
+                raise ProtocolError(
+                    "bad_request",
+                    "tools must be a list of tool names",
+                )
+            from repro.atom.registry import get_tool, tool_names
+
+            seen = set()
+            for tool in raw_tools:
+                if tool in seen:
+                    raise ProtocolError(
+                        "bad_request", f"duplicate tool {tool!r}"
+                    )
+                seen.add(tool)
+                try:
+                    get_tool(tool)
+                except KeyError:
+                    raise ProtocolError(
+                        "bad_request",
+                        f"unknown tool {tool!r}; expected one of "
+                        f"{tool_names()}",
+                    ) from None
+            tools = tuple(raw_tools)
     if kind == "evaluate":
         from repro.cpu.platforms import PLATFORMS
 
@@ -166,6 +198,7 @@ def parse_request(data: Any) -> ServiceRequest:
         field=field,
         values=values,
         sweep_kind=sweep_kind,
+        tools=tools,
         deadline_s=deadline_s,
     )
 
@@ -253,6 +286,33 @@ def evaluation_payload(evaluation) -> Dict[str, Any]:
         "transformed_seconds": evaluation.transformed_seconds,
     }
     return _digested(body)
+
+
+def analyze_payload(result) -> Dict[str, Any]:
+    """Canonical JSON payload of one :class:`repro.api.AnalyzeResult`.
+
+    ``tools`` maps each requested tool name to its registry payload —
+    the same plain-data views the differential trace tests compare
+    bit-for-bit between direct execution and replay.  The digest covers
+    only the analysis content (workload identity plus tool payloads);
+    ``source`` and ``replayed`` — whether the answer came from a stored
+    trace (``memo``/``cache``/``record``) or a direct run — are stamped
+    on *after* digesting, so replaying a trace and re-executing the
+    program yield byte-identical digests, which is the whole point.
+    """
+    body = _digested(
+        {
+            "workload": result.workload,
+            "scale": result.scale,
+            "seed": result.seed,
+            "fingerprint": result.fingerprint,
+            "executed": result.executed,
+            "tools": dict(result.payloads),
+        }
+    )
+    body["source"] = result.source
+    body["replayed"] = result.replayed
+    return body
 
 
 def sweep_payload(field: str, points: Sequence[object]) -> Dict[str, Any]:

@@ -20,7 +20,8 @@ Three layers, separable on purpose:
 
 Routes::
 
-    POST /v1/characterize | /v1/evaluate | /v1/sweep | /v1/submit
+    POST /v1/characterize | /v1/evaluate | /v1/sweep | /v1/analyze
+         | /v1/submit
     GET  /healthz   liveness, uptime, backend, worker-pool heartbeats,
                     flight-recorder status
     GET  /metrics   repro.obs metrics snapshot (JSON, the default) or
@@ -62,6 +63,7 @@ _POST_ROUTES = {
     "/v1/characterize": "characterize",
     "/v1/evaluate": "evaluate",
     "/v1/sweep": "sweep",
+    "/v1/analyze": "analyze",
     "/v1/submit": None,  # kind comes from the body
 }
 
@@ -354,6 +356,15 @@ class ServiceClient:
             dict(fields, kind="sweep", workload=workload, field=field,
                  values=list(values))
         )
+
+    def analyze(
+        self, workload: str, tools=None, **fields
+    ) -> Tuple[int, Dict[str, Any]]:
+        """POST /v1/analyze: answer ``tools`` (None -> the standard
+        set) from the session's stored trace of ``workload``."""
+        if tools is not None:
+            fields["tools"] = list(tools)
+        return self.request(dict(fields, kind="analyze", workload=workload))
 
     def healthz(self) -> Tuple[int, Dict[str, Any]]:
         return self.service.handle_get("/healthz")

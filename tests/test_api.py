@@ -213,7 +213,44 @@ def test_evaluate_grid_degrades_to_failed_cells_and_annotated_figure9():
         session.evaluate(platforms=("alpha",), strict=True)
 
 
-# -- lifecycle and the deprecated shim ---------------------------------------
+# -- trace-backed analysis ---------------------------------------------------
+
+
+def test_analyze_records_once_then_replays(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    with Session(scale="test", cache_dir=cache_dir) as s:
+        first = s.analyze("fasta", tools=["mix", "branch"])
+        assert first.source == "record" and first.replayed
+        assert set(first.payloads) == {"mix", "branch"}
+        again = s.analyze("fasta", tools=["reuse"])
+        assert again.source == "memo"
+        assert again.executed == first.executed
+    with Session(scale="test", cache_dir=cache_dir) as fresh:
+        stored = fresh.analyze("fasta", tools=["mix", "branch"])
+        assert stored.source == "cache"
+        assert stored.payloads == first.payloads
+
+
+def test_analyze_matches_characterize_bit_for_bit():
+    with Session(scale="test", cache=False) as s:
+        run = s.characterize("fasta")
+        analyzed = s.analyze("fasta")  # default: the standard four
+        assert analyzed.payloads["mix"] == run.mix.snapshot()
+        assert analyzed.payloads["coverage"] == run.coverage.snapshot()
+        assert analyzed.payloads["cache"] == run.cache.snapshot()
+        assert analyzed.payloads["sequences"] == run.sequences.snapshot()
+        assert analyzed.executed == run.executed
+
+
+def test_analyze_rejects_unknown_names_in_the_caller():
+    session = Session(scale="test", cache=False)
+    with pytest.raises(KeyError):
+        session.analyze("no-such-workload")
+    with pytest.raises(KeyError):
+        session.analyze("fasta", tools=["no-such-tool"])
+
+
+# -- lifecycle ----------------------------------------------------------------
 
 
 def test_trace_flushes_on_context_exit(tmp_path):
@@ -223,13 +260,3 @@ def test_trace_flushes_on_context_exit(tmp_path):
     content = path.read_text()
     assert "experiment.run" in content
     assert Session(scale="test", cache=False).close() is None  # no trace, no file
-
-
-def test_experiment_context_is_a_deprecated_shim_over_session():
-    with pytest.warns(DeprecationWarning):
-        context = E.ExperimentContext(scale="test", seed=0, jobs=1, cache=None)
-    assert context.scale == "test"
-    assert context.cache is None
-    result = context.run("fasta")
-    assert context._runs["fasta"] is result  # old name-keyed memo view
-    assert isinstance(context._session, Session)

@@ -3,12 +3,13 @@ results at test scale (the benchmarks run the same code at full scale)."""
 
 import pytest
 
+from repro.api import Session
 from repro.core import experiments as E
 
 
 @pytest.fixture(scope="module")
 def context():
-    return E.ExperimentContext(scale="test", seed=0)
+    return Session(scale="test", seed=0, cache=False)
 
 
 def test_context_memoizes(context):

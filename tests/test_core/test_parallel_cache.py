@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.api import Session
 from repro.atom import CacheSim, InstructionMix, LoadCoverage, SequenceProfile, characterize
-from repro.core import experiments as E
 from repro.core.parallel import ParallelRunner, default_jobs
 from repro.core.runcache import RunCache, run_fingerprint
 from repro.core.sweeps import sweep_platform_field
@@ -107,9 +107,9 @@ def test_default_jobs_positive():
     assert ParallelRunner(jobs=0).jobs == 1
 
 
-def test_experiment_context_prefetch_matches_serial_rows():
-    serial = E.ExperimentContext(scale="test", seed=0)
-    parallel = E.ExperimentContext(scale="test", seed=0, jobs=2)
+def test_session_prefetch_matches_serial_rows():
+    serial = Session(scale="test", seed=0, cache=False)
+    parallel = Session(scale="test", seed=0, jobs=2, cache=False)
     parallel.prefetch(list(WORKLOADS))
     for name in WORKLOADS:
         assert serial.run(name).mix.snapshot() == parallel.run(name).mix.snapshot()
@@ -167,19 +167,19 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path, garbage):
     assert cache.load(key) is None
 
 
-def test_experiment_context_uses_cache(tmp_path):
+def test_session_uses_cache(tmp_path):
     cache = RunCache(str(tmp_path))
-    warm = E.ExperimentContext(scale="test", seed=0, cache=cache)
+    warm = Session(scale="test", seed=0, cache_dir=str(tmp_path))
     first = warm.run("hmmsearch")
     assert cache.stats()["entries"] == 1
 
-    # A fresh context (fresh process analogue) must hit the stored run.
-    reader = E.ExperimentContext(scale="test", seed=0, cache=cache)
+    # A fresh session (fresh process analogue) must hit the stored run.
+    reader = Session(scale="test", seed=0, cache_dir=str(tmp_path))
     cached = reader.run("hmmsearch")
     assert cached.mix.snapshot() == first.mix.snapshot()
 
     # Different seed -> different fingerprint -> a genuine re-run.
-    other = E.ExperimentContext(scale="test", seed=1, cache=cache)
+    other = Session(scale="test", seed=1, cache_dir=str(tmp_path))
     other.run("hmmsearch")
     assert cache.stats()["entries"] == 2
 

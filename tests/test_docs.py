@@ -268,6 +268,11 @@ REQUIRED_ANCHORS = {
         "--max-obs-overhead",
     ],
     os.path.join("docs", "parallel.md"): ["--jobs", "cache"],
+    os.path.join("docs", "traces.md"): [
+        "Session", "analyze", "trace record", "trace replay", "trace ls",
+        "--tools", "/v1/analyze", 'tool_config="trace"',
+        "bench_trace_replay",
+    ],
 }
 
 

@@ -2,7 +2,7 @@
 
 import json
 
-from repro.core.experiments import ExperimentContext
+from repro.api import Session
 from repro.core.runcache import workload_fingerprint
 from repro.exec.backends import resolve_backend
 from repro.obs.manifest import (
@@ -22,10 +22,10 @@ def test_run_manifest_fingerprint_matches_runcache():
     assert manifest["fingerprint"] == workload_fingerprint("fasta", "test", 0)
 
 
-def test_run_manifest_fingerprint_matches_experiment_context():
-    ctx = ExperimentContext(scale="test", seed=0)
+def test_run_manifest_fingerprint_matches_session():
+    session = Session(scale="test", seed=0, cache=False)
     manifest = run_manifest("blast", "test", 0)
-    assert manifest["fingerprint"] == ctx._fingerprint("blast")
+    assert manifest["fingerprint"] == session.fingerprint("blast", "test", 0)
 
 
 def test_fingerprint_sensitive_to_run_inputs():

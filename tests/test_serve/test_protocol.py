@@ -55,6 +55,39 @@ class TestParseRequest:
         assert request.values == (1, 2, 3)
         assert request.sweep_kind == "platform"
 
+    def test_analyze_fields(self):
+        request = protocol.parse_request(
+            {
+                "kind": "analyze",
+                "workload": "fasta",
+                "tools": ["mix", "branch"],
+                "scale": "test",
+            }
+        )
+        assert request.kind == "analyze"
+        assert request.tools == ("mix", "branch")
+        assert request.scale == "test"
+
+    def test_analyze_defaults_tools_to_none(self):
+        request = protocol.parse_request(
+            {"kind": "analyze", "workload": "fasta"}
+        )
+        assert request.tools is None  # session resolves the standard set
+
+    def test_rejects_unknown_tool(self):
+        error = _reject(
+            {"kind": "analyze", "workload": "fasta", "tools": ["mix", "zap"]}
+        )
+        assert "zap" in error.message
+
+    def test_rejects_duplicate_tool(self):
+        _reject(
+            {"kind": "analyze", "workload": "fasta", "tools": ["mix", "mix"]}
+        )
+
+    def test_rejects_non_list_tools(self):
+        _reject({"kind": "analyze", "workload": "fasta", "tools": "mix"})
+
     def test_rejects_non_object(self):
         _reject(["not", "a", "dict"])
 

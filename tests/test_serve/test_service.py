@@ -149,6 +149,29 @@ class TestRoutesAndRegistry:
         assert status == 400
         assert body["error"]["code"] == "bad_request"
 
+    def test_analyze_serves_tool_payloads(self, client):
+        status, body = client.analyze("fasta", tools=["mix", "branch"],
+                                      scale="test")
+        assert status == 200
+        result = body["result"]
+        assert result["workload"] == "fasta"
+        assert set(result["tools"]) == {"mix", "branch"}
+        assert result["source"] in ("record", "memo", "cache", "direct")
+        # A repeat answers from the session's trace memo with an
+        # identical digest: replay and record agree byte for byte.
+        status, again = client.analyze("fasta", tools=["mix", "branch"],
+                                       scale="test")
+        assert status == 200
+        assert again["result"]["digest"] == result["digest"]
+        assert again["result"]["source"] == "memo"
+        assert again["result"]["replayed"] is True
+
+    def test_analyze_rejects_unknown_tool(self, client):
+        status, body = client.analyze("fasta", tools=["nope"])
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+        assert "nope" in body["error"]["message"]
+
     def test_evaluate_and_sweep(self, client):
         status, body = client.evaluate("predator", platform="alpha",
                                        scale="test")
