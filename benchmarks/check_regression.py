@@ -22,7 +22,13 @@ Absolute gates ride along:
   branch-dense promlk artifact at or under ``--max-trace-bytes``
   per dynamic instruction (default 1.0) — the trace store's whole
   point is answering analyses faster than re-simulation from a
-  compact artifact.
+  compact artifact;
+* when the current cluster-throughput record exists
+  (``bench_cluster_throughput.py``), its ``cluster_scaling_x`` — warm
+  req/s at four replicas over one replica, measured through the real
+  ``repro serve --replicas`` CLI — must stay at or above
+  ``--min-cluster-scaling`` (default 2.5x), and the replica-kill phase
+  must have lost zero requests permanently.
 
 Usage::
 
@@ -124,6 +130,54 @@ def _check_trace_replay(
     return ok
 
 
+def _check_cluster_scaling(current_dir: str, floor: float) -> bool:
+    """The absolute cluster-scaling gates; True = pass.
+
+    Reads the current ``BENCH_cluster_throughput.json`` record;
+    silently passes when the record (or a field) is absent so partial
+    benchmark runs do not trip it.
+    """
+    path = os.path.join(current_dir, "BENCH_cluster_throughput.json")
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return True
+    ok = True
+    scaling = record.get("cluster_scaling_x")
+    if isinstance(scaling, (int, float)):
+        single = record.get("cluster_single_rps")
+        quad = record.get("cluster_quad_rps")
+        detail = (
+            f" ({single:.1f} -> {quad:.1f} req/s)"
+            if isinstance(single, (int, float))
+            and isinstance(quad, (int, float))
+            else ""
+        )
+        if scaling < floor:
+            print(
+                f"FAIL: cluster N=4/N=1 warm scaling only {scaling:.2f}x "
+                f"(floor {floor:.1f}x){detail}"
+            )
+            ok = False
+        else:
+            print(
+                f"cluster N=4/N=1 warm scaling {scaling:.2f}x "
+                f"(floor {floor:.1f}x){detail}"
+            )
+    lost = record.get("kill_lost_requests")
+    if isinstance(lost, (int, float)):
+        if lost > 0:
+            print(
+                f"FAIL: replica-kill phase lost {lost:.0f} requests "
+                f"permanently (must be 0)"
+            )
+            ok = False
+        else:
+            print("replica-kill phase lost 0 requests permanently")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="baseline BENCH dir")
@@ -152,6 +206,12 @@ def main(argv=None) -> int:
         default=1.0,
         help="promlk trace bytes/instruction budget (default 1.0)",
     )
+    parser.add_argument(
+        "--min-cluster-scaling",
+        type=float,
+        default=2.5,
+        help="cluster N=4/N=1 warm-throughput scaling floor (default 2.5)",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.regression import compare_dirs, gate, render_comparison
@@ -164,15 +224,20 @@ def main(argv=None) -> int:
     trace_ok = _check_trace_replay(
         args.current, args.min_replay_speedup, args.max_trace_bytes
     )
-    if not rows and overhead_ok and trace_ok:
+    cluster_ok = _check_cluster_scaling(
+        args.current, args.min_cluster_scaling
+    )
+    if not rows and overhead_ok and trace_ok and cluster_ok:
         print("no baseline benchmarks found — nothing to gate")
         return 0
-    if not gate(rows) or not overhead_ok or not trace_ok:
+    if not gate(rows) or not overhead_ok or not trace_ok or not cluster_ok:
         failing = [row.name for row in rows if row.failed]
         if not overhead_ok:
             failing.append("observability_overhead")
         if not trace_ok:
             failing.append("trace_replay")
+        if not cluster_ok:
+            failing.append("cluster_scaling")
         print(f"FAIL: perf gate tripped by: {', '.join(failing)}")
         return 1
     print("OK: no regressions against the baseline")

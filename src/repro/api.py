@@ -142,9 +142,13 @@ class Session:
         self._pool: Optional[ParallelRunner] = None
         self._cache = None
         if self.config.cache:
-            from repro.core.runcache import RunCache
+            from repro.core.runcache import _STATS_FLUSH_OPS, RunCache
 
-            self._cache = RunCache(self.config.cache_dir)
+            # A session is long-lived and flushes on close, so it can
+            # batch cache-counter persistence off the warm load path.
+            self._cache = RunCache(
+                self.config.cache_dir, stats_flush_ops=_STATS_FLUSH_OPS
+            )
         if self.config.trace:
             obs.enable()
 
@@ -687,6 +691,8 @@ class Session:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._cache is not None:
+            self._cache.flush_stats()
         if not self.config.trace:
             return None
         obs.flush_to(self.config.trace)

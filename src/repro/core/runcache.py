@@ -29,6 +29,16 @@ payload on every read, so bit rot, truncation, or a torn write is
 counted under the persisted ``quarantined`` counter and the
 ``runcache.quarantined`` metric, and the load degrades to a miss.
 
+The cache directory is safe to **share between processes** — the
+cluster in :mod:`repro.serve.cluster` points every replica at one
+directory so any replica answers any memoized fingerprint.  Writes
+stage into per-writer temp files and publish with one atomic
+``os.replace`` (fsynced first, so a crash never publishes a torn
+entry); concurrent stores of the same fingerprint are benign because
+runs are deterministic and both payloads are bit-identical.  Readers
+hold an open file descriptor for the whole read, so a concurrent
+replace can never hand them half an old and half a new entry.
+
 Each cache directory also keeps a small ``_stats.json`` sidecar with
 cumulative hit/miss/store/invalid/eviction counters (surfaced by
 ``repro cache stats`` and mirrored into the :mod:`repro.obs.metrics`
@@ -46,7 +56,7 @@ import json
 import os
 import pickle
 import tempfile
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
@@ -60,6 +70,10 @@ _SUFFIX = ".pkl"
 
 #: Sidecar file holding the persisted counters (not a cache entry).
 _STATS_FILE = "_stats.json"
+
+#: Counter operations batched in memory between sidecar rewrites for
+#: long-lived handles that opt in (see ``RunCache.__init__``).
+_STATS_FLUSH_OPS = 64
 
 #: The counters persisted per cache directory.
 _STAT_KEYS = ("hits", "misses", "stores", "invalid", "evictions", "quarantined")
@@ -81,28 +95,34 @@ def default_cache_dir() -> str:
     return os.path.join(base, "repro")
 
 
-def _feed_value(hasher, value: object) -> None:
-    """Feed one dataset binding into the hash, recursively and stably."""
+def _feed_value(parts: list, value: object) -> None:
+    """Append one dataset binding's stable encoding to ``parts``."""
     if isinstance(value, (list, tuple)):
-        hasher.update(b"[")
+        parts.append(b"[")
         for item in value:
-            _feed_value(hasher, item)
-        hasher.update(b"]")
+            _feed_value(parts, item)
+        parts.append(b"]")
     else:
         # repr() of ints/floats/strings is stable across runs; floats
         # round-trip exactly (shortest-repr guarantee since CPython 3.1).
-        hasher.update(repr(value).encode())
-        hasher.update(b";")
+        parts.append(repr(value).encode())
+        parts.append(b";")
 
 
 def fingerprint_bindings(bindings: Mapping[str, object]) -> str:
-    """Stable digest of a dataset's array/scalar bindings."""
-    hasher = hashlib.sha256()
+    """Stable digest of a dataset's array/scalar bindings.
+
+    The encoding is accumulated into one buffer and hashed with a
+    single update: tens of thousands of per-scalar ``hasher.update``
+    calls dominated fingerprinting cost on large datasets, and the
+    byte stream (hence every existing fingerprint) is unchanged.
+    """
+    parts: list = []
     for name in sorted(bindings):
-        hasher.update(name.encode())
-        hasher.update(b"=")
-        _feed_value(hasher, bindings[name])
-    return hasher.hexdigest()
+        parts.append(name.encode())
+        parts.append(b"=")
+        _feed_value(parts, bindings[name])
+    return hashlib.sha256(b"".join(parts)).hexdigest()
 
 
 def run_fingerprint(
@@ -163,17 +183,51 @@ def workload_fingerprint(
         scale,
         seed,
         max_instructions,
-        spec.program().disassemble(),
+        _disassembly(name, spec.program()),
         spec.dataset(scale, seed),
         tool_config=tool_config,
     )
 
 
+#: name -> (program object, its disassembly text).  The program is
+#: seed- and scale-independent, so its (expensive) disassembly is the
+#: same for every fingerprint of a workload; holding the program object
+#: itself keeps the identity check exact even if a test re-registers a
+#: workload with a different program.
+_DISASSEMBLY_MEMO: Dict[str, Tuple[object, str]] = {}
+
+
+def _disassembly(name: str, program) -> str:
+    cached = _DISASSEMBLY_MEMO.get(name)
+    if cached is not None and cached[0] is program:
+        return cached[1]
+    text = program.disassemble()
+    _DISASSEMBLY_MEMO[name] = (program, text)
+    return text
+
+
 class RunCache:
     """Filesystem-backed store of pickled characterization results."""
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        stats_flush_ops: int = 1,
+    ):
+        """``stats_flush_ops`` batches counter persistence: the
+        ``_stats.json`` sidecar is rewritten once per that many counted
+        operations instead of per operation.  The default of 1 keeps
+        the original contract — counters visible to any other handle
+        immediately — which ad-hoc handles (CLI, tests) rely on; the
+        long-lived :class:`repro.api.Session` opts into batching
+        (``_STATS_FLUSH_OPS``) because a per-hit read-modify-write of
+        the sidecar costs about as much as loading the entry itself on
+        the warm serving path, and it flushes on close."""
         self.directory = directory or default_cache_dir()
+        self._stats_flush_ops = max(1, int(stats_flush_ops))
+        self._pending: Dict[str, int] = {}
+        self._pending_ops = 0
 
     # -- entry paths --------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -201,20 +255,39 @@ class RunCache:
             return {key: 0 for key in _STAT_KEYS}
 
     def _bump(self, **deltas: int) -> None:
-        """Fold counter deltas into ``_stats.json`` (best effort) and
-        mirror them into the live metrics registry when telemetry is on.
-
-        The read-modify-write is not locked; concurrent runs may lose a
-        few increments, which is acceptable for effectiveness counters
-        — the cache itself stays correct regardless.
+        """Fold counter deltas into the pending batch (and mirror them
+        into the live metrics registry immediately when telemetry is
+        on).  The sidecar file is rewritten once every
+        ``stats_flush_ops`` counted operations (default: every one),
+        plus whenever :meth:`stats` is read, so observed counters are
+        always current.
         """
         registry = obs.metrics()
         for key, delta in deltas.items():
             if delta:
                 registry.counter(f"runcache.{key}").inc(delta)
+                self._pending[key] = self._pending.get(key, 0) + delta
+                self._pending_ops += 1
+        if self._pending_ops >= self._stats_flush_ops:
+            self.flush_stats()
+
+    def flush_stats(self) -> None:
+        """Persist pending counter deltas to ``_stats.json`` now.
+
+        Best effort, like the counters themselves: the read-modify-
+        write is not locked, so concurrent runs may lose a few
+        increments, and a batching process that exits without flushing
+        loses at most ``stats_flush_ops - 1`` — acceptable for
+        effectiveness counters, while the cache entries stay correct
+        regardless.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        self._pending_ops = 0
         try:
             counters = self._read_counters()
-            for key, delta in deltas.items():
+            for key, delta in pending.items():
                 counters[key] = counters.get(key, 0) + delta
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
@@ -232,13 +305,17 @@ class RunCache:
         Moving (not deleting) keeps the evidence while guaranteeing the
         bad bytes can never be loaded again; a failed move falls back
         to best-effort deletion so the corrupt entry cannot keep
-        resurfacing as an invalid load.
+        resurfacing as an invalid load.  A vanished source is another
+        process winning the same quarantine race (or replacing the
+        entry with a good one) — not an event worth counting twice.
         """
         source = self._path(key)
         try:
             pen = os.path.join(self.directory, _QUARANTINE_DIR)
             os.makedirs(pen, exist_ok=True)
             os.replace(source, os.path.join(pen, key + _SUFFIX))
+        except FileNotFoundError:
+            return
         except OSError:
             try:
                 os.unlink(source)
@@ -283,7 +360,18 @@ class RunCache:
         return value
 
     def store(self, key: str, value: object) -> bool:
-        """Atomically persist ``value`` under ``key``; False on failure."""
+        """Atomically persist ``value`` under ``key``; False on failure.
+
+        Safe for concurrent writers sharing one cache directory (the
+        cluster's replicas all point here): each writer stages into its
+        own ``mkstemp`` file, fsyncs it, then publishes with a single
+        ``os.replace`` — so a reader only ever sees either the old
+        complete entry or the new complete entry, never a torn write,
+        and a crash mid-store leaves at worst an orphaned temp file.
+        Two processes storing the same fingerprint race benignly: runs
+        are deterministic, both envelopes are bit-identical, and the
+        last rename wins.
+        """
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             digest = hashlib.sha256(payload).hexdigest()
@@ -297,6 +385,8 @@ class RunCache:
                     handle.write(digest.encode("ascii"))
                     handle.write(b"\n")
                     handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_path, self._path(key))
             except BaseException:
                 try:
@@ -312,6 +402,7 @@ class RunCache:
     # -- maintenance ---------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Entry count, total size, and persisted effectiveness counters."""
+        self.flush_stats()
         entries = list(self._entries())
         total = 0
         for path in entries:
@@ -330,6 +421,8 @@ class RunCache:
     def clear(self) -> int:
         """Delete every entry (including quarantined ones) and reset
         counters; returns the number of live entries removed."""
+        self._pending = {}
+        self._pending_ops = 0
         removed = 0
         for path in self._entries():
             try:

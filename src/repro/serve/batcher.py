@@ -64,7 +64,7 @@ from repro.obs.context import TraceContext, mint_request_id
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController, Deadline, ServicePolicy
 
-__all__ = ["Batcher"]
+__all__ = ["Batcher", "singleflight_key"]
 
 #: Floor for the engine timeout derived from request deadlines, so a
 #: nearly-expired deadline cannot translate into a zero-second task
@@ -73,6 +73,69 @@ _MIN_ENGINE_TIMEOUT = 0.05
 
 #: How many completed runs the /runs/<id> registry remembers.
 _RUNS_CAPACITY = 512
+
+
+def singleflight_key(
+    request: protocol.ServiceRequest,
+    *,
+    fingerprint,
+    default_scale: str,
+    default_eval_scale: str,
+    default_seed: int,
+) -> str:
+    """The single-flight identity of one request — the one keying
+    function shared by every component that must agree on run identity.
+
+    Characterize requests use the run-cache ``workload_fingerprint``
+    verbatim (``fingerprint`` is the caller's — typically memoized —
+    ``(workload, scale, seed) -> fingerprint`` function); evaluate,
+    sweep, and analyze requests get a derived composite key (an analyze
+    key includes the requested tool tuple — the same trace answers
+    different tool sets, but those are different responses and must not
+    share a flight).
+
+    The :class:`Batcher` keys its in-process single-flight registry
+    with this, and the shard router in :mod:`repro.serve.cluster` keys
+    its consistent-hash ring with the *same* function — so a request
+    coalesces inside one replica exactly when the router would have
+    sent its twin to that replica.
+    """
+    scale = (
+        request.scale
+        if request.scale is not None
+        else (
+            default_eval_scale
+            if request.kind == "evaluate"
+            else default_scale
+        )
+    )
+    seed = request.seed if request.seed is not None else default_seed
+    if request.kind == "characterize":
+        return fingerprint(request.workload, scale, seed)
+    if request.kind == "evaluate":
+        platform = request.platform or "alpha"
+        return f"evaluate:{request.workload}:{platform}:{scale}:{seed}"
+    if request.kind == "analyze":
+        return protocol.canonical_json(
+            [
+                "analyze",
+                request.workload,
+                list(request.tools) if request.tools is not None else None,
+                scale,
+                seed,
+            ]
+        )
+    return protocol.canonical_json(
+        [
+            "sweep",
+            request.workload,
+            request.field,
+            list(request.values or ()),
+            request.sweep_kind,
+            scale,
+            seed,
+        ]
+    )
 
 
 class _Waiter:
@@ -242,46 +305,14 @@ class Batcher:
         return future
 
     def _key(self, request: protocol.ServiceRequest) -> str:
-        """Run identity.  Characterize requests use the run-cache
-        fingerprint verbatim; evaluate/sweep/analyze requests get a
-        derived composite key (an analyze key includes the requested
-        tool tuple — the same trace answers different tool sets, but
-        those are different responses and must not share a flight)."""
-        scale = (
-            request.scale
-            if request.scale is not None
-            else (
-                self._session.config.eval_scale
-                if request.kind == "evaluate"
-                else self._session.scale
-            )
-        )
-        seed = request.seed if request.seed is not None else self._session.seed
-        if request.kind == "characterize":
-            return self._session.fingerprint(request.workload, scale, seed)
-        if request.kind == "evaluate":
-            platform = request.platform or "alpha"
-            return f"evaluate:{request.workload}:{platform}:{scale}:{seed}"
-        if request.kind == "analyze":
-            return protocol.canonical_json(
-                [
-                    "analyze",
-                    request.workload,
-                    list(request.tools) if request.tools is not None else None,
-                    scale,
-                    seed,
-                ]
-            )
-        return protocol.canonical_json(
-            [
-                "sweep",
-                request.workload,
-                request.field,
-                list(request.values or ()),
-                request.sweep_kind,
-                scale,
-                seed,
-            ]
+        """Run identity: :func:`singleflight_key` with the session's
+        defaults and (memoized) fingerprint function."""
+        return singleflight_key(
+            request,
+            fingerprint=self._session.fingerprint,
+            default_scale=self._session.scale,
+            default_eval_scale=self._session.config.eval_scale,
+            default_seed=self._session.seed,
         )
 
     # -- dispatch thread -----------------------------------------------------

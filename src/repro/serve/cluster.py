@@ -1,0 +1,930 @@
+"""Sharded multi-replica characterization cluster.
+
+One ``repro serve`` process tops out when its single batcher thread and
+worker pool saturate; this module scales the serving tier horizontally
+while keeping every answer bit-identical to a direct
+:meth:`repro.api.Session.characterize` call.  Three pieces:
+
+* :class:`HashRing` — a deterministic consistent-hash ring (SHA-256
+  over virtual nodes) that places every request's **single-flight key**
+  (:func:`repro.serve.batcher.singleflight_key`, the same run identity
+  the batcher coalesces on) onto one replica.  Identical requests
+  always land on the same replica, so cross-request coalescing,
+  single-flight, and the session memo all keep working at full
+  strength; losing a replica moves only that replica's key range onto
+  survivors.
+* :class:`Replica` / :class:`CharacterizationCluster` — N replica
+  subprocesses, each the existing :class:`~repro.serve.server.
+  CharacterizationService` started via ``python -m repro serve
+  --replica-id rK`` on its own port, all pointing at **one shared run
+  cache directory** (atomic-rename concurrent writes, see
+  :mod:`repro.core.runcache`), so any replica answers any memoized
+  fingerprint after a remap.
+* the router — an asyncio front end that parses just enough of each
+  request to compute its routing key (workload fingerprints are
+  memoized; the engine-sized response payload is relayed as raw bytes,
+  never re-encoded), forwards over pooled keep-alive connections, and
+  retries a failed forward on the key's next owner.  Characterization
+  requests are idempotent and deterministic, so a retry after a replica
+  dies mid-request is always safe and always produces the identical
+  payload.
+
+Operational behavior:
+
+* **health**: a background loop probes every replica's ``/healthz``
+  and notices exited subprocesses; a dead replica's hash range remaps
+  to survivors automatically (a forward-time connection failure marks
+  the replica dead immediately — faster than the next probe).
+* **fault injection**: when the installed :class:`~repro.core.faults.
+  FaultConfig` carries ``replica_kill``, the health loop rolls it
+  deterministically per (replica, tick) and SIGKILLs afflicted
+  replicas — never the last survivor — which is how the chaos leg in
+  CI proves remapping loses no request.
+* **drain**: shutdown stops admitting (new POSTs get ``429`` with a
+  ``Retry-After`` header), lets in-flight requests finish (bounded by
+  ``drain_timeout_s``), then SIGTERMs the replicas so their own
+  ``main_loop`` cleanup runs.
+* **observability**: the router's ``/healthz`` aggregates every
+  replica's health under per-replica keys; ``/metrics`` merges the
+  replicas' registries (replicas label their ``serve.requests`` /
+  ``serve.stage_ms`` series with ``replica=``, so per-shard resolution
+  survives the merge) with the router's own ``cluster.*`` series, in
+  JSON or Prometheus form.  ``X-Repro-Request-Id`` propagates through
+  the router hop: a valid client ID is forwarded verbatim, otherwise
+  the router mints one, and either way the replica echoes it back in
+  the envelope and response header.
+
+``python -m repro serve --replicas N`` is the CLI door; throughput is
+gated by ``benchmarks/bench_cluster_throughput.py`` (≥2.5x warm req/s
+at four replicas over one).  Wire semantics: ``docs/service.md``;
+topology: ``docs/architecture.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import http.client
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.core.faults import FaultConfig
+from repro.core.runcache import workload_fingerprint
+from repro.obs import context as _context
+from repro.obs.context import REQUEST_ID_HEADER
+from repro.obs.metrics import MetricsRegistry, enable as _enable_metrics
+from repro.obs.metrics import get_registry
+from repro.obs.prometheus import render_prometheus
+from repro.serve import protocol
+from repro.serve.batcher import singleflight_key
+from repro.serve.server import (
+    PlainText,
+    _encode_response,
+    _POST_ROUTES,
+    _read_request,
+    _REASONS,
+)
+
+__all__ = [
+    "CharacterizationCluster",
+    "ClusterSettings",
+    "HashRing",
+    "Replica",
+]
+
+#: Hop-by-hop headers never relayed from a replica response.
+_HOP_HEADERS = frozenset(
+    ("connection", "content-length", "keep-alive", "transfer-encoding")
+)
+
+#: Idle keep-alive connections pooled per replica.
+_POOL_CAP = 32
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes, deterministic by
+    construction.
+
+    Placement is a pure function of the replica id set and the key —
+    SHA-256 over ``"<replica>#<vnode>"`` points and over the key, no
+    process-local ``hash()`` — so every router (and every rerun of the
+    same router) places the same key on the same replica, and tests can
+    assert placement without fixtures.  ``route`` walks clockwise from
+    the key's position to the first point owned by a live replica, so
+    removing a replica moves **only** that replica's key range onto
+    survivors; every other key keeps its owner.
+    """
+
+    def __init__(self, replica_ids: Sequence[str], vnodes: int = 64):
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.replica_ids = list(replica_ids)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, str]] = []
+        for replica_id in self.replica_ids:
+            for vnode in range(self.vnodes):
+                points.append((self._hash(f"{replica_id}#{vnode}"), replica_id))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _ in points]
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode()).digest()[:8], "big"
+        )
+
+    def route(
+        self, key: str, alive: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """The live replica owning ``key``; None when nothing survives.
+
+        ``alive`` restricts ownership to a subset of replicas (the
+        router passes the currently-healthy set); ``None`` means all.
+        """
+        if alive is None:
+            alive = set(self.replica_ids)
+        if not self._points or not alive:
+            return None
+        start = bisect.bisect_right(self._hashes, self._hash(key))
+        count = len(self._points)
+        for offset in range(count):
+            replica_id = self._points[(start + offset) % count][1]
+            if replica_id in alive:
+                return replica_id
+        return None
+
+    def assignments(
+        self, keys: Sequence[str], alive: Optional[Set[str]] = None
+    ) -> Dict[str, str]:
+        """``{key: owner}`` for a batch of keys (test/inspection helper)."""
+        return {key: self.route(key, alive) for key in keys}
+
+
+class Replica:
+    """One replica subprocess and the router's view of it."""
+
+    __slots__ = ("id", "host", "port", "process", "alive", "pool")
+
+    def __init__(self, replica_id: str, host: str, port: int):
+        self.id = replica_id
+        self.host = host
+        self.port = port
+        self.process: Optional[subprocess.Popen] = None
+        self.alive = False
+        self.pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+
+@dataclass
+class ClusterSettings:
+    """Everything the cluster needs to spawn replicas and route.
+
+    ``base_port`` defaults to ``port + 1`` (replicas take N consecutive
+    ports).  ``faults`` is the router-side config — only its
+    ``replica_kill`` rate matters here — while ``faults_spec`` is the
+    raw ``--faults`` string forwarded verbatim to the replicas so
+    engine-level chaos (crash/hang/corrupt) still happens inside them.
+    ``scale``/``seed`` are the defaults applied to requests that omit
+    them; they must match the replicas' own defaults (the CLI passes
+    the same values to both sides) or routing keys would disagree with
+    single-flight keys.
+
+    ``queue_park_retries`` is how many times the router *parks* a
+    request that a replica rejected with 429 ``queue_full`` — an async
+    sleep for the replica's own ``retry_after_s`` estimate (clamped to
+    ``queue_park_max_s``) followed by a re-forward to the same owner.
+    Parking hides transient queue-full blips from clients and keeps a
+    busy shard's queue slot hot the moment it frees, at zero CPU cost
+    in the router; when the retries are exhausted (or the router is
+    draining) the 429 passes through unchanged and backpressure works
+    exactly as it does against a single server.
+    """
+
+    replicas: int = 2
+    host: str = "127.0.0.1"
+    port: int = 8141
+    base_port: Optional[int] = None
+    scale: str = "test"
+    seed: int = 0
+    jobs: Optional[int] = None
+    backend: Optional[str] = None
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    retries: Optional[int] = None
+    timeout_s: Optional[float] = None
+    max_queue: int = 64
+    max_batch: int = 16
+    batch_window_s: float = 0.02
+    queue_park_retries: int = 1
+    queue_park_max_s: float = 0.025
+    deadline_s: Optional[float] = None
+    faults: Optional[FaultConfig] = None
+    faults_spec: Optional[str] = None
+    access_log: Optional[str] = None
+    flightrec_dir: Optional[str] = None
+    no_telemetry: bool = False
+    vnodes: int = 64
+    health_interval_s: float = 0.5
+    drain_timeout_s: float = 10.0
+    startup_timeout_s: float = 120.0
+    quiet_replicas: bool = False
+
+
+class CharacterizationCluster:
+    """N service replicas behind one consistent-hash router."""
+
+    def __init__(self, settings: ClusterSettings):
+        if settings.replicas < 1:
+            raise ValueError("a cluster needs at least one replica")
+        self.settings = settings
+        base = (
+            settings.base_port
+            if settings.base_port is not None
+            else settings.port + 1
+        )
+        self.replicas: Dict[str, Replica] = {}
+        for index in range(settings.replicas):
+            replica_id = f"r{index}"
+            self.replicas[replica_id] = Replica(
+                replica_id, settings.host, base + index
+            )
+        self.ring = HashRing(list(self.replicas), vnodes=settings.vnodes)
+        self._fingerprints: Dict[Tuple[str, str, int], str] = {}
+        self._started_at = time.monotonic()
+        self._draining = False
+        self._in_flight = 0
+        self._tick = 0
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._spawned = False
+        self._client_writers: Set[asyncio.StreamWriter] = set()
+        if not settings.no_telemetry:
+            _enable_metrics()
+
+    # -- replica lifecycle ---------------------------------------------------
+    def _replica_command(self, replica: Replica) -> List[str]:
+        settings = self.settings
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", settings.host,
+            "--port", str(replica.port),
+            "--replica-id", replica.id,
+            "--scale", settings.scale,
+            "--seed", str(settings.seed),
+            "--max-queue", str(settings.max_queue),
+            "--max-batch", str(settings.max_batch),
+            "--batch-window", str(settings.batch_window_s),
+        ]
+        if settings.deadline_s is not None:
+            command += ["--deadline", str(settings.deadline_s)]
+        if settings.jobs is not None:
+            command += ["--jobs", str(settings.jobs)]
+        if settings.backend:
+            command += ["--backend", settings.backend]
+        command += ["--cache" if settings.use_cache else "--no-cache"]
+        if settings.cache_dir:
+            command += ["--cache-dir", settings.cache_dir]
+        if settings.retries is not None:
+            command += ["--retries", str(settings.retries)]
+        if settings.timeout_s is not None:
+            command += ["--timeout", str(settings.timeout_s)]
+        if settings.faults_spec:
+            command += ["--faults", settings.faults_spec]
+        if settings.access_log:
+            command += ["--access-log", f"{settings.access_log}.{replica.id}"]
+        # Per-replica incident dirs; no configured dir disables dumps
+        # rather than littering the router's cwd with N "flightrec/"s.
+        flightrec = (
+            os.path.join(settings.flightrec_dir, replica.id)
+            if settings.flightrec_dir
+            else ""
+        )
+        command += ["--flightrec-dir", flightrec]
+        if settings.no_telemetry:
+            command += ["--no-telemetry"]
+        return command
+
+    def start(self) -> None:
+        """Spawn every replica and block until all report healthy."""
+        if self._spawned:
+            return
+        self._spawned = True
+        env = dict(os.environ)
+        # The directory that *contains* the ``repro`` package, so the
+        # replicas resolve the same code as the router no matter what
+        # cwd or (relative) PYTHONPATH the router itself started with.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_root]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        sink = subprocess.DEVNULL if self.settings.quiet_replicas else None
+        try:
+            for replica in self.replicas.values():
+                replica.process = subprocess.Popen(
+                    self._replica_command(replica),
+                    env=env,
+                    stdout=sink,
+                    stderr=sink,
+                )
+            self._wait_ready()
+        except BaseException:
+            self.stop_replicas()
+            raise
+
+    def _wait_ready(self) -> None:
+        deadline = time.monotonic() + self.settings.startup_timeout_s
+        pending = set(self.replicas)
+        while pending:
+            for replica_id in sorted(pending):
+                replica = self.replicas[replica_id]
+                if replica.process is None or replica.process.poll() is not None:
+                    raise RuntimeError(
+                        f"replica {replica_id} exited during startup"
+                    )
+                if self._probe_sync(replica):
+                    replica.alive = True
+                    pending.discard(replica_id)
+            if pending and time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"replicas {sorted(pending)} not healthy after "
+                    f"{self.settings.startup_timeout_s:.0f}s"
+                )
+            if pending:
+                time.sleep(0.05)
+
+    @staticmethod
+    def _probe_sync(replica: Replica) -> bool:
+        connection = http.client.HTTPConnection(
+            replica.host, replica.port, timeout=2
+        )
+        try:
+            connection.request("GET", "/healthz")
+            return connection.getresponse().status == 200
+        except OSError:
+            return False
+        finally:
+            connection.close()
+
+    def stop_replicas(self) -> None:
+        """SIGTERM every replica (their main_loop cleans up), then
+        escalate to SIGKILL for stragglers."""
+        for replica in self.replicas.values():
+            process = replica.process
+            if process is not None and process.poll() is None:
+                with contextlib.suppress(OSError):
+                    process.terminate()
+        for replica in self.replicas.values():
+            process = replica.process
+            if process is None:
+                continue
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                with contextlib.suppress(OSError):
+                    process.kill()
+                with contextlib.suppress(subprocess.TimeoutExpired):
+                    process.wait(timeout=5)
+            replica.alive = False
+
+    # -- ring state ----------------------------------------------------------
+    def alive_ids(self) -> Set[str]:
+        return {r.id for r in self.replicas.values() if r.alive}
+
+    def _mark_dead(self, replica: Replica, reason: str) -> None:
+        if not replica.alive:
+            return
+        replica.alive = False
+        for _reader, writer in replica.pool:
+            with contextlib.suppress(Exception):
+                writer.close()
+        replica.pool.clear()
+        obs.metrics().counter(
+            "cluster.replica_deaths", replica=replica.id
+        ).inc()
+        survivors = sorted(self.alive_ids())
+        print(
+            f"repro serve cluster: replica {replica.id} dead ({reason}); "
+            f"hash range remapped to {survivors or 'nobody'}",
+            file=sys.stderr,
+        )
+
+    # -- routing key ---------------------------------------------------------
+    def _fingerprint(self, workload: str, scale: str, seed: int) -> str:
+        memo_key = (workload, scale, seed)
+        fingerprint = self._fingerprints.get(memo_key)
+        if fingerprint is None:
+            fingerprint = workload_fingerprint(workload, scale, seed)
+            self._fingerprints[memo_key] = fingerprint
+        return fingerprint
+
+    def _routing_key(self, path: str, payload: Any) -> str:
+        """The request's single-flight key — the identical function the
+        replica's batcher will key its coalescing on.  Raises
+        :class:`~repro.serve.protocol.ProtocolError` for bodies the
+        replica would reject anyway (the router answers 400 without
+        spending a forward)."""
+        kind = _POST_ROUTES[path]
+        if kind is not None:
+            if not isinstance(payload, dict):
+                raise protocol.ProtocolError(
+                    "bad_request", "request body must be a JSON object"
+                )
+            payload = dict(payload, kind=kind)
+        request = protocol.parse_request(payload)
+        return singleflight_key(
+            request,
+            fingerprint=self._fingerprint,
+            default_scale=self.settings.scale,
+            default_eval_scale=self.settings.scale,
+            default_seed=self.settings.seed,
+        )
+
+    # -- replica connections -------------------------------------------------
+    async def _acquire(
+        self, replica: Replica
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while replica.pool:
+            reader, writer = replica.pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+            with contextlib.suppress(Exception):
+                writer.close()
+        return await asyncio.wait_for(
+            asyncio.open_connection(replica.host, replica.port), timeout=5
+        )
+
+    def _release(
+        self,
+        replica: Replica,
+        connection: Tuple[asyncio.StreamReader, asyncio.StreamWriter],
+    ) -> None:
+        _reader, writer = connection
+        if (
+            replica.alive
+            and not writer.is_closing()
+            and len(replica.pool) < _POOL_CAP
+        ):
+            replica.pool.append(connection)
+        else:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError("replica closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed replica status line {parts!r}")
+        status = int(parts[1])
+        headers: List[Tuple[str, str]] = []
+        length = 0
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("replica closed mid-headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            name, value = name.strip(), value.strip()
+            headers.append((name, value))
+            if name.lower() == "content-length":
+                length = int(value)
+        body = await reader.readexactly(length) if length else b""
+        return status, headers, body
+
+    async def _forward_once(
+        self,
+        replica: Replica,
+        method: str,
+        path: str,
+        body: bytes,
+        request_id: str,
+    ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        connection = await self._acquire(replica)
+        reader, writer = connection
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {replica.host}:{replica.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"{REQUEST_ID_HEADER}: {request_id}\r\n"
+                f"Connection: keep-alive\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            response = await self._read_response(reader)
+        except BaseException:
+            with contextlib.suppress(Exception):
+                writer.close()
+            raise
+        self._release(replica, connection)
+        return response
+
+    @staticmethod
+    def _passthrough(
+        status: int, headers: List[Tuple[str, str]], body: bytes
+    ) -> bytes:
+        """Re-frame a replica response for the client verbatim — the
+        payload bytes (and therefore the digest) are untouched."""
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+        lines.extend(
+            f"{name}: {value}"
+            for name, value in headers
+            if name.lower() not in _HOP_HEADERS
+        )
+        lines.append(f"Content-Length: {len(body)}")
+        lines.append("Connection: keep-alive")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    async def _forward_with_retry(
+        self, key: str, method: str, path: str, body: bytes, request_id: str
+    ) -> bytes:
+        """Forward to the key's owner; on a connection-level failure,
+        mark the replica dead and retry on the next owner.  Safe because
+        every request is idempotent — a replica dying mid-request costs
+        a retry, never a wrong or duplicate answer.  A 429
+        ``queue_full`` from a live replica parks the request instead
+        (bounded by ``queue_park_retries``): the router sleeps out the
+        replica's ``retry_after_s`` estimate and re-forwards, so the
+        shard's queue slot refills the moment it frees instead of
+        bouncing the rejection through a client round-trip."""
+        excluded: Set[str] = set()
+        attempt = 0
+        parks = self.settings.queue_park_retries
+        while attempt <= len(self.replicas):
+            owner = self.ring.route(key, self.alive_ids() - excluded)
+            if owner is None:
+                break
+            replica = self.replicas[owner]
+            try:
+                status, headers, payload = await self._forward_once(
+                    replica, method, path, body, request_id
+                )
+            except (OSError, ConnectionError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError) as error:
+                excluded.add(owner)
+                self._mark_dead(replica, reason=type(error).__name__)
+                obs.metrics().counter("cluster.retries").inc()
+                attempt += 1
+                continue
+            if (
+                status == 429
+                and method == "POST"
+                and parks > 0
+                and not self._draining
+            ):
+                parks -= 1
+                obs.metrics().counter(
+                    "cluster.queue_parks", replica=owner
+                ).inc()
+                await asyncio.sleep(self._park_delay(payload))
+                continue
+            if attempt:
+                obs.metrics().counter("cluster.remapped_requests").inc()
+            obs.metrics().counter(
+                "cluster.requests", replica=owner,
+                outcome="ok" if status < 400 else str(status),
+            ).inc()
+            return self._passthrough(status, headers, payload)
+        return _encode_response(503, protocol.error_body(
+            "unavailable",
+            "no live replica owns this key",
+            retry_after_s=1.0,
+            request_id=request_id,
+        ))
+
+    def _park_delay(self, payload: bytes) -> float:
+        """How long to park a queue-full request: the replica's own
+        ``retry_after_s`` estimate, clamped to ``queue_park_max_s``."""
+        try:
+            retry_after = json.loads(payload.decode())["error"][
+                "retry_after_s"
+            ]
+            delay = float(retry_after)
+        except (ValueError, KeyError, TypeError):
+            delay = self.settings.queue_park_max_s
+        return min(max(delay, 0.005), self.settings.queue_park_max_s)
+
+    # -- aggregated control plane -------------------------------------------
+    async def _replica_get(
+        self, replica: Replica, path: str
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            status, _headers, body = await asyncio.wait_for(
+                self._forward_once(replica, "GET", path, b"", "router"),
+                timeout=5,
+            )
+            if status != 200:
+                return None
+            return json.loads(body.decode())
+        except (OSError, ConnectionError, ValueError,
+                asyncio.IncompleteReadError, asyncio.TimeoutError):
+            return None
+
+    async def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        live = sorted(self.alive_ids())
+        reports = await asyncio.gather(
+            *(
+                self._replica_get(self.replicas[replica_id], "/healthz")
+                for replica_id in live
+            )
+        )
+        replicas = {}
+        for replica_id, replica in sorted(self.replicas.items()):
+            report = (
+                reports[live.index(replica_id)]
+                if replica_id in live
+                else None
+            )
+            replicas[replica_id] = {
+                "alive": replica.alive,
+                "port": replica.port,
+                "healthz": report,
+            }
+        alive = len(live)
+        status = (
+            "ok" if alive == len(self.replicas)
+            else ("degraded" if alive else "down")
+        )
+        return 200, {
+            "ok": alive > 0,
+            "status": status,
+            "role": "router",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "draining": self._draining,
+            "in_flight": self._in_flight,
+            "replicas": replicas,
+            "ring": {
+                "vnodes": self.ring.vnodes,
+                "replicas": sorted(self.replicas),
+                "alive": live,
+            },
+        }
+
+    async def _metrics(self, query: str) -> Tuple[int, Any]:
+        """The cluster-wide registry: the router's own ``cluster.*``
+        series merged with every live replica's snapshot.  Per-replica
+        series stay distinct through their ``replica=`` labels;
+        unlabeled series (batches, cache counters) sum into cluster
+        totals."""
+        merged = MetricsRegistry()
+        local = get_registry()
+        if local is not None:
+            merged.absorb(local.snapshot())
+        live = sorted(self.alive_ids())
+        reports = await asyncio.gather(
+            *(
+                self._replica_get(self.replicas[replica_id], "/metrics")
+                for replica_id in live
+            )
+        )
+        contributed = []
+        for replica_id, report in zip(live, reports):
+            if report and isinstance(report.get("metrics"), dict):
+                merged.absorb(report["metrics"])
+                contributed.append(replica_id)
+        snapshot = merged.snapshot()
+        if "format=prometheus" in query:
+            return 200, PlainText(render_prometheus(snapshot))
+        return 200, {
+            "ok": True,
+            "metrics": snapshot,
+            "replicas": contributed,
+        }
+
+    # -- health / chaos loop -------------------------------------------------
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.settings.health_interval_s)
+            self._tick += 1
+            self._maybe_kill_replicas()
+            await self._probe_replicas()
+
+    def _maybe_kill_replicas(self) -> None:
+        faults = self.settings.faults
+        if (
+            faults is None
+            or faults.replica_kill <= 0.0
+            or self._draining
+        ):
+            return
+        for replica_id in sorted(self.alive_ids()):
+            if len(self.alive_ids()) <= 1:
+                return  # never orphan the whole cluster
+            replica = self.replicas[replica_id]
+            if not faults.should_inject(
+                "replica_kill", replica.id, self._tick
+            ):
+                continue
+            process = replica.process
+            if process is not None and process.poll() is None:
+                with contextlib.suppress(OSError):
+                    process.kill()
+            obs.metrics().counter(
+                "cluster.fault_kills", replica=replica.id
+            ).inc()
+            self._mark_dead(replica, reason="injected replica_kill")
+
+    async def _probe_replicas(self) -> None:
+        for replica in list(self.replicas.values()):
+            if not replica.alive:
+                continue
+            process = replica.process
+            if process is not None and process.poll() is not None:
+                self._mark_dead(
+                    replica, reason=f"exited {process.returncode}"
+                )
+                continue
+            try:
+                await asyncio.wait_for(
+                    self._forward_once(
+                        replica, "GET", "/healthz", b"", "router"
+                    ),
+                    timeout=5,
+                )
+            except (OSError, ConnectionError, asyncio.IncompleteReadError):
+                self._mark_dead(replica, reason="healthz unreachable")
+            except asyncio.TimeoutError:
+                # Slow-but-alive (a loaded event loop), not dead: a
+                # false positive here would shed a healthy shard.
+                pass
+
+    # -- the router door -----------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, raw: bytes, request_id: str
+    ) -> bytes:
+        bare, _, query = path.partition("?")
+        if method == "GET":
+            if bare == "/healthz":
+                status, body = await self._healthz()
+                return _encode_response(status, body)
+            if bare == "/metrics":
+                status, body = await self._metrics(query)
+                return _encode_response(status, body)
+            if bare.startswith("/runs/"):
+                return await self._forward_with_retry(
+                    bare[len("/runs/"):], method, path, b"", request_id
+                )
+            return _encode_response(404, protocol.error_body(
+                "not_found", f"no route {path}", request_id=request_id
+            ))
+        if method != "POST":
+            return _encode_response(405, protocol.error_body(
+                "bad_request", f"method {method} not allowed"
+            ))
+        if bare not in _POST_ROUTES:
+            return _encode_response(404, protocol.error_body(
+                "not_found", f"no route {path}", request_id=request_id
+            ))
+        if self._draining:
+            obs.metrics().counter("cluster.rejected_draining").inc()
+            return _encode_response(429, protocol.error_body(
+                "queue_full",
+                "router draining; retry later",
+                retry_after_s=1.0,
+                request_id=request_id,
+            ))
+        try:
+            payload = json.loads(raw.decode()) if raw else {}
+        except (ValueError, UnicodeDecodeError):
+            return _encode_response(400, protocol.error_body(
+                "bad_request", "body is not valid JSON",
+                request_id=request_id,
+            ))
+        loop = asyncio.get_running_loop()
+        try:
+            # The first fingerprint of a (workload, scale, seed) hashes
+            # the program's disassembly — off the event loop; afterwards
+            # it is a dict hit.
+            key = await loop.run_in_executor(
+                None, self._routing_key, bare, payload
+            )
+        except protocol.ProtocolError as error:
+            return _encode_response(
+                protocol.HTTP_STATUS[error.code],
+                protocol.error_body(
+                    error.code, error.message, request_id=request_id
+                ),
+            )
+        started = time.monotonic()
+        response = await self._forward_with_retry(
+            key, "POST", path, raw, request_id
+        )
+        obs.metrics().histogram("cluster.forward_ms").observe(
+            (time.monotonic() - started) * 1e3
+        )
+        return response
+
+    async def _client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._client_writers.add(writer)
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, path, raw, headers = request
+                inbound = headers.get(REQUEST_ID_HEADER.lower())
+                request_id = (
+                    inbound
+                    if inbound and _context.valid_request_id(inbound)
+                    else _context.mint_request_id()
+                )
+                self._in_flight += 1
+                try:
+                    response = await self._dispatch(
+                        method, path, raw, request_id
+                    )
+                finally:
+                    self._in_flight -= 1
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._client_writers.discard(writer)
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    # -- serving -------------------------------------------------------------
+    async def serve(
+        self, *, ready=None, install_signal_handlers: bool = False
+    ) -> None:
+        """Run the router until :meth:`request_shutdown`, then drain.
+
+        ``ready`` is any object with a ``set()`` method (a
+        ``threading.Event`` from tests, an ``asyncio.Event`` in-loop),
+        set once the router socket is bound.  Draining: the listener
+        closes, new POSTs on existing keep-alive connections get 429 +
+        ``Retry-After``, in-flight requests get up to
+        ``drain_timeout_s`` to finish, and only then do the replicas
+        receive SIGTERM (from :meth:`run` or the caller).
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop = asyncio.Event()
+        if install_signal_handlers:
+            import signal
+
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, RuntimeError,
+                                         ValueError):
+                    loop.add_signal_handler(signum, self._stop.set)
+        server = await asyncio.start_server(
+            self._client, self.settings.host, self.settings.port
+        )
+        health = asyncio.create_task(self._health_loop())
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop.wait()
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            drain_deadline = time.monotonic() + self.settings.drain_timeout_s
+            while self._in_flight > 0 and time.monotonic() < drain_deadline:
+                await asyncio.sleep(0.02)
+            # Idle keep-alive clients exit via EOF rather than being
+            # cancelled mid-readline at loop teardown.
+            for writer in list(self._client_writers):
+                with contextlib.suppress(Exception):
+                    writer.close()
+            await asyncio.sleep(0)
+        finally:
+            health.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await health
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain; thread-safe."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    def run(self) -> None:
+        """Blocking entry point for ``repro serve --replicas N``:
+        serve until SIGTERM/SIGINT, drain, then stop the replicas."""
+        try:
+            asyncio.run(self.serve(install_signal_handlers=True))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop_replicas()

@@ -94,6 +94,7 @@ class CharacterizationService:
         telemetry: bool = True,
         access_log_path: Optional[str] = None,
         flightrec_dir: Optional[str] = None,
+        replica_id: Optional[str] = None,
     ):
         """``telemetry=False`` runs the service with per-request
         instrumentation off — no metrics registry, no access log, no
@@ -101,8 +102,14 @@ class CharacterizationService:
         benchmark compares against.  ``access_log_path`` additionally
         appends JSONL records for ``repro obs tail``; ``flightrec_dir``
         enables incident dumps (the in-memory event ring is on whenever
-        telemetry is)."""
+        telemetry is).  ``replica_id`` names this process's shard when
+        it runs as one replica of a :mod:`repro.serve.cluster` — it is
+        added as a ``replica=`` label on the ``serve.requests`` /
+        ``serve.stage_ms`` series (so the router's aggregated
+        ``/metrics`` keeps per-replica resolution), reported by
+        ``/healthz``, and stamped into access-log records."""
         self.telemetry = bool(telemetry)
+        self.replica_id = replica_id or None
         self.access_log: Optional[AccessLog] = None
         self._owns_flightrec = False
         if self.telemetry:
@@ -215,6 +222,9 @@ class CharacterizationService:
         if cached_registry is not registry:
             counters, stage_hists = {}, {}
             self._handle_cache = (registry, counters, stage_hists)
+        shard_labels = (
+            {"replica": self.replica_id} if self.replica_id else {}
+        )
         counter_key = (workload, outcome)
         counter = counters.get(counter_key)
         if counter is None:
@@ -223,6 +233,7 @@ class CharacterizationService:
                 workload=workload,
                 backend=self.session.backend,
                 outcome=outcome,
+                **shard_labels,
             )
         counter.inc()
         stages = obs_fields.get("stages_ms") or {}
@@ -230,7 +241,7 @@ class CharacterizationService:
             hist = stage_hists.get(stage)
             if hist is None:
                 hist = stage_hists[stage] = registry.histogram(
-                    "serve.stage_ms", stage=stage
+                    "serve.stage_ms", stage=stage, **shard_labels
                 )
             hist.observe(value)
         record: Dict[str, Any] = {
@@ -247,6 +258,8 @@ class CharacterizationService:
         for optional in ("batch_size", "coalesced_into"):
             if optional in obs_fields:
                 record[optional] = obs_fields[optional]
+        if self.replica_id:
+            record["replica"] = self.replica_id
         if self.access_log is not None:
             self.access_log.log(**record)
         if status >= 500:
@@ -275,6 +288,7 @@ class CharacterizationService:
                 "jobs": self.session.jobs,
                 "backend": self.session.backend,
                 "scale": self.session.scale,
+                "replica": self.replica_id,
                 "telemetry": self.telemetry,
                 "workers": getattr(
                     self.session, "pool_liveness", lambda: []
@@ -390,6 +404,7 @@ _REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -412,7 +427,9 @@ def _encode_response(status: int, body: Any) -> bytes:
         if request_id is not None:
             headers.append(f"{REQUEST_ID_HEADER}: {request_id}")
         retry = (
-            body.get("error", {}).get("retry_after_s") if status == 429 else None
+            body.get("error", {}).get("retry_after_s")
+            if status in (429, 503)
+            else None
         )
         if retry is not None:
             headers.append(f"Retry-After: {max(1, int(-(-retry // 1)))}")
@@ -489,6 +506,12 @@ async def _handle_connection(
             writer.write(_encode_response(status, body))
             await writer.drain()
     except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    except asyncio.CancelledError:
+        # Loop shutdown cancels every open keep-alive connection;
+        # finishing quietly instead of staying "cancelled" keeps
+        # CPython 3.11's streams connection_made callback from logging
+        # one spurious CancelledError traceback per connection.
         pass
     finally:
         try:

@@ -1,0 +1,346 @@
+"""The sharded cluster: ring placement, routing, failover, drain.
+
+Ring tests are pure (no processes).  The end-to-end test spawns real
+replica subprocesses through the real ``python -m repro serve`` CLI
+behind an in-thread router — the same topology ``repro serve
+--replicas N`` runs — and walks one journey: route, verify digests
+against a direct :class:`repro.api.Session`, aggregate health and
+metrics, kill the replica that owns a key mid-conversation, and check
+the retried request comes back identical from a survivor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.serve import protocol
+from repro.serve.cluster import (
+    CharacterizationCluster,
+    ClusterSettings,
+    HashRing,
+)
+
+
+# ---------------------------------------------------------------------------
+# HashRing
+# ---------------------------------------------------------------------------
+
+REPLICAS = ["r0", "r1", "r2", "r3"]
+KEYS = [f"fingerprint-{index:04d}" for index in range(2000)]
+
+
+class TestHashRing:
+    def test_balance_no_shard_over_2x_mean(self):
+        ring = HashRing(REPLICAS, vnodes=64)
+        owners = ring.assignments(KEYS)
+        counts = {rid: 0 for rid in REPLICAS}
+        for owner in owners.values():
+            counts[owner] += 1
+        mean = len(KEYS) / len(REPLICAS)
+        assert all(count > 0 for count in counts.values()), counts
+        assert max(counts.values()) <= 2 * mean, counts
+
+    def test_replica_loss_moves_only_the_dead_range(self):
+        ring = HashRing(REPLICAS, vnodes=64)
+        before = ring.assignments(KEYS)
+        survivors = {"r0", "r1", "r3"}
+        after = ring.assignments(KEYS, alive=survivors)
+        for key in KEYS:
+            if before[key] == "r2":
+                assert after[key] in survivors
+            else:
+                assert after[key] == before[key], key
+
+    def test_placement_is_deterministic_across_constructions(self):
+        first = HashRing(REPLICAS, vnodes=64).assignments(KEYS)
+        second = HashRing(REPLICAS, vnodes=64).assignments(KEYS)
+        assert first == second
+
+    def test_placement_is_process_independent(self):
+        # sha256, not hash(): these literals must hold on any machine,
+        # any PYTHONHASHSEED, forever — the property that lets separate
+        # router processes agree on ownership.
+        ring = HashRing(REPLICAS, vnodes=64)
+        assert ring.route("abc") == "r0"
+        assert ring.route("def") == "r3"
+        assert ring.route("xyz") == "r2"
+
+    def test_empty_alive_set_routes_nowhere(self):
+        ring = HashRing(REPLICAS, vnodes=64)
+        assert ring.route("anything", alive=set()) is None
+
+
+# ---------------------------------------------------------------------------
+# Replica shard labels (satellite: serve.* series carry replica=)
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaLabels:
+    @pytest.fixture(autouse=True)
+    def _fresh_registry(self):
+        import importlib
+
+        # ``repro.obs`` re-exports a ``metrics()`` function that shadows
+        # the submodule on attribute access; go through the module path.
+        obs_metrics = importlib.import_module("repro.obs.metrics")
+        obs_metrics.disable()
+        obs_metrics.enable()
+        yield
+        obs_metrics.disable()
+
+    def test_replica_id_labels_serve_series_and_renders(self):
+        from repro.obs.prometheus import parse_prometheus, render_prometheus
+        from repro.serve.server import CharacterizationService, ServiceClient
+
+        service = CharacterizationService(
+            config=RunConfig(scale="test", jobs=1, cache=False),
+            flightrec_dir=None,
+            replica_id="r9",
+        )
+        try:
+            client = ServiceClient(service)
+            status, _body = client.characterize("hmmsearch")
+            assert status == 200
+            status, health = client.healthz()
+            assert status == 200 and health["replica"] == "r9"
+            status, snapshot = client.metrics()
+            assert status == 200
+            names = [
+                name for name in snapshot["metrics"] if 'replica="r9"' in name
+            ]
+            assert any(name.startswith("serve.requests{") for name in names)
+            assert any(name.startswith("serve.stage_ms{") for name in names)
+            status, exposition = client.metrics(format="prometheus")
+            assert status == 200
+            parsed = parse_prometheus(str(exposition))
+            labeled = [
+                (name, labels)
+                for name, labels, _value in parsed["samples"]
+                if labels.get("replica") == "r9"
+            ]
+            assert any(
+                name.startswith("serve_requests") for name, _ in labeled
+            )
+            assert any(
+                name.startswith("serve_stage_ms") for name, _ in labeled
+            )
+            # Round-trip sanity: rendering the snapshot again is stable.
+            assert render_prometheus(snapshot["metrics"])
+        finally:
+            service.close()
+
+    def test_no_replica_id_keeps_the_single_process_series(self):
+        from repro.serve.server import CharacterizationService, ServiceClient
+
+        service = CharacterizationService(
+            config=RunConfig(scale="test", jobs=1, cache=False),
+            flightrec_dir=None,
+        )
+        try:
+            client = ServiceClient(service)
+            status, _body = client.characterize("hmmsearch")
+            assert status == 200
+            _status, snapshot = client.metrics()
+            assert not any(
+                "replica=" in name for name in snapshot["metrics"]
+            )
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end cluster
+# ---------------------------------------------------------------------------
+
+
+def _free_ports(count: int):
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class _RouterClient:
+    def __init__(self, port: int):
+        self.port = port
+        self._conn = None
+
+    def _connection(self):
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                "127.0.0.1", self.port, timeout=60
+            )
+        return self._conn
+
+    def request(self, method, path, body=None, headers=None):
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=json.dumps(body) if body is not None else None,
+                    headers=headers or {},
+                )
+                response = conn.getresponse()
+                return (
+                    response.status,
+                    dict(
+                        (name.lower(), value)
+                        for name, value in response.getheaders()
+                    ),
+                    json.loads(response.read().decode()),
+                )
+            except (http.client.HTTPException, OSError):
+                self._conn = None
+                if attempt == 2:
+                    raise
+
+    def close(self):
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    ports = _free_ports(3)
+    settings = ClusterSettings(
+        replicas=2,
+        port=ports[0],
+        base_port=ports[1],
+        scale="test",
+        cache_dir=str(tmp_path_factory.mktemp("cluster-cache")),
+        flightrec_dir=None,
+        quiet_replicas=True,
+        health_interval_s=0.2,
+        drain_timeout_s=5.0,
+    )
+    cluster = CharacterizationCluster(settings)
+    cluster.start()
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(cluster.serve(ready=ready)), daemon=True
+    )
+    thread.start()
+    assert ready.wait(30), "router never came up"
+    try:
+        yield cluster
+    finally:
+        cluster.request_shutdown()
+        thread.join(15)
+        cluster.stop_replicas()
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    client = _RouterClient(cluster.settings.port)
+    yield client
+    client.close()
+
+
+class TestClusterEndToEnd:
+    def test_journey(self, cluster, client):
+        # -- digests bit-identical to a direct Session ------------------
+        direct = Session(RunConfig(scale="test", cache=False))
+        try:
+            expected = {
+                name: protocol.characterization_payload(
+                    name, direct.characterize(name)
+                )["digest"]
+                for name in ("hmmsearch", "dnapenny")
+            }
+        finally:
+            direct.close()
+        digests = {}
+        for name in expected:
+            status, headers, body = client.request(
+                "POST", "/v1/characterize", {"workload": name},
+                headers={"X-Repro-Request-Id": f"clu-{name}"},
+            )
+            assert status == 200, body
+            assert body["request_id"] == f"clu-{name}"
+            assert headers.get("x-repro-request-id") == f"clu-{name}"
+            digests[name] = body["result"]["digest"]
+        assert digests == expected
+
+        # -- routing: identical request -> the ring's owner -------------
+        key = cluster._fingerprint("hmmsearch", "test", 0)
+        owner = cluster.ring.route(key, cluster.alive_ids())
+        assert owner in cluster.replicas
+
+        # -- aggregated health and metrics ------------------------------
+        status, _headers, health = client.request("GET", "/healthz")
+        assert status == 200
+        assert health["ok"] and health["status"] == "ok"
+        assert health["role"] == "router"
+        assert sorted(health["replicas"]) == ["r0", "r1"]
+        for report in health["replicas"].values():
+            assert report["alive"] and report["healthz"]["ok"]
+        assert health["replicas"]["r0"]["healthz"]["replica"] == "r0"
+
+        status, _headers, metrics_body = client.request("GET", "/metrics")
+        assert status == 200
+        merged = metrics_body["metrics"]
+        served = [
+            name for name in merged
+            if name.startswith("serve.requests{") and "replica=" in name
+        ]
+        assert served, sorted(merged)
+        assert any('replica="r0"' in name or 'replica="r1"' in name
+                   for name in served)
+
+        # -- bad requests rejected at the router, no forward ------------
+        status, _headers, body = client.request(
+            "POST", "/v1/characterize", {"workload": "no-such-workload"}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "bad_request"
+
+        # -- drain: new work rejected 429 + Retry-After -----------------
+        cluster._draining = True
+        try:
+            status, headers, body = client.request(
+                "POST", "/v1/characterize", {"workload": "hmmsearch"}
+            )
+            assert status == 429
+            assert body["error"]["code"] == "queue_full"
+            assert "retry-after" in headers
+        finally:
+            cluster._draining = False
+
+        # -- kill the owner of a key mid-conversation -------------------
+        victim = cluster.replicas[owner]
+        victim.process.kill()
+        victim.process.wait(timeout=10)
+        # The very next request for that key must be retried onto the
+        # survivor and produce the identical payload (shared run cache
+        # or recomputation — deterministic either way).
+        status, _headers, body = client.request(
+            "POST", "/v1/characterize", {"workload": "hmmsearch"}
+        )
+        assert status == 200, body
+        assert body["result"]["digest"] == expected["hmmsearch"]
+        assert not victim.alive
+        survivor = cluster.ring.route(key, cluster.alive_ids())
+        assert survivor != owner
+
+        # -- the router reports the death, stays healthy ----------------
+        status, _headers, health = client.request("GET", "/healthz")
+        assert status == 200
+        assert health["ok"] and health["status"] == "degraded"
+        assert health["replicas"][owner]["alive"] is False
+        assert health["ring"]["alive"] == sorted(cluster.alive_ids())
