@@ -28,7 +28,15 @@ Absolute gates ride along:
   req/s at four replicas over one replica, measured through the real
   ``repro serve --replicas`` CLI — must stay at or above
   ``--min-cluster-scaling`` (default 2.5x), and the replica-kill phase
-  must have lost zero requests permanently.
+  must have lost zero requests permanently;
+* when the current LDBP record exists (``bench_ldbp.py``), its
+  ``ldbp_reclaimed_fraction`` — the share of the >=5%-misprediction
+  branch population the load-driven predictor pulls back under the
+  threshold — must stay at or above ``--min-ldbp-reclaimed`` (default
+  0.33), and its fallback-path cost at or under
+  ``--max-ldbp-overhead-ns`` per branch (default 20000) — the
+  acceleration column is only honest while it actually reclaims the
+  population Table 4 characterized.
 
 Usage::
 
@@ -178,6 +186,59 @@ def _check_cluster_scaling(current_dir: str, floor: float) -> bool:
     return ok
 
 
+def _check_ldbp(current_dir: str, min_fraction: float, max_ns: float) -> bool:
+    """The absolute LDBP-reclamation gates; True = pass.
+
+    Reads the current ``BENCH_ldbp.json`` record (``bench_ldbp.py``);
+    silently passes when the record (or a field) is absent so partial
+    benchmark runs do not trip it.
+    """
+    path = os.path.join(current_dir, "BENCH_ldbp.json")
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return True
+    ok = True
+    fraction = record.get("ldbp_reclaimed_fraction")
+    if isinstance(fraction, (int, float)):
+        hard = record.get("ldbp_hard_branches")
+        reclaimed = record.get("ldbp_reclaimed_branches")
+        detail = (
+            f" ({reclaimed:.0f}/{hard:.0f} hard branches)"
+            if isinstance(hard, (int, float))
+            and isinstance(reclaimed, (int, float))
+            else ""
+        )
+        if fraction < min_fraction:
+            print(
+                f"FAIL: LDBP reclaims only {fraction * 100:.1f}% of the "
+                f"hard-to-predict branch population "
+                f"(floor {min_fraction * 100:.0f}%){detail}"
+            )
+            ok = False
+        else:
+            print(
+                f"LDBP reclaims {fraction * 100:.1f}% of the hard-to-"
+                f"predict branch population "
+                f"(floor {min_fraction * 100:.0f}%){detail}"
+            )
+    overhead = record.get("ldbp_overhead_ns_per_branch")
+    if isinstance(overhead, (int, float)):
+        if overhead > max_ns:
+            print(
+                f"FAIL: LDBP fallback-path overhead {overhead:.0f} "
+                f"ns/branch exceeds the {max_ns:.0f} ns budget"
+            )
+            ok = False
+        else:
+            print(
+                f"LDBP fallback-path overhead {overhead:.0f} ns/branch "
+                f"(budget {max_ns:.0f})"
+            )
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="baseline BENCH dir")
@@ -212,6 +273,18 @@ def main(argv=None) -> int:
         default=2.5,
         help="cluster N=4/N=1 warm-throughput scaling floor (default 2.5)",
     )
+    parser.add_argument(
+        "--min-ldbp-reclaimed",
+        type=float,
+        default=0.33,
+        help="LDBP hard-branch reclamation floor (default 0.33)",
+    )
+    parser.add_argument(
+        "--max-ldbp-overhead-ns",
+        type=float,
+        default=20000.0,
+        help="LDBP fallback-path ns/branch budget (default 20000)",
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.regression import compare_dirs, gate, render_comparison
@@ -227,10 +300,19 @@ def main(argv=None) -> int:
     cluster_ok = _check_cluster_scaling(
         args.current, args.min_cluster_scaling
     )
-    if not rows and overhead_ok and trace_ok and cluster_ok:
+    ldbp_ok = _check_ldbp(
+        args.current, args.min_ldbp_reclaimed, args.max_ldbp_overhead_ns
+    )
+    if not rows and overhead_ok and trace_ok and cluster_ok and ldbp_ok:
         print("no baseline benchmarks found — nothing to gate")
         return 0
-    if not gate(rows) or not overhead_ok or not trace_ok or not cluster_ok:
+    if (
+        not gate(rows)
+        or not overhead_ok
+        or not trace_ok
+        or not cluster_ok
+        or not ldbp_ok
+    ):
         failing = [row.name for row in rows if row.failed]
         if not overhead_ok:
             failing.append("observability_overhead")
@@ -238,6 +320,8 @@ def main(argv=None) -> int:
             failing.append("trace_replay")
         if not cluster_ok:
             failing.append("cluster_scaling")
+        if not ldbp_ok:
+            failing.append("ldbp_reclamation")
         print(f"FAIL: perf gate tripped by: {', '.join(failing)}")
         return 1
     print("OK: no regressions against the baseline")

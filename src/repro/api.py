@@ -52,8 +52,11 @@ from repro.workloads.registry import all_workloads, get_workload, spec_workloads
 
 __all__ = ["AnalyzeResult", "RunConfig", "Session"]
 
-#: The Table 7 platform keys, in paper order.
-DEFAULT_PLATFORMS: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium")
+#: The Table 7 platform keys, in paper order, plus the LDBP what-if
+#: column (docs/branch-prediction.md).
+DEFAULT_PLATFORMS: Tuple[str, ...] = (
+    "alpha", "powerpc", "pentium4", "itanium", "ldbp",
+)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ from repro.atom.branchprofile import BranchProfile
 from repro.atom.coverage import LoadCoverage
 from repro.atom.fused import FusedStandardTools
 from repro.atom.instmix import InstructionMix
+from repro.atom.ldbp import LdbpReclamation, ReclamationRow
 from repro.atom.loadprofile import CacheSim
 from repro.atom.registry import (
     STANDARD_TOOLS,
@@ -35,7 +36,9 @@ __all__ = [
     "FilteredTool",
     "FusedStandardTools",
     "InstructionMix",
+    "LdbpReclamation",
     "LoadCoverage",
+    "ReclamationRow",
     "ReuseDistance",
     "STANDARD_TOOLS",
     "SequenceProfile",

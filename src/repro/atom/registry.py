@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from repro.atom.branchprofile import BranchProfile
 from repro.atom.coverage import LoadCoverage
 from repro.atom.instmix import InstructionMix
+from repro.atom.ldbp import LdbpReclamation
 from repro.atom.loadprofile import CacheSim
 from repro.atom.reuse import ReuseDistance
 from repro.atom.sequences import SequenceProfile
@@ -176,6 +177,11 @@ register_tool(
 register_tool(
     "value", ValuePredictability, _value_payload, needs_values=True,
     description="per-load value predictability (Section 6)",
+)
+register_tool(
+    "ldbp", LdbpReclamation, _snapshot, needs_values=True,
+    description="LDBP reclamation of the hard-to-predict branch "
+    "population (Table 4 follow-up; docs/branch-prediction.md)",
 )
 
 #: The standard four-tool characterization set, in the order

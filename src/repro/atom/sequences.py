@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.branch.predictors import BasePredictor, BranchStats, Hybrid
 from repro.exec.trace import TraceEvent
+from repro.isa.instructions import Opcode
 
 
 @dataclass
@@ -177,6 +178,12 @@ class SequenceProfile:
             self._consume_pending(instr._read_keys, instr._dest_key, position)
         dest_key = instr._dest_key
         if dest_key is None:
+            # An unconditional jump moves control somewhere a preceding
+            # conditional branch never decided, so later loads must not
+            # be attributed to branches from before the jump (Table 4(b)
+            # measures loads on a *mispredictable* branch's shadow).
+            if instr.opcode is Opcode.JMP and self._recent_branches:
+                del self._recent_branches[:]
             return
         self._propagate(instr._read_keys, dest_key)
 

@@ -5,6 +5,7 @@ from repro.branch.predictors import (
     BranchStats,
     GShare,
     Hybrid,
+    LoadDrivenBranchPredictor,
     LocalHistory,
     Perceptron,
     make_predictor,
@@ -15,6 +16,7 @@ __all__ = [
     "BranchStats",
     "GShare",
     "Hybrid",
+    "LoadDrivenBranchPredictor",
     "LocalHistory",
     "Perceptron",
     "make_predictor",

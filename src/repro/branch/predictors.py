@@ -119,6 +119,23 @@ class BasePredictor:
             mine.merge(stats)
         return self
 
+    def snapshot(self) -> dict:
+        """Plain-data view of the prediction statistics (JSON/pickle
+        friendly; trained tables are deliberately excluded — they are
+        run-local state with no cross-run meaning, exactly like
+        :meth:`merge` treats them)."""
+        stats = self.global_stats
+        return {
+            "name": self.name,
+            "executed": stats.executed,
+            "mispredicted": stats.mispredicted,
+            "taken": stats.taken,
+            "per_branch": {
+                sid: (s.executed, s.mispredicted, s.taken)
+                for sid, s in sorted(self.per_branch.items())
+            },
+        }
+
 
 class Bimodal(BasePredictor):
     """Per-index 2-bit saturating counters.
@@ -345,15 +362,242 @@ class Perceptron(BasePredictor):
         self._history.insert(0, target)
 
 
+class LoadDrivenBranchPredictor(BasePredictor):
+    """LDBP-style predictor (Sridhar/Kabylkas/Renau, arXiv:2009.09064).
+
+    The paper's Table 4(a) finding is that hot loads feed hard-to-
+    predict branches through tight dependence chains; LDBP exploits the
+    same dependency in the other direction: when the chain from a
+    committed load to a branch condition is simple enough, the branch's
+    outcome can be *computed* from the load's value ahead of fetch
+    instead of guessed from branch history.  This model keeps the
+    trigger conditions and drops the microarchitectural machinery (see
+    ``docs/branch-prediction.md`` for the fidelity envelope):
+
+    * **Chain learning.**  A taint tag ``(load_sids, depth, pure)``
+      flows from each committed load through up to ``max_chain``
+      register operations (:meth:`on_load` / :meth:`on_step` — the same
+      discipline as :class:`repro.atom.sequences.SequenceProfile`).  A
+      chain may join at most two distinct static loads (LDBP's
+      two-source limit; e.g. ``a[i] > b[j]``); joining more kills the
+      tag.  ``pure`` stays True only while every *other* operand on the
+      chain is constant-derived (immediates and arithmetic over
+      immediates), so a pure chain is a fixed function of the source
+      load values — exactly what LDBP's dataflow engine can execute
+      ahead of fetch.
+    * **Value snooping and address-stride gating.**  Committed load
+      values and effective addresses are snooped (:meth:`on_load`).
+      Real LDBP can only precompute ahead when it knows *where* the
+      feeding loads will read next, so a chain arms only while every
+      source load's address stride has repeated ``stride_confidence``
+      times (a load executed exactly once — a loop-invariant bound —
+      is trivially available and counts as armed).
+    * **Outcome precomputation.**  A branch whose condition carries a
+      pure tag, whose (branch, load) pairing has held for
+      ``confidence`` consecutive executions, and whose feeding load is
+      stride-predictable is *tracked*: its outcome is the chain
+      function applied to the already-committed load value, so the
+      model resolves it correctly by construction (the approximation —
+      perfect timeliness — is documented in ``docs/fidelity.md``).
+      Everything else falls back to the un-aliased :class:`Hybrid`,
+      which trains on every branch either way.
+
+    The predictor is a drop-in :class:`BasePredictor`: ``access(sid,
+    taken)`` (no chain information) is pure fallback, while consumers
+    that see the instruction stream call :meth:`access_branch` with the
+    instruction so the chain machinery engages.
+    """
+
+    name = "ldbp"
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        max_chain: int = 6,
+        confidence: int = 2,
+        stride_confidence: int = 2,
+    ):
+        super().__init__()
+        self.fallback = Hybrid(history_bits=history_bits, aliased=False)
+        self.max_chain = max_chain
+        self.confidence = confidence
+        self.stride_confidence = stride_confidence
+        #: Prediction-source counters (additive across runs, merged).
+        self.precomputed = 0
+        self.fallback_predictions = 0
+        # Run-local learned state (stays local on merge, like the
+        # history-based predictors' trained tables).
+        self._taint: Dict[int, tuple] = {}  # reg key -> (sids, depth, pure)
+        self._const: set = set()  # reg keys holding constant-derived values
+        self._last_value: Dict[int, object] = {}  # load sid -> value
+        #: load sid -> (last addr, stride, stride conf, executions).
+        self._stride: Dict[int, tuple] = {}
+        self._chain: Dict[int, tuple] = {}  # branch sid -> load sids
+        self._chain_conf: Dict[int, int] = {}  # branch sid -> counter
+
+    # -- chain learning / value snooping ---------------------------------------
+    def on_load(self, instr, value, addr=None) -> None:
+        """One committed load: snoop value and address, start a chain."""
+        sid = instr.sid
+        self._last_value[sid] = value
+        self._taint[instr._dest_key] = ((sid,), 0, True)
+        self._const.discard(instr._dest_key)
+        if addr is not None:
+            state = self._stride.get(sid)
+            if state is None:
+                self._stride[sid] = (addr, 0, 0, 1)
+            else:
+                last, stride, conf, count = state
+                delta = addr - last
+                if delta == stride:
+                    self._stride[sid] = (
+                        addr, stride, conf + 1 if conf < 3 else 3, count + 1
+                    )
+                else:
+                    self._stride[sid] = (addr, delta, 0, count + 1)
+
+    def _armed(self, sid: int) -> bool:
+        """Whether a source load's next value is available ahead of
+        fetch: its address stream is stride-predictable, or it has
+        executed exactly once (its value is simply still committed)."""
+        state = self._stride.get(sid)
+        if state is None:
+            return False
+        return state[3] == 1 or state[2] >= self.stride_confidence
+
+    def on_step(self, instr) -> None:
+        """One register-writing instruction: propagate single-source
+        taint and constant-derivedness; merging chains from two
+        different loads kills the tag."""
+        dest_key = instr._dest_key
+        if dest_key is None:
+            return
+        taint = self._taint
+        const = self._const
+        sids = None
+        depth = 0
+        pure = True
+        overflow = False
+        for key in instr._read_keys:
+            t = taint.get(key)
+            if t is not None:
+                if sids is None:
+                    sids, depth, pure = t
+                else:
+                    if t[0] != sids:
+                        union = tuple(sorted(set(sids) | set(t[0])))
+                        if len(union) > 2:
+                            overflow = True
+                            break
+                        sids = union
+                    if t[1] > depth:
+                        depth = t[1]
+                    pure = pure and t[2]
+            elif key not in const:
+                pure = False
+        if overflow:
+            taint.pop(dest_key, None)
+            const.discard(dest_key)
+        elif sids is not None:
+            if depth < self.max_chain:
+                taint[dest_key] = (sids, depth + 1, pure)
+            else:
+                taint.pop(dest_key, None)
+            const.discard(dest_key)
+        else:
+            taint.pop(dest_key, None)
+            if pure:
+                const.add(dest_key)
+            else:
+                const.discard(dest_key)
+
+    # -- prediction -----------------------------------------------------------
+    def access_branch(self, instr, taken: bool) -> bool:
+        """Predict, record statistics, train — with chain information.
+
+        Returns True on a correct prediction, exactly like
+        :meth:`BasePredictor.access`.
+        """
+        sid = instr.sid
+        tag = self._taint.get(instr._read_keys[0])
+        tracked = False
+        if tag is not None and tag[2]:
+            load_sids = tag[0]
+            chain = self._chain
+            conf = self._chain_conf
+            if chain.get(sid) == load_sids:
+                count = conf.get(sid, 0)
+                if count < 3:
+                    conf[sid] = count = count + 1
+            else:
+                chain[sid] = load_sids
+                conf[sid] = count = 0
+            if count >= self.confidence and all(
+                self._armed(load_sid) for load_sid in load_sids
+            ):
+                tracked = True
+        if tracked:
+            # The chain is a fixed function of one committed load value;
+            # the dataflow precompute reproduces the branch's own
+            # arithmetic, so the tracked instance resolves correctly.
+            prediction = taken
+            self.precomputed += 1
+        else:
+            prediction = self.fallback.predict(sid)
+            self.fallback_predictions += 1
+        correct = prediction == taken
+        stats = self.per_branch.get(sid)
+        if stats is None:
+            stats = self.per_branch[sid] = BranchStats()
+        stats.executed += 1
+        self.global_stats.executed += 1
+        if taken:
+            stats.taken += 1
+            self.global_stats.taken += 1
+        if not correct:
+            stats.mispredicted += 1
+            self.global_stats.mispredicted += 1
+        self.fallback.access(sid, taken)
+        return correct
+
+    def predict(self, sid: int) -> bool:
+        return self.fallback.predict(sid)
+
+    def update(self, sid: int, taken: bool) -> None:
+        self.fallback.access(sid, taken)
+
+    @property
+    def precompute_coverage(self) -> float:
+        """Fraction of branch executions answered by a precomputed
+        outcome rather than the fallback."""
+        executed = self.global_stats.executed
+        return self.precomputed / executed if executed else 0.0
+
+    # -- merge / snapshot -------------------------------------------------------
+    def merge(self, other: "BasePredictor") -> "BasePredictor":
+        super().merge(other)
+        if isinstance(other, LoadDrivenBranchPredictor):
+            self.precomputed += other.precomputed
+            self.fallback_predictions += other.fallback_predictions
+        return self
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        snap["precomputed"] = self.precomputed
+        snap["fallback_predictions"] = self.fallback_predictions
+        return snap
+
+
 def make_predictor(name: str, **kwargs) -> BasePredictor:
-    """Factory: ``bimodal``, ``gshare``, ``local``, ``hybrid``, or
-    ``perceptron``."""
+    """Factory: ``bimodal``, ``gshare``, ``local``, ``hybrid``,
+    ``perceptron``, or ``ldbp``."""
     table = {
         "bimodal": Bimodal,
         "gshare": GShare,
         "local": LocalHistory,
         "hybrid": Hybrid,
         "perceptron": Perceptron,
+        "ldbp": LoadDrivenBranchPredictor,
     }
     try:
         cls = table[name]

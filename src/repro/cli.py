@@ -202,7 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument(
         "--platform",
-        choices=["alpha", "powerpc", "pentium4", "itanium", "all"],
+        choices=["alpha", "powerpc", "pentium4", "itanium", "ldbp", "all"],
         default="all",
     )
     evaluate.add_argument(
@@ -516,7 +516,7 @@ def _cmd_evaluate(args) -> None:
         sys.exit(1)
     session = _session_from_args(args, scale=args.scale)
     keys = (
-        ["alpha", "powerpc", "pentium4", "itanium"]
+        ["alpha", "powerpc", "pentium4", "itanium", "ldbp"]
         if args.platform == "all"
         else [args.platform]
     )

@@ -253,6 +253,100 @@ def render_table4(rows: List[SequenceRow]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Table 4 follow-up: LDBP reclamation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LdbpRow:
+    """One workload's hard-to-predict population under baseline vs LDBP."""
+
+    workload: str
+    hard_branches: int
+    reclaimed_branches: int
+    baseline_rate: float
+    ldbp_rate: float
+    precompute_coverage: float
+    baseline_mispredictions: int
+    ldbp_mispredictions: int
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        """Fraction of the hard population pulled below the threshold."""
+        if not self.hard_branches:
+            return 0.0
+        return self.reclaimed_branches / self.hard_branches
+
+    @property
+    def misprediction_reduction(self) -> float:
+        """Relative misprediction reduction on the hard population."""
+        if not self.baseline_mispredictions:
+            return 0.0
+        return 1.0 - self.ldbp_mispredictions / self.baseline_mispredictions
+
+
+def ldbp_reclamation(context: "Session") -> List[LdbpRow]:
+    """Table 4 follow-up: how much of the paper's hard-to-predict
+    (>= 5% misprediction) branch population an LDBP-style predictor
+    reclaims per workload.
+
+    Answered through ``Session.analyze(tools=["ldbp"])``, so a stored
+    trace satisfies the query without re-simulation and the result is
+    bit-identical to a live run (the trace differential matrix proves
+    this per workload).
+
+    Covers the SPEC comparison trio too: the paper's point is that
+    BioPerf's hard branches sit behind loads, so the SPEC programs
+    bound how much of the reclamation is BioPerf-specific.
+    """
+    rows = []
+    for spec in all_workloads() + spec_workloads():
+        payload = context.analyze(spec.name, tools=["ldbp"]).payloads["ldbp"]
+        rows.append(
+            LdbpRow(
+                workload=spec.name,
+                hard_branches=payload["hard_branches"],
+                reclaimed_branches=payload["reclaimed_branches"],
+                baseline_rate=payload["baseline_rate"],
+                ldbp_rate=payload["ldbp_rate"],
+                precompute_coverage=payload["precompute_coverage"],
+                baseline_mispredictions=payload["baseline_mispredictions"],
+                ldbp_mispredictions=payload["ldbp_mispredictions"],
+            )
+        )
+    return rows
+
+
+def render_ldbp(rows: List[LdbpRow]) -> str:
+    return format_table(
+        [
+            "program",
+            "hard br",
+            "reclaimed",
+            "fraction",
+            "misp cut",
+            "base misp",
+            "ldbp misp",
+            "coverage",
+        ],
+        [
+            [
+                r.workload,
+                r.hard_branches,
+                r.reclaimed_branches,
+                pct(r.reclaimed_fraction),
+                pct(r.misprediction_reduction),
+                pct(r.baseline_rate, 2),
+                pct(r.ldbp_rate, 2),
+                pct(r.precompute_coverage),
+            ]
+            for r in rows
+        ],
+        title="LDBP reclamation of the hard-to-predict branch population",
+    )
+
+
+# ---------------------------------------------------------------------------
 # Table 5
 # ---------------------------------------------------------------------------
 
@@ -381,7 +475,13 @@ def _cell_key(task: Tuple[str, str, str, int]) -> str:
 def table8_runtimes(
     scale: str = "large",
     seed: int = 0,
-    platform_keys: Tuple[str, ...] = ("alpha", "powerpc", "pentium4", "itanium"),
+    platform_keys: Tuple[str, ...] = (
+        "alpha",
+        "powerpc",
+        "pentium4",
+        "itanium",
+        "ldbp",
+    ),
     jobs: int = 1,
     runner=None,
     checkpoint: Optional[str] = None,

@@ -211,6 +211,40 @@ def generate(
         )
     )
 
+    # -- Table 4 follow-up: LDBP reclamation ---------------------------------------
+    ldbp_rows = E.ldbp_reclamation(context)
+    sections.append(
+        "## LDBP — reclaiming the hard-to-predict branch population\n\n"
+        "Table 4 characterizes the problem; a load-driven branch\n"
+        "predictor (arXiv:2009.09064) is the acceleration it points at.\n"
+        "Per workload: how many ≥5%-misprediction branches LDBP pulls\n"
+        "back under the threshold, and the precompute coverage\n"
+        "(docs/branch-prediction.md).\n\n"
+        + _md_table(
+            [
+                "program",
+                "hard br",
+                "reclaimed",
+                "misp cut",
+                "base rate",
+                "ldbp rate",
+                "coverage",
+            ],
+            [
+                [
+                    r.workload,
+                    r.hard_branches,
+                    r.reclaimed_branches,
+                    pct(r.misprediction_reduction),
+                    pct(r.baseline_rate, 2),
+                    pct(r.ldbp_rate, 2),
+                    pct(r.precompute_coverage),
+                ]
+                for r in ldbp_rows
+            ],
+        )
+    )
+
     # -- Table 5 -------------------------------------------------------------------
     profile_rows = E.table5_load_profile(context, "hmmsearch", top=8)
     spec5 = get_workload("hmmsearch")

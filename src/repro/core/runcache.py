@@ -61,9 +61,12 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 from repro import obs
 from repro.exec.interpreter import DEFAULT_MAX_INSTRUCTIONS
 
-#: Bump when the pickled layout of tool state changes incompatibly.
+#: Bump when the pickled layout of tool state changes incompatibly,
+#: or when a tool's semantics change (same layout, different numbers).
 #: v2: entries carry a magic header + SHA-256 payload digest.
-CACHE_VERSION = 2
+#: v3: SequenceProfile stops attributing loads across unconditional
+#: jumps, so cached after-hard-branch fractions are incomparable.
+CACHE_VERSION = 3
 
 #: Filename suffix for cache entries.
 _SUFFIX = ".pkl"

@@ -28,7 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.branch.predictors import BasePredictor, Hybrid
+from repro.branch.predictors import (
+    BasePredictor,
+    Hybrid,
+    LoadDrivenBranchPredictor,
+)
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cpu.platforms import PlatformConfig
 from repro.exec.trace import TraceEvent
@@ -79,6 +83,10 @@ class OoOTimingModel:
         self.platform = platform
         self.predictor = predictor or Hybrid(aliased=False)
         self.hierarchy = hierarchy or platform.hierarchy()
+        #: A load-driven predictor learns from the instruction stream
+        #: itself (committed load values/addresses and register writes),
+        #: so the model feeds it every event, not just branches.
+        self._ldbp = isinstance(self.predictor, LoadDrivenBranchPredictor)
 
         self._reg_ready: Dict[Reg, int] = {}
         self._store_ready: Dict[int, int] = {}
@@ -131,6 +139,11 @@ class OoOTimingModel:
 
         opcode = instr.opcode
         addr = event.addr
+        if self._ldbp:
+            if instr.is_load:
+                self.predictor.on_load(instr, event.value, addr)
+            elif not instr.is_store and opcode is not Opcode.BR:
+                self.predictor.on_step(instr)
         if instr.is_load:
             if addr in self._store_ready:
                 t = self._store_ready[addr] + platform.store_forward_penalty
@@ -164,7 +177,10 @@ class OoOTimingModel:
             self._store_ready[addr] = complete
 
         if opcode is Opcode.BR:
-            correct = self.predictor.access(instr.sid, event.taken)
+            if self._ldbp:
+                correct = self.predictor.access_branch(instr, event.taken)
+            else:
+                correct = self.predictor.access(instr.sid, event.taken)
             if not correct:
                 # Squash: fetch resumes after resolution plus refill.
                 redirect = complete + platform.mispredict_penalty

@@ -70,6 +70,11 @@ class PlatformConfig:
     div_latency: int = 20
     fp_latency: int = 4
     fp_div_latency: int = 15
+    #: Whether the front end carries an LDBP-style load-driven branch
+    #: predictor (arXiv:2009.09064) instead of the plain un-aliased
+    #: hybrid — a what-if column beyond the paper's 2006 machines; see
+    #: docs/branch-prediction.md.
+    ldbp: bool = False
 
     def hierarchy(self) -> CacheHierarchy:
         """A fresh cache hierarchy matching this platform."""
@@ -212,18 +217,26 @@ ITANIUM_2 = PlatformConfig(
     static_overlap_window=16,
 )
 
-#: All Table 7 platforms by short name.
+#: Alpha 21264 with an LDBP-style front end (arXiv:2009.09064): the
+#: modern acceleration proposal the characterization points at, applied
+#: to the paper's reference machine.  Every core parameter matches
+#: ``ALPHA_21264`` so Table 8 / Figure 9 deltas against the ``alpha``
+#: column isolate exactly the reclaimed misprediction penalty.
+LDBP_ALPHA = replace(ALPHA_21264, name="Alpha 21264 + LDBP", ldbp=True)
+
+#: All Table 7 platforms by short name, plus the LDBP what-if column.
 PLATFORMS: Dict[str, PlatformConfig] = {
     "alpha": ALPHA_21264,
     "powerpc": POWERPC_G5,
     "pentium4": PENTIUM_4,
     "itanium": ITANIUM_2,
+    "ldbp": LDBP_ALPHA,
 }
 
 
 def get_platform(name: str) -> PlatformConfig:
     """Look up a platform by short name (``alpha``, ``powerpc``,
-    ``pentium4``, ``itanium``)."""
+    ``pentium4``, ``itanium``, ``ldbp``)."""
     try:
         return PLATFORMS[name]
     except KeyError:
@@ -248,4 +261,8 @@ def make_timing_model(platform: PlatformConfig):
             proxy = _replace(platform, window=platform.static_overlap_window)
             return OoOTimingModel(proxy)
         return InOrderTimingModel(platform)
+    if platform.ldbp:
+        from repro.branch.predictors import LoadDrivenBranchPredictor
+
+        return OoOTimingModel(platform, predictor=LoadDrivenBranchPredictor())
     return OoOTimingModel(platform)

@@ -754,6 +754,9 @@ class _BlockCodegen:
             # The switch sets pc, then falls through to step dispatch.
             if gen.fused:
                 self.seq_consume(ind, instr, j)
+                # SequenceProfile.on_step: an unconditional jump clears
+                # the recent-branch window (in place — RB is bound once).
+                self.line(ind, "if RB: del RB[:]", j, instr)
                 self.batch.step(False)
             elif gen.has_sinks("other"):
                 self.line(ind, f"ev = TE(I{instr.sid}, None, None)", j, instr)

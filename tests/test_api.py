@@ -179,8 +179,8 @@ def test_evaluate_grid_matches_experiments_helper():
     assert rows == E.table8_runtimes(scale="test", seed=0, platform_keys=("alpha",))
 
 
-def test_evaluate_grid_defaults_to_all_table7_platforms():
-    assert DEFAULT_PLATFORMS == ("alpha", "powerpc", "pentium4", "itanium")
+def test_evaluate_grid_defaults_to_all_table7_platforms_plus_ldbp():
+    assert DEFAULT_PLATFORMS == ("alpha", "powerpc", "pentium4", "itanium", "ldbp")
 
 
 def test_evaluate_grid_under_faults_bit_identical_after_retries():

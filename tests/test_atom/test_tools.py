@@ -200,6 +200,53 @@ void kernel() {
     assert summary.after_hard_branch_fraction > 0.2
 
 
+def test_sequence_unconditional_jump_breaks_attribution():
+    # Both if/else arms reach the join through an unconditional jump,
+    # so the b loads at the join must NOT be attributed to the hard
+    # a-guard: after a JMP the pipeline is unconditionally somewhere
+    # the guard never decided.  Regression: the recent-branch window
+    # used to survive intervening unconditional branches.
+    src = """
+int a[]; int b[]; int out[];
+void kernel() {
+  int i; int t;
+  for (i = 0; i < 200; i++) {
+    if (a[i % 64] > 0) { out[0] = i; } else { out[1] = i; }
+    t = b[i % 64];
+    out[2] = t + 1;
+  }
+}
+"""
+    import random
+
+    rng = random.Random(2)
+    bindings = {
+        "a": [rng.choice([-1, 1]) for _ in range(64)],
+        "b": [5] * 64,
+        "out": [0, 0, 0],
+    }
+    sequences = SequenceProfile()
+    run_with(src, bindings, sequences)
+    summary = sequences.summary()
+    # The guard really is hard to predict (so attribution *would*
+    # trigger if the window crossed the jumps)...
+    assert summary.seq_branch_misprediction_rate > 0.2
+    # ...but every path from it to the b load crosses a JMP.
+    assert summary.after_hard_branch_fraction == 0.0
+
+    # The compiled backend's fused fast path inlines the same window
+    # logic; it must agree bit-for-bit.
+    program = compile_source(src, "t", O0)
+    for backend in ("switch", "compiled"):
+        result = characterize(program, dict(bindings), backend=backend)
+        compiled_summary = result.sequences.summary()
+        assert compiled_summary.loads_after_hard_branch == 0
+        assert (
+            compiled_summary.load_to_branch_loads
+            == summary.load_to_branch_loads
+        )
+
+
 def test_characterize_runs_all_tools(simple_source, simple_bindings):
     program = compile_source(simple_source, "t", O0)
     result = characterize(program, simple_bindings)

@@ -104,6 +104,7 @@ class TestPythonSnippets:
     EXECUTED = [
         ("README.md", "characterize(program"),
         (os.path.join("docs", "service.md"), "ServiceClient(service)"),
+        (os.path.join("docs", "branch-prediction.md"), "LdbpReclamation()"),
     ]
 
     @pytest.mark.parametrize("relpath,marker", EXECUTED,
@@ -274,7 +275,18 @@ REQUIRED_ANCHORS = {
     os.path.join("docs", "traces.md"): [
         "Session", "analyze", "trace record", "trace replay", "trace ls",
         "--tools", "/v1/analyze", 'tool_config="trace"',
-        "bench_trace_replay",
+        "bench_trace_replay", "ldbp",
+    ],
+    os.path.join("docs", "branch-prediction.md"): [
+        "make_predictor", "access_branch", "precompute_coverage",
+        "--platform ldbp", "bench_ldbp", "--min-ldbp-reclaimed",
+        "needs_values=True", "arXiv:2009.09064",
+    ],
+    os.path.join("docs", "timing-model.md"): [
+        "--platform ldbp", "LoadDrivenBranchPredictor", "ldbp=True",
+    ],
+    os.path.join("docs", "fidelity.md"): [
+        "Perfect timeliness", "correct by construction",
     ],
 }
 
@@ -300,3 +312,23 @@ class TestAnchors:
             assert "architecture.md" in text, (
                 f"docs/{name}: missing cross-link to the architecture map"
             )
+
+    def test_every_package_is_on_the_architecture_map(self):
+        """docs/architecture.md is *the* map: a src/repro package that
+        is not on it is invisible to readers, so adding a package means
+        adding its line (and, ideally, its docs page) there."""
+        src = os.path.join(REPO, "src", "repro")
+        with open(
+            os.path.join(REPO, "docs", "architecture.md"), encoding="utf-8"
+        ) as handle:
+            text = handle.read()
+        missing = [
+            name
+            for name in sorted(os.listdir(src))
+            if os.path.isdir(os.path.join(src, name))
+            and not name.startswith("__")
+            and f"{name}/" not in text
+        ]
+        assert not missing, (
+            f"docs/architecture.md module map is missing packages: {missing}"
+        )
